@@ -1,0 +1,228 @@
+//! Profile differencing.
+//!
+//! The paper's cross-platform (§6.5) and cross-framework (§6.6) studies
+//! are comparisons between two profiles of the same workload. This module
+//! makes that workflow first-class: align two profiles by *context label
+//! paths* and report the largest regressions/improvements of any metric.
+
+use std::collections::HashMap;
+
+use deepcontext_core::{MetricKind, ProfileDb};
+
+use crate::view::ProfileView;
+
+/// One aligned context with its metric value in both profiles.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// ` > `-joined short-label path identifying the context.
+    pub path: String,
+    /// Metric value in the baseline profile (0 when absent).
+    pub baseline: f64,
+    /// Metric value in the candidate profile (0 when absent).
+    pub candidate: f64,
+}
+
+impl DiffEntry {
+    /// candidate − baseline.
+    pub fn delta(&self) -> f64 {
+        self.candidate - self.baseline
+    }
+
+    /// candidate / baseline (`f64::INFINITY` for new contexts).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.candidate == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.candidate / self.baseline
+        }
+    }
+}
+
+/// The comparison of one metric across two profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileDiff {
+    metric: MetricKind,
+    entries: Vec<DiffEntry>,
+    baseline_total: f64,
+    candidate_total: f64,
+}
+
+impl ProfileDiff {
+    /// Aligns `baseline` and `candidate` on context label paths and
+    /// compares `metric`. Only *leaf-ward* aggregation matters, so every
+    /// node of both trees participates; entries are sorted by
+    /// `|delta|` descending.
+    pub fn compare(baseline: &ProfileDb, candidate: &ProfileDb, metric: MetricKind) -> ProfileDiff {
+        let collect = |db: &ProfileDb| -> HashMap<String, f64> {
+            let view = ProfileView::new(db);
+            let mut map = HashMap::new();
+            for node in db.cct().dfs() {
+                if node == db.cct().root() {
+                    continue;
+                }
+                let value = view.sum(node, metric);
+                if value > 0.0 {
+                    // Short-label paths align across platforms/frameworks
+                    // (kernel PCs and libraries may differ; labels do not).
+                    let path = db
+                        .cct()
+                        .frames_to_root(node)
+                        .frames()
+                        .iter()
+                        .map(|f| f.short_label(&db.cct().interner()))
+                        .collect::<Vec<_>>()
+                        .join(" > ");
+                    map.insert(path, value);
+                }
+            }
+            map
+        };
+
+        let base = collect(baseline);
+        let cand = collect(candidate);
+        let mut keys: Vec<&String> = base.keys().chain(cand.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let mut entries: Vec<DiffEntry> = keys
+            .into_iter()
+            .map(|k| DiffEntry {
+                path: k.clone(),
+                baseline: base.get(k).copied().unwrap_or(0.0),
+                candidate: cand.get(k).copied().unwrap_or(0.0),
+            })
+            .collect();
+        entries.sort_by(|a, b| b.delta().abs().total_cmp(&a.delta().abs()));
+        ProfileDiff {
+            metric,
+            entries,
+            baseline_total: baseline.cct().total(metric),
+            candidate_total: candidate.cct().total(metric),
+        }
+    }
+
+    /// The compared metric.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// All aligned entries, largest |delta| first.
+    pub fn entries(&self) -> &[DiffEntry] {
+        &self.entries
+    }
+
+    /// Contexts that got worse (delta > 0), largest first.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.delta() > 0.0)
+    }
+
+    /// Contexts that improved (delta < 0), largest first.
+    pub fn improvements(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.delta() < 0.0)
+    }
+
+    /// Whole-profile totals (baseline, candidate).
+    pub fn totals(&self) -> (f64, f64) {
+        (self.baseline_total, self.candidate_total)
+    }
+
+    /// Renders the top `n` changes as a text table.
+    pub fn render_top(&self, n: usize) -> String {
+        let (b, c) = self.totals();
+        let mut out = format!(
+            "metric {}: total {:.3e} -> {:.3e} ({:+.1}%)\n",
+            self.metric.name(),
+            b,
+            c,
+            if b > 0.0 { (c - b) / b * 100.0 } else { 0.0 }
+        );
+        for entry in self.entries.iter().take(n) {
+            out.push_str(&format!(
+                "{:>12.3e} -> {:>12.3e}  ({:+.1}%)  {}\n",
+                entry.baseline,
+                entry.candidate,
+                if entry.baseline > 0.0 {
+                    entry.delta() / entry.baseline * 100.0
+                } else {
+                    100.0
+                },
+                entry.path
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame, ProfileMeta};
+
+    fn profile(conv_time: f64, norm_time: f64) -> ProfileDb {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let conv = cct.insert_path(&[
+            Frame::python("unet.py", 30, "down_block", &i),
+            Frame::gpu_kernel("implicit_gemm", "m.so", 0x10, &i),
+        ]);
+        let norm = cct.insert_path(&[
+            Frame::python("unet.py", 30, "down_block", &i),
+            Frame::gpu_kernel("batch_norm_template", "m.so", 0x20, &i),
+        ]);
+        cct.attribute(conv, MetricKind::GpuTime, conv_time);
+        cct.attribute(norm, MetricKind::GpuTime, norm_time);
+        ProfileDb::new(ProfileMeta::default(), cct)
+    }
+
+    #[test]
+    fn diff_finds_the_regressed_context() {
+        let nv = profile(100.0, 40.0);
+        let amd = profile(80.0, 120.0);
+        let diff = ProfileDiff::compare(&nv, &amd, MetricKind::GpuTime);
+        let top = &diff.entries()[0];
+        assert!(top.path.contains("batch_norm_template"));
+        assert_eq!(top.delta(), 80.0);
+        assert_eq!(top.ratio(), 3.0);
+        assert_eq!(diff.totals(), (140.0, 200.0));
+        assert!(diff.regressions().any(|e| e.path.contains("batch_norm")));
+        assert!(diff.improvements().any(|e| e.path.contains("implicit_gemm")));
+    }
+
+    #[test]
+    fn contexts_missing_on_one_side_are_reported() {
+        let base = profile(100.0, 40.0);
+        let mut other_cct = CallingContextTree::new();
+        let i = other_cct.interner();
+        let only = other_cct.insert_path(&[Frame::gpu_kernel("new_kernel", "m.so", 0x30, &i)]);
+        other_cct.attribute(only, MetricKind::GpuTime, 7.0);
+        let other = ProfileDb::new(ProfileMeta::default(), other_cct);
+
+        let diff = ProfileDiff::compare(&base, &other, MetricKind::GpuTime);
+        let new_entry = diff
+            .entries()
+            .iter()
+            .find(|e| e.path.contains("new_kernel"))
+            .unwrap();
+        assert_eq!(new_entry.baseline, 0.0);
+        assert_eq!(new_entry.ratio(), f64::INFINITY);
+        let gone = diff
+            .entries()
+            .iter()
+            .find(|e| e.path.ends_with("implicit_gemm"))
+            .unwrap();
+        assert_eq!(gone.candidate, 0.0);
+    }
+
+    #[test]
+    fn identical_profiles_have_unit_ratios() {
+        let a = profile(10.0, 10.0);
+        let b = profile(10.0, 10.0);
+        let diff = ProfileDiff::compare(&a, &b, MetricKind::GpuTime);
+        assert!(diff.entries().iter().all(|e| e.ratio() == 1.0));
+        let text = diff.render_top(3);
+        assert!(text.contains("+0.0%"));
+    }
+}

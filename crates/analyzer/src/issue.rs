@@ -1,0 +1,93 @@
+//! Flagged performance issues.
+
+use std::fmt;
+
+use deepcontext_core::NodeId;
+
+/// How serious an issue is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational finding.
+    Info,
+    /// Likely optimization opportunity.
+    Warning,
+    /// Dominant bottleneck.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Critical => f.write_str("critical"),
+        }
+    }
+}
+
+/// One flagged issue, pointing at a calling context.
+#[derive(Debug, Clone)]
+pub struct Issue {
+    /// The rule that raised it.
+    pub rule: String,
+    /// Severity.
+    pub severity: Severity,
+    /// The flagged tree node.
+    pub node: NodeId,
+    /// Rendered call path of the node.
+    pub call_path: String,
+    /// What was observed.
+    pub message: String,
+    /// Suggested optimization (the paper's "actionable optimization
+    /// suggestions").
+    pub suggestion: String,
+    /// Supporting metric values (name, value).
+    pub metrics: Vec<(String, f64)>,
+    /// Sort weight within a severity class (rules use the dominant
+    /// metric, e.g. seconds of GPU time).
+    pub weight: f64,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}: {}", self.severity, self.rule, self.message)?;
+        writeln!(f, "  at: {}", self.call_path)?;
+        if !self.suggestion.is_empty() {
+            writeln!(f, "  suggestion: {}", self.suggestion)?;
+        }
+        for (name, value) in &self.metrics {
+            writeln!(f, "  {name} = {value:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Critical > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_includes_everything() {
+        let issue = Issue {
+            rule: "hotspot".into(),
+            severity: Severity::Critical,
+            node: NodeId::ROOT,
+            call_path: "a.py:1 > aten::conv2d".into(),
+            message: "kernel takes 39.6% of GPU time".into(),
+            suggestion: "replace aten::index with aten::index_select".into(),
+            metrics: vec![("gpu_time".into(), 30.5e9)],
+            weight: 30.5e9,
+        };
+        let text = issue.to_string();
+        assert!(text.contains("hotspot"));
+        assert!(text.contains("39.6%"));
+        assert!(text.contains("index_select"));
+        assert!(text.contains("gpu_time"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Call-path search (paper §4.3, "Analysis API").
+//!
+//! "Each analysis starts with the call path search phase. This phase
+//! traverses the calling context tree of the profiled application and
+//! identifies specific semantic nodes ... as well as program structure
+//! patterns ... It then applies pattern-matching rules to locate call
+//! paths containing these nodes."
+
+use deepcontext_core::{Frame, FrameKind, MetricKind, NodeId, OpPhase};
+
+use crate::view::ProfileView;
+
+/// Semantic node classes recognised by the search phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticClass {
+    /// Forward computation operators.
+    Forward,
+    /// Backward computation operators.
+    Backward,
+    /// Loss computation (nll_loss / cross-entropy / log_softmax chains).
+    Loss,
+    /// Memory copy operations.
+    MemoryCopy,
+    /// Data-loading / input-pipeline code.
+    DataLoading,
+    /// Optimizer steps.
+    Optimizer,
+}
+
+/// A single-frame predicate.
+#[derive(Debug, Clone)]
+pub enum FrameMatcher {
+    /// Frame is of this kind.
+    Kind(FrameKind),
+    /// Frame's short label contains this substring.
+    NameContains(String),
+    /// Frame is an operator with exactly this name.
+    OperatorNamed(String),
+    /// Frame is an operator in this phase.
+    Phase(OpPhase),
+    /// Frame belongs to this semantic class.
+    Semantic(SemanticClass),
+    /// Inclusive metric sum at the node satisfies `min..`.
+    MetricAtLeast(MetricKind, f64),
+}
+
+impl FrameMatcher {
+    fn matches(&self, view: &ProfileView<'_>, node: NodeId) -> bool {
+        let frame = view.cct().node(node).frame();
+        match self {
+            FrameMatcher::Kind(kind) => frame.kind() == *kind,
+            FrameMatcher::NameContains(s) => view.label(node).contains(s.as_str()),
+            FrameMatcher::OperatorNamed(name) => {
+                view.operator_name(node).map(|n| n == *name).unwrap_or(false)
+            }
+            FrameMatcher::Phase(phase) => view.operator_phase(node) == Some(*phase),
+            FrameMatcher::Semantic(class) => semantic_matches(view, node, frame, *class),
+            FrameMatcher::MetricAtLeast(kind, min) => view.sum(node, *kind) >= *min,
+        }
+    }
+}
+
+fn semantic_matches(
+    view: &ProfileView<'_>,
+    node: NodeId,
+    frame: &Frame,
+    class: SemanticClass,
+) -> bool {
+    let label = view.label(node);
+    match class {
+        SemanticClass::Forward => view.operator_phase(node) == Some(OpPhase::Forward),
+        SemanticClass::Backward => view.operator_phase(node) == Some(OpPhase::Backward),
+        SemanticClass::Loss => {
+            label.contains("loss") || label.contains("nll") || label.contains("cross_entropy")
+        }
+        SemanticClass::MemoryCopy => {
+            frame.kind() == FrameKind::GpuApi && label.to_lowercase().contains("memcpy")
+        }
+        SemanticClass::DataLoading => {
+            frame.kind() == FrameKind::Python
+                && (label.contains("data") || label.contains("loader") || label.contains("input"))
+        }
+        SemanticClass::Optimizer => {
+            label.contains("sgd") || label.contains("adam") || label.contains("optimizer")
+        }
+    }
+}
+
+/// A conjunction of frame predicates applied to tree nodes; the query
+/// returns every node all matchers accept.
+#[derive(Debug, Clone, Default)]
+pub struct CallPathQuery {
+    matchers: Vec<FrameMatcher>,
+    along_path: Vec<FrameMatcher>,
+}
+
+impl CallPathQuery {
+    /// An empty query (matches every node).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires the node itself to satisfy `matcher`.
+    pub fn node(mut self, matcher: FrameMatcher) -> Self {
+        self.matchers.push(matcher);
+        self
+    }
+
+    /// Requires *some ancestor or the node itself* along the call path to
+    /// satisfy `matcher` (the "call paths containing these nodes" form).
+    pub fn along_path(mut self, matcher: FrameMatcher) -> Self {
+        self.along_path.push(matcher);
+        self
+    }
+
+    /// Runs the query.
+    pub fn find(&self, view: &ProfileView<'_>) -> Vec<NodeId> {
+        view.cct()
+            .dfs()
+            .filter(|node| {
+                self.matchers.iter().all(|m| m.matches(view, *node))
+                    && self.along_path.iter().all(|m| {
+                        view.cct()
+                            .path_to_root(*node)
+                            .into_iter()
+                            .any(|ancestor| m.matches(view, ancestor))
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame, ProfileDb, ProfileMeta};
+
+    fn db() -> ProfileDb {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let loss = cct.insert_path(&[
+            Frame::python("train.py", 9, "loss_fn", &i),
+            Frame::operator("aten::nll_loss", &i),
+            Frame::gpu_kernel("nll_loss_forward", "m.so", 0x10, &i),
+        ]);
+        cct.attribute(loss, MetricKind::GpuTime, 100.0);
+        let bwd = cct.insert_path(&[
+            Frame::python("train.py", 9, "loss_fn", &i),
+            Frame::operator_with("aten::index", OpPhase::Backward, Some(3), &i),
+            Frame::gpu_kernel("indexing_backward_kernel", "m.so", 0x20, &i),
+        ]);
+        cct.attribute(bwd, MetricKind::GpuTime, 900.0);
+        ProfileDb::new(ProfileMeta::default(), cct)
+    }
+
+    #[test]
+    fn kind_and_name_matchers() {
+        let db = db();
+        let v = ProfileView::new(&db);
+        let kernels = CallPathQuery::new()
+            .node(FrameMatcher::Kind(FrameKind::GpuKernel))
+            .find(&v);
+        assert_eq!(kernels.len(), 2);
+        let idx = CallPathQuery::new()
+            .node(FrameMatcher::NameContains("indexing_backward".into()))
+            .find(&v);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn operator_and_phase_matchers() {
+        let db = db();
+        let v = ProfileView::new(&db);
+        let bwd_ops = CallPathQuery::new()
+            .node(FrameMatcher::Phase(OpPhase::Backward))
+            .find(&v);
+        assert_eq!(bwd_ops.len(), 1);
+        assert_eq!(v.operator_name(bwd_ops[0]).unwrap(), "aten::index");
+        let named = CallPathQuery::new()
+            .node(FrameMatcher::OperatorNamed("aten::nll_loss".into()))
+            .find(&v);
+        assert_eq!(named.len(), 1);
+    }
+
+    #[test]
+    fn along_path_and_metric_matchers() {
+        let db = db();
+        let v = ProfileView::new(&db);
+        // Kernels whose path goes through the backward aten::index.
+        let under_bwd = CallPathQuery::new()
+            .node(FrameMatcher::Kind(FrameKind::GpuKernel))
+            .along_path(FrameMatcher::Semantic(SemanticClass::Backward))
+            .find(&v);
+        assert_eq!(under_bwd.len(), 1);
+        // Kernels with at least 500ns of GPU time.
+        let heavy = CallPathQuery::new()
+            .node(FrameMatcher::Kind(FrameKind::GpuKernel))
+            .node(FrameMatcher::MetricAtLeast(MetricKind::GpuTime, 500.0))
+            .find(&v);
+        assert_eq!(heavy.len(), 1);
+    }
+
+    #[test]
+    fn semantic_loss_class() {
+        let db = db();
+        let v = ProfileView::new(&db);
+        let losses = CallPathQuery::new()
+            .node(FrameMatcher::Semantic(SemanticClass::Loss))
+            .find(&v);
+        // loss_fn python frame, nll_loss operator, nll kernel.
+        assert!(losses.len() >= 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline profilers DeepContext is compared against (paper §5, Table 1).
+//!
+//! [`TraceProfiler`] models the framework profilers (PyTorch profiler /
+//! JAX profiler): it records **every** operator and kernel event into an
+//! in-memory trace, so its memory grows linearly with iteration count —
+//! the behaviour behind the paper's Figure 6c/6d memory-overhead
+//! comparison (up to 27× / out-of-memory for trace-based tools, vs
+//! DeepContext's bounded online aggregation). Per-event CPU cost is low
+//! (no unwinding), matching their low time overhead in Figure 6a/6b.
+//!
+//! [`features`] reproduces Table 1's capability matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+mod trace;
+
+pub use trace::{ExportError, TraceEvent, TraceEventKind, TraceProfiler, TraceStyle};

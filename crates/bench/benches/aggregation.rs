@@ -1,0 +1,75 @@
+//! Online metric-aggregation throughput: the mechanism that keeps
+//! DeepContext's profiles iteration-count-independent (Figure 6c/6d)
+//! versus appending to a trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use deepcontext_core::{MetricKind, MetricStat, MetricStore};
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("stat_add_10k_samples", |b| {
+        b.iter(|| {
+            let mut stat = MetricStat::new();
+            for i in 0..10_000 {
+                stat.add(i as f64);
+            }
+            stat
+        });
+    });
+
+    group.bench_function("stat_merge_1k_pairs", |b| {
+        let mut lhs = MetricStat::new();
+        let mut rhs = MetricStat::new();
+        for i in 0..100 {
+            lhs.add(i as f64);
+            rhs.add(i as f64 * 2.0);
+        }
+        b.iter(|| {
+            let mut acc = lhs;
+            for _ in 0..1_000 {
+                acc.merge(&rhs);
+            }
+            acc
+        });
+    });
+
+    group.bench_function("store_mixed_kinds_add", |b| {
+        let kinds = [
+            MetricKind::GpuTime,
+            MetricKind::KernelLaunches,
+            MetricKind::CpuTime,
+            MetricKind::Warps,
+            MetricKind::Occupancy,
+        ];
+        b.iter(|| {
+            let mut store = MetricStore::new();
+            for i in 0..2_000 {
+                store.add(kinds[i % kinds.len()], i as f64);
+            }
+            store
+        });
+    });
+
+    // The contrast baseline: what a trace profiler does per event.
+    group.bench_function("trace_append_10k_events", |b| {
+        b.iter(|| {
+            let mut trace: Vec<(String, f64)> = Vec::new();
+            for i in 0..10_000 {
+                trace.push((format!("event_{}", i % 32), i as f64));
+            }
+            trace
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

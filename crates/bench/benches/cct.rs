@@ -1,0 +1,109 @@
+//! Microbenchmarks for the calling context tree (paper Figure 5
+//! operations: insert call path, aggregate metrics, propagate metrics).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use deepcontext_core::{CallingContextTree, Frame, MetricKind};
+
+fn paths(cct: &CallingContextTree, distinct: usize, depth: usize) -> Vec<Vec<Frame>> {
+    let interner = cct.interner();
+    (0..distinct)
+        .map(|p| {
+            (0..depth)
+                .map(|d| {
+                    if d + 1 == depth {
+                        Frame::gpu_kernel(
+                            &format!("kernel_{p}"),
+                            "m.so",
+                            0x1000 + p as u64 * 0x10,
+                            &interner,
+                        )
+                    } else {
+                        Frame::python("model.py", (p * depth + d) as u32 % 97, "layer", &interner)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_cct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cct");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("insert_cold_1000_paths_depth8", |b| {
+        let template = CallingContextTree::new();
+        let ps = paths(&template, 1000, 8);
+        b.iter_batched(
+            || CallingContextTree::with_interner(template.interner()),
+            |mut cct| {
+                for p in &ps {
+                    cct.insert_path(p);
+                }
+                cct
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("insert_warm_reuses_nodes", |b| {
+        let mut cct = CallingContextTree::new();
+        let ps = paths(&cct, 200, 8);
+        for p in &ps {
+            cct.insert_path(p);
+        }
+        b.iter(|| {
+            let mut last = None;
+            for p in &ps {
+                last = Some(cct.insert_path(p));
+            }
+            last
+        });
+    });
+
+    group.bench_function("attribute_with_propagation_depth8", |b| {
+        let mut cct = CallingContextTree::new();
+        let ps = paths(&cct, 100, 8);
+        let leaves: Vec<_> = ps.iter().map(|p| cct.insert_path(p)).collect();
+        b.iter(|| {
+            for leaf in &leaves {
+                cct.attribute(*leaf, MetricKind::GpuTime, 123.0);
+            }
+        });
+    });
+
+    group.bench_function("merge_two_200_node_trees", |b| {
+        let template = CallingContextTree::new();
+        let ps_a = paths(&template, 100, 6);
+        let ps_b = paths(&template, 100, 6);
+        b.iter_batched(
+            || {
+                let mut a = CallingContextTree::with_interner(template.interner());
+                let mut bt = CallingContextTree::with_interner(template.interner());
+                for p in &ps_a {
+                    let l = a.insert_path(p);
+                    a.attribute(l, MetricKind::GpuTime, 1.0);
+                }
+                for p in &ps_b {
+                    let l = bt.insert_path(p);
+                    bt.attribute(l, MetricKind::GpuTime, 1.0);
+                }
+                (a, bt)
+            },
+            |(mut a, bt)| {
+                a.merge(&bt);
+                a
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cct);
+criterion_main!(benches);

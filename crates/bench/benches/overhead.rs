@@ -1,0 +1,49 @@
+//! End-to-end per-run profiling overhead (the criterion companion to the
+//! `fig6_overhead` harness): real host time of a profiled workload run
+//! under each profiler configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use deepcontext_bench::{measure, EngineKind, ProfilerKind};
+use dl_models::{workload_by_name, WorkloadOptions};
+use sim_gpu::DeviceSpec;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let opts = WorkloadOptions::default();
+    // One compute-heavy and one launch-heavy workload: the two ends of
+    // the Figure 6 spectrum.
+    for workload_name in ["dlrm-small", "llama3-8b"] {
+        let workload = workload_by_name(workload_name).expect("workload");
+        for kind in [
+            ProfilerKind::None,
+            ProfilerKind::FrameworkTrace,
+            ProfilerKind::DeepContext,
+            ProfilerKind::DeepContextNative,
+        ] {
+            let id = BenchmarkId::new(workload_name, kind.label());
+            group.bench_with_input(id, &kind, |b, kind| {
+                b.iter(|| {
+                    measure(
+                        &DeviceSpec::a100_sxm(),
+                        workload.as_ref(),
+                        &opts,
+                        EngineKind::Eager,
+                        *kind,
+                        2,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

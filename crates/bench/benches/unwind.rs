@@ -1,0 +1,86 @@
+//! The call-path-caching ablation (paper §4.1 "Optimizations"): cost of
+//! building unified call paths with caching on vs off, and with native
+//! collection disabled — the design choices behind the Figure 6
+//! DeepContext vs DeepContext-Native gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use deepcontext_core::{Interner, ThreadRole, TimeNs};
+use dl_framework::{EagerEngine, FrameworkCore, Op, OpKind, TensorMeta};
+use dlmonitor::{CallPathSources, DlMonitor};
+use sim_gpu::{DeviceId, DeviceSpec, GpuRuntime};
+use sim_runtime::{RuntimeEnv, ThreadRegistry};
+
+struct Rig {
+    env: RuntimeEnv,
+    engine: std::sync::Arc<EagerEngine>,
+    monitor: std::sync::Arc<DlMonitor>,
+}
+
+fn rig() -> Rig {
+    let env = RuntimeEnv::new();
+    let gpu = GpuRuntime::new(env.clock().clone(), vec![DeviceSpec::a100_sxm()]);
+    let core = FrameworkCore::new(
+        env.clone(),
+        gpu.clone(),
+        DeviceId(0),
+        "/lib/libtorch_cpu.so",
+        "libtorch_cuda.so",
+        TimeNs(3_000),
+    );
+    let engine = EagerEngine::new(core);
+    let monitor = DlMonitor::init(&env, Interner::new());
+    monitor.attach_framework(engine.core().callbacks());
+    monitor.attach_gpu(&gpu);
+    Rig {
+        env,
+        engine,
+        monitor,
+    }
+}
+
+fn bench_unwind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("callpath");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (name, sources, cache) in [
+        ("uncached_full_native", CallPathSources::all(), false),
+        ("cached_partial_native", CallPathSources::all(), true),
+        ("cached_no_native", CallPathSources::without_native(), true),
+    ] {
+        group.bench_function(name, |b| {
+            let rig = rig();
+            rig.monitor.set_sources(sources);
+            rig.monitor.set_cache_enabled(cache);
+            let main = rig.env.threads().spawn(ThreadRole::Main);
+            let _bind = ThreadRegistry::bind_current(&main);
+            let core = std::sync::Arc::clone(rig.engine.core());
+            // Ten Python frames of depth, like a real model stack.
+            let _scopes: Vec<_> = (0..10)
+                .map(|i| core.python().frame(&main, "model.py", i, "layer"))
+                .collect();
+            let x = TensorMeta::new([1 << 12]);
+            b.iter(|| {
+                rig.engine.op(Op::new(OpKind::Relu), std::slice::from_ref(&x)).unwrap()
+            });
+        });
+    }
+
+    group.bench_function("raw_unwinder_backtrace_depth30", |b| {
+        let env = RuntimeEnv::new();
+        let t = env.threads().spawn(ThreadRole::Main);
+        for i in 0..30 {
+            t.native().push(sim_runtime::NativeFrameInfo::new("lib.so", 0x100 + i, "frame"));
+        }
+        b.iter(|| env.unwinder().backtrace(t.native()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_unwind);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Regenerates **Figure 6**: time and memory overheads of the ten
+//! workloads under the framework profiler, DeepContext, and DeepContext
+//! with native call paths, on both platforms and both engines.
+//!
+//! ```text
+//! cargo run --release -p deepcontext-bench --bin fig6_overhead -- \
+//!     [--framework eager|jit|both] [--metric time|memory|both] \
+//!     [--platform nvidia|amd|both] [--iters N]
+//! ```
+//!
+//! Time overhead is real host wall time relative to the unprofiled run
+//! (the profilers do real work — unwinding, tree insertion, trace
+//! appends). Memory overhead is the profile's peak bytes over a host
+//! memory model; `inf` marks runs whose trace outgrew the DRAM budget,
+//! matching the ∞ bars of the paper's chart.
+
+use deepcontext_bench::{measure, memory_overhead, EngineKind, ProfilerKind};
+use dl_models::{all_workloads, WorkloadOptions};
+use sim_gpu::DeviceSpec;
+
+/// DRAM budget for the memory-overhead OOM cutoff.
+const DRAM_BUDGET: usize = 192 << 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    };
+    let framework = get("--framework", "both");
+    let metric = get("--metric", "both");
+    let platform = get("--platform", "both");
+    let iters: u32 = get("--iters", "20").parse().expect("--iters N");
+
+    let engines: Vec<EngineKind> = match framework.as_str() {
+        "eager" => vec![EngineKind::Eager],
+        "jit" => vec![EngineKind::Jit],
+        _ => vec![EngineKind::Eager, EngineKind::Jit],
+    };
+    let platforms: Vec<DeviceSpec> = match platform.as_str() {
+        "nvidia" => vec![DeviceSpec::a100_sxm()],
+        "amd" => vec![DeviceSpec::mi250()],
+        _ => vec![DeviceSpec::a100_sxm(), DeviceSpec::mi250()],
+    };
+    let opts = WorkloadOptions::default();
+
+    for engine in &engines {
+        for spec in &platforms {
+            let figure = match (engine, metric.as_str()) {
+                (EngineKind::Eager, "time") => "6a (time, PyTorch-style)",
+                (EngineKind::Jit, "time") => "6b (time, JAX-style)",
+                (EngineKind::Eager, "memory") => "6c (memory, PyTorch-style)",
+                (EngineKind::Jit, "memory") => "6d (memory, JAX-style)",
+                (EngineKind::Eager, _) => "6a/6c (PyTorch-style)",
+                (EngineKind::Jit, _) => "6b/6d (JAX-style)",
+            };
+            println!(
+                "\nFigure {figure} — {} on {} ({iters} iterations)",
+                engine.tag(),
+                spec.platform_tag()
+            );
+            println!(
+                "{:<18}{:>12}{:>14}{:>14}{:>14}{:>12}{:>12}{:>12}",
+                "workload",
+                "base_ms",
+                "trace_time_x",
+                "dc_time_x",
+                "dcnat_time_x",
+                "trace_mem_x",
+                "dc_mem_x",
+                "dcnat_mem_x"
+            );
+            for workload in all_workloads() {
+                let base = measure(spec, workload.as_ref(), &opts, *engine, ProfilerKind::None, iters);
+                let base_ms = base.real.as_secs_f64() * 1e3;
+                let mut time_cols = Vec::new();
+                let mut mem_cols = Vec::new();
+                for kind in ProfilerKind::PROFILED {
+                    let run = measure(spec, workload.as_ref(), &opts, *engine, kind, iters);
+                    let time_x = run.real.as_secs_f64() / base.real.as_secs_f64().max(1e-9);
+                    time_cols.push(format!("{time_x:.2}"));
+                    let mem = memory_overhead(workload.as_ref(), run.profile_bytes, DRAM_BUDGET);
+                    mem_cols.push(match mem {
+                        Some(x) => format!("{x:.2}"),
+                        None => "inf".to_owned(),
+                    });
+                }
+                println!(
+                    "{:<18}{:>12.2}{:>14}{:>14}{:>14}{:>12}{:>12}{:>12}",
+                    workload.name(),
+                    base_ms,
+                    time_cols[0],
+                    time_cols[1],
+                    time_cols[2],
+                    mem_cols[0],
+                    mem_cols[1],
+                    mem_cols[2],
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 9**: the top-down view of Transformer-Big with
+//! the kernel-fusion analysis flags on the loss function's small kernels.
+
+use deepcontext_analyzer::Analyzer;
+use deepcontext_bench::{deepcontext_profile, EngineKind};
+use deepcontext_core::MetricKind;
+use deepcontext_flamegraph::{AsciiOptions, FlameGraph};
+use dl_models::{TransformerBig, WorkloadOptions};
+use sim_gpu::DeviceSpec;
+
+fn main() {
+    let db = deepcontext_profile(
+        &DeviceSpec::a100_sxm(),
+        &TransformerBig,
+        &WorkloadOptions::default(),
+        EngineKind::Eager,
+        3,
+    );
+    let report = Analyzer::with_default_rules().analyze(&db);
+
+    println!("Figure 9: top-down view of Transformer-Big (GPU time)\n");
+    let mut graph = FlameGraph::top_down(db.cct(), MetricKind::GpuTime);
+    graph.highlight_hotspots(0.15);
+    graph.annotate(&report);
+    print!(
+        "{}",
+        graph.to_ascii(&AsciiOptions {
+            min_share: 0.01,
+            max_depth: 4,
+            ..Default::default()
+        })
+    );
+
+    println!("\nkernel-fusion findings:");
+    for issue in report.by_rule("kernel-fusion").iter().take(3) {
+        println!("  {}", issue.message);
+        println!("    -> {}", issue.suggestion);
+    }
+}

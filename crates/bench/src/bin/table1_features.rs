@@ -1,0 +1,6 @@
+//! Regenerates **Table 1**: the profiler capability matrix.
+
+fn main() {
+    println!("Table 1: Comparison of DeepContext with existing profiling tools\n");
+    print!("{}", deepcontext_baselines::features::render_table1());
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 2**: the evaluation platforms.
+
+use sim_gpu::DeviceSpec;
+
+fn main() {
+    println!("Table 2: Evaluation Platforms\n");
+    println!(
+        "{:<10}{:<16}{:<12}{:<10}{:<14}{:<16}{:<12}",
+        "Platform", "GPU", "Memory", "SMs/CUs", "Warp size", "Peak FLOP/s", "Bandwidth"
+    );
+    for spec in [DeviceSpec::a100_sxm(), DeviceSpec::mi250()] {
+        println!(
+            "{:<10}{:<16}{:<12}{:<10}{:<14}{:<16}{:<12}",
+            format!("{}", spec.vendor),
+            spec.name,
+            format!("{} GB", spec.memory_bytes >> 30),
+            spec.sm_count,
+            spec.warp_size,
+            format!("{:.1} TF", spec.peak_flops / 1e12),
+            format!("{:.1} TB/s", spec.mem_bandwidth / 1e12),
+        );
+    }
+}

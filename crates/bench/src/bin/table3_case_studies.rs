@@ -1,0 +1,222 @@
+//! Regenerates **Table 3**: the seven case studies. Each case profiles
+//! the unoptimised workload, shows the analyzer finding that motivates
+//! the fix, applies the fix, and reports the speedup (virtual GPU /
+//! end-to-end time, like the paper).
+//!
+//! ```text
+//! cargo run --release -p deepcontext-bench --bin table3_case_studies -- [case ...]
+//! ```
+//!
+//! Cases: `dlrm-index`, `gnn-index`, `unet-layout`, `unet-workers`,
+//! `transformer-fusion`, `llama-stalls`, `unet-cta`, `jax-vs-pytorch`
+//! (default: all).
+
+use deepcontext_analyzer::Analyzer;
+use deepcontext_bench::{deepcontext_profile, measure, EngineKind, ProfilerKind};
+use dl_models::{DlrmSmall, Gnn, Llama3, TestBed, TransformerBig, UNet, Workload, WorkloadOptions};
+use sim_gpu::DeviceSpec;
+
+const ITERS: u32 = 5;
+
+fn gpu_speedup(workload: &dyn Workload, before: &WorkloadOptions, after: &WorkloadOptions) -> (f64, f64, f64) {
+    let nv = DeviceSpec::a100_sxm();
+    let slow = measure(&nv, workload, before, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let fast = measure(&nv, workload, after, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let b = slow.stats.gpu_busy.as_secs_f64();
+    let a = fast.stats.gpu_busy.as_secs_f64();
+    (b, a, b / a)
+}
+
+fn wall_speedup(workload: &dyn Workload, before: &WorkloadOptions, after: &WorkloadOptions) -> (f64, f64, f64) {
+    let nv = DeviceSpec::a100_sxm();
+    let slow = measure(&nv, workload, before, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let fast = measure(&nv, workload, after, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let b = slow.stats.wall.as_secs_f64();
+    let a = fast.stats.wall.as_secs_f64();
+    (b, a, b / a)
+}
+
+fn analyzer_findings(workload: &dyn Workload, opts: &WorkloadOptions, rule: &str) -> Vec<String> {
+    let db = deepcontext_profile(&DeviceSpec::a100_sxm(), workload, opts, EngineKind::Eager, 3);
+    let report = Analyzer::with_default_rules().analyze(&db);
+    report
+        .by_rule(rule)
+        .iter()
+        .take(2)
+        .map(|i| format!("    finding: {}\n    suggestion: {}", i.message, i.suggestion))
+        .collect()
+}
+
+fn case_dlrm_index() {
+    println!("\n[dlrm-index] DLRM-small / Criteo — Forward/Backward Operator Analysis (client 3)");
+    for f in analyzer_findings(&DlrmSmall, &WorkloadOptions::default(), "fwd-bwd") {
+        println!("{f}");
+    }
+    let fixed = WorkloadOptions { use_index_select: true, ..Default::default() };
+    let (b, a, s) = gpu_speedup(&DlrmSmall, &WorkloadOptions::default(), &fixed);
+    println!("    optimization: replace aten::index with aten::index_select");
+    println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 73.2s -> 44.0s, 1.66x)");
+}
+
+fn case_gnn_index() {
+    println!("\n[gnn-index] GNN / OGBG-MOLPCBA — Forward/Backward Operator Analysis (client 3)");
+    let fixed = WorkloadOptions { use_index_select: true, ..Default::default() };
+    let (b, a, s) = gpu_speedup(&Gnn, &WorkloadOptions::default(), &fixed);
+    println!("    optimization: replace aten::index with aten::index_select");
+    println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 3.97s -> 3.71s, 1.07x)");
+}
+
+fn case_unet_layout() {
+    println!("\n[unet-layout] UNet / fastMRI — Hotspot Identification (client 1)");
+    for f in analyzer_findings(&UNet, &WorkloadOptions::default(), "hotspot") {
+        println!("{f}");
+    }
+    let fixed = WorkloadOptions { channels_last: true, ..Default::default() };
+    let (b, a, s) = gpu_speedup(&UNet, &WorkloadOptions::default(), &fixed);
+    println!("    optimization: store tensors channels_last, avoid nchw<->nhwc conversions");
+    println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 54s -> 42s e2e, 1.28x)");
+}
+
+fn case_unet_workers() {
+    println!("\n[unet-workers] UNet / fastMRI — CPU Latency Analysis (client 5)");
+    for f in analyzer_findings(&UNet, &WorkloadOptions::default(), "cpu-latency") {
+        println!("{f}");
+    }
+    let fixed = WorkloadOptions { dataloader_workers: 8, ..Default::default() };
+    let (b, a, s) = wall_speedup(&UNet, &WorkloadOptions::default(), &fixed);
+    println!("    optimization: match worker count (16 -> 8) to the 6 physical cores");
+    println!("    end-to-end {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 54s -> 47s, 1.15x)");
+}
+
+fn case_transformer_fusion() {
+    println!("\n[transformer-fusion] Transformer-Big / WMT — Kernel Fusion Analysis (client 2)");
+    for f in analyzer_findings(&TransformerBig, &WorkloadOptions::default(), "kernel-fusion") {
+        println!("{f}");
+    }
+    let fixed = WorkloadOptions { fused_loss: true, ..Default::default() };
+    let (b, a, s) = gpu_speedup(&TransformerBig, &WorkloadOptions::default(), &fixed);
+    println!("    optimization: fuse the loss's softmax/copy/nll_loss kernels");
+    println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 30.5s -> 23.9s GPU, 1.06x e2e)");
+}
+
+fn case_llama_stalls() {
+    println!("\n[llama-stalls] Llama3 inference — Fine-grained Stall Analysis (client 4)");
+    let nv = DeviceSpec::a100_sxm();
+    let bed_opts = WorkloadOptions::default();
+    // Instruction sampling is needed for this analysis.
+    let run = {
+        use deepcontext_core::{Interner, ProfileMeta, TimeNs};
+        use deepcontext_profiler::{Profiler, ProfilerConfig};
+        use dlmonitor::DlMonitor;
+        let bed = TestBed::new(nv);
+        let monitor = DlMonitor::init(bed.env(), Interner::new());
+        monitor.attach_framework(bed.eager().core().callbacks());
+        monitor.attach_gpu(bed.gpu());
+        let config = ProfilerConfig {
+            instruction_sampling: Some(sim_gpu::SamplingConfig {
+                period: TimeNs(500),
+                max_samples_per_kernel: 1024,
+            }),
+            ..ProfilerConfig::deepcontext_native()
+        };
+        let prof = Profiler::attach(config, bed.env(), &monitor, bed.gpu());
+        bed.run_eager(&Llama3, &bed_opts, 3).expect("run");
+        prof.flush();
+        prof.finish(ProfileMeta {
+            workload: "llama3-8b".into(),
+            framework: "eager".into(),
+            platform: "nvidia-a100".into(),
+            iterations: 3,
+            extra: vec![],
+        })
+    };
+    let report = Analyzer::with_default_rules().analyze(&run);
+    let stalls = report.by_rule("fine-grained-stall");
+    for issue in stalls.iter().take(3) {
+        println!("    finding: {}", issue.message);
+        println!("    suggestion: {}", issue.suggestion);
+    }
+    println!("    (paper: constant-memory misses + math-dependency stalls in torch.to; N/A speedup)");
+}
+
+fn case_unet_cta() {
+    println!("\n[unet-cta] UNet on AMD vs Nvidia — Hotspot Identification (client 1)");
+    let opts = WorkloadOptions::default();
+    let nv = measure(&DeviceSpec::a100_sxm(), &UNet, &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let amd = measure(&DeviceSpec::mi250(), &UNet, &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
+    println!(
+        "    default 512-thread CTA template: NV GPU {:.3}s, AMD GPU {:.3}s ({:.2}x slower on AMD)",
+        nv.stats.gpu_busy.as_secs_f64(),
+        amd.stats.gpu_busy.as_secs_f64(),
+        amd.stats.gpu_busy.as_secs_f64() / nv.stats.gpu_busy.as_secs_f64()
+    );
+    // Adjusting threads per CTA for the 64-wide wavefronts.
+    let tuned = WorkloadOptions {
+        norm_threads_per_block: Some(1024),
+        ..Default::default()
+    };
+    let amd_tuned = measure(&DeviceSpec::mi250(), &UNet, &tuned, EngineKind::Eager, ProfilerKind::None, ITERS);
+    println!(
+        "    1024-thread CTAs on AMD: {:.3}s ({:.2}x vs default) — adjust CTA size per architecture",
+        amd_tuned.stats.gpu_busy.as_secs_f64(),
+        amd.stats.gpu_busy.as_secs_f64() / amd_tuned.stats.gpu_busy.as_secs_f64()
+    );
+    println!("    (paper: warp 64 vs 32 halves CTA parallelism; N/A speedup)");
+}
+
+fn case_jax_vs_pytorch() {
+    println!("\n[jax-vs-pytorch] DLRM/UNet/GNN/ResNet — Kernel Fusion Analysis (client 2)");
+    let opts = WorkloadOptions::default();
+    println!(
+        "    {:<14}{:>14}{:>14}{:>12}{:>12}",
+        "workload", "eager_kernels", "jit_kernels", "eager_gpu_s", "jit_gpu_s"
+    );
+    for name in ["dlrm-small", "unet", "gnn", "resnet"] {
+        let w = dl_models::workload_by_name(name).expect("workload");
+        let nv = DeviceSpec::a100_sxm();
+        let eager = measure(&nv, w.as_ref(), &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
+        let jit = measure(&nv, w.as_ref(), &opts, EngineKind::Jit, ProfilerKind::None, ITERS);
+        println!(
+            "    {:<14}{:>14}{:>14}{:>12.3}{:>12.3}",
+            name,
+            eager.stats.kernels,
+            jit.stats.kernels,
+            eager.stats.gpu_busy.as_secs_f64(),
+            jit.stats.gpu_busy.as_secs_f64()
+        );
+    }
+    println!("    (paper: JAX consistently needs fewer kernels; >50% faster via XLA fusion)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "dlrm-index",
+        "gnn-index",
+        "unet-layout",
+        "unet-workers",
+        "transformer-fusion",
+        "llama-stalls",
+        "unet-cta",
+        "jax-vs-pytorch",
+    ];
+    let cases: Vec<&str> = if args.is_empty() {
+        all.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("Table 3: Case Studies ({ITERS} iterations per measurement)");
+    for case in cases {
+        match case {
+            "dlrm-index" => case_dlrm_index(),
+            "gnn-index" => case_gnn_index(),
+            "unet-layout" => case_unet_layout(),
+            "unet-workers" => case_unet_workers(),
+            "transformer-fusion" => case_transformer_fusion(),
+            "llama-stalls" => case_llama_stalls(),
+            "unet-cta" => case_unet_cta(),
+            "jax-vs-pytorch" => case_jax_vs_pytorch(),
+            other => eprintln!("unknown case: {other}"),
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The calling context tree (paper §4.2, Figure 5).
+//!
+//! Call paths obtained from DLMonitor are inserted into the tree; frames
+//! that refer to the same location collapse into one node (see
+//! [`Frame::key`]). Each node carries online metric aggregates; attributing
+//! a sample at the bottom of a call path propagates it along the entire
+//! path to the root, so every node always holds *inclusive* metrics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::frame::{CallPath, Frame, FrameKey, FrameKind};
+use crate::interner::Interner;
+use crate::metrics::{MetricKind, MetricStat, MetricStore};
+
+/// Identifier of a node within one [`CallingContextTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node's id (always 0).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// One node of the calling context tree.
+#[derive(Debug, Clone)]
+pub struct CctNode {
+    frame: Frame,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    metrics: MetricStore,
+}
+
+impl CctNode {
+    /// The frame this node represents.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Parent node (`None` only for the root).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Children in first-insertion order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Inclusive metric aggregates at this context.
+    pub fn metrics(&self) -> &MetricStore {
+        &self.metrics
+    }
+}
+
+/// A calling context tree with online metric aggregation.
+///
+/// See the [crate-level example](crate) for typical use. The tree owns (a
+/// handle to) the [`Interner`] used by its frames, so labels can always be
+/// resolved.
+#[derive(Debug, Clone)]
+pub struct CallingContextTree {
+    interner: Arc<Interner>,
+    nodes: Vec<CctNode>,
+    child_index: HashMap<(NodeId, FrameKey), NodeId>,
+}
+
+impl CallingContextTree {
+    /// Creates a tree with a fresh interner.
+    pub fn new() -> Self {
+        Self::with_interner(Interner::new())
+    }
+
+    /// Creates a tree sharing an existing interner (the normal case inside a
+    /// profiling session, where DLMonitor and the profiler share symbols).
+    pub fn with_interner(interner: Arc<Interner>) -> Self {
+        CallingContextTree {
+            interner,
+            nodes: vec![CctNode {
+                frame: Frame::Root,
+                parent: None,
+                children: Vec::new(),
+                metrics: MetricStore::new(),
+            }],
+            child_index: HashMap::new(),
+        }
+    }
+
+    /// The interner shared by this tree's frames.
+    pub fn interner(&self) -> Arc<Interner> {
+        Arc::clone(&self.interner)
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    pub fn node(&self, id: NodeId) -> &CctNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finds the child of `parent` matching `frame`'s collapse key, or
+    /// creates it.
+    pub fn insert_child(&mut self, parent: NodeId, frame: &Frame) -> NodeId {
+        let key = (parent, frame.key());
+        if let Some(&child) = self.child_index.get(&key) {
+            return child;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(CctNode {
+            frame: frame.clone(),
+            parent: Some(parent),
+            children: Vec::new(),
+            metrics: MetricStore::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.child_index.insert(key, id);
+        id
+    }
+
+    /// Inserts a root-to-leaf path, returning the leaf's node id
+    /// ("Insert Call Path" in the paper's Figure 5).
+    pub fn insert_path(&mut self, path: &[Frame]) -> NodeId {
+        let mut cur = self.root();
+        for frame in path {
+            cur = self.insert_child(cur, frame);
+        }
+        cur
+    }
+
+    /// Inserts a [`CallPath`], returning the leaf node.
+    pub fn insert_call_path(&mut self, path: &CallPath) -> NodeId {
+        self.insert_path(path.frames())
+    }
+
+    /// Adds a metric sample at `node` and propagates it to the root
+    /// ("Propagate Metrics" in Figure 5). Every ancestor's aggregate —
+    /// including the root — receives the sample, so each node holds
+    /// inclusive metrics.
+    pub fn attribute(&mut self, node: NodeId, kind: MetricKind, value: f64) {
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            let n = &mut self.nodes[id.index()];
+            n.metrics.add(kind, value);
+            cur = n.parent;
+        }
+    }
+
+    /// Adds a metric sample at `node` only, without propagation (used for
+    /// exclusive bookkeeping such as per-node launch parameters).
+    pub fn attribute_exclusive(&mut self, node: NodeId, kind: MetricKind, value: f64) {
+        self.nodes[node.index()].metrics.add(kind, value);
+    }
+
+    /// The aggregate of `kind` at `node`.
+    pub fn metric(&self, node: NodeId, kind: MetricKind) -> Option<&MetricStat> {
+        self.nodes[node.index()].metrics.get(kind)
+    }
+
+    /// The aggregate of `kind` at the root (i.e. the whole-program total).
+    pub fn root_metric(&self, kind: MetricKind) -> Option<&MetricStat> {
+        self.metric(self.root(), kind)
+    }
+
+    /// Root-level inclusive sum of `kind` (0 when absent).
+    pub fn total(&self, kind: MetricKind) -> f64 {
+        self.nodes[0].metrics.sum(kind)
+    }
+
+    /// The path of node ids from the root to `node`, root first.
+    pub fn path_to_root(&self, node: NodeId) -> Vec<NodeId> {
+        let mut ids = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            ids.push(id);
+            cur = self.nodes[id.index()].parent;
+        }
+        ids.reverse();
+        ids
+    }
+
+    /// The frames from the root (exclusive) down to `node`, root-side first.
+    pub fn frames_to_root(&self, node: NodeId) -> CallPath {
+        self.path_to_root(node)
+            .into_iter()
+            .skip(1) // omit the synthetic root frame
+            .map(|id| self.nodes[id.index()].frame.clone())
+            .collect()
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.path_to_root(node).len() - 1
+    }
+
+    /// Iterates all node ids in depth-first (pre-order) order.
+    pub fn dfs(&self) -> Dfs<'_> {
+        Dfs {
+            tree: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Iterates all node ids in breadth-first order (used by the analyzer's
+    /// BFS-based rules).
+    pub fn bfs(&self) -> Bfs<'_> {
+        Bfs {
+            tree: self,
+            queue: std::collections::VecDeque::from([self.root()]),
+        }
+    }
+
+    /// All node ids whose frame kind is `kind` (e.g. every GPU kernel node,
+    /// the `call_tree.kernels` accessor of the paper's analysis snippets).
+    pub fn nodes_of_kind(&self, kind: FrameKind) -> Vec<NodeId> {
+        self.dfs().filter(|id| self.node(*id).frame.kind() == kind).collect()
+    }
+
+    /// All leaf node ids.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.dfs().filter(|id| self.node(*id).children.is_empty()).collect()
+    }
+
+    /// Merges `other` into `self`: contexts are unified by collapse keys and
+    /// metric aggregates are merged. Used to combine per-thread trees.
+    pub fn merge(&mut self, other: &CallingContextTree) {
+        // Map other's node ids to ours, walking other's tree top-down.
+        let mut mapping: Vec<NodeId> = Vec::with_capacity(other.nodes.len());
+        for (idx, node) in other.nodes.iter().enumerate() {
+            let my_id = if idx == 0 {
+                self.root()
+            } else {
+                let my_parent = mapping[node.parent.expect("non-root has parent").index()];
+                self.insert_child(my_parent, &node.frame)
+            };
+            mapping.push(my_id);
+            self.nodes[my_id.index()].metrics.merge(&node.metrics);
+        }
+    }
+
+    /// Approximate resident bytes of the tree: nodes, child index, metric
+    /// stores and interned strings. Drives the Figure 6c/6d memory
+    /// comparison.
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<CctNode>()
+                    + n.children.capacity() * std::mem::size_of::<NodeId>()
+                    + n.metrics.approx_bytes()
+            })
+            .sum();
+        let index_bytes = self.child_index.capacity()
+            * (std::mem::size_of::<(NodeId, FrameKey)>() + std::mem::size_of::<NodeId>() + 16);
+        node_bytes + index_bytes + self.interner.approx_bytes()
+    }
+
+    /// Renders the tree as an indented listing with one metric column,
+    /// for debugging and golden tests.
+    pub fn render(&self, kind: MetricKind) -> String {
+        let mut out = String::new();
+        self.render_into(self.root(), 0, kind, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: NodeId, depth: usize, kind: MetricKind, out: &mut String) {
+        let node = self.node(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let value = node.metrics.sum(kind);
+        out.push_str(&format!("{} [{}={value}]\n", node.frame.label(&self.interner), kind.name()));
+        for &child in &node.children {
+            self.render_into(child, depth + 1, kind, out);
+        }
+    }
+
+    pub(crate) fn nodes_raw(&self) -> &[CctNode] {
+        &self.nodes
+    }
+
+    pub(crate) fn from_raw(
+        interner: Arc<Interner>,
+        raw: Vec<(Option<NodeId>, Frame, MetricStore)>,
+    ) -> Result<Self, crate::CoreError> {
+        let mut tree = CallingContextTree::with_interner(interner);
+        for (idx, (parent, frame, metrics)) in raw.into_iter().enumerate() {
+            if idx == 0 {
+                if parent.is_some() || !matches!(frame, Frame::Root) {
+                    return Err(crate::CoreError::parse("first node must be the root".into()));
+                }
+                tree.nodes[0].metrics = metrics;
+                continue;
+            }
+            let parent = parent.ok_or_else(|| crate::CoreError::parse("non-root node without parent".into()))?;
+            if parent.index() >= idx {
+                return Err(crate::CoreError::parse("parent id out of order".into()));
+            }
+            let id = tree.insert_child(parent, &frame);
+            if id.index() != idx {
+                return Err(crate::CoreError::parse("duplicate collapse key in stored tree".into()));
+            }
+            tree.nodes[id.index()].metrics = metrics;
+        }
+        Ok(tree)
+    }
+}
+
+impl Default for CallingContextTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Depth-first (pre-order) node iterator. See [`CallingContextTree::dfs`].
+#[derive(Debug)]
+pub struct Dfs<'a> {
+    tree: &'a CallingContextTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Dfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let node = self.tree.node(id);
+        self.stack.extend(node.children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+/// Breadth-first node iterator. See [`CallingContextTree::bfs`].
+#[derive(Debug)]
+pub struct Bfs<'a> {
+    tree: &'a CallingContextTree,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.queue.pop_front()?;
+        self.queue.extend(self.tree.node(id).children.iter().copied());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::OpPhase;
+
+    fn sample_path(tree: &CallingContextTree, op: &str, kernel: &str) -> Vec<Frame> {
+        let i = tree.interner();
+        // Give each kernel a distinct entry address, as a loader would.
+        let pc = 0x100 + kernel.bytes().map(u64::from).sum::<u64>();
+        vec![
+            Frame::python("train.py", 10, "train", &i),
+            Frame::operator(op, &i),
+            Frame::gpu_api("cuLaunchKernel", "libcuda.so", 0x10, &i),
+            Frame::gpu_kernel(kernel, "module.so", pc, &i),
+        ]
+    }
+
+    #[test]
+    fn inserting_same_path_twice_reuses_nodes() {
+        let mut t = CallingContextTree::new();
+        let path = sample_path(&t, "aten::matmul", "sgemm");
+        let a = t.insert_path(&path);
+        let count = t.node_count();
+        let b = t.insert_path(&path);
+        assert_eq!(a, b);
+        assert_eq!(t.node_count(), count);
+    }
+
+    #[test]
+    fn diverging_paths_share_prefix() {
+        let mut t = CallingContextTree::new();
+        let a = t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        let b = t.insert_path(&sample_path(&t, "aten::matmul", "hgemm"));
+        assert_ne!(a, b);
+        // Root + python + operator + api shared, two kernels.
+        assert_eq!(t.node_count(), 1 + 3 + 2);
+        assert_eq!(t.node(a).parent(), t.node(b).parent());
+    }
+
+    #[test]
+    fn attribute_propagates_to_root() {
+        let mut t = CallingContextTree::new();
+        let leaf = t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        t.attribute(leaf, MetricKind::GpuTime, 100.0);
+        t.attribute(leaf, MetricKind::GpuTime, 50.0);
+        for id in t.path_to_root(leaf) {
+            let stat = t.metric(id, MetricKind::GpuTime).unwrap();
+            assert_eq!(stat.sum, 150.0);
+            assert_eq!(stat.count, 2);
+            assert_eq!(stat.min, 50.0);
+            assert_eq!(stat.max, 100.0);
+        }
+    }
+
+    #[test]
+    fn attribute_exclusive_does_not_propagate() {
+        let mut t = CallingContextTree::new();
+        let leaf = t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        t.attribute_exclusive(leaf, MetricKind::Warps, 32.0);
+        assert_eq!(t.metric(leaf, MetricKind::Warps).unwrap().sum, 32.0);
+        assert!(t.root_metric(MetricKind::Warps).is_none());
+    }
+
+    #[test]
+    fn root_sum_equals_sum_over_leaf_attributions() {
+        let mut t = CallingContextTree::new();
+        let mut expected = 0.0;
+        for (op, kernel, v) in [
+            ("aten::matmul", "sgemm", 10.0),
+            ("aten::conv2d", "implicit_gemm", 20.0),
+            ("aten::matmul", "sgemm", 30.0),
+        ] {
+            let leaf = t.insert_path(&sample_path(&t, op, kernel));
+            t.attribute(leaf, MetricKind::GpuTime, v);
+            expected += v;
+        }
+        assert_eq!(t.total(MetricKind::GpuTime), expected);
+    }
+
+    #[test]
+    fn parent_inclusive_sum_bounds_child() {
+        let mut t = CallingContextTree::new();
+        let a = t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        let b = t.insert_path(&sample_path(&t, "aten::conv2d", "implicit_gemm"));
+        t.attribute(a, MetricKind::GpuTime, 5.0);
+        t.attribute(b, MetricKind::GpuTime, 7.0);
+        for id in t.dfs() {
+            let here = t.node(id).metrics().sum(MetricKind::GpuTime);
+            if let Some(parent) = t.node(id).parent() {
+                let up = t.node(parent).metrics().sum(MetricKind::GpuTime);
+                assert!(up >= here, "parent {up} < child {here}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_of_kind_finds_kernels() {
+        let mut t = CallingContextTree::new();
+        t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        t.insert_path(&sample_path(&t, "aten::conv2d", "implicit_gemm"));
+        let kernels = t.nodes_of_kind(FrameKind::GpuKernel);
+        assert_eq!(kernels.len(), 2);
+        for k in kernels {
+            assert_eq!(t.node(k).frame().kind(), FrameKind::GpuKernel);
+        }
+    }
+
+    #[test]
+    fn dfs_and_bfs_visit_every_node_once() {
+        let mut t = CallingContextTree::new();
+        t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        t.insert_path(&sample_path(&t, "aten::conv2d", "implicit_gemm"));
+        let dfs: Vec<_> = t.dfs().collect();
+        let bfs: Vec<_> = t.bfs().collect();
+        assert_eq!(dfs.len(), t.node_count());
+        assert_eq!(bfs.len(), t.node_count());
+        let mut sorted_dfs = dfs.clone();
+        sorted_dfs.sort();
+        sorted_dfs.dedup();
+        assert_eq!(sorted_dfs.len(), t.node_count());
+        assert_eq!(dfs[0], t.root());
+        assert_eq!(bfs[0], t.root());
+    }
+
+    #[test]
+    fn frames_to_root_round_trips_insert_path() {
+        let mut t = CallingContextTree::new();
+        let path = sample_path(&t, "aten::matmul", "sgemm");
+        let leaf = t.insert_path(&path);
+        let back = t.frames_to_root(leaf);
+        assert_eq!(back.frames(), &path[..]);
+        assert_eq!(t.depth(leaf), path.len());
+    }
+
+    #[test]
+    fn merge_unifies_contexts_and_metrics() {
+        let mut a = CallingContextTree::new();
+        let interner = a.interner();
+        let mut b = CallingContextTree::with_interner(Arc::clone(&interner));
+
+        let path1 = vec![
+            Frame::python("m.py", 1, "f", &interner),
+            Frame::operator("aten::relu", &interner),
+        ];
+        let path2 = vec![
+            Frame::python("m.py", 1, "f", &interner),
+            Frame::operator("aten::gelu", &interner),
+        ];
+        let la = a.insert_path(&path1);
+        a.attribute(la, MetricKind::GpuTime, 10.0);
+        let lb1 = b.insert_path(&path1);
+        b.attribute(lb1, MetricKind::GpuTime, 5.0);
+        let lb2 = b.insert_path(&path2);
+        b.attribute(lb2, MetricKind::GpuTime, 2.0);
+
+        a.merge(&b);
+        assert_eq!(a.total(MetricKind::GpuTime), 17.0);
+        // Root + python + relu + gelu
+        assert_eq!(a.node_count(), 4);
+        let relu = a.insert_path(&path1);
+        assert_eq!(a.metric(relu, MetricKind::GpuTime).unwrap().sum, 15.0);
+    }
+
+    #[test]
+    fn backward_and_forward_operators_are_distinct_contexts() {
+        let mut t = CallingContextTree::new();
+        let i = t.interner();
+        let fwd = vec![Frame::operator_with("aten::index", OpPhase::Forward, Some(3), &i)];
+        let bwd = vec![Frame::operator_with("aten::index", OpPhase::Backward, Some(3), &i)];
+        let f = t.insert_path(&fwd);
+        let b = t.insert_path(&bwd);
+        assert_ne!(f, b);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_nodes() {
+        let mut t = CallingContextTree::new();
+        let before = t.approx_bytes();
+        for n in 0..100 {
+            let path = sample_path(&t, &format!("op{n}"), &format!("kernel{n}"));
+            let leaf = t.insert_path(&path);
+            t.attribute(leaf, MetricKind::GpuTime, 1.0);
+        }
+        assert!(t.approx_bytes() > before);
+    }
+
+    #[test]
+    fn render_contains_labels_and_metric() {
+        let mut t = CallingContextTree::new();
+        let leaf = t.insert_path(&sample_path(&t, "aten::matmul", "sgemm"));
+        t.attribute(leaf, MetricKind::GpuTime, 33.0);
+        let rendered = t.render(MetricKind::GpuTime);
+        assert!(rendered.contains("aten::matmul"));
+        assert!(rendered.contains("sgemm"));
+        assert!(rendered.contains("33"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Persistent profile database.
+//!
+//! DeepContext aggregates online, so the on-disk profile is a compact
+//! calling context tree rather than a trace. The format is a line-oriented
+//! text format (version-tagged) with an interned string table followed by
+//! nodes in topological order; it needs no external serialization crates.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+
+use crate::cct::{CallingContextTree, NodeId};
+use crate::error::CoreError;
+use crate::frame::Frame;
+use crate::interner::Interner;
+use crate::metrics::{MetricKind, MetricStat, MetricStore};
+
+const MAGIC: &str = "deepcontext-profile v1";
+
+/// Metadata describing one profiling run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileMeta {
+    /// Workload name (e.g. `unet-fastmri`).
+    pub workload: String,
+    /// Framework used (e.g. `eager` / `jit`).
+    pub framework: String,
+    /// Platform / device (e.g. `nvidia-a100`).
+    pub platform: String,
+    /// Number of profiled iterations.
+    pub iterations: u64,
+    /// Free-form extra key/value pairs.
+    pub extra: Vec<(String, String)>,
+}
+
+/// A complete stored profile: metadata plus the calling context tree.
+///
+/// # Examples
+///
+/// ```
+/// use deepcontext_core::{CallingContextTree, Frame, MetricKind, ProfileDb, ProfileMeta};
+///
+/// let mut cct = CallingContextTree::new();
+/// let i = cct.interner();
+/// let leaf = cct.insert_path(&[Frame::operator("aten::relu", &i)]);
+/// cct.attribute(leaf, MetricKind::GpuTime, 9.0);
+///
+/// let db = ProfileDb::new(ProfileMeta { workload: "demo".into(), ..Default::default() }, cct);
+/// let mut buf = Vec::new();
+/// db.save(&mut buf)?;
+/// let back = ProfileDb::load(&buf[..])?;
+/// assert_eq!(back.meta().workload, "demo");
+/// assert_eq!(back.cct().total(MetricKind::GpuTime), 9.0);
+/// # Ok::<(), deepcontext_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileDb {
+    meta: ProfileMeta,
+    cct: CallingContextTree,
+}
+
+impl ProfileDb {
+    /// Bundles metadata with a finished tree.
+    pub fn new(meta: ProfileMeta, cct: CallingContextTree) -> Self {
+        ProfileDb { meta, cct }
+    }
+
+    /// Run metadata.
+    pub fn meta(&self) -> &ProfileMeta {
+        &self.meta
+    }
+
+    /// The calling context tree.
+    pub fn cct(&self) -> &CallingContextTree {
+        &self.cct
+    }
+
+    /// Mutable access to the tree (e.g. for post-load annotation).
+    pub fn cct_mut(&mut self) -> &mut CallingContextTree {
+        &mut self.cct
+    }
+
+    /// Consumes the database, returning its parts.
+    pub fn into_parts(self) -> (ProfileMeta, CallingContextTree) {
+        (self.meta, self.cct)
+    }
+
+    /// Writes the profile to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] if writing fails.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), CoreError> {
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "meta\tworkload\t{}", escape(&self.meta.workload))?;
+        writeln!(w, "meta\tframework\t{}", escape(&self.meta.framework))?;
+        writeln!(w, "meta\tplatform\t{}", escape(&self.meta.platform))?;
+        writeln!(w, "meta\titerations\t{}", self.meta.iterations)?;
+        for (k, v) in &self.meta.extra {
+            writeln!(w, "meta\textra.{}\t{}", escape(k), escape(v))?;
+        }
+        let strings = self.cct.interner().snapshot();
+        writeln!(w, "strings\t{}", strings.len())?;
+        for s in &strings {
+            writeln!(w, "{}", escape(s))?;
+        }
+        let nodes = self.cct.nodes_raw();
+        writeln!(w, "nodes\t{}", nodes.len())?;
+        for node in nodes {
+            let parent = match node.parent() {
+                Some(p) => p.index().to_string(),
+                None => "-".to_owned(),
+            };
+            write!(w, "{parent}\t{}", node.frame().to_record())?;
+            write!(w, "\t{}", node.metrics().len())?;
+            for (kind, stat) in node.metrics().iter() {
+                write!(w, "\t{}\t{}", kind.to_record(), stat.to_record())?;
+            }
+            writeln!(w)?;
+        }
+        writeln!(w, "end")?;
+        Ok(())
+    }
+
+    /// Reads a profile previously written by [`ProfileDb::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Parse`] for malformed input and
+    /// [`CoreError::Io`] for read failures.
+    pub fn load<R: Read>(r: R) -> Result<Self, CoreError> {
+        let mut lines = BufReader::new(r).lines();
+        let mut next_line = move || -> Result<String, CoreError> {
+            lines
+                .next()
+                .ok_or_else(|| CoreError::parse("unexpected end of profile".into()))?
+                .map_err(CoreError::from)
+        };
+
+        if next_line()? != MAGIC {
+            return Err(CoreError::parse("bad magic header".into()));
+        }
+
+        let mut meta = ProfileMeta::default();
+        let line = loop {
+            let line = next_line()?;
+            if let Some(rest) = line.strip_prefix("meta\t") {
+                let (key, value) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| CoreError::parse("malformed meta line".into()))?;
+                match key {
+                    "workload" => meta.workload = unescape(value)?,
+                    "framework" => meta.framework = unescape(value)?,
+                    "platform" => meta.platform = unescape(value)?,
+                    "iterations" => {
+                        meta.iterations = value
+                            .parse()
+                            .map_err(|e| CoreError::parse(format!("bad iterations: {e}")))?
+                    }
+                    other => {
+                        let k = other.strip_prefix("extra.").unwrap_or(other);
+                        meta.extra.push((unescape(k)?, unescape(value)?));
+                    }
+                }
+            } else {
+                break line;
+            }
+        };
+
+        let count: usize = line
+            .strip_prefix("strings\t")
+            .ok_or_else(|| CoreError::parse("expected strings section".into()))?
+            .parse()
+            .map_err(|e| CoreError::parse(format!("bad string count: {e}")))?;
+        let interner = Interner::new();
+        for _ in 0..count {
+            let s = unescape(&next_line()?)?;
+            interner.intern(&s);
+        }
+
+        let line = next_line()?;
+        let node_count: usize = line
+            .strip_prefix("nodes\t")
+            .ok_or_else(|| CoreError::parse("expected nodes section".into()))?
+            .parse()
+            .map_err(|e| CoreError::parse(format!("bad node count: {e}")))?;
+
+        let mut raw = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let line = next_line()?;
+            raw.push(parse_node_line(&line)?);
+        }
+        if next_line()? != "end" {
+            return Err(CoreError::parse("missing end marker".into()));
+        }
+
+        let cct = CallingContextTree::from_raw(Arc::clone(&interner), raw)?;
+        Ok(ProfileDb { meta, cct })
+    }
+}
+
+fn frame_field_count(tag: &str) -> Result<usize, CoreError> {
+    Ok(match tag {
+        "R" => 1,
+        "I" => 2,
+        "T" => 3,
+        "P" | "O" | "N" | "A" | "K" => 4,
+        other => return Err(CoreError::parse(format!("unknown frame tag {other:?}"))),
+    })
+}
+
+type RawNode = (Option<NodeId>, Frame, MetricStore);
+
+fn parse_node_line(line: &str) -> Result<RawNode, CoreError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() < 2 {
+        return Err(CoreError::parse("truncated node line".into()));
+    }
+    let parent = match fields[0] {
+        "-" => None,
+        idx => Some(NodeId(
+            idx.parse::<u32>()
+                .map_err(|e| CoreError::parse(format!("bad parent: {e}")))?,
+        )),
+    };
+    let tag = fields[1];
+    let nf = frame_field_count(tag)?;
+    if fields.len() < 1 + nf + 1 {
+        return Err(CoreError::parse("node line too short for frame".into()));
+    }
+    let frame = Frame::from_record(&fields[1..1 + nf].join("\t"))?;
+    let metric_count: usize = fields[1 + nf]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad metric count: {e}")))?;
+    let mut metrics = MetricStore::new();
+    let mut pos = 1 + nf + 1;
+    for _ in 0..metric_count {
+        if fields.len() < pos + 7 {
+            return Err(CoreError::parse("node line too short for metrics".into()));
+        }
+        let kind = MetricKind::from_record(fields[pos])?;
+        let stat = MetricStat::from_record_fields(fields[pos + 1..pos + 7].iter().copied())?;
+        metrics.merge_stat(kind, &stat);
+        pos += 7;
+    }
+    Ok((parent, frame, metrics))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, CoreError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(CoreError::parse(format!("bad escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::OpPhase;
+    use crate::metrics::StallReason;
+
+    fn sample_db() -> ProfileDb {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let leaf1 = cct.insert_path(&[
+            Frame::python("train.py", 10, "train", &i),
+            Frame::operator_with("aten::index", OpPhase::Forward, Some(1), &i),
+            Frame::gpu_kernel("index_kernel", "libtorch_cuda.so", 0x44, &i),
+        ]);
+        let leaf2 = cct.insert_path(&[
+            Frame::python("train.py", 10, "train", &i),
+            Frame::operator_with("aten::index", OpPhase::Backward, Some(1), &i),
+            Frame::gpu_kernel("indexing_backward_kernel", "libtorch_cuda.so", 0x55, &i),
+        ]);
+        cct.attribute(leaf1, MetricKind::GpuTime, 100.0);
+        cct.attribute(leaf2, MetricKind::GpuTime, 900.0);
+        cct.attribute(leaf2, MetricKind::Stall(StallReason::MemoryDependency), 17.0);
+        cct.attribute_exclusive(leaf2, MetricKind::Warps, 64.0);
+        ProfileDb::new(
+            ProfileMeta {
+                workload: "dlrm-small".into(),
+                framework: "eager".into(),
+                platform: "nvidia-a100".into(),
+                iterations: 100,
+                extra: vec![("note".into(), "tab\there".into())],
+            },
+            cct,
+        )
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+
+        assert_eq!(back.meta(), db.meta());
+        assert_eq!(back.cct().node_count(), db.cct().node_count());
+        assert_eq!(
+            back.cct().total(MetricKind::GpuTime),
+            db.cct().total(MetricKind::GpuTime)
+        );
+        // Same render implies same structure, labels and metric sums.
+        assert_eq!(
+            back.cct().render(MetricKind::GpuTime),
+            db.cct().render(MetricKind::GpuTime)
+        );
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = ProfileDb::load(&b"not a profile\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let cut = buf.len() / 2;
+        assert!(ProfileDb::load(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "with\ttab", "with\nnewline", "back\\slash", ""] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn empty_tree_round_trips() {
+        let db = ProfileDb::new(ProfileMeta::default(), CallingContextTree::new());
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+        assert_eq!(back.cct().node_count(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! String interning.
+//!
+//! Frames reference file paths, symbol names, operator names and library
+//! paths. Interning keeps the calling context tree compact (the paper's
+//! memory-overhead result depends on contexts, not strings, dominating
+//! profile size) and makes frame comparison an integer compare.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// An interned string handle.
+///
+/// `Sym` is a cheap, copyable index into an [`Interner`]. Two `Sym`s from the
+/// same interner are equal iff the strings they denote are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// Raw index of this symbol within its interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Arc<str>, Sym>,
+    strings: Vec<Arc<str>>,
+    bytes: usize,
+}
+
+/// A thread-safe string interner.
+///
+/// Shared (via [`Arc`]) between every component of a profiling session so
+/// that frames produced by the framework shim, the GPU runtime and the CPU
+/// sampler all agree on symbol identity.
+///
+/// # Examples
+///
+/// ```
+/// use deepcontext_core::Interner;
+///
+/// let interner = Interner::new();
+/// let a = interner.intern("aten::matmul");
+/// let b = interner.intern("aten::matmul");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a).as_ref(), "aten::matmul");
+/// ```
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(&sym) = self.inner.read().map.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Sym(inner.strings.len() as u32);
+        inner.bytes += s.len();
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.inner.read().strings[sym.0 as usize])
+    }
+
+    /// Looks up a string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap bytes held by interned strings (for the
+    /// memory-overhead accounting of Figure 6c/6d).
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        // String payload + one Arc pointer per map and vec slot + map entry.
+        inner.bytes + inner.strings.len() * (2 * std::mem::size_of::<Arc<str>>() + 16)
+    }
+
+    /// All interned strings in symbol order (used by the profile database
+    /// writer).
+    pub fn snapshot(&self) -> Vec<Arc<str>> {
+        self.inner.read().strings.clone()
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        let c = i.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        let strings = ["train.py", "aten::conv2d", "libcudart.so", ""];
+        let syms: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
+        for (s, sym) in strings.iter().zip(&syms) {
+            assert_eq!(i.resolve(*sym).as_ref(), *s);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let i = Interner::new();
+        assert_eq!(i.lookup("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.lookup("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = Interner::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || (0..100).map(|n| i.intern(&format!("s{n}"))).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let i = Interner::new();
+        let before = i.approx_bytes();
+        i.intern("a fairly long interned string for accounting purposes");
+        assert!(i.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the core invariants the rest of DeepContext
+//! relies on: CCT structural consistency, inclusive-metric propagation,
+//! Welford aggregation accuracy, merge correctness, and database
+//! round-tripping.
+
+use std::sync::Arc;
+
+use deepcontext_core::{
+    CallingContextTree, Frame, Interner, MetricKind, MetricStat, OpPhase, ProfileDb, ProfileMeta,
+};
+use proptest::prelude::*;
+
+/// A compact generator language for frames: small alphabets force collisions
+/// so collapse rules actually get exercised.
+fn arb_frame(interner: Arc<Interner>) -> impl Strategy<Value = Frame> {
+    let i2 = Arc::clone(&interner);
+    let i3 = Arc::clone(&interner);
+    let i4 = Arc::clone(&interner);
+    prop_oneof![
+        (0u8..4, 1u32..5, 0u8..3).prop_map(move |(f, line, func)| Frame::python(
+            &format!("file{f}.py"),
+            line,
+            &format!("fn{func}"),
+            &interner
+        )),
+        (0u8..5, prop::bool::ANY).prop_map(move |(n, bwd)| Frame::operator_with(
+            &format!("aten::op{n}"),
+            if bwd { OpPhase::Backward } else { OpPhase::Forward },
+            None,
+            &i2
+        )),
+        (0u8..3, 0u64..6).prop_map(move |(lib, pc)| Frame::native(
+            &format!("lib{lib}.so"),
+            pc * 0x10,
+            &format!("sym{pc}"),
+            &i3
+        )),
+        (0u8..4, 0u64..4).prop_map(move |(k, pc)| Frame::gpu_kernel(
+            &format!("kernel{k}"),
+            "module.so",
+            pc * 0x100,
+            &i4
+        )),
+    ]
+}
+
+fn arb_paths() -> impl Strategy<Value = (Arc<Interner>, Vec<Vec<Frame>>)> {
+    let interner = Interner::new();
+    let frames = arb_frame(Arc::clone(&interner));
+    prop::collection::vec(prop::collection::vec(frames, 1..8), 1..40)
+        .prop_map(move |paths| (Arc::clone(&interner), paths))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cct_structure_is_consistent((interner, paths) in arb_paths()) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        for p in &paths {
+            cct.insert_path(p);
+        }
+        // Every node except root has a parent that lists it as a child.
+        for id in cct.dfs() {
+            let node = cct.node(id);
+            match node.parent() {
+                None => prop_assert_eq!(id, cct.root()),
+                Some(parent) => {
+                    prop_assert!(cct.node(parent).children().contains(&id));
+                }
+            }
+            // Children of one node never share a collapse key.
+            let keys: Vec<_> = node.children().iter().map(|c| cct.node(*c).frame().key()).collect();
+            let mut dedup = keys.clone();
+            dedup.sort_by_key(|k| format!("{k:?}"));
+            dedup.dedup();
+            prop_assert_eq!(keys.len(), dedup.len());
+        }
+        // DFS visits every node exactly once.
+        prop_assert_eq!(cct.dfs().count(), cct.node_count());
+    }
+
+    #[test]
+    fn reinsertion_is_idempotent((interner, paths) in arb_paths()) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        let leaves: Vec<_> = paths.iter().map(|p| cct.insert_path(p)).collect();
+        let count = cct.node_count();
+        for (p, leaf) in paths.iter().zip(&leaves) {
+            prop_assert_eq!(cct.insert_path(p), *leaf);
+        }
+        prop_assert_eq!(cct.node_count(), count);
+    }
+
+    #[test]
+    fn node_count_bounded_by_total_frames((interner, paths) in arb_paths()) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        for p in &paths {
+            cct.insert_path(p);
+        }
+        let total_frames: usize = paths.iter().map(Vec::len).sum();
+        prop_assert!(cct.node_count() <= 1 + total_frames);
+    }
+
+    #[test]
+    fn propagation_keeps_root_equal_to_sample_total(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(0.0f64..1e6, 1..40),
+    ) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        let mut expected_sum = 0.0;
+        let mut expected_count = 0u64;
+        for (p, v) in paths.iter().zip(values.iter().cycle()) {
+            let leaf = cct.insert_path(p);
+            cct.attribute(leaf, MetricKind::GpuTime, *v);
+            expected_sum += *v;
+            expected_count += 1;
+        }
+        let root = cct.root_metric(MetricKind::GpuTime).unwrap();
+        prop_assert!((root.sum - expected_sum).abs() < 1e-6 * expected_sum.max(1.0));
+        prop_assert_eq!(root.count, expected_count);
+    }
+
+    #[test]
+    fn parent_inclusive_metric_dominates_children(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(0.0f64..1e6, 1..40),
+    ) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        for (p, v) in paths.iter().zip(values.iter().cycle()) {
+            let leaf = cct.insert_path(p);
+            cct.attribute(leaf, MetricKind::GpuTime, *v);
+        }
+        for id in cct.dfs() {
+            let parent_sum = cct.node(id).metrics().sum(MetricKind::GpuTime);
+            let child_total: f64 = cct
+                .node(id)
+                .children()
+                .iter()
+                .map(|c| cct.node(*c).metrics().sum(MetricKind::GpuTime))
+                .sum();
+            prop_assert!(parent_sum + 1e-9 >= child_total - 1e-6 * child_total.abs());
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive(values in prop::collection::vec(-1e7f64..1e7, 1..200)) {
+        let mut stat = MetricStat::new();
+        for v in &values {
+            stat.add(*v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((stat.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((stat.stddev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+        prop_assert_eq!(stat.min, values.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(stat.max, values.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn stat_merge_is_equivalent_to_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 0..100),
+        b in prop::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut merged = MetricStat::new();
+        for v in &a {
+            merged.add(*v);
+        }
+        let mut other = MetricStat::new();
+        for v in &b {
+            other.add(*v);
+        }
+        merged.merge(&other);
+
+        let mut whole = MetricStat::new();
+        for v in a.iter().chain(&b) {
+            whole.add(*v);
+        }
+        prop_assert_eq!(merged.count, whole.count);
+        prop_assert!((merged.sum - whole.sum).abs() <= 1e-6 * whole.sum.abs().max(1.0));
+        prop_assert!((merged.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((merged.stddev() - whole.stddev()).abs() <= 1e-5 * whole.stddev().max(1.0));
+    }
+
+    #[test]
+    fn tree_merge_preserves_totals(
+        (interner, paths) in arb_paths(),
+        split in 0usize..40,
+    ) {
+        let mut whole = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut left = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut right = CallingContextTree::with_interner(interner);
+        for (idx, p) in paths.iter().enumerate() {
+            let lw = whole.insert_path(p);
+            whole.attribute(lw, MetricKind::GpuTime, 1.0);
+            let target = if idx < split % paths.len().max(1) { &mut left } else { &mut right };
+            let l = target.insert_path(p);
+            target.attribute(l, MetricKind::GpuTime, 1.0);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.node_count(), whole.node_count());
+        prop_assert_eq!(
+            left.total(MetricKind::GpuTime),
+            whole.total(MetricKind::GpuTime)
+        );
+    }
+
+    #[test]
+    fn profile_db_round_trips(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(0.0f64..1e6, 1..40),
+        iterations in 0u64..1000,
+    ) {
+        let mut cct = CallingContextTree::with_interner(interner);
+        for (p, v) in paths.iter().zip(values.iter().cycle()) {
+            let leaf = cct.insert_path(p);
+            cct.attribute(leaf, MetricKind::GpuTime, *v);
+            cct.attribute_exclusive(leaf, MetricKind::Warps, 32.0);
+        }
+        let db = ProfileDb::new(
+            ProfileMeta {
+                workload: "prop".into(),
+                framework: "eager".into(),
+                platform: "nvidia-a100".into(),
+                iterations,
+                extra: vec![],
+            },
+            cct,
+        );
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+        prop_assert_eq!(back.meta(), db.meta());
+        prop_assert_eq!(back.cct().node_count(), db.cct().node_count());
+        prop_assert_eq!(
+            back.cct().render(MetricKind::GpuTime),
+            db.cct().render(MetricKind::GpuTime)
+        );
+        prop_assert_eq!(
+            back.cct().render(MetricKind::Warps),
+            db.cct().render(MetricKind::Warps)
+        );
+    }
+}

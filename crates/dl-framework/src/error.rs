@@ -1,0 +1,75 @@
+//! Framework errors.
+
+use std::fmt;
+
+use sim_gpu::GpuError;
+
+/// Errors surfaced by the simulated frameworks.
+#[derive(Debug)]
+pub enum FrameworkError {
+    /// Operator inputs were inconsistent.
+    ShapeMismatch {
+        /// Operator name.
+        op: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The calling OS thread has no bound simulated thread context.
+    NoCurrentThread,
+    /// The underlying GPU runtime failed.
+    Gpu(GpuError),
+    /// The backward engine is gone (engine dropped mid-backward).
+    BackwardEngineDown,
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::ShapeMismatch { op, message } => {
+                write!(f, "shape mismatch in {op}: {message}")
+            }
+            FrameworkError::NoCurrentThread => {
+                write!(f, "no simulated thread bound to the current OS thread")
+            }
+            FrameworkError::Gpu(e) => write!(f, "gpu runtime failure: {e}"),
+            FrameworkError::BackwardEngineDown => write!(f, "backward engine terminated"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for FrameworkError {
+    fn from(e: GpuError) -> Self {
+        FrameworkError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FrameworkError::ShapeMismatch {
+            op: "aten::matmul".into(),
+            message: "inner dims differ".into(),
+        };
+        assert!(e.to_string().contains("aten::matmul"));
+        let g: FrameworkError = GpuError::NoSuchDevice(3).into();
+        assert!(g.to_string().contains("device"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameworkError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! The paper's evaluation workloads (§5).
+//!
+//! Ten deep learning workloads — the MLCommons AlgoPerf suite plus three
+//! LLM inference workloads — expressed as framework-agnostic operator
+//! programs that run unchanged on both the eager (PyTorch-like) and JIT
+//! (JAX-like) engines:
+//!
+//! | Workload | Dataset (synthetic analogue) | Mode |
+//! |---|---|---|
+//! | Conformer | LibriSpeech | training |
+//! | DLRM-small | Criteo 1TB | training |
+//! | U-Net | fastMRI | training |
+//! | GNN | OGBG-MOLPCBA | training |
+//! | ResNet | ImageNet | training |
+//! | ViT | ImageNet | training |
+//! | Transformer-Big | WMT | training |
+//! | Llama3-8B | sample prompt | inference |
+//! | Gemma-7B | sample prompt | inference |
+//! | nanoGPT | sample prompt | inference |
+//!
+//! Each workload carries the *operator and kernel mix* that drives the
+//! paper's results: DLRM/GNN use `aten::index` lookups with duplicate-
+//! heavy indices (§6.1), U-Net convolves channels-first tensors through
+//! layout conversions and runs an oversubscribed data loader (§6.2,
+//! §6.4), Transformer-Big computes its loss through three small kernels
+//! (§6.3), and the LLMs launch many small kernels with `aten::to` casts
+//! (§6.7, and the high-overhead points of Figure 6).
+//!
+//! [`WorkloadOptions`] expose the case-study optimisations
+//! (index_select, channels_last, worker counts, fused loss, CTA sizes),
+//! and [`TestBed`] runs any workload on either engine against any device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod models;
+mod sink;
+mod testbed;
+
+pub use models::{
+    all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, NanoGpt, ResNet,
+    TransformerBig, UNet, ViT,
+};
+pub use sink::{EagerSink, OpSink, TraceSink};
+pub use testbed::{RunStats, TestBed};
+
+use std::sync::Arc;
+
+use dl_framework::{DType, DataLoaderConfig, FrameworkError, Op, PyScope, PythonSim, TensorMeta};
+use sim_runtime::ThreadCtx;
+
+/// Tunables implementing the paper's case-study optimisations.
+#[derive(Debug, Clone)]
+pub struct WorkloadOptions {
+    /// §6.1: replace `aten::index` with `aten::index_select`.
+    pub use_index_select: bool,
+    /// §6.2: keep activations in channels_last to avoid conversions.
+    pub channels_last: bool,
+    /// §6.4: data-loader worker count (the paper's bug hard-codes 16).
+    pub dataloader_workers: usize,
+    /// §6.4: physical cores of the node (the paper's node has 6).
+    pub physical_cores: usize,
+    /// §6.3: fuse the loss's small kernels into one.
+    pub fused_loss: bool,
+    /// §6.7: use vectorized conversions (fuse `aten::to` into neighbours).
+    pub vectorized_cast: bool,
+    /// §6.5: threads-per-CTA for the norm kernel template (None = the
+    /// Nvidia-tuned 512 shared by both vendors).
+    pub norm_threads_per_block: Option<u32>,
+    /// LLM inference precision.
+    pub precision: DType,
+    /// Batch-size multiplier (1 = test-friendly defaults).
+    pub scale: usize,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        WorkloadOptions {
+            use_index_select: false,
+            channels_last: false,
+            dataloader_workers: 16,
+            physical_cores: 6,
+            fused_loss: false,
+            vectorized_cast: false,
+            norm_threads_per_block: None,
+            precision: DType::F16,
+            scale: 1,
+        }
+    }
+}
+
+/// The execution context a workload emits its operators into: an
+/// [`OpSink`] (eager engine or JIT tracer), the simulated CPython runtime
+/// for source scopes, and the options.
+pub struct ModelCtx<'a> {
+    sink: &'a mut dyn OpSink,
+    python: Arc<PythonSim>,
+    thread: Arc<ThreadCtx>,
+    /// Active options.
+    pub opts: WorkloadOptions,
+}
+
+impl<'a> ModelCtx<'a> {
+    /// Creates a context (used by [`TestBed`]; exposed for custom
+    /// harnesses).
+    pub fn new(
+        sink: &'a mut dyn OpSink,
+        python: Arc<PythonSim>,
+        thread: Arc<ThreadCtx>,
+        opts: WorkloadOptions,
+    ) -> Self {
+        ModelCtx {
+            sink,
+            python,
+            thread,
+            opts,
+        }
+    }
+
+    /// Enters a simulated Python frame (model source code scope).
+    pub fn scope(&self, file: &str, line: u32, function: &str) -> PyScope {
+        self.python.frame(&self.thread, file, line, function)
+    }
+
+    /// Emits one operator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference or dispatch failures.
+    pub fn op(&mut self, op: Op, inputs: &[TensorMeta]) -> Result<TensorMeta, FrameworkError> {
+        self.sink.op(op, inputs)
+    }
+
+    /// Runs the backward pass (eager: autograd thread; JIT: synthesized
+    /// reverse ops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backward dispatch failures.
+    pub fn backward(&mut self) -> Result<(), FrameworkError> {
+        self.sink.backward()
+    }
+}
+
+/// One of the paper's evaluation workloads.
+pub trait Workload: Send + Sync {
+    /// Workload name (e.g. `dlrm-small`).
+    fn name(&self) -> &'static str;
+
+    /// Dataset the paper pairs it with.
+    fn dataset(&self) -> &'static str;
+
+    /// Whether this is a training workload (backward + optimizer) or
+    /// inference.
+    fn training(&self) -> bool;
+
+    /// Approximate parameter bytes of the (scaled) model — the base
+    /// memory the Figure 6c/6d overhead ratios are computed against.
+    fn param_bytes(&self) -> u64;
+
+    /// The input pipeline, if the workload uses one.
+    fn dataloader(&self, _opts: &WorkloadOptions) -> Option<DataLoaderConfig> {
+        None
+    }
+
+    /// Emits one iteration's forward pass (and loss, for training
+    /// workloads). The harness invokes backward/optimizer around it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission failures.
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError>;
+}

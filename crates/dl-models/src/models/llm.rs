@@ -1,0 +1,271 @@
+//! LLM inference workloads: Llama3-8B, Gemma-7B, nanoGPT.
+//!
+//! These are the small-kernel-dominated workloads: a decode step launches
+//! hundreds of tiny kernels (per-layer norms, casts, skinny matmuls), so
+//! per-launch profiling overhead is most visible here (the tall bars of
+//! Figure 6) and the `aten::to` casts inside RMSNorm are the target of
+//! the §6.7 fine-grained stall analysis.
+
+use dl_framework::{DType, FrameworkError, Op, OpKind, TensorMeta};
+
+use super::linear;
+use crate::{ModelCtx, Workload};
+
+/// Shared decoder-block emitter for the three LLMs.
+struct DecoderSpec {
+    layers: usize,
+    dim: usize,
+    kv_len: usize,
+    hidden_mult: usize,
+    activation: OpKind,
+    source_file: &'static str,
+    /// Whether norms are RMSNorm with explicit `aten::to` casts (the
+    /// Llama/Gemma pattern from the HuggingFace implementation).
+    casts_in_norm: bool,
+}
+
+fn rms_norm_with_casts(
+    ctx: &mut ModelCtx<'_>,
+    x: &TensorMeta,
+    file: &'static str,
+) -> Result<TensorMeta, FrameworkError> {
+    let _scope = ctx.scope(file, 69, "LlamaRMSNorm.forward");
+    if ctx.opts.vectorized_cast {
+        // The §6.7 fix: conversions fused into the norm kernel.
+        ctx.op(Op::new(OpKind::RmsNorm), std::slice::from_ref(x))
+    } else {
+        // hidden_states.to(torch.float32) ... then back: two standalone
+        // cast kernels around the norm.
+        let up = ctx.op(
+            Op::new(OpKind::Cast).with_target_dtype(DType::F32),
+            std::slice::from_ref(x),
+        )?;
+        let normed = ctx.op(Op::new(OpKind::RmsNorm), &[up])?;
+        ctx.op(Op::new(OpKind::Cast).with_target_dtype(x.dtype), &[normed])
+    }
+}
+
+fn decode_step(ctx: &mut ModelCtx<'_>, spec: &DecoderSpec) -> Result<(), FrameworkError> {
+    let _model = ctx.scope(spec.source_file, 10, "generate_next_token");
+    let batch = ctx.opts.scale;
+    let dtype = ctx.opts.precision;
+    let mut hidden = TensorMeta::new([batch, 1, spec.dim]).with_dtype(dtype);
+
+    for layer in 0..spec.layers {
+        let _scope = ctx.scope(spec.source_file, 100 + layer as u32, "decoder_layer");
+        // Pre-attention norm.
+        let normed = if spec.casts_in_norm {
+            rms_norm_with_casts(ctx, &hidden, spec.source_file)?
+        } else {
+            ctx.op(Op::new(OpKind::LayerNorm), &[hidden.clone()])?
+        };
+        // Attention over the KV cache.
+        let att = {
+            let _att = ctx.scope(spec.source_file, 140 + layer as u32, "attention");
+            let q = linear(ctx, &normed, spec.dim)?;
+            let _k = linear(ctx, &normed, spec.dim)?;
+            let _v = linear(ctx, &normed, spec.dim)?;
+            // Rotary embedding: two tiny elementwise ops.
+            let q = ctx.op(Op::new(OpKind::Mul), &[q.clone(), q])?;
+            let q = ctx.op(Op::new(OpKind::Add), &[q.clone(), q])?;
+            // Scores against the cached keys.
+            let keys = TensorMeta::new([batch, spec.dim, spec.kv_len]).with_dtype(dtype);
+            let scores = ctx.op(Op::new(OpKind::MatMul), &[q, keys])?;
+            let probs = ctx.op(Op::new(OpKind::Softmax), &[scores])?;
+            let values = TensorMeta::new([batch, spec.kv_len, spec.dim]).with_dtype(dtype);
+            let out = ctx.op(Op::new(OpKind::MatMul), &[probs, values])?;
+            linear(ctx, &out, spec.dim)?
+        };
+        hidden = ctx.op(Op::new(OpKind::Add), &[hidden, att])?;
+        // Post-attention norm + gated MLP.
+        let normed = if spec.casts_in_norm {
+            rms_norm_with_casts(ctx, &hidden, spec.source_file)?
+        } else {
+            ctx.op(Op::new(OpKind::LayerNorm), &[hidden.clone()])?
+        };
+        let mlp_out = {
+            let _mlp = ctx.scope(spec.source_file, 180 + layer as u32, "gated_mlp");
+            let gate = linear(ctx, &normed, spec.dim * spec.hidden_mult)?;
+            let up = linear(ctx, &normed, spec.dim * spec.hidden_mult)?;
+            let act = ctx.op(Op::new(spec.activation), &[gate])?;
+            let gated = ctx.op(Op::new(OpKind::Mul), &[act, up])?;
+            linear(ctx, &gated, spec.dim)?
+        };
+        hidden = ctx.op(Op::new(OpKind::Add), &[hidden, mlp_out])?;
+    }
+
+    // Final norm + LM head.
+    let _head = ctx.scope(spec.source_file, 220, "lm_head");
+    let normed = ctx.op(Op::new(OpKind::LayerNorm), &[hidden])?;
+    let logits = linear(ctx, &normed, 8192)?;
+    ctx.op(Op::new(OpKind::Softmax), &[logits])?;
+    Ok(())
+}
+
+/// Llama3-8B single-token decode with a sample prompt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Llama3;
+
+impl Workload for Llama3 {
+    fn name(&self) -> &'static str {
+        "llama3-8b"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "sample-prompt"
+    }
+
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn param_bytes(&self) -> u64 {
+        64 << 20
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        decode_step(
+            ctx,
+            &DecoderSpec {
+                layers: 16,
+                dim: 512,
+                kv_len: 128,
+                hidden_mult: 4,
+                activation: OpKind::Silu,
+                source_file: "modeling_llama.py",
+                casts_in_norm: true,
+            },
+        )
+    }
+}
+
+/// Gemma-7B single-token decode with the same prompt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gemma;
+
+impl Workload for Gemma {
+    fn name(&self) -> &'static str {
+        "gemma-7b"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "sample-prompt"
+    }
+
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn param_bytes(&self) -> u64 {
+        56 << 20
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        decode_step(
+            ctx,
+            &DecoderSpec {
+                layers: 14,
+                dim: 512,
+                kv_len: 128,
+                hidden_mult: 6,
+                activation: OpKind::Gelu,
+                source_file: "modeling_gemma.py",
+                casts_in_norm: true,
+            },
+        )
+    }
+}
+
+/// nanoGPT single-token decode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NanoGpt;
+
+impl Workload for NanoGpt {
+    fn name(&self) -> &'static str {
+        "nanogpt"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "sample-prompt"
+    }
+
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn param_bytes(&self) -> u64 {
+        8 << 20
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        decode_step(
+            ctx,
+            &DecoderSpec {
+                layers: 6,
+                dim: 256,
+                kv_len: 64,
+                hidden_mult: 4,
+                activation: OpKind::Gelu,
+                source_file: "nanogpt_model.py",
+                casts_in_norm: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::smoke_eager;
+    use crate::WorkloadOptions;
+
+    #[test]
+    fn llms_are_inference_workloads() {
+        assert!(!Llama3.training());
+        assert!(!Gemma.training());
+        assert!(!NanoGpt.training());
+    }
+
+    #[test]
+    fn llama_launches_hundreds_of_small_kernels() {
+        let stats = smoke_eager(&Llama3, &WorkloadOptions::default());
+        assert!(stats.kernels > 200, "got {}", stats.kernels);
+        let mean_ns = stats.gpu_busy.as_nanos() / stats.kernels;
+        assert!(mean_ns < 100_000, "mean kernel {mean_ns}ns is not small");
+    }
+
+    #[test]
+    fn vectorized_cast_removes_standalone_cast_kernels() {
+        let plain = smoke_eager(&Llama3, &WorkloadOptions::default());
+        let fixed = smoke_eager(
+            &Llama3,
+            &WorkloadOptions {
+                vectorized_cast: true,
+                ..Default::default()
+            },
+        );
+        // Two casts per norm, two norms per layer, 16 layers.
+        assert_eq!(plain.kernels - fixed.kernels, 64);
+    }
+
+    #[test]
+    fn precision_option_controls_dtype() {
+        // fp8 moves fewer bytes: GPU busy time should not increase.
+        let f16 = smoke_eager(&Llama3, &WorkloadOptions::default());
+        let f8 = smoke_eager(
+            &Llama3,
+            &WorkloadOptions {
+                precision: DType::F8,
+                ..Default::default()
+            },
+        );
+        assert!(f8.gpu_busy <= f16.gpu_busy);
+    }
+
+    #[test]
+    fn gemma_and_nanogpt_scale_with_depth() {
+        let gemma = smoke_eager(&Gemma, &WorkloadOptions::default());
+        let nano = smoke_eager(&NanoGpt, &WorkloadOptions::default());
+        assert!(gemma.kernels > nano.kernels);
+    }
+}

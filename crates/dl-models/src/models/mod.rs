@@ -1,0 +1,260 @@
+//! Workload implementations and shared building blocks.
+
+mod llm;
+mod recommendation;
+mod speech_text;
+mod vision;
+
+pub use llm::{Gemma, Llama3, NanoGpt};
+pub use recommendation::{DlrmSmall, Gnn};
+pub use speech_text::{Conformer, TransformerBig};
+pub use vision::{ResNet, UNet, ViT};
+
+use dl_framework::{FrameworkError, Layout, Op, OpKind, TensorMeta};
+
+use crate::{ModelCtx, Workload};
+
+/// Every paper workload, in Figure 6 order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Conformer),
+        Box::new(DlrmSmall),
+        Box::new(UNet),
+        Box::new(Gnn),
+        Box::new(ResNet),
+        Box::new(ViT),
+        Box::new(TransformerBig),
+        Box::new(Llama3),
+        Box::new(Gemma),
+        Box::new(NanoGpt),
+    ]
+}
+
+/// Looks up a workload by its `name()`.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+// ---------------------------------------------------------------------
+// Shared layers.
+// ---------------------------------------------------------------------
+
+/// Linear layer: matmul against a `[in, out]` weight plus a bias add.
+pub(crate) fn linear(
+    ctx: &mut ModelCtx<'_>,
+    x: &TensorMeta,
+    out_features: usize,
+) -> Result<TensorMeta, FrameworkError> {
+    let in_features = *x.shape.last().expect("linear input has features");
+    let w = TensorMeta::new([in_features, out_features]).with_dtype(x.dtype);
+    let h = ctx.op(Op::new(OpKind::MatMul), &[x.clone(), w])?;
+    ctx.op(Op::new(OpKind::Add), &[h.clone(), h])
+}
+
+/// Multi-head self-attention over `[B, L, D]`.
+pub(crate) fn attention(
+    ctx: &mut ModelCtx<'_>,
+    x: &TensorMeta,
+) -> Result<TensorMeta, FrameworkError> {
+    let _scope = ctx.scope("attention.py", 51, "self_attention");
+    let (b, l, d) = (x.shape[0], x.shape[1], x.shape[2]);
+    let q = linear(ctx, x, d)?;
+    let k = linear(ctx, x, d)?;
+    let v = linear(ctx, x, d)?;
+    let k_t = TensorMeta {
+        shape: vec![b, d, l],
+        ..k
+    };
+    let scores = ctx.op(Op::new(OpKind::MatMul), &[q, k_t])?;
+    let probs = ctx.op(Op::new(OpKind::Softmax), &[scores])?;
+    let out = ctx.op(Op::new(OpKind::MatMul), &[probs, v])?;
+    linear(ctx, &out, d)
+}
+
+/// Two-layer MLP with an activation.
+pub(crate) fn mlp(
+    ctx: &mut ModelCtx<'_>,
+    x: &TensorMeta,
+    hidden: usize,
+    activation: OpKind,
+) -> Result<TensorMeta, FrameworkError> {
+    let _scope = ctx.scope("mlp.py", 12, "feed_forward");
+    let out_features = *x.shape.last().expect("mlp input has features");
+    let h = linear(ctx, x, hidden)?;
+    let a = ctx.op(Op::new(activation), &[h])?;
+    linear(ctx, &a, out_features)
+}
+
+/// Which normalisation a conv block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NormKind {
+    Batch,
+    Instance,
+}
+
+/// Conv3x3 + norm + relu. Honours the channels_last option (§6.2) and the
+/// norm CTA-size option (§6.5).
+pub(crate) fn conv_block(
+    ctx: &mut ModelCtx<'_>,
+    x: &TensorMeta,
+    out_channels: usize,
+    norm: NormKind,
+) -> Result<TensorMeta, FrameworkError> {
+    let _scope = ctx.scope("conv.py", 27, "conv_block");
+    let in_channels = x.shape[1];
+    let conv = Op::new(OpKind::Conv2d).with_weight([out_channels, in_channels, 3, 3]);
+    let y = ctx.op(conv, std::slice::from_ref(x))?;
+    let norm_kind = match norm {
+        NormKind::Batch => OpKind::BatchNorm,
+        NormKind::Instance => OpKind::InstanceNorm,
+    };
+    let mut norm_op = Op::new(norm_kind);
+    if let Some(tpb) = ctx.opts.norm_threads_per_block {
+        norm_op = norm_op.with_threads_per_block(tpb);
+    }
+    let n = ctx.op(norm_op, &[y])?;
+    ctx.op(Op::new(OpKind::Relu), &[n])
+}
+
+/// Input image batch honouring the layout option.
+pub(crate) fn image_input(ctx: &ModelCtx<'_>, shape: [usize; 4]) -> TensorMeta {
+    let layout = if ctx.opts.channels_last {
+        Layout::ChannelsLast
+    } else {
+        Layout::ChannelsFirst
+    };
+    TensorMeta::new(shape.to_vec()).with_layout(layout)
+}
+
+/// Cross-entropy-style loss: the paper's three small kernels (softmax,
+/// copy, nll_loss) — or the fused single kernel when the §6.3 fix is on.
+pub(crate) fn loss(
+    ctx: &mut ModelCtx<'_>,
+    logits: &TensorMeta,
+) -> Result<TensorMeta, FrameworkError> {
+    let _scope = ctx.scope("train.py", 58, "loss_fn");
+    if ctx.opts.fused_loss {
+        ctx.op(Op::new(OpKind::NllLoss), std::slice::from_ref(logits))
+    } else {
+        let probs = ctx.op(Op::new(OpKind::Softmax), std::slice::from_ref(logits))?;
+        let copied = ctx.op(Op::new(OpKind::Copy), &[probs])?;
+        ctx.op(Op::new(OpKind::NllLoss), &[copied])
+    }
+}
+
+/// One optimizer step covering the model's parameters.
+pub(crate) fn optimizer_step(
+    ctx: &mut ModelCtx<'_>,
+    param_bytes: u64,
+) -> Result<(), FrameworkError> {
+    let _scope = ctx.scope("optimizer.py", 77, "adam_step");
+    let params = TensorMeta::new([(param_bytes / 4).max(1) as usize]);
+    ctx.op(Op::new(OpKind::AdamStep), &[params])?;
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use sim_gpu::DeviceSpec;
+
+    use crate::{RunStats, TestBed, Workload, WorkloadOptions};
+
+    /// Runs one eager iteration on an A100 bed, returning stats.
+    pub fn smoke_eager(workload: &dyn Workload, opts: &WorkloadOptions) -> RunStats {
+        let bed = TestBed::new(DeviceSpec::a100_sxm());
+        bed.run_eager(workload, opts, 1).expect("run")
+    }
+
+    /// Runs one JIT iteration on an A100 bed.
+    pub fn smoke_jit(workload: &dyn Workload, opts: &WorkloadOptions) -> RunStats {
+        let bed = TestBed::new(DeviceSpec::a100_sxm());
+        bed.run_jit(workload, opts, 1).expect("run")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadOptions;
+
+    #[test]
+    fn registry_contains_all_ten_workloads() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 10);
+        let names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        for expected in [
+            "conformer",
+            "dlrm-small",
+            "unet",
+            "gnn",
+            "resnet",
+            "vit",
+            "transformer-big",
+            "llama3-8b",
+            "gemma-7b",
+            "nanogpt",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for w in all_workloads() {
+            let found = workload_by_name(w.name()).expect("lookup");
+            assert_eq!(found.name(), w.name());
+            assert_eq!(found.training(), w.training());
+        }
+        assert!(workload_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_one_eager_iteration() {
+        let opts = WorkloadOptions::default();
+        for w in all_workloads() {
+            let stats = testutil::smoke_eager(w.as_ref(), &opts);
+            assert!(stats.kernels > 0, "{} launched no kernels", w.name());
+            assert!(stats.wall.as_nanos() > 0, "{} took no time", w.name());
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_one_jit_iteration() {
+        let opts = WorkloadOptions::default();
+        for w in all_workloads() {
+            let stats = testutil::smoke_jit(w.as_ref(), &opts);
+            assert!(stats.kernels > 0, "{} launched no kernels", w.name());
+        }
+    }
+
+    #[test]
+    fn jit_launches_fewer_kernels_than_eager() {
+        // The §6.6 comparison: XLA fusion reduces kernel counts.
+        let opts = WorkloadOptions::default();
+        for w in all_workloads() {
+            let eager = testutil::smoke_eager(w.as_ref(), &opts);
+            let jit = testutil::smoke_jit(w.as_ref(), &opts);
+            assert!(
+                jit.kernels <= eager.kernels,
+                "{}: jit {} > eager {}",
+                w.name(),
+                jit.kernels,
+                eager.kernels
+            );
+        }
+    }
+
+    #[test]
+    fn llms_launch_many_small_kernels() {
+        // The Figure 6 shape driver: LLM workloads are launch-dominated.
+        let opts = WorkloadOptions::default();
+        let llama = testutil::smoke_eager(&Llama3, &opts);
+        let resnet = testutil::smoke_eager(&ResNet, &opts);
+        let llama_mean = llama.gpu_busy.as_nanos() as f64 / llama.kernels as f64;
+        let resnet_mean = resnet.gpu_busy.as_nanos() as f64 / resnet.kernels as f64;
+        assert!(
+            llama_mean < resnet_mean,
+            "llama mean kernel {llama_mean}ns !< resnet {resnet_mean}ns"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Conformer (LibriSpeech) and Transformer-Big (WMT).
+
+use dl_framework::{FrameworkError, Op, OpKind, TensorMeta};
+
+use super::{attention, linear, loss, mlp, optimizer_step};
+use crate::{ModelCtx, Workload};
+
+/// Conformer speech encoder on LibriSpeech-like audio: convolution-
+/// augmented transformer blocks over long sequences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conformer;
+
+impl Conformer {
+    const LAYERS: usize = 6;
+    const DIM: usize = 256;
+    const SEQ: usize = 256;
+}
+
+impl Workload for Conformer {
+    fn name(&self) -> &'static str {
+        "conformer"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "librispeech"
+    }
+
+    fn training(&self) -> bool {
+        true
+    }
+
+    fn param_bytes(&self) -> u64 {
+        (Self::LAYERS * 10 * Self::DIM * Self::DIM * 4) as u64
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("conformer.py", 12, "forward");
+        let batch = 4 * ctx.opts.scale;
+
+        // Convolutional subsampling of the spectrogram.
+        let mut x = {
+            let _scope = ctx.scope("conformer.py", 21, "subsample");
+            let spec = TensorMeta::new([batch, 1, Self::SEQ, 80]);
+            let c1 = ctx.op(
+                Op::new(OpKind::Conv2d).with_weight([32, 1, 3, 3]),
+                &[spec],
+            )?;
+            let c1 = ctx.op(Op::new(OpKind::Relu), &[c1])?;
+            let pooled = ctx.op(Op::new(OpKind::MaxPool2d), &[c1])?;
+            ctx.op(
+                Op::new(OpKind::Reshape).with_out_shape([batch, Self::SEQ / 2, Self::DIM]),
+                &[pooled],
+            )?
+        };
+
+        for layer in 0..Self::LAYERS {
+            let _scope = ctx.scope("conformer.py", 40 + layer as u32, "conformer_block");
+            // First feed-forward (half-step).
+            let ff1 = mlp(ctx, &x, Self::DIM * 4, OpKind::Silu)?;
+            x = ctx.op(Op::new(OpKind::Add), &[x, ff1])?;
+            // Self-attention.
+            let normed = ctx.op(Op::new(OpKind::LayerNorm), &[x.clone()])?;
+            let att = attention(ctx, &normed)?;
+            x = ctx.op(Op::new(OpKind::Add), &[x, att])?;
+            // Convolution module.
+            let conv = {
+                let _cs = ctx.scope("conformer.py", 55 + layer as u32, "conv_module");
+                let as_img = ctx.op(
+                    Op::new(OpKind::Reshape).with_out_shape([batch, Self::DIM, Self::SEQ / 2, 1]),
+                    &[x.clone()],
+                )?;
+                let c = ctx.op(
+                    Op::new(OpKind::Conv2d).with_weight([Self::DIM, Self::DIM, 3, 1]),
+                    &[as_img],
+                )?;
+                let c = ctx.op(Op::new(OpKind::Silu), &[c])?;
+                ctx.op(
+                    Op::new(OpKind::Reshape).with_out_shape(x.shape.clone()),
+                    &[c],
+                )?
+            };
+            x = ctx.op(Op::new(OpKind::Add), &[x, conv])?;
+            // Second feed-forward + final norm.
+            let ff2 = mlp(ctx, &x, Self::DIM * 4, OpKind::Silu)?;
+            x = ctx.op(Op::new(OpKind::Add), &[x, ff2])?;
+            x = ctx.op(Op::new(OpKind::LayerNorm), &[x])?;
+        }
+
+        let logits = {
+            let _scope = ctx.scope("conformer.py", 80, "ctc_head");
+            linear(ctx, &x, 1024)?
+        };
+        loss(ctx, &logits)?;
+        optimizer_step(ctx, self.param_bytes())
+    }
+}
+
+/// Transformer-Big on WMT-like translation batches: the §6.3 kernel-fusion
+/// case study (its loss launches three small kernels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformerBig;
+
+impl TransformerBig {
+    const ENC_LAYERS: usize = 6;
+    const DEC_LAYERS: usize = 6;
+    const DIM: usize = 512;
+    const SEQ: usize = 32;
+    const VOCAB: usize = 4096;
+}
+
+impl Workload for TransformerBig {
+    fn name(&self) -> &'static str {
+        "transformer-big"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "wmt"
+    }
+
+    fn training(&self) -> bool {
+        true
+    }
+
+    fn param_bytes(&self) -> u64 {
+        ((Self::ENC_LAYERS + 2 * Self::DEC_LAYERS) * 8 * Self::DIM * Self::DIM * 4) as u64
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("transformer.py", 15, "forward");
+        let batch = 8 * ctx.opts.scale;
+        let src = TensorMeta::new([batch, Self::SEQ]).with_dtype(dl_framework::DType::I64);
+        let mut enc = {
+            let _scope = ctx.scope("transformer.py", 22, "embed_source");
+            ctx.op(
+                Op::new(OpKind::Embedding).with_weight([Self::VOCAB, Self::DIM]),
+                &[src],
+            )?
+        };
+        for layer in 0..Self::ENC_LAYERS {
+            let _scope = ctx.scope("transformer.py", 30 + layer as u32, "encoder_layer");
+            let normed = ctx.op(Op::new(OpKind::LayerNorm), &[enc.clone()])?;
+            let att = attention(ctx, &normed)?;
+            enc = ctx.op(Op::new(OpKind::Add), &[enc, att])?;
+            let ff = mlp(ctx, &enc, Self::DIM * 4, OpKind::Relu)?;
+            enc = ctx.op(Op::new(OpKind::Add), &[enc, ff])?;
+        }
+        let mut dec = {
+            let _scope = ctx.scope("transformer.py", 48, "embed_target");
+            let tgt = TensorMeta::new([batch, Self::SEQ]).with_dtype(dl_framework::DType::I64);
+            ctx.op(
+                Op::new(OpKind::Embedding).with_weight([Self::VOCAB, Self::DIM]),
+                &[tgt],
+            )?
+        };
+        for layer in 0..Self::DEC_LAYERS {
+            let _scope = ctx.scope("transformer.py", 56 + layer as u32, "decoder_layer");
+            let normed = ctx.op(Op::new(OpKind::LayerNorm), &[dec.clone()])?;
+            let self_att = attention(ctx, &normed)?;
+            dec = ctx.op(Op::new(OpKind::Add), &[dec, self_att])?;
+            let cross = attention(ctx, &dec)?;
+            dec = ctx.op(Op::new(OpKind::Add), &[dec, cross])?;
+            let ff = mlp(ctx, &dec, Self::DIM * 4, OpKind::Relu)?;
+            dec = ctx.op(Op::new(OpKind::Add), &[dec, ff])?;
+        }
+        let logits = {
+            let _scope = ctx.scope("transformer.py", 74, "project_vocab");
+            linear(ctx, &dec, Self::VOCAB)?
+        };
+        // The paper's loss_fn: softmax + copy + nll_loss (or fused).
+        loss(ctx, &logits)?;
+        optimizer_step(ctx, self.param_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::smoke_eager;
+    use crate::WorkloadOptions;
+
+    #[test]
+    fn conformer_runs_with_large_kernels() {
+        let stats = smoke_eager(&Conformer, &WorkloadOptions::default());
+        assert!(stats.kernels > 80);
+        assert!(stats.gpu_busy.as_nanos() / stats.kernels > 5_000);
+    }
+
+    #[test]
+    fn transformer_fused_loss_reduces_kernels_and_time() {
+        // §6.3: fusing softmax+copy+nll_loss cuts launches and time.
+        let plain = smoke_eager(&TransformerBig, &WorkloadOptions::default());
+        let fused = smoke_eager(
+            &TransformerBig,
+            &WorkloadOptions {
+                fused_loss: true,
+                ..Default::default()
+            },
+        );
+        assert!(fused.kernels < plain.kernels);
+        assert!(fused.gpu_busy <= plain.gpu_busy);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(Conformer.dataset(), "librispeech");
+        assert_eq!(TransformerBig.dataset(), "wmt");
+        assert!(TransformerBig.training());
+    }
+}

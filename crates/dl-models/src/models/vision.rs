@@ -1,0 +1,299 @@
+//! U-Net (fastMRI), ResNet (ImageNet) and ViT (ImageNet).
+
+use deepcontext_core::TimeNs;
+use dl_framework::{DataLoaderConfig, FrameworkError, Op, OpKind};
+
+use super::{attention, conv_block, image_input, linear, loss, mlp, optimizer_step, NormKind};
+use crate::{ModelCtx, Workload, WorkloadOptions};
+
+/// U-Net on fastMRI-like MRI slices: the layout-conversion (§6.2),
+/// data-loader (§6.4) and CTA-size (§6.5) case-study workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UNet;
+
+impl UNet {
+    const CHANNELS: [usize; 4] = [16, 32, 64, 128];
+}
+
+impl Workload for UNet {
+    fn name(&self) -> &'static str {
+        "unet"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "fastmri"
+    }
+
+    fn training(&self) -> bool {
+        true
+    }
+
+    fn param_bytes(&self) -> u64 {
+        // Conv stacks over the channel pyramid.
+        let mut params = 0usize;
+        let mut c_in = 1;
+        for c in Self::CHANNELS {
+            params += c_in * c * 9 + c * c * 9;
+            c_in = c;
+        }
+        (params * 2 * 4) as u64
+    }
+
+    fn dataloader(&self, opts: &WorkloadOptions) -> Option<DataLoaderConfig> {
+        // The §6.4 bug: the worker count is hard-coded (16) regardless of
+        // the node's 6 physical cores.
+        Some(DataLoaderConfig {
+            num_workers: opts.dataloader_workers,
+            physical_cores: opts.physical_cores,
+            per_item_cpu: TimeNs::from_us(600),
+            items_per_batch: 48,
+            first_batch_disk: TimeNs::from_ms(20),
+            python_context: ("input_pipeline.py".into(), 88, "data_selection".into()),
+        })
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("unet.py", 14, "forward");
+        let mut x = image_input(ctx, [2 * ctx.opts.scale, 1, 96, 96]);
+
+        // Encoder: double conv + pool per level.
+        let mut skips = Vec::new();
+        for (level, channels) in Self::CHANNELS.into_iter().enumerate() {
+            let _scope = ctx.scope("unet.py", 30 + level as u32, "down_block");
+            x = conv_block(ctx, &x, channels, NormKind::Instance)?;
+            x = conv_block(ctx, &x, channels, NormKind::Instance)?;
+            skips.push(x.clone());
+            x = ctx.op(Op::new(OpKind::MaxPool2d), &[x])?;
+        }
+
+        // Decoder: upsample + concat skip + double conv per level.
+        for (level, channels) in Self::CHANNELS.into_iter().enumerate().rev() {
+            let _scope = ctx.scope("unet.py", 60 + level as u32, "up_block");
+            x = ctx.op(Op::new(OpKind::Upsample2d), &[x])?;
+            let skip = &skips[level];
+            let cat_shape = vec![
+                x.shape[0],
+                x.shape[1] + skip.shape[1],
+                x.shape[2],
+                x.shape[3],
+            ];
+            x = ctx.op(
+                Op::new(OpKind::Concat).with_out_shape(cat_shape),
+                &[x, skip.clone()],
+            )?;
+            x = conv_block(ctx, &x, channels, NormKind::Instance)?;
+            x = conv_block(ctx, &x, channels, NormKind::Instance)?;
+        }
+
+        // Reconstruction head + L1-ish loss.
+        let out = {
+            let _scope = ctx.scope("unet.py", 92, "head");
+            ctx.op(
+                Op::new(OpKind::Conv2d).with_weight([1, x.shape[1], 1, 1]),
+                &[x],
+            )?
+        };
+        let diff = ctx.op(Op::new(OpKind::Sub), &[out.clone(), out])?;
+        {
+            let _scope = ctx.scope("train.py", 58, "loss_fn");
+            ctx.op(Op::new(OpKind::Mean), &[diff])?;
+        }
+        optimizer_step(ctx, self.param_bytes())
+    }
+}
+
+/// ResNet on ImageNet-like images.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResNet;
+
+impl Workload for ResNet {
+    fn name(&self) -> &'static str {
+        "resnet"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "imagenet"
+    }
+
+    fn training(&self) -> bool {
+        true
+    }
+
+    fn param_bytes(&self) -> u64 {
+        25_000_000 / 4
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("resnet.py", 9, "forward");
+        let mut x = image_input(ctx, [16 * ctx.opts.scale, 3, 64, 64]);
+        {
+            let _scope = ctx.scope("resnet.py", 18, "stem");
+            x = conv_block(ctx, &x, 64, NormKind::Batch)?;
+            x = ctx.op(Op::new(OpKind::MaxPool2d), &[x])?;
+        }
+        let stage_channels = [64, 128, 256, 512];
+        for (stage, channels) in stage_channels.into_iter().enumerate() {
+            for block in 0..2 {
+                let _scope = ctx.scope("resnet.py", 30 + stage as u32, "residual_block");
+                let identity = x.clone();
+                x = conv_block(ctx, &x, channels, NormKind::Batch)?;
+                x = conv_block(ctx, &x, channels, NormKind::Batch)?;
+                if identity.shape == x.shape {
+                    x = ctx.op(Op::new(OpKind::Add), &[x, identity])?;
+                }
+                if block == 1 && stage + 1 < stage_channels.len() {
+                    x = ctx.op(Op::new(OpKind::MaxPool2d), &[x])?;
+                }
+            }
+        }
+        let pooled = {
+            let _scope = ctx.scope("resnet.py", 70, "global_pool");
+            ctx.op(
+                Op::new(OpKind::Mean).with_out_shape([x.shape[0], x.shape[1]]),
+                &[x],
+            )?
+        };
+        let logits = linear(ctx, &pooled, 1000)?;
+        loss(ctx, &logits)?;
+        optimizer_step(ctx, self.param_bytes())
+    }
+}
+
+/// Vision Transformer on ImageNet-like images.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViT;
+
+impl ViT {
+    const LAYERS: usize = 6;
+    const DIM: usize = 384;
+}
+
+impl Workload for ViT {
+    fn name(&self) -> &'static str {
+        "vit"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "imagenet"
+    }
+
+    fn training(&self) -> bool {
+        true
+    }
+
+    fn param_bytes(&self) -> u64 {
+        (Self::LAYERS * 12 * Self::DIM * Self::DIM * 4) as u64
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("vit.py", 11, "forward");
+        let batch = 8 * ctx.opts.scale;
+        // Patch embedding: 16x16 conv.
+        let images = image_input(ctx, [batch, 3, 64, 64]);
+        let patches = {
+            let _scope = ctx.scope("vit.py", 20, "patch_embed");
+            ctx.op(
+                Op::new(OpKind::Conv2d).with_weight([Self::DIM, 3, 16, 16]),
+                &[images],
+            )?
+        };
+        let tokens = ctx.op(
+            Op::new(OpKind::Reshape).with_out_shape([batch, 16, Self::DIM]),
+            &[patches],
+        )?;
+        let mut x = tokens;
+        for layer in 0..Self::LAYERS {
+            let _scope = ctx.scope("vit.py", 35 + layer as u32, "encoder_layer");
+            let normed = ctx.op(Op::new(OpKind::LayerNorm), &[x.clone()])?;
+            let attended = attention(ctx, &normed)?;
+            x = ctx.op(Op::new(OpKind::Add), &[x, attended])?;
+            let normed = ctx.op(Op::new(OpKind::LayerNorm), &[x.clone()])?;
+            let ff = mlp(ctx, &normed, Self::DIM * 4, OpKind::Gelu)?;
+            x = ctx.op(Op::new(OpKind::Add), &[x, ff])?;
+        }
+        let cls = ctx.op(
+            Op::new(OpKind::Mean).with_out_shape([batch, Self::DIM]),
+            &[x],
+        )?;
+        let logits = linear(ctx, &cls, 1000)?;
+        loss(ctx, &logits)?;
+        optimizer_step(ctx, self.param_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::smoke_eager;
+    use crate::TestBed;
+    use sim_gpu::DeviceSpec;
+
+    #[test]
+    fn unet_channels_last_removes_conversion_kernels_and_time() {
+        // §6.2: nchwToNhwc conversions take ~15% of GPU time; storing
+        // tensors channels_last removes them (54s -> 42s end to end).
+        let nchw = smoke_eager(&UNet, &WorkloadOptions::default());
+        let nhwc = smoke_eager(
+            &UNet,
+            &WorkloadOptions {
+                channels_last: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            nhwc.kernels < nchw.kernels,
+            "channels_last must drop conversion kernels: {} vs {}",
+            nhwc.kernels,
+            nchw.kernels
+        );
+        assert!(nhwc.gpu_busy < nchw.gpu_busy);
+    }
+
+    #[test]
+    fn unet_worker_fix_reduces_wall_time() {
+        // §6.4: 16 workers on 6 cores -> 8 workers (54s -> 47s).
+        let bed = TestBed::new(DeviceSpec::a100_sxm());
+        let over = bed
+            .run_eager(&UNet, &WorkloadOptions::default(), 3)
+            .unwrap();
+        let bed2 = TestBed::new(DeviceSpec::a100_sxm());
+        let matched = bed2
+            .run_eager(
+                &UNet,
+                &WorkloadOptions {
+                    dataloader_workers: 8,
+                    ..Default::default()
+                },
+                3,
+            )
+            .unwrap();
+        assert!(
+            matched.wall < over.wall,
+            "8 workers ({}) should beat 16 ({}) on 6 cores",
+            matched.wall,
+            over.wall
+        );
+    }
+
+    #[test]
+    fn unet_is_slower_per_iteration_on_amd_default_cta() {
+        // §6.5: the shared 512-thread norm template under-utilises MI250.
+        let nv = TestBed::new(DeviceSpec::a100_sxm());
+        let amd = TestBed::new(DeviceSpec::mi250());
+        let opts = WorkloadOptions::default();
+        let nv_stats = nv.run_eager(&UNet, &opts, 1).unwrap();
+        let amd_stats = amd.run_eager(&UNet, &opts, 1).unwrap();
+        assert!(amd_stats.gpu_busy > nv_stats.gpu_busy);
+    }
+
+    #[test]
+    fn resnet_and_vit_run_and_are_compute_heavy() {
+        let resnet = smoke_eager(&ResNet, &WorkloadOptions::default());
+        let vit = smoke_eager(&ViT, &WorkloadOptions::default());
+        assert!(resnet.kernels > 50);
+        assert!(vit.kernels > 50);
+        // Mean kernel time is large (compute-bound workloads).
+        assert!(resnet.gpu_busy.as_nanos() / resnet.kernels > 10_000);
+        assert!(vit.gpu_busy.as_nanos() / vit.kernels > 10_000);
+    }
+}

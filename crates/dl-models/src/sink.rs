@@ -1,0 +1,68 @@
+//! Operator sinks: the two execution backends a workload can emit into.
+
+use std::sync::Arc;
+
+use dl_framework::{EagerEngine, FrameworkError, Op, TensorMeta, Tracer};
+
+/// Anything that can execute (or record) a stream of operators.
+pub trait OpSink {
+    /// Executes/records one operator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference or dispatch failures.
+    fn op(&mut self, op: Op, inputs: &[TensorMeta]) -> Result<TensorMeta, FrameworkError>;
+
+    /// Runs (or records) the backward pass for everything emitted so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backward failures.
+    fn backward(&mut self) -> Result<(), FrameworkError>;
+}
+
+/// Eager execution: operators dispatch immediately; backward replays the
+/// autograd tape on the backward thread.
+pub struct EagerSink {
+    engine: Arc<EagerEngine>,
+}
+
+impl EagerSink {
+    /// Wraps an eager engine.
+    pub fn new(engine: Arc<EagerEngine>) -> Self {
+        EagerSink { engine }
+    }
+}
+
+impl OpSink for EagerSink {
+    fn op(&mut self, op: Op, inputs: &[TensorMeta]) -> Result<TensorMeta, FrameworkError> {
+        self.engine.op(op, inputs)
+    }
+
+    fn backward(&mut self) -> Result<(), FrameworkError> {
+        self.engine.backward()
+    }
+}
+
+/// Tracing execution: operators are recorded into a JIT graph; backward
+/// synthesizes reverse ops into the same graph.
+pub struct TraceSink<'t> {
+    tracer: &'t mut Tracer,
+}
+
+impl<'t> TraceSink<'t> {
+    /// Wraps a JIT tracer.
+    pub fn new(tracer: &'t mut Tracer) -> Self {
+        TraceSink { tracer }
+    }
+}
+
+impl OpSink for TraceSink<'_> {
+    fn op(&mut self, op: Op, inputs: &[TensorMeta]) -> Result<TensorMeta, FrameworkError> {
+        self.tracer.op(op, inputs)
+    }
+
+    fn backward(&mut self) -> Result<(), FrameworkError> {
+        self.tracer.emit_backward()
+    }
+}

@@ -1,0 +1,228 @@
+//! A complete simulated evaluation platform: one device, both engines.
+
+use std::sync::Arc;
+
+use deepcontext_core::{ThreadRole, TimeNs};
+use dl_framework::{
+    DataLoader, EagerEngine, FrameworkCore, FrameworkError, JitEngine,
+};
+use sim_gpu::{DeviceId, DeviceSpec, GpuRuntime};
+use sim_runtime::{RuntimeEnv, ThreadCtx, ThreadRegistry};
+
+use crate::sink::{EagerSink, TraceSink};
+use crate::{ModelCtx, Workload, WorkloadOptions};
+
+/// Statistics from one workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Virtual wall-clock time of the run.
+    pub wall: TimeNs,
+    /// Accumulated device busy time.
+    pub gpu_busy: TimeNs,
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Iterations executed.
+    pub iterations: u32,
+}
+
+/// One evaluation platform (paper Table 2 rows): a device plus the eager
+/// and JIT engines wired to it.
+pub struct TestBed {
+    env: RuntimeEnv,
+    gpu: Arc<GpuRuntime>,
+    eager: Arc<EagerEngine>,
+    jit: Arc<JitEngine>,
+    main: Arc<ThreadCtx>,
+    device: DeviceId,
+}
+
+impl TestBed {
+    /// Builds a test bed on a device model.
+    pub fn new(spec: DeviceSpec) -> TestBed {
+        let env = RuntimeEnv::new();
+        let gpu = GpuRuntime::new(env.clock().clone(), vec![spec]);
+        let device = DeviceId(0);
+        let eager_core = FrameworkCore::new(
+            env.clone(),
+            Arc::clone(&gpu),
+            device,
+            "/lib/libtorch_cpu.so",
+            "libtorch_cuda.so",
+            TimeNs(3_000),
+        );
+        let jit_core = FrameworkCore::new(
+            env.clone(),
+            Arc::clone(&gpu),
+            device,
+            "/lib/libjax.so",
+            "libxla.so",
+            TimeNs(1_000),
+        );
+        let eager = EagerEngine::new(Arc::clone(&eager_core));
+        let jit = JitEngine::new(jit_core);
+        let main = env.threads().spawn(ThreadRole::Main);
+        TestBed {
+            env,
+            gpu,
+            eager,
+            jit,
+            main,
+            device,
+        }
+    }
+
+    /// The process environment.
+    pub fn env(&self) -> &RuntimeEnv {
+        &self.env
+    }
+
+    /// The GPU runtime.
+    pub fn gpu(&self) -> &Arc<GpuRuntime> {
+        &self.gpu
+    }
+
+    /// The eager engine.
+    pub fn eager(&self) -> &Arc<EagerEngine> {
+        &self.eager
+    }
+
+    /// The JIT engine.
+    pub fn jit(&self) -> &Arc<JitEngine> {
+        &self.jit
+    }
+
+    /// The main simulated thread.
+    pub fn main_thread(&self) -> &Arc<ThreadCtx> {
+        &self.main
+    }
+
+    /// The device under test.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Runs `iterations` of `workload` on the eager engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framework/GPU failures.
+    pub fn run_eager(
+        &self,
+        workload: &dyn Workload,
+        opts: &WorkloadOptions,
+        iterations: u32,
+    ) -> Result<RunStats, FrameworkError> {
+        let _bind = ThreadRegistry::bind_current(&self.main);
+        self.eager.set_grad_enabled(workload.training());
+        let core = Arc::clone(self.eager.core());
+        let loader = workload
+            .dataloader(opts)
+            .map(|config| DataLoader::new(&self.env, core.python(), config));
+
+        let start_wall = self.env.clock().now();
+        let start_busy = self.gpu.device_busy_time(self.device)?;
+        let start_kernels = self.gpu.kernel_count(self.device)?;
+
+        for _ in 0..iterations {
+            let _step = core
+                .python()
+                .frame(&self.main, "train.py", 30, "train_step");
+            if let Some(loader) = &loader {
+                let _load = core
+                    .python()
+                    .frame(&self.main, "input_pipeline.py", 40, "next_batch");
+                loader.load_batch();
+            }
+            let mut sink = EagerSink::new(Arc::clone(&self.eager));
+            let mut ctx = ModelCtx::new(
+                &mut sink,
+                Arc::clone(core.python()),
+                Arc::clone(&self.main),
+                opts.clone(),
+            );
+            workload.iteration(&mut ctx)?;
+            if workload.training() {
+                ctx.backward()?;
+            }
+        }
+        self.gpu.synchronize(self.device)?;
+
+        Ok(RunStats {
+            wall: self.env.clock().now() - start_wall,
+            gpu_busy: self.gpu.device_busy_time(self.device)? - start_busy,
+            kernels: self.gpu.kernel_count(self.device)? - start_kernels,
+            iterations,
+        })
+    }
+
+    /// Runs `iterations` of `workload` on the JIT engine: trace + compile
+    /// once, execute per iteration (the JAX execution model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates framework/GPU failures.
+    pub fn run_jit(
+        &self,
+        workload: &dyn Workload,
+        opts: &WorkloadOptions,
+        iterations: u32,
+    ) -> Result<RunStats, FrameworkError> {
+        let _bind = ThreadRegistry::bind_current(&self.main);
+        let core = Arc::clone(self.jit.core());
+        let loader = workload
+            .dataloader(opts)
+            .map(|config| DataLoader::new(&self.env, core.python(), config));
+
+        let start_wall = self.env.clock().now();
+        let start_busy = self.gpu.device_busy_time(self.device)?;
+        let start_kernels = self.gpu.kernel_count(self.device)?;
+
+        let graph = {
+            let _trace_scope = core
+                .python()
+                .frame(&self.main, "train.py", 22, "jit_step");
+            self.jit.trace(workload.name(), |tracer| {
+                let mut sink = TraceSink::new(tracer);
+                let mut ctx = ModelCtx::new(
+                    &mut sink,
+                    Arc::clone(core.python()),
+                    Arc::clone(&self.main),
+                    opts.clone(),
+                );
+                workload.iteration(&mut ctx)?;
+                if workload.training() {
+                    ctx.backward()?;
+                }
+                Ok(())
+            })?
+        };
+        let compiled = self.jit.compile(&graph)?;
+
+        for _ in 0..iterations {
+            let _step = core.python().frame(&self.main, "train.py", 30, "train_step");
+            if let Some(loader) = &loader {
+                let _load = core
+                    .python()
+                    .frame(&self.main, "input_pipeline.py", 40, "next_batch");
+                loader.load_batch();
+            }
+            compiled.execute()?;
+        }
+        self.gpu.synchronize(self.device)?;
+
+        Ok(RunStats {
+            wall: self.env.clock().now() - start_wall,
+            gpu_busy: self.gpu.device_busy_time(self.device)? - start_busy,
+            kernels: self.gpu.kernel_count(self.device)? - start_kernels,
+            iterations,
+        })
+    }
+}
+
+impl std::fmt::Debug for TestBed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestBed")
+            .field("device", &self.device)
+            .finish()
+    }
+}

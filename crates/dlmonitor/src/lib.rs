@@ -1,0 +1,40 @@
+//! DLMonitor — the "shim" layer between profilers and deep learning
+//! frameworks (paper §4.1).
+//!
+//! DLMonitor converts framework-specific data into a framework-agnostic
+//! format and assembles **unified call paths** spanning Python frames,
+//! framework operators, native C/C++ frames, GPU APIs and GPU kernels.
+//! The public API mirrors the paper's:
+//!
+//! * [`DlMonitor::init`] — `dlmonitor_init`: creates the monitor
+//!   (the `LD_PRELOAD`-time initialisation);
+//! * [`DlMonitor::callback_register`] — `dlmonitor_callback_register`:
+//!   registers profiler callbacks for a [`Domain`]
+//!   (`DLMONITOR_FRAMEWORK` / `DLMONITOR_GPU`);
+//! * [`DlMonitor::callpath_get`] — `dlmonitor_callpath_get`: builds the
+//!   multi-layer call path for a thread, honouring the configured
+//!   [`CallPathSources`];
+//! * [`DlMonitor::finalize`] — `dlmonitor_finalize`: detaches every
+//!   interception.
+//!
+//! Two paper optimisations are implemented and measurable:
+//!
+//! * **Forward/backward operator association** — forward operators record
+//!   their Python/framework context under their autograd sequence id;
+//!   backward operators executing on the dedicated backward thread (which
+//!   has *no* Python stack) recover it by sequence-id lookup;
+//! * **Call path caching** — the Python call path is cached in the shadow
+//!   stack at operator entry; with caching on, kernel-launch call paths
+//!   need only a partial native unwind (or none, if native collection is
+//!   off). The unwinder's global step counter quantifies the savings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod custom;
+mod integrate;
+mod monitor;
+
+pub use custom::{CustomHook, CustomInterceptor};
+pub use integrate::{integrate_call_path, IntegrationInput, ShadowOp};
+pub use monitor::{CallPathSources, DlEvent, DlMonitor, Domain, GpuCallbackEvent, MonitorStats, RegistrationId};

@@ -1,0 +1,806 @@
+//! The DLMonitor runtime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use deepcontext_core::{CallPath, Frame, Interner, OpPhase};
+use dl_framework::{CallbackRegistry, FrameworkCallbackId, GraphEvent, MemEvent, OpEvent, Site};
+use sim_gpu::{ApiKind, CallbackData, GpuRuntime, SubscriberId, Vendor};
+use sim_runtime::{NativeFrameInfo, PyFrameInfo, RuntimeEnv, ThreadCtx, ThreadRegistry};
+
+use crate::integrate::{integrate_call_path, IntegrationInput, ShadowOp};
+
+/// Interception domains, mirroring `DLMONITOR_FRAMEWORK` /
+/// `DLMONITOR_GPU`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Framework operators, graph compilation, tensor memory.
+    Framework,
+    /// GPU runtime APIs (launches, memcpys, mallocs, syncs).
+    Gpu,
+}
+
+/// A GPU API interception, annotated with the intercepting vendor and the
+/// thread it occurred on.
+#[derive(Debug, Clone)]
+pub struct GpuCallbackEvent {
+    /// The raw callback payload (correlation id, API kind, kernel, ...).
+    pub data: CallbackData,
+    /// Which vendor runtime produced it (CUPTI vs RocTracer naming).
+    pub vendor: Vendor,
+    /// The simulated thread the API call ran on, when bound.
+    pub thread: Option<Arc<ThreadCtx>>,
+}
+
+/// Events delivered to registered profiler callbacks.
+#[derive(Debug, Clone)]
+pub enum DlEvent {
+    /// A framework operator (enter/exit).
+    Op(OpEvent),
+    /// A compute-graph compilation event.
+    Graph(GraphEvent),
+    /// A tensor memory event.
+    Mem(MemEvent),
+    /// A GPU API callback.
+    Gpu(GpuCallbackEvent),
+}
+
+/// Which call-path sources `dlmonitor_callpath_get` integrates — the
+/// paper's "allows users to choose which specific call path source to
+/// integrate or ignore to reduce overhead".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPathSources {
+    /// Include Python interpreter frames.
+    pub python: bool,
+    /// Include framework operator frames (the shadow stack).
+    pub framework: bool,
+    /// Include native C/C++ frames (requires unwinding — the expensive
+    /// source).
+    pub native: bool,
+}
+
+impl CallPathSources {
+    /// Everything on (the paper's "DeepContext Native" configuration).
+    pub fn all() -> Self {
+        CallPathSources {
+            python: true,
+            framework: true,
+            native: true,
+        }
+    }
+
+    /// Python + framework only (the paper's default "DeepContext"
+    /// configuration, with cheaper call paths).
+    pub fn without_native() -> Self {
+        CallPathSources {
+            python: true,
+            framework: true,
+            native: false,
+        }
+    }
+}
+
+impl Default for CallPathSources {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Identifier of a registered profiler callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegistrationId(u64);
+
+/// Counters describing monitor activity (drives the caching ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Unified call paths built.
+    pub callpaths_built: u64,
+    /// Call paths that reused a cached Python path.
+    pub cache_hits: u64,
+    /// Backward call paths recovered through sequence-id association.
+    pub assoc_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AssocRecord {
+    python: Vec<PyFrameInfo>,
+    operators: Vec<(Arc<str>, Option<u64>)>,
+}
+
+type EventCb = Arc<dyn Fn(&DlEvent) + Send + Sync>;
+
+/// The DLMonitor shim.
+///
+/// See the [crate-level docs](crate) for the API mapping to the paper.
+pub struct DlMonitor {
+    env: RuntimeEnv,
+    interner: Arc<Interner>,
+    shadows: Mutex<HashMap<u64, Vec<ShadowOp>>>,
+    assoc: Mutex<HashMap<u64, AssocRecord>>,
+    callbacks: RwLock<Vec<(RegistrationId, Domain, EventCb)>>,
+    next_id: AtomicU64,
+    sources: RwLock<CallPathSources>,
+    cache_enabled: AtomicBool,
+    finalized: AtomicBool,
+    attached_framework: Mutex<Vec<(Arc<CallbackRegistry>, Vec<FrameworkCallbackId>)>>,
+    attached_gpu: Mutex<Vec<(Arc<GpuRuntime>, SubscriberId)>>,
+    stat_built: AtomicU64,
+    stat_cache_hits: AtomicU64,
+    stat_assoc_hits: AtomicU64,
+}
+
+impl DlMonitor {
+    /// `dlmonitor_init`: creates the monitor against a process
+    /// environment. The interner is shared with the profiler so frame
+    /// symbols agree.
+    pub fn init(env: &RuntimeEnv, interner: Arc<Interner>) -> Arc<Self> {
+        Arc::new(DlMonitor {
+            env: env.clone(),
+            interner,
+            shadows: Mutex::new(HashMap::new()),
+            assoc: Mutex::new(HashMap::new()),
+            callbacks: RwLock::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            sources: RwLock::new(CallPathSources::default()),
+            cache_enabled: AtomicBool::new(true),
+            finalized: AtomicBool::new(false),
+            attached_framework: Mutex::new(Vec::new()),
+            attached_gpu: Mutex::new(Vec::new()),
+            stat_built: AtomicU64::new(0),
+            stat_cache_hits: AtomicU64::new(0),
+            stat_assoc_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> Arc<Interner> {
+        Arc::clone(&self.interner)
+    }
+
+    /// Selects which call-path sources to integrate.
+    pub fn set_sources(&self, sources: CallPathSources) {
+        *self.sources.write() = sources;
+    }
+
+    /// The current source selection.
+    pub fn sources(&self) -> CallPathSources {
+        *self.sources.read()
+    }
+
+    /// Enables/disables the call-path cache.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the call-path cache is on.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            callpaths_built: self.stat_built.load(Ordering::Relaxed),
+            cache_hits: self.stat_cache_hits.load(Ordering::Relaxed),
+            assoc_hits: self.stat_assoc_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `dlmonitor_callback_register`: registers a profiler callback for a
+    /// domain.
+    pub fn callback_register(
+        &self,
+        domain: Domain,
+        cb: impl Fn(&DlEvent) + Send + Sync + 'static,
+    ) -> RegistrationId {
+        let id = RegistrationId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.callbacks.write().push((id, domain, Arc::new(cb)));
+        id
+    }
+
+    /// Removes a registered callback.
+    pub fn callback_unregister(&self, id: RegistrationId) {
+        self.callbacks.write().retain(|(i, _, _)| *i != id);
+    }
+
+    fn fire(&self, domain: Domain, event: &DlEvent) {
+        if self.finalized.load(Ordering::SeqCst) {
+            return;
+        }
+        let cbs: Vec<EventCb> = self
+            .callbacks
+            .read()
+            .iter()
+            .filter(|(_, d, _)| *d == domain)
+            .map(|(_, _, c)| Arc::clone(c))
+            .collect();
+        for cb in cbs {
+            cb(event);
+        }
+    }
+
+    /// Attaches to a framework's callback registry: maintains the shadow
+    /// operator stack and forward/backward association, and forwards
+    /// operator / graph / memory events to `Framework`-domain callbacks.
+    ///
+    /// Call this **before** registering profiler callbacks so the shadow
+    /// stack is current when they fire.
+    pub fn attach_framework(self: &Arc<Self>, callbacks: &Arc<CallbackRegistry>) {
+        let mut ids = Vec::new();
+
+        let me = Arc::clone(self);
+        ids.push(callbacks.on_op(move |event| {
+            me.on_op_event(event);
+            me.fire(Domain::Framework, &DlEvent::Op(event.clone()));
+        }));
+
+        let me = Arc::clone(self);
+        ids.push(callbacks.on_graph(move |event| {
+            me.fire(Domain::Framework, &DlEvent::Graph(event.clone()));
+        }));
+
+        let me = Arc::clone(self);
+        ids.push(callbacks.on_mem(move |event| {
+            me.fire(Domain::Framework, &DlEvent::Mem(event.clone()));
+        }));
+
+        self.attached_framework
+            .lock()
+            .push((Arc::clone(callbacks), ids));
+    }
+
+    /// Attaches to a GPU runtime (CUPTI/RocTracer substitute), forwarding
+    /// API callbacks to `Gpu`-domain callbacks.
+    pub fn attach_gpu(self: &Arc<Self>, gpu: &Arc<GpuRuntime>) {
+        let vendor = gpu
+            .device_spec(sim_gpu::DeviceId(0))
+            .map(|s| s.vendor)
+            .unwrap_or(Vendor::Nvidia);
+        let me = Arc::clone(self);
+        let sub = gpu.subscribe(move |data| {
+            let event = GpuCallbackEvent {
+                data: data.clone(),
+                vendor,
+                thread: ThreadRegistry::current(),
+            };
+            me.fire(Domain::Gpu, &DlEvent::Gpu(event));
+        });
+        self.attached_gpu.lock().push((Arc::clone(gpu), sub));
+    }
+
+    fn on_op_event(&self, event: &OpEvent) {
+        let tid = event.thread.tid();
+        match event.site {
+            Site::Enter => {
+                let cached_python = if self.cache_enabled() {
+                    event.thread.python().walk()
+                } else {
+                    Vec::new()
+                };
+                let entry = ShadowOp {
+                    name: Arc::clone(&event.name),
+                    phase: event.phase,
+                    seq_id: event.seq_id,
+                    native_depth: event.thread.native().depth(),
+                    cached_python,
+                };
+                let mut shadows = self.shadows.lock();
+                let stack = shadows.entry(tid).or_default();
+                if event.phase == OpPhase::Forward {
+                    if let Some(seq) = event.seq_id {
+                        let mut operators: Vec<(Arc<str>, Option<u64>)> = stack
+                            .iter()
+                            .map(|e| (Arc::clone(&e.name), e.seq_id))
+                            .collect();
+                        operators.push((Arc::clone(&event.name), event.seq_id));
+                        self.assoc.lock().insert(
+                            seq,
+                            AssocRecord {
+                                python: event.thread.python().walk(),
+                                operators,
+                            },
+                        );
+                    }
+                }
+                stack.push(entry);
+            }
+            Site::Exit => {
+                let mut shadows = self.shadows.lock();
+                if let Some(stack) = shadows.get_mut(&tid) {
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    /// Drops recorded forward/backward associations (typically once per
+    /// training iteration, after `backward()` completes, to bound memory).
+    pub fn clear_associations(&self) {
+        self.assoc.lock().clear();
+    }
+
+    /// `dlmonitor_callpath_get`: builds the unified multi-layer call path
+    /// for `thread` under the configured sources and cache mode.
+    pub fn callpath_get(&self, thread: &Arc<ThreadCtx>) -> CallPath {
+        self.stat_built.fetch_add(1, Ordering::Relaxed);
+        let sources = self.sources();
+        let cache_on = self.cache_enabled();
+
+        let shadow: Vec<ShadowOp> = if sources.framework {
+            self.shadows
+                .lock()
+                .get(&thread.tid())
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        // Forward/backward association: a backward operator on this thread
+        // recovers the forward context recorded under its sequence id.
+        let assoc: Option<AssocRecord> = shadow
+            .first()
+            .filter(|e| e.phase == OpPhase::Backward)
+            .and_then(|e| e.seq_id)
+            .and_then(|seq| self.assoc.lock().get(&seq).cloned());
+
+        let mut prefix = CallPath::new();
+        let python: Vec<PyFrameInfo> = if !sources.python {
+            Vec::new()
+        } else if let Some(a) = &assoc {
+            self.stat_assoc_hits.fetch_add(1, Ordering::Relaxed);
+            for f in &a.python {
+                prefix.push(Frame::python(&f.file, f.line, &f.function, &self.interner));
+            }
+            for (name, seq) in &a.operators {
+                prefix.push(Frame::operator_with(name, OpPhase::Forward, *seq, &self.interner));
+            }
+            Vec::new()
+        } else if cache_on {
+            if let Some(innermost) = shadow.last() {
+                self.stat_cache_hits.fetch_add(1, Ordering::Relaxed);
+                innermost.cached_python.clone()
+            } else {
+                thread.python().walk()
+            }
+        } else {
+            thread.python().walk()
+        };
+
+        // Native frames. Cached mode (or association) only needs the tail
+        // below the relevant operator: a partial unwind.
+        let (native, operators, depth_offset): (Vec<NativeFrameInfo>, Vec<ShadowOp>, usize) =
+            if !sources.native {
+                (Vec::new(), shadow, 0)
+            } else if (cache_on || assoc.is_some()) && !shadow.is_empty() {
+                let anchor = if assoc.is_some() {
+                    shadow.first().expect("non-empty").native_depth
+                } else {
+                    shadow.last().expect("non-empty").native_depth
+                };
+                let depth_now = thread.native().depth();
+                let needed = depth_now.saturating_sub(anchor);
+                let mut cursor = self.env.unwinder().cursor(thread.native());
+                let mut frames = Vec::with_capacity(needed);
+                for _ in 0..needed {
+                    match cursor.step() {
+                        Some(f) => frames.push(f),
+                        None => break,
+                    }
+                }
+                frames.reverse();
+                (frames, shadow, anchor)
+            } else {
+                (self.env.unwinder().backtrace(thread.native()), shadow, 0)
+            };
+
+        let operators: Vec<ShadowOp> = operators
+            .into_iter()
+            .map(|mut op| {
+                op.native_depth = op.native_depth.saturating_sub(depth_offset);
+                op
+            })
+            .collect();
+
+        let native_is_python = native
+            .iter()
+            .map(|f| self.env.libraries().is_python_pc(f.pc))
+            .collect();
+
+        let input = IntegrationInput {
+            python,
+            operators,
+            native,
+            native_is_python,
+        };
+        let mut path = prefix;
+        path.extend_from(&integrate_call_path(&input, &self.interner));
+        path
+    }
+
+    /// Builds the call path for a GPU API callback: the thread's unified
+    /// path plus the GPU API frame and (for launches) the kernel frame —
+    /// the full Figure 3(b) shape.
+    pub fn callpath_for_gpu(&self, event: &GpuCallbackEvent) -> CallPath {
+        let mut path = event
+            .thread
+            .as_ref()
+            .map(|t| self.callpath_get(t))
+            .unwrap_or_default();
+        let api = event.data.api;
+        path.push(Frame::gpu_api(
+            api.api_name(event.vendor),
+            api.api_library(event.vendor),
+            api_pseudo_pc(api),
+            &self.interner,
+        ));
+        if let Some(kernel) = &event.data.kernel {
+            path.push(Frame::gpu_kernel(
+                &kernel.name,
+                &kernel.module,
+                kernel.entry_pc,
+                &self.interner,
+            ));
+        }
+        path
+    }
+
+    /// `dlmonitor_finalize`: detaches every interception and clears
+    /// monitor state. Further events are ignored.
+    pub fn finalize(&self) {
+        self.finalized.store(true, Ordering::SeqCst);
+        for (registry, ids) in self.attached_framework.lock().drain(..) {
+            for id in ids {
+                registry.remove(id);
+            }
+        }
+        for (gpu, sub) in self.attached_gpu.lock().drain(..) {
+            gpu.unsubscribe(sub);
+        }
+        self.callbacks.write().clear();
+        self.shadows.lock().clear();
+        self.assoc.lock().clear();
+    }
+
+    /// Depth of the shadow stack for a thread (test/diagnostic hook).
+    pub fn shadow_depth(&self, tid: u64) -> usize {
+        self.shadows.lock().get(&tid).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for DlMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlMonitor")
+            .field("stats", &self.stats())
+            .field("sources", &self.sources())
+            .field("cache_enabled", &self.cache_enabled())
+            .finish()
+    }
+}
+
+/// Stable pseudo-PC for GPU API frames (distinct per API kind).
+fn api_pseudo_pc(api: ApiKind) -> u64 {
+    match api {
+        ApiKind::LaunchKernel => 0x10,
+        ApiKind::MemcpyAsync => 0x20,
+        ApiKind::MemAlloc => 0x30,
+        ApiKind::MemFree => 0x40,
+        ApiKind::Synchronize => 0x50,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{FrameKind, ThreadRole, TimeNs};
+    use dl_framework::{EagerEngine, FrameworkCore, Op, OpKind, TensorMeta};
+    use sim_gpu::{CallbackSite, DeviceId, DeviceSpec, GpuRuntime};
+
+    struct Rig {
+        env: RuntimeEnv,
+        engine: Arc<EagerEngine>,
+        monitor: Arc<DlMonitor>,
+    }
+
+    fn rig() -> Rig {
+        let env = RuntimeEnv::new();
+        let gpu = GpuRuntime::new(env.clock().clone(), vec![DeviceSpec::a100_sxm()]);
+        let core = FrameworkCore::new(
+            env.clone(),
+            Arc::clone(&gpu),
+            DeviceId(0),
+            "/lib/libtorch_cpu.so",
+            "libtorch_cuda.so",
+            TimeNs(3_000),
+        );
+        let engine = EagerEngine::new(Arc::clone(&core));
+        let monitor = DlMonitor::init(&env, Interner::new());
+        monitor.attach_framework(core.callbacks());
+        monitor.attach_gpu(&gpu);
+        Rig {
+            env,
+            engine,
+            monitor,
+        }
+    }
+
+    fn launch_paths(rig: &Rig) -> Arc<Mutex<Vec<CallPath>>> {
+        let paths = Arc::new(Mutex::new(Vec::new()));
+        let p = Arc::clone(&paths);
+        let monitor = Arc::clone(&rig.monitor);
+        rig.monitor.callback_register(Domain::Gpu, move |event| {
+            if let DlEvent::Gpu(gpu_event) = event {
+                if gpu_event.data.api == ApiKind::LaunchKernel
+                    && gpu_event.data.site == CallbackSite::Enter
+                {
+                    p.lock().push(monitor.callpath_for_gpu(gpu_event));
+                }
+            }
+        });
+        paths
+    }
+
+    #[test]
+    fn unified_path_spans_all_five_layers() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let paths = launch_paths(&rig);
+
+        let core = Arc::clone(rig.engine.core());
+        let _s1 = core.python().frame(&main, "train.py", 12, "main");
+        let _s2 = core.python().frame(&main, "model.py", 34, "forward");
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([1 << 16])])
+            .unwrap();
+
+        let paths = paths.lock();
+        assert_eq!(paths.len(), 1);
+        let kinds: Vec<FrameKind> = paths[0].frames().iter().map(|f| f.kind()).collect();
+        // Python, Python, Operator, Native(dispatcher), Native(impl), GpuApi, GpuKernel.
+        assert_eq!(
+            kinds,
+            vec![
+                FrameKind::Python,
+                FrameKind::Python,
+                FrameKind::Operator,
+                FrameKind::Native,
+                FrameKind::Native,
+                FrameKind::GpuApi,
+                FrameKind::GpuKernel
+            ]
+        );
+        let interner = rig.monitor.interner();
+        let labels: Vec<String> = paths[0]
+            .frames()
+            .iter()
+            .map(|f| f.short_label(&interner))
+            .collect();
+        assert_eq!(labels[0], "train.py:12");
+        assert_eq!(labels[1], "model.py:34");
+        assert_eq!(labels[2], "aten::relu");
+        assert_eq!(labels[5], "cuLaunchKernel");
+        assert_eq!(labels[6], "vectorized_elementwise_kernel<relu>");
+    }
+
+    #[test]
+    fn without_monitor_attachment_path_has_no_framework_context() {
+        // The Figure 3(a) contrast: native-only unwinding.
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        rig.monitor.set_sources(CallPathSources {
+            python: false,
+            framework: false,
+            native: true,
+        });
+        let paths = launch_paths(&rig);
+        let core = Arc::clone(rig.engine.core());
+        let _s1 = core.python().frame(&main, "train.py", 12, "main");
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
+        let paths = paths.lock();
+        let kinds: Vec<FrameKind> = paths[0].frames().iter().map(|f| f.kind()).collect();
+        assert!(!kinds.contains(&FrameKind::Python));
+        assert!(!kinds.contains(&FrameKind::Operator));
+        assert!(kinds.contains(&FrameKind::Native));
+    }
+
+    #[test]
+    fn backward_paths_recover_forward_context_via_sequence_ids() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        rig.engine.set_grad_enabled(true);
+        let paths = launch_paths(&rig);
+
+        {
+            let core = Arc::clone(rig.engine.core());
+            let _s1 = core.python().frame(&main, "train.py", 12, "train_step");
+            rig.engine
+                .op(
+                    Op::new(OpKind::Index).with_duplicates(16.0),
+                    &[TensorMeta::new([10_000, 64]), TensorMeta::new([512])],
+                )
+                .unwrap();
+        }
+        rig.engine.backward().unwrap();
+
+        let paths = paths.lock();
+        // One forward launch; backward lowers two kernels (zero + scatter).
+        assert_eq!(paths.len(), 3, "forward launch + two backward launches");
+        let interner = rig.monitor.interner();
+        let bwd_labels: Vec<String> = paths[2]
+            .frames()
+            .iter()
+            .map(|f| f.short_label(&interner))
+            .collect();
+        // The backward path begins with the *forward* Python context.
+        assert_eq!(bwd_labels[0], "train.py:12");
+        assert_eq!(bwd_labels[1], "aten::index");
+        assert!(bwd_labels.contains(&"aten::index~bwd".to_owned()));
+        assert!(bwd_labels.contains(&"indexing_backward_kernel".to_owned()));
+        assert!(rig.monitor.stats().assoc_hits >= 1);
+    }
+
+    #[test]
+    fn backward_without_association_has_no_python_context() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        rig.engine.set_grad_enabled(true);
+        let paths = launch_paths(&rig);
+
+        {
+            let core = Arc::clone(rig.engine.core());
+            let _s1 = core.python().frame(&main, "train.py", 12, "train_step");
+            rig.engine
+                .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+                .unwrap();
+        }
+        rig.monitor.clear_associations(); // simulate a monitor without the feature
+        rig.engine.backward().unwrap();
+
+        let paths = paths.lock();
+        let bwd = &paths[1];
+        assert!(
+            bwd.frames().iter().all(|f| f.kind() != FrameKind::Python),
+            "orphaned backward path must lack Python frames"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_paths_agree_for_flat_dispatch() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let paths = launch_paths(&rig);
+        let core = Arc::clone(rig.engine.core());
+
+        rig.monitor.set_cache_enabled(true);
+        {
+            let _s = core.python().frame(&main, "a.py", 1, "f");
+            rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        }
+        rig.monitor.set_cache_enabled(false);
+        {
+            let _s = core.python().frame(&main, "a.py", 1, "f");
+            rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        }
+        let paths = paths.lock();
+        assert_eq!(paths[0], paths[1]);
+        assert!(rig.monitor.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn caching_reduces_unwind_steps() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let _paths = launch_paths(&rig);
+        let core = Arc::clone(rig.engine.core());
+        // Deep Python nesting makes full unwinds expensive.
+        let _scopes: Vec<_> = (0..10)
+            .map(|i| core.python().frame(&main, "deep.py", i, &format!("level{i}")))
+            .collect();
+
+        rig.monitor.set_cache_enabled(false);
+        rig.env.unwinder().reset_counters();
+        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        let uncached_steps = rig.env.unwinder().steps_taken();
+
+        rig.monitor.set_cache_enabled(true);
+        rig.env.unwinder().reset_counters();
+        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        let cached_steps = rig.env.unwinder().steps_taken();
+
+        assert!(
+            cached_steps < uncached_steps,
+            "cached {cached_steps} !< uncached {uncached_steps}"
+        );
+    }
+
+    #[test]
+    fn disabling_native_source_skips_unwinding_entirely() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        rig.monitor.set_sources(CallPathSources::without_native());
+        let paths = launch_paths(&rig);
+        let core = Arc::clone(rig.engine.core());
+        let _s = core.python().frame(&main, "a.py", 1, "f");
+
+        rig.env.unwinder().reset_counters();
+        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        assert_eq!(rig.env.unwinder().steps_taken(), 0);
+
+        let paths = paths.lock();
+        let kinds: Vec<FrameKind> = paths[0].frames().iter().map(|f| f.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FrameKind::Python,
+                FrameKind::Operator,
+                FrameKind::GpuApi,
+                FrameKind::GpuKernel
+            ]
+        );
+    }
+
+    #[test]
+    fn finalize_detaches_everything() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let paths = launch_paths(&rig);
+        rig.monitor.finalize();
+        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        assert!(paths.lock().is_empty());
+        assert_eq!(rig.monitor.shadow_depth(main.tid()), 0);
+    }
+
+    #[test]
+    fn shadow_stack_tracks_nesting_and_unwinds_on_exit() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let depths = Arc::new(Mutex::new(Vec::new()));
+        let d = Arc::clone(&depths);
+        let monitor = Arc::clone(&rig.monitor);
+        let tid = main.tid();
+        rig.monitor.callback_register(Domain::Framework, move |event| {
+            if let DlEvent::Op(op) = event {
+                if op.site == Site::Enter {
+                    d.lock().push(monitor.shadow_depth(tid));
+                }
+            }
+        });
+        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([8])]).unwrap();
+        rig.engine.op(Op::new(OpKind::Gelu), &[TensorMeta::new([8])]).unwrap();
+        // Depth observed at Enter is 1 for each (not nested; exits popped).
+        assert_eq!(*depths.lock(), vec![1, 1]);
+        assert_eq!(rig.monitor.shadow_depth(tid), 0);
+    }
+
+    #[test]
+    fn mem_and_graph_events_are_forwarded() {
+        let rig = rig();
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let count = Arc::new(Mutex::new(0usize));
+        let c = Arc::clone(&count);
+        rig.monitor.callback_register(Domain::Framework, move |event| {
+            if matches!(event, DlEvent::Mem(_)) {
+                *c.lock() += 1;
+            }
+        });
+        let meta = TensorMeta::new([256]);
+        let ptr = rig.engine.alloc_tensor(&meta).unwrap();
+        rig.engine.free_tensor(ptr, meta.bytes() as u64).unwrap();
+        assert_eq!(*count.lock(), 2);
+    }
+}

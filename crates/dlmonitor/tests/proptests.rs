@@ -1,0 +1,138 @@
+//! Property tests for the call-path integration algorithm: for any
+//! combination of Python stack, shadow operator stack and native stack,
+//! the unified path preserves ordering, loses no operators, and respects
+//! the libpython cutover.
+
+use std::sync::Arc;
+
+use deepcontext_core::{FrameKind, Interner, OpPhase};
+use dlmonitor::{integrate_call_path, IntegrationInput, ShadowOp};
+use proptest::prelude::*;
+use sim_runtime::{NativeFrameInfo, PyFrameInfo};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    input: IntegrationInput,
+    n_python: usize,
+    n_operators: usize,
+    n_native_tail: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0usize..6,  // python frames
+        0usize..4,  // operators
+        0usize..8,  // native frames below the interpreter
+        prop::bool::ANY, // whether an interpreter frame exists at all
+    )
+        .prop_map(|(n_py, n_ops, n_native, has_interp)| {
+            let python: Vec<PyFrameInfo> = (0..n_py)
+                .map(|i| PyFrameInfo::new("model.py", i as u32, "fn"))
+                .collect();
+            let mut native = Vec::new();
+            let mut native_is_python = Vec::new();
+            if has_interp {
+                native.push(NativeFrameInfo::new(
+                    "libpython3.11.so",
+                    0x1,
+                    "_PyEval_EvalFrameDefault",
+                ));
+                native_is_python.push(true);
+            }
+            let base = native.len();
+            for i in 0..n_native {
+                native.push(NativeFrameInfo::new(
+                    "libtorch.so",
+                    0x100 + i as u64,
+                    "impl",
+                ));
+                native_is_python.push(false);
+            }
+            // Operators anchored at increasing depths within the tail.
+            let operators: Vec<ShadowOp> = (0..n_ops)
+                .map(|i| ShadowOp {
+                    name: Arc::from(format!("aten::op{i}")),
+                    phase: if i % 2 == 0 {
+                        OpPhase::Forward
+                    } else {
+                        OpPhase::Backward
+                    },
+                    seq_id: Some(i as u64),
+                    native_depth: base + (i * n_native.max(1) / n_ops.max(1)),
+                    cached_python: Vec::new(),
+                })
+                .collect();
+            Scenario {
+                input: IntegrationInput {
+                    python,
+                    operators,
+                    native,
+                    native_is_python,
+                },
+                n_python: n_py,
+                n_operators: n_ops,
+                n_native_tail: n_native,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn integration_preserves_counts_and_order(scenario in arb_scenario()) {
+        let interner = Interner::new();
+        let path = integrate_call_path(&scenario.input, &interner);
+        let kinds: Vec<FrameKind> = path.frames().iter().map(|f| f.kind()).collect();
+
+        // Counts: every python frame, every operator, and every native
+        // frame below the cutover appears exactly once.
+        let n_py = kinds.iter().filter(|k| **k == FrameKind::Python).count();
+        let n_op = kinds.iter().filter(|k| **k == FrameKind::Operator).count();
+        let n_native = kinds.iter().filter(|k| **k == FrameKind::Native).count();
+        prop_assert_eq!(n_py, scenario.n_python);
+        prop_assert_eq!(n_op, scenario.n_operators);
+        prop_assert!(n_native <= scenario.n_native_tail + 1);
+
+        // Ordering: all Python frames come before any operator or native
+        // frame (Python is always the outermost layer).
+        if let Some(first_non_py) = kinds.iter().position(|k| *k != FrameKind::Python) {
+            prop_assert!(kinds[first_non_py..].iter().all(|k| *k != FrameKind::Python));
+        }
+
+        // Operators retain shadow-stack order.
+        let op_labels: Vec<String> = path
+            .frames()
+            .iter()
+            .filter(|f| f.kind() == FrameKind::Operator)
+            .map(|f| f.short_label(&interner))
+            .collect();
+        let mut sorted = op_labels.clone();
+        sorted.sort_by_key(|l| {
+            l.trim_start_matches("aten::op")
+                .trim_end_matches("~bwd")
+                .parse::<u64>()
+                .unwrap_or(0)
+        });
+        prop_assert_eq!(op_labels, sorted);
+    }
+
+    #[test]
+    fn interpreter_frames_never_survive_integration(scenario in arb_scenario()) {
+        let interner = Interner::new();
+        let path = integrate_call_path(&scenario.input, &interner);
+        // The libpython frame must be replaced by the Python source path.
+        prop_assert!(path
+            .frames()
+            .iter()
+            .all(|f| !f.label(&interner).contains("_PyEval_EvalFrameDefault")));
+    }
+
+    #[test]
+    fn integration_is_deterministic(scenario in arb_scenario()) {
+        let interner = Interner::new();
+        let a = integrate_call_path(&scenario.input, &interner);
+        let b = integrate_call_path(&scenario.input, &interner);
+        prop_assert_eq!(a, b);
+    }
+}

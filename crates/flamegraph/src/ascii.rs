@@ -1,0 +1,138 @@
+//! Terminal renderer.
+
+use crate::graph::{FlameGraph, FlameNode};
+
+/// Options for the ASCII renderer.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Total character width of the bar column.
+    pub width: usize,
+    /// Hide boxes below this share of the total.
+    pub min_share: f64,
+    /// Maximum depth rendered (0 = unlimited).
+    pub max_depth: usize,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            width: 60,
+            min_share: 0.002,
+            max_depth: 0,
+        }
+    }
+}
+
+impl FlameGraph {
+    /// Renders an indented bar view, one box per line:
+    ///
+    /// ```text
+    /// <root> 100.0% |############################|
+    ///   train.py:1 82.0% |#######################     | *
+    /// ```
+    ///
+    /// Hot boxes get a trailing `*`; boxes with analyzer issues get `!`.
+    pub fn to_ascii(&self, options: &AsciiOptions) -> String {
+        let mut out = String::new();
+        let total = self.root().value.max(f64::MIN_POSITIVE);
+        render(self.root(), 0, total, options, &mut out);
+        out
+    }
+}
+
+fn render(node: &FlameNode, depth: usize, total: f64, options: &AsciiOptions, out: &mut String) {
+    let share = node.value / total;
+    if share < options.min_share {
+        return;
+    }
+    if options.max_depth > 0 && depth >= options.max_depth {
+        return;
+    }
+    let bar_len = ((share * options.width as f64).round() as usize).min(options.width);
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&node.label);
+    out.push_str(&format!(" {:.1}% |", share * 100.0));
+    for i in 0..options.width {
+        out.push(if i < bar_len { '#' } else { ' ' });
+    }
+    out.push('|');
+    if node.hot {
+        out.push_str(" *");
+    }
+    if !node.issues.is_empty() {
+        out.push_str(" !");
+        for (severity, message) in &node.issues {
+            out.push_str(&format!(" [{severity}] {message}"));
+        }
+    }
+    out.push('\n');
+    for child in &node.children {
+        render(child, depth + 1, total, options, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame, MetricKind};
+
+    fn graph() -> FlameGraph {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let a = cct.insert_path(&[
+            Frame::python("a.py", 1, "main", &i),
+            Frame::gpu_kernel("big_kernel", "m.so", 0x10, &i),
+        ]);
+        let b = cct.insert_path(&[
+            Frame::python("a.py", 1, "main", &i),
+            Frame::gpu_kernel("tiny_kernel", "m.so", 0x20, &i),
+        ]);
+        cct.attribute(a, MetricKind::GpuTime, 999.0);
+        cct.attribute(b, MetricKind::GpuTime, 1.0);
+        FlameGraph::top_down(&cct, MetricKind::GpuTime)
+    }
+
+    #[test]
+    fn renders_bars_and_percentages() {
+        let fg = graph();
+        let text = fg.to_ascii(&AsciiOptions::default());
+        assert!(text.contains("big_kernel"));
+        assert!(text.contains("99.9%"));
+        assert!(text.contains('#'));
+        // Lines are indented by depth.
+        let kernel_line = text.lines().find(|l| l.contains("big_kernel")).unwrap();
+        assert!(kernel_line.starts_with("    "));
+    }
+
+    #[test]
+    fn min_share_prunes_tiny_boxes() {
+        let fg = graph();
+        let text = fg.to_ascii(&AsciiOptions {
+            min_share: 0.01,
+            ..Default::default()
+        });
+        assert!(!text.contains("tiny_kernel"));
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let fg = graph();
+        let text = fg.to_ascii(&AsciiOptions {
+            max_depth: 2,
+            ..Default::default()
+        });
+        assert!(text.contains("a.py:1"));
+        assert!(!text.contains("big_kernel"));
+    }
+
+    #[test]
+    fn hot_and_issue_markers_appear() {
+        let mut fg = graph();
+        fg.highlight_hotspots(0.5);
+        let text = fg.to_ascii(&AsciiOptions::default());
+        let hot_line = text.lines().find(|l| l.contains("big_kernel")).unwrap();
+        assert!(hot_line.ends_with('*'));
+    }
+}

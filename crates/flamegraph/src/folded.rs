@@ -1,0 +1,150 @@
+//! Brendan-Gregg folded-stacks format.
+//!
+//! One line per context: `frame;frame;frame value`, where `value` is the
+//! *self* value. Interoperates with the standard flamegraph.pl /
+//! speedscope toolchain.
+
+use deepcontext_core::{FrameKind, MetricKind};
+
+use crate::graph::{FlameGraph, FlameNode};
+
+impl FlameGraph {
+    /// Serialises to folded stacks (self values, rounded to integers).
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        let mut stack = Vec::new();
+        fold(self.root(), &mut stack, &mut out);
+        out
+    }
+}
+
+fn fold(node: &FlameNode, stack: &mut Vec<String>, out: &mut String) {
+    stack.push(node.label.replace(';', ","));
+    let self_value = node.self_value().round() as u64;
+    if self_value > 0 {
+        out.push_str(&stack.join(";"));
+        out.push(' ');
+        out.push_str(&self_value.to_string());
+        out.push('\n');
+    }
+    for child in &node.children {
+        fold(child, stack, out);
+    }
+    stack.pop();
+}
+
+/// Parses folded stacks back into a flame graph (labelled generic frames;
+/// kind information is not preserved by the format).
+///
+/// # Errors
+///
+/// Returns a message for lines without a trailing integer value.
+pub fn parse_folded(text: &str, metric: MetricKind) -> Result<FlameGraph, String> {
+    let mut root = FlameNode {
+        label: "<root>".into(),
+        kind: FrameKind::Root,
+        value: 0.0,
+        children: Vec::new(),
+        hot: false,
+        issues: Vec::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (path, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: missing value", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+        let mut cur = &mut root;
+        cur.value += value;
+        for label in path.split(';') {
+            let idx = match cur.children.iter().position(|c| c.label == label) {
+                Some(i) => i,
+                None => {
+                    cur.children.push(FlameNode {
+                        label: label.to_owned(),
+                        kind: FrameKind::Native,
+                        value: 0.0,
+                        children: Vec::new(),
+                        hot: false,
+                        issues: Vec::new(),
+                    });
+                    cur.children.len() - 1
+                }
+            };
+            cur = &mut cur.children[idx];
+            cur.value += value;
+        }
+    }
+    // The synthetic root duplicates the first real frame when every line
+    // starts with the same label; collapse that common case.
+    let root = if root.children.len() == 1 && root.value == root.children[0].value {
+        root.children.into_iter().next().expect("one child")
+    } else {
+        root
+    };
+    Ok(FlameGraph::from_root(root, metric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame};
+
+    fn graph() -> FlameGraph {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let a = cct.insert_path(&[
+            Frame::python("a.py", 1, "main", &i),
+            Frame::gpu_kernel("k1", "m.so", 0x10, &i),
+        ]);
+        let b = cct.insert_path(&[
+            Frame::python("a.py", 1, "main", &i),
+            Frame::gpu_kernel("k2", "m.so", 0x20, &i),
+        ]);
+        cct.attribute(a, MetricKind::GpuTime, 30.0);
+        cct.attribute(b, MetricKind::GpuTime, 70.0);
+        FlameGraph::top_down(&cct, MetricKind::GpuTime)
+    }
+
+    #[test]
+    fn folded_lines_carry_self_values() {
+        let folded = graph().to_folded();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort();
+        assert_eq!(
+            lines,
+            vec!["root;a.py:1;k1 30", "root;a.py:1;k2 70"]
+        );
+    }
+
+    #[test]
+    fn folded_round_trips() {
+        let original = graph();
+        let folded = original.to_folded();
+        let parsed = parse_folded(&folded, MetricKind::GpuTime).unwrap();
+        assert_eq!(parsed.root().value, original.root().value);
+        assert_eq!(parsed.to_folded(), folded);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_folded("no value here", MetricKind::GpuTime).is_err());
+        assert!(parse_folded("a;b notanumber", MetricKind::GpuTime).is_err());
+    }
+
+    #[test]
+    fn labels_with_semicolons_are_sanitised() {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let leaf = cct.insert_path(&[Frame::gpu_kernel("weird;kernel", "m.so", 0x1, &i)]);
+        cct.attribute(leaf, MetricKind::GpuTime, 5.0);
+        let folded = FlameGraph::top_down(&cct, MetricKind::GpuTime).to_folded();
+        assert!(folded.contains("weird,kernel"));
+        assert!(parse_folded(&folded, MetricKind::GpuTime).is_ok());
+    }
+}

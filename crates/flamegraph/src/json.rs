@@ -1,0 +1,90 @@
+//! JSON export shaped for WebView consumers (d3-flame-graph compatible):
+//! `{"name": ..., "value": ..., "kind": ..., "children": [...]}`.
+
+use crate::graph::{FlameGraph, FlameNode};
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl FlameGraph {
+    /// Serialises the graph to a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_node(self.root(), &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn write_node(node: &FlameNode, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"kind\":\"{}\",\"value\":{},\"hot\":{}",
+        escape_json(&node.label),
+        node.kind,
+        node.value,
+        node.hot
+    ));
+    if !node.issues.is_empty() {
+        out.push_str(",\"issues\":[");
+        for (idx, (severity, message)) in node.issues.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{severity}\",\"message\":\"{}\"}}",
+                escape_json(message)
+            ));
+        }
+        out.push(']');
+    }
+    if !node.children.is_empty() {
+        out.push_str(",\"children\":[");
+        for (idx, child) in node.children.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            write_node(child, out);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame, MetricKind};
+
+    #[test]
+    fn json_has_expected_structure_and_escaping() {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let leaf = cct.insert_path(&[
+            Frame::python("a.py", 1, "main", &i),
+            Frame::gpu_kernel("kernel\"quoted\"", "m.so", 0x10, &i),
+        ]);
+        cct.attribute(leaf, MetricKind::GpuTime, 7.0);
+        let json = FlameGraph::top_down(&cct, MetricKind::GpuTime).to_json();
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"value\":7"));
+        assert!(json.contains("\"children\":["));
+        assert!(json.contains("kernel\\\"quoted\\\""));
+        assert!(json.contains("\"kind\":\"gpu_kernel\""));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

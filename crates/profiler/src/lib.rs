@@ -1,0 +1,652 @@
+//! The DeepContext profiler (paper §4.2).
+//!
+//! The profiler registers callbacks through DLMonitor, collects GPU and
+//! CPU metrics, attributes them to unified call paths, and aggregates
+//! them **online** into a [`CallingContextTree`] — the design that keeps
+//! DeepContext's profiles small and iteration-count-independent
+//! (Figure 6c/6d), in contrast to trace-based profilers.
+//!
+//! Collection paths:
+//!
+//! * **GPU kernel launches** — at each `DLMONITOR_GPU` launch callback the
+//!   profiler emits the correlation id, retrieves the unified call path,
+//!   and associates the id with the CCT node; asynchronous activity
+//!   records later resolve through the correlation map and add
+//!   `GpuTime` / occupancy / launch-shape metrics;
+//! * **Instruction samples** — PC-sampling records extend the kernel's
+//!   call path with [`Frame::Instruction`] nodes carrying stall-reason
+//!   metrics (fine-grained analysis, §6.7);
+//! * **CPU samples** — `CPU_TIME` / `REAL_TIME` interval samples and
+//!   perf-style hardware-counter overflow samples attribute to the
+//!   sampled thread's unified call path (§6.4).
+//!
+//! [`Frame::Instruction`]: deepcontext_core::Frame
+//! [`CallingContextTree`]: deepcontext_core::CallingContextTree
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use deepcontext_core::{
+    CallingContextTree, Frame, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs,
+};
+use dlmonitor::{CallPathSources, DlEvent, DlMonitor, Domain, RegistrationId};
+use sim_gpu::{
+    Activity, ActivityKind, ApiKind, CallbackSite, CorrelationId, GpuRuntime, SamplingConfig,
+};
+use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
+
+/// Profiler configuration.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Which call-path sources to integrate (paper's "DeepContext" vs
+    /// "DeepContext Native" configurations).
+    pub sources: CallPathSources,
+    /// Whether DLMonitor's call-path cache is enabled.
+    pub cache_enabled: bool,
+    /// Collect coarse GPU metrics (time, launch shapes, occupancy).
+    pub gpu_metrics: bool,
+    /// Collect fine-grained instruction samples.
+    pub instruction_sampling: Option<SamplingConfig>,
+    /// CPU_TIME sampling interval (None = off).
+    pub cpu_time_interval: Option<TimeNs>,
+    /// REAL_TIME sampling interval (None = off).
+    pub real_time_interval: Option<TimeNs>,
+    /// Hardware-counter overflow sampling period in events (None = off).
+    pub hw_counter_period: Option<u64>,
+    /// GPU activity buffer capacity before auto-flush.
+    pub activity_buffer_capacity: usize,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            sources: CallPathSources::all(),
+            cache_enabled: true,
+            gpu_metrics: true,
+            instruction_sampling: None,
+            cpu_time_interval: Some(TimeNs::from_us(100)),
+            real_time_interval: None,
+            hw_counter_period: None,
+            activity_buffer_capacity: 4096,
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// The paper's default "DeepContext" configuration: Python + framework
+    /// call paths, no native unwinding.
+    pub fn deepcontext() -> Self {
+        ProfilerConfig {
+            sources: CallPathSources::without_native(),
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "DeepContext Native" configuration: full native
+    /// unwinding included.
+    pub fn deepcontext_native() -> Self {
+        ProfilerConfig {
+            sources: CallPathSources::all(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Profiler activity counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfilerStats {
+    /// Kernel launches observed.
+    pub launches: u64,
+    /// Activity records attributed.
+    pub activities: u64,
+    /// CPU samples attributed.
+    pub cpu_samples: u64,
+    /// Instruction samples attributed.
+    pub instruction_samples: u64,
+    /// Peak profile memory (bytes) observed at flush points.
+    pub peak_bytes: usize,
+}
+
+struct Inner {
+    monitor: Arc<DlMonitor>,
+    cct: Mutex<CallingContextTree>,
+    corr: Mutex<HashMap<CorrelationId, NodeId>>,
+    prune_queue: Mutex<Vec<CorrelationId>>,
+    launches: AtomicU64,
+    activities: AtomicU64,
+    cpu_samples: AtomicU64,
+    instruction_samples: AtomicU64,
+    peak_bytes: AtomicUsize,
+}
+
+impl Inner {
+    fn attribute_activity(&self, activity: &Activity) {
+        let node = {
+            let corr = self.corr.lock();
+            corr.get(&activity.correlation_id).copied()
+        };
+        let mut cct = self.cct.lock();
+        let node = match node {
+            Some(n) => n,
+            None => {
+                // Orphaned record (correlation pruned or never seen):
+                // attribute under a catch-all kernel context so the data
+                // is not silently lost.
+                let interner = cct.interner();
+                let frame = Frame::gpu_kernel("<unattributed>", "<none>", 0, &interner);
+                cct.insert_path(std::slice::from_ref(&frame))
+            }
+        };
+        self.activities.fetch_add(1, Ordering::Relaxed);
+        match &activity.kind {
+            ActivityKind::Kernel {
+                start,
+                end,
+                blocks,
+                warps,
+                occupancy,
+                shared_mem_per_block,
+                registers_per_thread,
+                ..
+            } => {
+                let duration = (*end - *start).as_nanos() as f64;
+                cct.attribute(node, MetricKind::GpuTime, duration);
+                cct.attribute_exclusive(node, MetricKind::Blocks, f64::from(*blocks));
+                cct.attribute_exclusive(node, MetricKind::Warps, *warps as f64);
+                cct.attribute_exclusive(node, MetricKind::Occupancy, *occupancy);
+                cct.attribute_exclusive(
+                    node,
+                    MetricKind::SharedMemPerBlock,
+                    *shared_mem_per_block as f64,
+                );
+                cct.attribute_exclusive(
+                    node,
+                    MetricKind::RegistersPerThread,
+                    f64::from(*registers_per_thread),
+                );
+                self.prune_queue.lock().push(activity.correlation_id);
+            }
+            ActivityKind::Memcpy { bytes, start, end, .. } => {
+                cct.attribute(node, MetricKind::MemcpyBytes, *bytes as f64);
+                cct.attribute(node, MetricKind::MemcpyTime, (*end - *start).as_nanos() as f64);
+                self.prune_queue.lock().push(activity.correlation_id);
+            }
+            ActivityKind::Malloc { bytes, .. } => {
+                cct.attribute(node, MetricKind::GpuAllocBytes, *bytes as f64);
+                self.prune_queue.lock().push(activity.correlation_id);
+            }
+            ActivityKind::Free { .. } => {
+                self.prune_queue.lock().push(activity.correlation_id);
+            }
+            ActivityKind::PcSampling { samples, .. } => {
+                // Extend the kernel's call path with per-PC instruction
+                // frames (paper §4.2: "we will extend the call path by
+                // inserting the PC of each instruction collected").
+                for sample in samples {
+                    let child = cct.insert_child(node, &Frame::instruction(sample.pc));
+                    cct.attribute(child, MetricKind::InstructionSamples, 1.0);
+                    cct.attribute(child, MetricKind::Stall(sample.stall), 1.0);
+                    self.instruction_samples.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn handle_batch(&self, batch: &[Activity]) {
+        for activity in batch {
+            self.attribute_activity(activity);
+        }
+        // Two-phase pruning: correlations attributed in the *previous*
+        // batch are dropped now, so sampling records that straddle a
+        // buffer boundary still resolve.
+        let mut queue = self.prune_queue.lock();
+        let keep: Vec<CorrelationId> = queue
+            .iter()
+            .rev()
+            .take(batch.len())
+            .copied()
+            .collect();
+        let mut corr = self.corr.lock();
+        for id in queue.drain(..) {
+            if !keep.contains(&id) {
+                corr.remove(&id);
+            }
+        }
+        *queue = keep;
+        drop(corr);
+
+        let bytes = self.approx_bytes();
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let cct_bytes = self.cct.lock().approx_bytes();
+        let corr_bytes = self.corr.lock().len()
+            * (std::mem::size_of::<CorrelationId>() + std::mem::size_of::<NodeId>() + 16);
+        cct_bytes + corr_bytes
+    }
+}
+
+/// The DeepContext profiler.
+///
+/// Construction attaches every collection path; [`Profiler::finish`]
+/// detaches them and yields the profile database.
+pub struct Profiler {
+    inner: Arc<Inner>,
+    env: RuntimeEnv,
+    gpu: Arc<GpuRuntime>,
+    monitor_regs: Vec<RegistrationId>,
+    sampler_ids: Vec<SamplerId>,
+}
+
+impl Profiler {
+    /// Attaches a profiler to a monitored process.
+    ///
+    /// `monitor` must already be attached to the framework(s) and GPU
+    /// runtime (see [`DlMonitor::attach_framework`] /
+    /// [`DlMonitor::attach_gpu`]).
+    pub fn attach(
+        config: ProfilerConfig,
+        env: &RuntimeEnv,
+        monitor: &Arc<DlMonitor>,
+        gpu: &Arc<GpuRuntime>,
+    ) -> Profiler {
+        monitor.set_sources(config.sources);
+        monitor.set_cache_enabled(config.cache_enabled);
+
+        let inner = Arc::new(Inner {
+            monitor: Arc::clone(monitor),
+            cct: Mutex::new(CallingContextTree::with_interner(monitor.interner())),
+            corr: Mutex::new(HashMap::new()),
+            prune_queue: Mutex::new(Vec::new()),
+            launches: AtomicU64::new(0),
+            activities: AtomicU64::new(0),
+            cpu_samples: AtomicU64::new(0),
+            instruction_samples: AtomicU64::new(0),
+            peak_bytes: AtomicUsize::new(0),
+        });
+
+        let mut monitor_regs = Vec::new();
+
+        if config.gpu_metrics {
+            gpu.set_buffer_capacity(config.activity_buffer_capacity);
+            gpu.set_sampling(config.instruction_sampling);
+
+            // Launch-site interception: bind correlation ids to contexts.
+            let me = Arc::clone(&inner);
+            monitor_regs.push(monitor.callback_register(Domain::Gpu, move |event| {
+                if let DlEvent::Gpu(gpu_event) = event {
+                    if gpu_event.data.site != CallbackSite::Enter {
+                        return;
+                    }
+                    match gpu_event.data.api {
+                        ApiKind::LaunchKernel | ApiKind::MemcpyAsync | ApiKind::MemAlloc => {}
+                        _ => return,
+                    }
+                    let path = me.monitor.callpath_for_gpu(gpu_event);
+                    let mut cct = me.cct.lock();
+                    let node = cct.insert_call_path(&path);
+                    if gpu_event.data.api == ApiKind::LaunchKernel {
+                        cct.attribute(node, MetricKind::KernelLaunches, 1.0);
+                        me.launches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(cct);
+                    me.corr.lock().insert(gpu_event.data.correlation_id, node);
+                }
+            }));
+
+            // Asynchronous activity delivery (buffer-completed handler).
+            let me = Arc::clone(&inner);
+            gpu.set_activity_handler(move |batch| {
+                me.handle_batch(&batch);
+            });
+        }
+
+        // CPU sampling (sigaction / perf-event substitutes).
+        let mut sampler_ids = Vec::new();
+        let cpu_sampler = |kind: SampleKind, metric: MetricKind, interval: u64| {
+            let me = Arc::clone(&inner);
+            env.samplers().register(kind, interval, move |thread, event| {
+                let path = me.monitor.callpath_get(thread);
+                let mut cct = me.cct.lock();
+                let node = cct.insert_call_path(&path);
+                cct.attribute(node, metric, (event.count * event.interval) as f64);
+                me.cpu_samples.fetch_add(event.count, Ordering::Relaxed);
+            })
+        };
+        if let Some(interval) = config.cpu_time_interval {
+            sampler_ids.push(cpu_sampler(
+                SampleKind::CpuTime,
+                MetricKind::CpuTime,
+                interval.as_nanos(),
+            ));
+        }
+        if let Some(interval) = config.real_time_interval {
+            sampler_ids.push(cpu_sampler(
+                SampleKind::RealTime,
+                MetricKind::RealTime,
+                interval.as_nanos(),
+            ));
+        }
+        if let Some(period) = config.hw_counter_period {
+            sampler_ids.push(cpu_sampler(
+                SampleKind::HwInstructions,
+                MetricKind::HwInstructions,
+                period,
+            ));
+            sampler_ids.push(cpu_sampler(
+                SampleKind::HwCacheMisses,
+                MetricKind::HwCacheMisses,
+                period / 10,
+            ));
+        }
+
+        Profiler {
+            inner,
+            env: env.clone(),
+            gpu: Arc::clone(gpu),
+            monitor_regs,
+            sampler_ids,
+        }
+    }
+
+    /// Flushes completed GPU activities into the tree (call at
+    /// synchronisation points / iteration boundaries).
+    pub fn flush(&self) {
+        let batch = self.gpu.flush_completed();
+        if !batch.is_empty() {
+            self.inner.handle_batch(&batch);
+        }
+    }
+
+    /// Current approximate profile memory (CCT + correlation state).
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ProfilerStats {
+        ProfilerStats {
+            launches: self.inner.launches.load(Ordering::Relaxed),
+            activities: self.inner.activities.load(Ordering::Relaxed),
+            cpu_samples: self.inner.cpu_samples.load(Ordering::Relaxed),
+            instruction_samples: self.inner.instruction_samples.load(Ordering::Relaxed),
+            peak_bytes: self
+                .inner
+                .peak_bytes
+                .load(Ordering::Relaxed)
+                .max(self.inner.approx_bytes()),
+        }
+    }
+
+    /// Read access to the in-progress tree (analysis previews, tests).
+    pub fn with_cct<R>(&self, f: impl FnOnce(&CallingContextTree) -> R) -> R {
+        f(&self.inner.cct.lock())
+    }
+
+    /// Detaches all collection and returns the finished profile.
+    pub fn finish(mut self, meta: ProfileMeta) -> ProfileDb {
+        // Drain anything still buffered.
+        let batch = self.gpu.flush_all();
+        if !batch.is_empty() {
+            self.inner.handle_batch(&batch);
+        }
+        self.detach();
+        let cct = std::mem::replace(
+            &mut *self.inner.cct.lock(),
+            CallingContextTree::with_interner(self.inner.monitor.interner()),
+        );
+        ProfileDb::new(meta, cct)
+    }
+
+    fn detach(&mut self) {
+        for id in self.monitor_regs.drain(..) {
+            self.inner.monitor.callback_unregister(id);
+        }
+        for id in self.sampler_ids.drain(..) {
+            self.env.samplers().unregister(id);
+        }
+        self.gpu.set_sampling(None);
+        self.gpu.set_activity_handler(|_| {});
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{FrameKind, StallReason, ThreadRole};
+    use dl_framework::{EagerEngine, FrameworkCore, Op, OpKind, TensorMeta};
+    use sim_gpu::{DeviceId, DeviceSpec};
+    use sim_runtime::ThreadRegistry;
+
+    struct Rig {
+        env: RuntimeEnv,
+        gpu: Arc<GpuRuntime>,
+        engine: Arc<EagerEngine>,
+        monitor: Arc<DlMonitor>,
+    }
+
+    fn rig() -> Rig {
+        let env = RuntimeEnv::new();
+        let gpu = GpuRuntime::new(env.clock().clone(), vec![DeviceSpec::a100_sxm()]);
+        let core = FrameworkCore::new(
+            env.clone(),
+            Arc::clone(&gpu),
+            DeviceId(0),
+            "/lib/libtorch_cpu.so",
+            "libtorch_cuda.so",
+            TimeNs(3_000),
+        );
+        let engine = EagerEngine::new(Arc::clone(&core));
+        let monitor = DlMonitor::init(&env, deepcontext_core::Interner::new());
+        monitor.attach_framework(core.callbacks());
+        monitor.attach_gpu(&gpu);
+        Rig {
+            env,
+            gpu,
+            engine,
+            monitor,
+        }
+    }
+
+    fn run_relu(rig: &Rig, n: usize) {
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let core = Arc::clone(rig.engine.core());
+        let _py = core.python().frame(&main, "train.py", 7, "step");
+        for _ in 0..n {
+            rig.engine
+                .op(Op::new(OpKind::Relu), &[TensorMeta::new([1 << 18])])
+                .unwrap();
+        }
+        rig.gpu.synchronize(DeviceId(0)).unwrap();
+    }
+
+    #[test]
+    fn gpu_time_attributes_to_kernel_context() {
+        let rig = rig();
+        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 5);
+        profiler.flush();
+
+        let stats = profiler.stats();
+        assert_eq!(stats.launches, 5);
+        assert_eq!(stats.activities, 5);
+
+        profiler.with_cct(|cct| {
+            assert!(cct.total(MetricKind::GpuTime) > 0.0);
+            assert_eq!(cct.root_metric(MetricKind::KernelLaunches).unwrap().sum, 5.0);
+            // All five launches collapsed into one kernel context.
+            let kernels = cct.nodes_of_kind(FrameKind::GpuKernel);
+            assert_eq!(kernels.len(), 1);
+            let k = kernels[0];
+            assert_eq!(cct.metric(k, MetricKind::GpuTime).unwrap().count, 5);
+            // Exclusive launch-shape metrics present on the kernel node only.
+            assert!(cct.metric(k, MetricKind::Warps).is_some());
+            assert!(cct.root_metric(MetricKind::Warps).is_none());
+        });
+    }
+
+    #[test]
+    fn profile_size_is_iteration_independent() {
+        let rig = rig();
+        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 3);
+        profiler.flush();
+        let nodes_small = profiler.with_cct(|c| c.node_count());
+        run_relu(&rig, 50);
+        profiler.flush();
+        let nodes_large = profiler.with_cct(|c| c.node_count());
+        assert_eq!(nodes_small, nodes_large, "CCT must not grow with iterations");
+    }
+
+    #[test]
+    fn cpu_sampling_attributes_cpu_time() {
+        let rig = rig();
+        let config = ProfilerConfig {
+            cpu_time_interval: Some(TimeNs::from_us(1)),
+            ..ProfilerConfig::default()
+        };
+        let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 3);
+        profiler.flush();
+        let stats = profiler.stats();
+        assert!(stats.cpu_samples > 0);
+        profiler.with_cct(|cct| {
+            assert!(cct.total(MetricKind::CpuTime) > 0.0);
+            // CPU time lands under the Python frame.
+            let py_nodes = cct.nodes_of_kind(FrameKind::Python);
+            assert!(py_nodes
+                .iter()
+                .any(|n| cct.metric(*n, MetricKind::CpuTime).is_some()));
+        });
+    }
+
+    #[test]
+    fn instruction_sampling_extends_paths_with_pc_frames() {
+        let rig = rig();
+        let config = ProfilerConfig {
+            instruction_sampling: Some(SamplingConfig {
+                period: TimeNs(500),
+                max_samples_per_kernel: 512,
+            }),
+            ..ProfilerConfig::default()
+        };
+        let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+
+        // Cast kernels carry the constant-memory-stall profile.
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        let core = Arc::clone(rig.engine.core());
+        let _py = core.python().frame(&main, "llama.py", 69, "rms_norm");
+        rig.engine
+            .op(
+                Op::new(OpKind::Cast).with_target_dtype(dl_framework::DType::F16),
+                &[TensorMeta::new([1 << 20])],
+            )
+            .unwrap();
+        rig.gpu.synchronize(DeviceId(0)).unwrap();
+        profiler.flush();
+
+        let stats = profiler.stats();
+        assert!(stats.instruction_samples > 0);
+        profiler.with_cct(|cct| {
+            let instrs = cct.nodes_of_kind(FrameKind::Instruction);
+            assert!(!instrs.is_empty());
+            // Instruction frames hang off the kernel frame.
+            for i in &instrs {
+                let parent = cct.node(*i).parent().unwrap();
+                assert_eq!(cct.node(parent).frame().kind(), FrameKind::GpuKernel);
+            }
+            let const_stalls = cct.total(MetricKind::Stall(StallReason::ConstantMemory));
+            assert!(const_stalls > 0.0, "cast kernel must show constant-memory stalls");
+        });
+    }
+
+    #[test]
+    fn finish_produces_loadable_profile() {
+        let rig = rig();
+        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 4);
+        let db = profiler.finish(ProfileMeta {
+            workload: "relu-micro".into(),
+            framework: "eager".into(),
+            platform: "nvidia-a100".into(),
+            iterations: 4,
+            extra: vec![],
+        });
+        assert!(db.cct().total(MetricKind::GpuTime) > 0.0);
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+        assert_eq!(back.meta().workload, "relu-micro");
+    }
+
+    #[test]
+    fn peak_bytes_is_tracked_and_bounded() {
+        let rig = rig();
+        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 2);
+        profiler.flush();
+        let after_two = profiler.stats().peak_bytes;
+        assert!(after_two > 0);
+        run_relu(&rig, 40);
+        profiler.flush();
+        let after_many = profiler.stats().peak_bytes;
+        // Same contexts: peak grows marginally (correlation churn), not
+        // linearly with events.
+        assert!(after_many < after_two * 3, "{after_many} vs {after_two}");
+    }
+
+    #[test]
+    fn memcpy_and_malloc_metrics_attribute() {
+        let rig = rig();
+        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let main = rig.env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&main);
+        rig.gpu.malloc(DeviceId(0), 4096).unwrap();
+        rig.gpu
+            .memcpy_async(DeviceId(0), sim_gpu::StreamId(0), 1 << 20)
+            .unwrap();
+        rig.gpu.synchronize(DeviceId(0)).unwrap();
+        profiler.flush();
+        profiler.with_cct(|cct| {
+            assert_eq!(cct.total(MetricKind::GpuAllocBytes), 4096.0);
+            assert_eq!(cct.total(MetricKind::MemcpyBytes), (1 << 20) as f64);
+            assert!(cct.total(MetricKind::MemcpyTime) > 0.0);
+        });
+    }
+
+    #[test]
+    fn detach_on_drop_stops_collection() {
+        let rig = rig();
+        {
+            let _profiler =
+                Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        }
+        // After drop, launches must not reach a dead profiler (no panic,
+        // no stale callbacks firing into freed state).
+        run_relu(&rig, 2);
+        assert!(rig.env.samplers().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! CUPTI/RocTracer-style API callbacks.
+//!
+//! Profilers subscribe to the runtime and receive an Enter and an Exit
+//! callback around every GPU API call, carrying the correlation ID that
+//! later links asynchronous activity records back to the call site —
+//! exactly the CUPTI driver-API callback contract DeepContext builds on.
+
+use std::sync::Arc;
+
+use deepcontext_core::TimeNs;
+
+use crate::kernel::KernelDesc;
+use crate::runtime::{CorrelationId, DeviceId, StreamId};
+use crate::spec::Vendor;
+
+/// Which GPU API is being intercepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiKind {
+    /// Kernel launch.
+    LaunchKernel,
+    /// Asynchronous memcpy.
+    MemcpyAsync,
+    /// Device memory allocation.
+    MemAlloc,
+    /// Device memory free.
+    MemFree,
+    /// Device synchronize.
+    Synchronize,
+}
+
+impl ApiKind {
+    /// Vendor-specific API name, as a real tracer would report it.
+    pub fn api_name(self, vendor: Vendor) -> &'static str {
+        match (vendor, self) {
+            (Vendor::Nvidia, ApiKind::LaunchKernel) => "cuLaunchKernel",
+            (Vendor::Nvidia, ApiKind::MemcpyAsync) => "cuMemcpyAsync",
+            (Vendor::Nvidia, ApiKind::MemAlloc) => "cuMemAlloc",
+            (Vendor::Nvidia, ApiKind::MemFree) => "cuMemFree",
+            (Vendor::Nvidia, ApiKind::Synchronize) => "cuCtxSynchronize",
+            (Vendor::Amd, ApiKind::LaunchKernel) => "hipModuleLaunchKernel",
+            (Vendor::Amd, ApiKind::MemcpyAsync) => "hipMemcpyAsync",
+            (Vendor::Amd, ApiKind::MemAlloc) => "hipMalloc",
+            (Vendor::Amd, ApiKind::MemFree) => "hipFree",
+            (Vendor::Amd, ApiKind::Synchronize) => "hipDeviceSynchronize",
+        }
+    }
+
+    /// The library a tracer attributes the API to.
+    pub fn api_library(self, vendor: Vendor) -> &'static str {
+        match vendor {
+            Vendor::Nvidia => "libcuda.so",
+            Vendor::Amd => "libamdhip64.so",
+        }
+    }
+}
+
+/// Enter (before) or Exit (after) the API call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallbackSite {
+    /// Before the API executes.
+    Enter,
+    /// After the API executed.
+    Exit,
+}
+
+/// Data passed to API callbacks.
+#[derive(Debug, Clone)]
+pub struct CallbackData {
+    /// Enter or exit.
+    pub site: CallbackSite,
+    /// Which API.
+    pub api: ApiKind,
+    /// Correlation id tying this call to its activity records.
+    pub correlation_id: CorrelationId,
+    /// Target device.
+    pub device: DeviceId,
+    /// Target stream (launch/memcpy only).
+    pub stream: Option<StreamId>,
+    /// The kernel being launched (launch only). The function object a real
+    /// profiler would parse (`CUfunction`) to obtain the kernel name.
+    pub kernel: Option<Arc<KernelDesc>>,
+    /// Bytes involved (memcpy/malloc/free).
+    pub bytes: Option<u64>,
+    /// Virtual timestamp of the callback.
+    pub timestamp: TimeNs,
+}
+
+/// Identifier of a registered subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberId(pub(crate) u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_names_follow_vendor() {
+        assert_eq!(ApiKind::LaunchKernel.api_name(Vendor::Nvidia), "cuLaunchKernel");
+        assert_eq!(ApiKind::LaunchKernel.api_name(Vendor::Amd), "hipModuleLaunchKernel");
+        assert_eq!(ApiKind::MemAlloc.api_name(Vendor::Amd), "hipMalloc");
+        assert_eq!(ApiKind::Synchronize.api_name(Vendor::Nvidia), "cuCtxSynchronize");
+    }
+
+    #[test]
+    fn api_libraries_follow_vendor() {
+        assert_eq!(ApiKind::LaunchKernel.api_library(Vendor::Nvidia), "libcuda.so");
+        assert_eq!(ApiKind::MemFree.api_library(Vendor::Amd), "libamdhip64.so");
+    }
+}

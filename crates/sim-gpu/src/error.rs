@@ -1,0 +1,66 @@
+//! GPU runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated GPU runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A device allocation exceeded device memory.
+    OutOfMemory {
+        /// Device that ran out.
+        device: u32,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// An unknown device id was used.
+    NoSuchDevice(u32),
+    /// An unknown stream id was used.
+    NoSuchStream(u32),
+    /// A free of an unknown device pointer.
+    InvalidFree(u64),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                device,
+                requested,
+                available,
+            } => write!(
+                f,
+                "device {device} out of memory: requested {requested} bytes, {available} available"
+            ),
+            GpuError::NoSuchDevice(d) => write!(f, "no such device: {d}"),
+            GpuError::NoSuchStream(s) => write!(f, "no such stream: {s}"),
+            GpuError::InvalidFree(p) => write!(f, "invalid device pointer freed: {p:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GpuError::OutOfMemory {
+            device: 0,
+            requested: 100,
+            available: 50,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("out of memory"));
+        assert!(msg.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulated GPU runtime with CUPTI/RocTracer-like profiling interfaces.
+//!
+//! DeepContext's profiler consumes three things from the vendor layers
+//! (paper §3, §4.2): *callbacks* around GPU API calls (kernel launch,
+//! memcpy, malloc/free) carrying correlation IDs, *activity records*
+//! delivered asynchronously in buffers after kernels complete, and
+//! *instruction samples* with stall reasons for fine-grained analysis.
+//! This crate reproduces exactly that contract against simulated devices:
+//!
+//! * [`DeviceSpec`] — analytic device models preloaded with the paper's
+//!   Table 2 platforms ([`DeviceSpec::a100_sxm`], [`DeviceSpec::mi250`]);
+//! * [`GpuRuntime`] — streams, per-stream timelines, a roofline+occupancy
+//!   kernel cost model ([`cost`]), device memory accounting;
+//! * [`CallbackData`]/[`GpuRuntime::subscribe`] — the CUPTI
+//!   `cuptiSubscribe`/RocTracer `roctracer_enable_callback` analogue;
+//! * [`Activity`]/[`GpuRuntime::set_activity_handler`] — buffered,
+//!   flush-on-full activity delivery;
+//! * [`sampling`] — deterministic instruction sampling over per-kernel
+//!   [`InstructionProfile`]s.
+//!
+//! The same runtime serves both vendors; [`Vendor`] selects API naming
+//! (`cu*` vs `hip*`) and the device model, which is how DeepContext's
+//! cross-GPU portability claim is exercised.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod callback;
+pub mod cost;
+mod error;
+mod kernel;
+mod runtime;
+pub mod sampling;
+mod spec;
+
+pub use activity::{Activity, ActivityKind};
+pub use callback::{ApiKind, CallbackData, CallbackSite, SubscriberId};
+pub use error::GpuError;
+pub use kernel::{InstructionProfile, KernelDesc, LaunchConfig, MemoryPattern};
+pub use runtime::{CorrelationId, DeviceId, DevicePtr, GpuRuntime, StreamId};
+pub use sampling::{PcSample, SamplingConfig};
+pub use spec::{DeviceSpec, Vendor};

@@ -1,0 +1,173 @@
+//! Deterministic GPU instruction sampling.
+//!
+//! "If fine-grained metrics, such as instruction samples, are collected,
+//! we will extend the call path by inserting the PC of each instruction
+//! collected" (paper §4.2). The simulated sampler draws samples from a
+//! kernel's [`InstructionProfile`] in
+//! proportion to instruction weights and assigns stall reasons from each
+//! instruction's stall mix. Sampling is seeded by correlation id, so runs
+//! are reproducible.
+
+use deepcontext_core::{StallReason, TimeNs};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernel::InstructionProfile;
+use crate::runtime::CorrelationId;
+
+/// Instruction-sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Virtual nanoseconds between samples.
+    pub period: TimeNs,
+    /// Maximum samples kept per kernel execution (buffer size guard).
+    pub max_samples_per_kernel: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            period: TimeNs(2_000),
+            max_samples_per_kernel: 4_096,
+        }
+    }
+}
+
+/// One instruction sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcSample {
+    /// Sampled PC, relative to the kernel entry.
+    pub pc: u64,
+    /// The stall observed (or [`StallReason::None`] if the warp issued).
+    pub stall: StallReason,
+}
+
+/// Draws the samples for one kernel execution of `duration`.
+///
+/// Returns an empty vector for kernels without instruction profiles.
+pub fn sample_kernel(
+    profile: &InstructionProfile,
+    duration: TimeNs,
+    config: &SamplingConfig,
+    correlation_id: CorrelationId,
+) -> Vec<PcSample> {
+    if profile.is_empty() || config.period.as_nanos() == 0 {
+        return Vec::new();
+    }
+    let total_weight = profile.total_weight();
+    if total_weight <= 0.0 {
+        return Vec::new();
+    }
+    let n = ((duration.as_nanos() / config.period.as_nanos()) as usize)
+        .min(config.max_samples_per_kernel);
+    let mut rng = SmallRng::seed_from_u64(correlation_id.0 ^ 0x5eed_cafe);
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Pick an instruction by weight.
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut chosen = profile.instrs().last().expect("non-empty profile");
+        for instr in profile.instrs() {
+            if pick < instr.weight {
+                chosen = instr;
+                break;
+            }
+            pick -= instr.weight;
+        }
+        // Pick a stall reason from the instruction's mix.
+        let mut stall = StallReason::None;
+        let mut p = rng.gen_range(0.0..1.0);
+        for (reason, share) in &chosen.stall_mix {
+            if p < *share {
+                stall = *reason;
+                break;
+            }
+            p -= share;
+        }
+        samples.push(PcSample {
+            pc: chosen.pc,
+            stall,
+        });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::InstrInfo;
+
+    fn profile() -> std::sync::Arc<InstructionProfile> {
+        InstructionProfile::new(vec![
+            InstrInfo {
+                pc: 0x10,
+                opcode: "LDC".into(),
+                weight: 0.9,
+                stall_mix: vec![(StallReason::ConstantMemory, 1.0)],
+            },
+            InstrInfo {
+                pc: 0x20,
+                opcode: "FADD".into(),
+                weight: 0.1,
+                stall_mix: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn sample_count_follows_duration_and_period() {
+        let p = profile();
+        let cfg = SamplingConfig {
+            period: TimeNs(100),
+            max_samples_per_kernel: 1_000,
+        };
+        let samples = sample_kernel(&p, TimeNs(2_500), &cfg, CorrelationId(7));
+        assert_eq!(samples.len(), 25);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_correlation_id() {
+        let p = profile();
+        let cfg = SamplingConfig::default();
+        let a = sample_kernel(&p, TimeNs(100_000), &cfg, CorrelationId(42));
+        let b = sample_kernel(&p, TimeNs(100_000), &cfg, CorrelationId(42));
+        let c = sample_kernel(&p, TimeNs(100_000), &cfg, CorrelationId(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heavy_instruction_dominates_samples() {
+        let p = profile();
+        let cfg = SamplingConfig {
+            period: TimeNs(10),
+            max_samples_per_kernel: 100_000,
+        };
+        let samples = sample_kernel(&p, TimeNs(1_000_000), &cfg, CorrelationId(1));
+        let hot = samples.iter().filter(|s| s.pc == 0x10).count();
+        let ratio = hot as f64 / samples.len() as f64;
+        assert!((ratio - 0.9).abs() < 0.05, "hot ratio {ratio}");
+        // The hot instruction always stalls on constant memory.
+        assert!(samples
+            .iter()
+            .filter(|s| s.pc == 0x10)
+            .all(|s| s.stall == StallReason::ConstantMemory));
+    }
+
+    #[test]
+    fn max_samples_cap_is_respected() {
+        let p = profile();
+        let cfg = SamplingConfig {
+            period: TimeNs(1),
+            max_samples_per_kernel: 64,
+        };
+        let samples = sample_kernel(&p, TimeNs(1_000_000), &cfg, CorrelationId(5));
+        assert_eq!(samples.len(), 64);
+    }
+
+    #[test]
+    fn empty_profile_yields_no_samples() {
+        let p = InstructionProfile::empty();
+        let cfg = SamplingConfig::default();
+        assert!(sample_kernel(&p, TimeNs(1_000_000), &cfg, CorrelationId(1)).is_empty());
+    }
+}

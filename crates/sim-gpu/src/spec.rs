@@ -1,0 +1,168 @@
+//! Device models.
+//!
+//! The paper evaluates on two platforms (Table 2):
+//!
+//! | Platform | GPU | Memory | Specifications |
+//! |---|---|---|---|
+//! | Nvidia | A100 SXM | 80 GB | 108 SMs, 156 TF32 TFLOP/s, 2 TB/s |
+//! | AMD | MI250 | 64 GB | 208 CUs, 362.1 FP16 TFLOP/s, 3.2 TB/s |
+//!
+//! The crucial architectural difference for the paper's §6.5 case study is
+//! the warp size: 32 on Nvidia vs 64 on AMD, which halves the number of
+//! warps a fixed-thread-count CTA provides and therefore the achieved
+//! latency-hiding parallelism of kernels tuned for Nvidia.
+
+use std::fmt;
+
+/// GPU vendor. Determines API naming and tracing substrate identity
+/// (CUPTI vs RocTracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Nvidia: CUDA APIs, CUPTI tracing.
+    Nvidia,
+    /// AMD: HIP APIs, RocTracer tracing.
+    Amd,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::Nvidia => f.write_str("nvidia"),
+            Vendor::Amd => f.write_str("amd"),
+        }
+    }
+}
+
+/// An analytic GPU device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `A100 SXM 80GB`.
+    pub name: String,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Streaming multiprocessors (Nvidia) / compute units (AMD).
+    pub sm_count: u32,
+    /// Threads per warp (32 Nvidia, 64 AMD).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks (CTAs) per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory (LDS) per SM, bytes.
+    pub shared_mem_per_sm: u64,
+    /// Register file per SM (32-bit registers).
+    pub registers_per_sm: u64,
+    /// Peak throughput at the evaluation precision, FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Device memory capacity, bytes.
+    pub memory_bytes: u64,
+    /// Fixed CPU-side cost of a launch API call, ns.
+    pub launch_overhead_ns: u64,
+    /// Fixed device-side kernel setup latency, ns.
+    pub kernel_latency_ns: u64,
+    /// Fraction of peak bandwidth achieved on coalesced access.
+    pub coalesced_efficiency: f64,
+    /// Fraction of peak bandwidth achieved on strided/gather access
+    /// (NCHW statistics walks, index gathers). CDNA2's effective
+    /// bandwidth degrades much more on non-coalesced patterns than
+    /// Ampere's — the architectural term behind the paper's §6.5
+    /// observation.
+    pub strided_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's Nvidia platform: A100 SXM 80 GB (Table 2).
+    pub fn a100_sxm() -> Self {
+        DeviceSpec {
+            name: "A100 SXM 80GB".into(),
+            vendor: Vendor::Nvidia,
+            sm_count: 108,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 164 * 1024,
+            registers_per_sm: 65_536,
+            peak_flops: 156e12,     // 156 TF32 TFLOP/s
+            mem_bandwidth: 2.0e12,  // 2 TB/s
+            memory_bytes: 80 * (1 << 30),
+            launch_overhead_ns: 4_000,
+            kernel_latency_ns: 2_500,
+            coalesced_efficiency: 0.90,
+            strided_efficiency: 0.75,
+        }
+    }
+
+    /// The paper's AMD platform: MI250 64 GB per GCD (Table 2).
+    pub fn mi250() -> Self {
+        DeviceSpec {
+            name: "MI250".into(),
+            vendor: Vendor::Amd,
+            sm_count: 208,
+            warp_size: 64,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 64 * 1024,
+            registers_per_sm: 65_536 * 2,
+            peak_flops: 362.1e12,   // 362.1 FP16 TFLOP/s
+            mem_bandwidth: 3.2e12,  // 3.2 TB/s
+            memory_bytes: 64 * (1 << 30),
+            launch_overhead_ns: 5_500,
+            kernel_latency_ns: 3_500,
+            coalesced_efficiency: 0.90,
+            strided_efficiency: 0.45,
+        }
+    }
+
+    /// Total warp slots across the device.
+    pub fn total_warp_slots(&self) -> u64 {
+        u64::from(self.sm_count) * u64::from(self.max_warps_per_sm)
+    }
+
+    /// Short platform tag used in reports (`nvidia-a100`, `amd-mi250`).
+    pub fn platform_tag(&self) -> String {
+        match self.vendor {
+            Vendor::Nvidia => "nvidia-a100".into(),
+            Vendor::Amd => "amd-mi250".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let nv = DeviceSpec::a100_sxm();
+        assert_eq!(nv.sm_count, 108);
+        assert_eq!(nv.warp_size, 32);
+        assert!((nv.peak_flops - 156e12).abs() < 1e9);
+        assert!((nv.mem_bandwidth - 2e12).abs() < 1e9);
+
+        let amd = DeviceSpec::mi250();
+        assert_eq!(amd.sm_count, 208);
+        assert_eq!(amd.warp_size, 64);
+        assert!((amd.peak_flops - 362.1e12).abs() < 1e9);
+        assert!((amd.mem_bandwidth - 3.2e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn warp_slots_differ_between_vendors() {
+        let nv = DeviceSpec::a100_sxm();
+        let amd = DeviceSpec::mi250();
+        assert_eq!(nv.total_warp_slots(), 108 * 64);
+        assert_eq!(amd.total_warp_slots(), 208 * 32);
+    }
+
+    #[test]
+    fn platform_tags() {
+        assert_eq!(DeviceSpec::a100_sxm().platform_tag(), "nvidia-a100");
+        assert_eq!(DeviceSpec::mi250().platform_tag(), "amd-mi250");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the kernel cost model: monotonicity and bound
+//! invariants every experiment implicitly relies on.
+
+use deepcontext_core::TimeNs;
+use proptest::prelude::*;
+use sim_gpu::{cost::kernel_cost, DeviceSpec, KernelDesc, LaunchConfig, MemoryPattern};
+
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        1u32..4096,          // grid
+        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]), // block
+        0f64..1e12,          // flops
+        0f64..1e9,           // bytes
+        prop::sample::select(vec![16u32, 32, 64, 128, 255]),        // registers
+        prop::sample::select(vec![0u64, 1 << 10, 16 << 10, 48 << 10]), // shared mem
+        1f64..64.0,          // serialization
+        prop::bool::ANY,     // strided
+    )
+        .prop_map(|(grid, block, flops, bytes, regs, shared, ser, strided)| {
+            KernelDesc::new("k", "m.so", 0x10, LaunchConfig::new(grid, block))
+                .with_flops(flops)
+                .with_bytes(bytes)
+                .with_registers(regs)
+                .with_shared_mem(shared)
+                .with_serialization(ser)
+                .with_memory_pattern(if strided {
+                    MemoryPattern::Strided
+                } else {
+                    MemoryPattern::Coalesced
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cost_outputs_are_bounded(kernel in arb_kernel()) {
+        for spec in [DeviceSpec::a100_sxm(), DeviceSpec::mi250()] {
+            let cost = kernel_cost(&spec, &kernel);
+            prop_assert!(cost.duration >= TimeNs(spec.kernel_latency_ns));
+            prop_assert!((0.0..=1.0).contains(&cost.occupancy), "occupancy {}", cost.occupancy);
+            prop_assert!((0.0..=1.0).contains(&cost.utilization));
+            prop_assert_eq!(cost.blocks, kernel.config.grid);
+            let warps_per_block = kernel.config.block.div_ceil(spec.warp_size);
+            prop_assert_eq!(cost.warps, u64::from(kernel.config.grid) * u64::from(warps_per_block));
+        }
+    }
+
+    #[test]
+    fn duration_is_monotone_in_work(kernel in arb_kernel(), factor in 1.1f64..8.0) {
+        let spec = DeviceSpec::a100_sxm();
+        let base = kernel_cost(&spec, &kernel);
+        let more_flops = kernel.clone().with_flops(kernel.flops * factor + 1.0);
+        prop_assert!(kernel_cost(&spec, &more_flops).duration >= base.duration);
+        let more_bytes = kernel.clone().with_bytes(kernel.bytes * factor + 1.0);
+        prop_assert!(kernel_cost(&spec, &more_bytes).duration >= base.duration);
+        let more_serial = kernel
+            .clone()
+            .with_serialization(kernel.serialization_factor * factor);
+        prop_assert!(kernel_cost(&spec, &more_serial).duration >= base.duration);
+    }
+
+    #[test]
+    fn strided_access_never_beats_coalesced(kernel in arb_kernel()) {
+        for spec in [DeviceSpec::a100_sxm(), DeviceSpec::mi250()] {
+            let coalesced = kernel.clone().with_memory_pattern(MemoryPattern::Coalesced);
+            let strided = kernel.clone().with_memory_pattern(MemoryPattern::Strided);
+            prop_assert!(
+                kernel_cost(&spec, &strided).duration >= kernel_cost(&spec, &coalesced).duration
+            );
+        }
+    }
+
+    #[test]
+    fn warp64_never_increases_warp_count(kernel in arb_kernel()) {
+        let nv = kernel_cost(&DeviceSpec::a100_sxm(), &kernel);
+        let amd = kernel_cost(&DeviceSpec::mi250(), &kernel);
+        prop_assert!(amd.warps <= nv.warps);
+    }
+
+    #[test]
+    fn sampling_respects_period_and_cap(
+        duration_us in 1u64..100_000,
+        period_us in 1u64..1_000,
+        cap in 1usize..2_000,
+    ) {
+        use sim_gpu::{sampling::sample_kernel, CorrelationId, InstructionProfile, SamplingConfig};
+        let profile = InstructionProfile::memory_bound();
+        let config = SamplingConfig {
+            period: TimeNs::from_us(period_us),
+            max_samples_per_kernel: cap,
+        };
+        let samples = sample_kernel(
+            &profile,
+            TimeNs::from_us(duration_us),
+            &config,
+            CorrelationId(9),
+        );
+        prop_assert!(samples.len() <= cap);
+        prop_assert!(samples.len() as u64 <= duration_us / period_us);
+        // Every sampled PC belongs to the profile.
+        let pcs: Vec<u64> = profile.instrs().iter().map(|i| i.pc).collect();
+        prop_assert!(samples.iter().all(|s| pcs.contains(&s.pc)));
+    }
+}

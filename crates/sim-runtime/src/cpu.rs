@@ -1,0 +1,322 @@
+//! CPU work accounting and `sigaction`-style sampling.
+//!
+//! DeepContext "invokes the sigaction system call to register a signal
+//! callback for CPU_TIME and REAL_TIME events" and "can also register
+//! Linux perf events or invoke PAPI API to obtain metrics from hardware
+//! counters" (paper §4.2). The simulation is event-driven and
+//! deterministic: simulated CPU work advances per-thread counters, and a
+//! registered sampler fires once per interval boundary crossed — exactly
+//! the observable behaviour of interval timers and counter-overflow
+//! sampling.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::thread::ThreadCtx;
+use deepcontext_core::TimeNs;
+
+/// A chunk of simulated CPU work performed by a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuWork {
+    /// CPU time consumed.
+    pub time: TimeNs,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Cache misses incurred.
+    pub cache_misses: u64,
+    /// Branch mispredictions incurred.
+    pub branch_misses: u64,
+}
+
+impl CpuWork {
+    /// Compute-only work: derives plausible counter values from time
+    /// (3 instructions/ns, light miss rates).
+    pub fn compute(time: TimeNs) -> Self {
+        let instructions = time.as_nanos() * 3;
+        CpuWork {
+            time,
+            instructions,
+            cache_misses: instructions / 2_000,
+            branch_misses: instructions / 5_000,
+        }
+    }
+
+    /// Memory-bound work: fewer instructions, heavier cache misses.
+    pub fn memory_bound(time: TimeNs) -> Self {
+        let instructions = time.as_nanos();
+        CpuWork {
+            time,
+            instructions,
+            cache_misses: instructions / 50,
+            branch_misses: instructions / 10_000,
+        }
+    }
+}
+
+/// What a sampler is listening to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleKind {
+    /// Thread CPU time (ITIMER_VIRTUAL analogue); interval in ns.
+    CpuTime,
+    /// Wall-clock time (ITIMER_REAL analogue); interval in ns.
+    RealTime,
+    /// Retired-instruction overflow sampling; interval in events.
+    HwInstructions,
+    /// Cache-miss overflow sampling; interval in events.
+    HwCacheMisses,
+    /// Branch-miss overflow sampling; interval in events.
+    HwBranchMisses,
+}
+
+impl fmt::Display for SampleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SampleKind::CpuTime => "cpu_time",
+            SampleKind::RealTime => "real_time",
+            SampleKind::HwInstructions => "hw_instructions",
+            SampleKind::HwCacheMisses => "hw_cache_misses",
+            SampleKind::HwBranchMisses => "hw_branch_misses",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A batch of samples delivered to a handler.
+///
+/// `count` interval boundaries were crossed during one chunk of work; the
+/// handler typically attributes `count * interval` of the sampled quantity
+/// to the thread's current call path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleEvent {
+    /// The sampled event kind.
+    pub kind: SampleKind,
+    /// Number of samples fired.
+    pub count: u64,
+    /// The sampling interval (ns for time kinds, events for counters).
+    pub interval: u64,
+}
+
+/// Identifier of a registered sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplerId(u64);
+
+type Handler = Arc<dyn Fn(&Arc<ThreadCtx>, SampleEvent) + Send + Sync>;
+
+struct Registration {
+    id: SamplerId,
+    kind: SampleKind,
+    interval: u64,
+    handler: Handler,
+}
+
+/// Registry of interval samplers, the `sigaction`/perf-event substitute.
+#[derive(Default)]
+pub struct CpuSamplerRegistry {
+    samplers: RwLock<Vec<Registration>>,
+    next_id: AtomicU64,
+    // Per (thread, sampler) residual progress toward the next boundary.
+    residuals: Mutex<HashMap<(u64, SamplerId), u64>>,
+}
+
+impl CpuSamplerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers a sampler of `kind` firing every `interval` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn register(
+        &self,
+        kind: SampleKind,
+        interval: u64,
+        handler: impl Fn(&Arc<ThreadCtx>, SampleEvent) + Send + Sync + 'static,
+    ) -> SamplerId {
+        assert!(interval > 0, "sampling interval must be positive");
+        let id = SamplerId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.samplers.write().push(Registration {
+            id,
+            kind,
+            interval,
+            handler: Arc::new(handler),
+        });
+        id
+    }
+
+    /// Removes a sampler.
+    pub fn unregister(&self, id: SamplerId) {
+        self.samplers.write().retain(|r| r.id != id);
+        self.residuals.lock().retain(|(_, sid), _| *sid != id);
+    }
+
+    /// Number of active samplers.
+    pub fn len(&self) -> usize {
+        self.samplers.read().len()
+    }
+
+    /// Whether no samplers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounts one chunk of work on `thread`, firing handlers for every
+    /// crossed interval boundary. Called by
+    /// [`RuntimeEnv::do_cpu_work`](crate::RuntimeEnv::do_cpu_work).
+    pub fn on_work(&self, thread: &Arc<ThreadCtx>, work: &CpuWork) {
+        // Collect matching handlers first so handlers may re-entrantly
+        // inspect the registry.
+        let mut to_fire: Vec<(Handler, SampleEvent)> = Vec::new();
+        {
+            let samplers = self.samplers.read();
+            if samplers.is_empty() {
+                return;
+            }
+            let mut residuals = self.residuals.lock();
+            for reg in samplers.iter() {
+                let amount = match reg.kind {
+                    SampleKind::CpuTime | SampleKind::RealTime => work.time.as_nanos(),
+                    SampleKind::HwInstructions => work.instructions,
+                    SampleKind::HwCacheMisses => work.cache_misses,
+                    SampleKind::HwBranchMisses => work.branch_misses,
+                };
+                if amount == 0 {
+                    continue;
+                }
+                let key = (thread.tid(), reg.id);
+                let residual = residuals.entry(key).or_insert(0);
+                *residual += amount;
+                let count = *residual / reg.interval;
+                if count > 0 {
+                    *residual %= reg.interval;
+                    to_fire.push((
+                        Arc::clone(&reg.handler),
+                        SampleEvent {
+                            kind: reg.kind,
+                            count,
+                            interval: reg.interval,
+                        },
+                    ));
+                }
+            }
+        }
+        for (handler, event) in to_fire {
+            handler(thread, event);
+        }
+    }
+}
+
+impl fmt::Debug for CpuSamplerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpuSamplerRegistry")
+            .field("samplers", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ThreadRegistry;
+    use deepcontext_core::ThreadRole;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    fn thread() -> Arc<ThreadCtx> {
+        ThreadRegistry::new().spawn(ThreadRole::Main)
+    }
+
+    #[test]
+    fn fires_once_per_interval_boundary() {
+        let reg = CpuSamplerRegistry::new();
+        let fired = Arc::new(Counter::new(0));
+        let f = Arc::clone(&fired);
+        reg.register(SampleKind::CpuTime, 100, move |_t, e| {
+            assert_eq!(e.kind, SampleKind::CpuTime);
+            assert_eq!(e.interval, 100);
+            f.fetch_add(e.count, Ordering::SeqCst);
+        });
+        let t = thread();
+        reg.on_work(&t, &CpuWork { time: TimeNs(250), ..Default::default() });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Residual 50 + 50 = one more boundary.
+        reg.on_work(&t, &CpuWork { time: TimeNs(50), ..Default::default() });
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn residuals_are_per_thread() {
+        let reg = CpuSamplerRegistry::new();
+        let fired = Arc::new(Counter::new(0));
+        let f = Arc::clone(&fired);
+        reg.register(SampleKind::CpuTime, 100, move |_t, e| {
+            f.fetch_add(e.count, Ordering::SeqCst);
+        });
+        let threads = ThreadRegistry::new();
+        let t1 = threads.spawn(ThreadRole::Main);
+        let t2 = threads.spawn(ThreadRole::Worker);
+        reg.on_work(&t1, &CpuWork { time: TimeNs(60), ..Default::default() });
+        reg.on_work(&t2, &CpuWork { time: TimeNs(60), ..Default::default() });
+        // Neither crossed a boundary on its own.
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        reg.on_work(&t1, &CpuWork { time: TimeNs(60), ..Default::default() });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hardware_counter_sampling_uses_event_counts() {
+        let reg = CpuSamplerRegistry::new();
+        let fired = Arc::new(Counter::new(0));
+        let f = Arc::clone(&fired);
+        reg.register(SampleKind::HwCacheMisses, 10, move |_t, e| {
+            f.fetch_add(e.count, Ordering::SeqCst);
+        });
+        let t = thread();
+        reg.on_work(
+            &t,
+            &CpuWork {
+                time: TimeNs(1),
+                cache_misses: 35,
+                ..Default::default()
+            },
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let reg = CpuSamplerRegistry::new();
+        let fired = Arc::new(Counter::new(0));
+        let f = Arc::clone(&fired);
+        let id = reg.register(SampleKind::CpuTime, 10, move |_t, e| {
+            f.fetch_add(e.count, Ordering::SeqCst);
+        });
+        let t = thread();
+        reg.on_work(&t, &CpuWork { time: TimeNs(20), ..Default::default() });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        reg.unregister(id);
+        assert!(reg.is_empty());
+        reg.on_work(&t, &CpuWork { time: TimeNs(100), ..Default::default() });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let reg = CpuSamplerRegistry::new();
+        reg.register(SampleKind::CpuTime, 0, |_t, _e| {});
+    }
+
+    #[test]
+    fn cpu_work_presets_are_consistent() {
+        let c = CpuWork::compute(TimeNs(1_000));
+        let m = CpuWork::memory_bound(TimeNs(1_000));
+        assert!(c.instructions > m.instructions);
+        assert!(m.cache_misses > c.cache_misses);
+    }
+}

@@ -1,0 +1,287 @@
+//! Simulated native stacks and libunwind-style unwinding.
+//!
+//! The "native" call path, with C/C++ symbols, is captured in the paper
+//! using libunwind, stepping frame by frame (`unw_step`) from the leaf
+//! upward. Stepping is the expensive part — the paper's call-path caching
+//! optimization exists precisely to bound the number of steps — so the
+//! simulated [`Unwinder`] counts every step globally, letting benches and
+//! tests quantify the optimization exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One simulated native frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeFrameInfo {
+    /// Containing library path.
+    pub library: Arc<str>,
+    /// Program counter (call-site address).
+    pub pc: u64,
+    /// Resolved symbol name.
+    pub symbol: Arc<str>,
+}
+
+impl NativeFrameInfo {
+    /// Creates a frame description.
+    pub fn new(library: &str, pc: u64, symbol: &str) -> Self {
+        NativeFrameInfo {
+            library: Arc::from(library),
+            pc,
+            symbol: Arc::from(symbol),
+        }
+    }
+}
+
+/// A per-thread simulated native call stack.
+#[derive(Debug, Default)]
+pub struct NativeStack {
+    frames: Mutex<Vec<NativeFrameInfo>>,
+    version: AtomicU64,
+}
+
+impl NativeStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a frame (function entry).
+    pub fn push(&self, frame: NativeFrameInfo) {
+        self.frames.lock().push(frame);
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Pops the innermost frame (function exit).
+    pub fn pop(&self) -> Option<NativeFrameInfo> {
+        let popped = self.frames.lock().pop();
+        if popped.is_some() {
+            self.version.fetch_add(1, Ordering::SeqCst);
+        }
+        popped
+    }
+
+    /// Snapshot, root-first.
+    pub fn walk(&self) -> Vec<NativeFrameInfo> {
+        self.frames.lock().clone()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// Monotonic change counter.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+}
+
+/// RAII guard popping its native frame on drop.
+#[derive(Debug)]
+pub struct NativeFrameGuard {
+    stack: Arc<NativeStack>,
+}
+
+impl NativeFrameGuard {
+    /// Pushes `frame` onto `stack`, returning the popping guard.
+    pub fn enter(stack: &Arc<NativeStack>, frame: NativeFrameInfo) -> Self {
+        stack.push(frame);
+        NativeFrameGuard {
+            stack: Arc::clone(stack),
+        }
+    }
+}
+
+impl Drop for NativeFrameGuard {
+    fn drop(&mut self) {
+        self.stack.pop();
+    }
+}
+
+/// The libunwind analogue: produces step-wise cursors over native stacks
+/// and counts total steps taken process-wide.
+///
+/// # Examples
+///
+/// ```
+/// use sim_runtime::{NativeFrameInfo, NativeStack, Unwinder};
+///
+/// let stack = NativeStack::new();
+/// stack.push(NativeFrameInfo::new("libc.so", 0x10, "start"));
+/// stack.push(NativeFrameInfo::new("libtorch.so", 0x20, "launch"));
+///
+/// let unwinder = Unwinder::new();
+/// let mut cursor = unwinder.cursor(&stack);
+/// // Leaf-first, like unw_step.
+/// assert_eq!(cursor.step().unwrap().symbol.as_ref(), "launch");
+/// assert_eq!(cursor.step().unwrap().symbol.as_ref(), "start");
+/// assert!(cursor.step().is_none());
+/// assert_eq!(unwinder.steps_taken(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Unwinder {
+    steps: AtomicU64,
+    unwinds: AtomicU64,
+}
+
+impl Unwinder {
+    /// Creates an unwinder with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins unwinding `stack` from the leaf (`unw_getcontext` +
+    /// `unw_init_local`).
+    pub fn cursor(&self, stack: &NativeStack) -> UnwindCursor<'_> {
+        self.unwinds.fetch_add(1, Ordering::Relaxed);
+        UnwindCursor {
+            unwinder: self,
+            frames: stack.walk(),
+        }
+    }
+
+    /// Fully unwinds `stack`, returning frames **root-first** (the order
+    /// call paths want). Costs one step per frame.
+    pub fn backtrace(&self, stack: &NativeStack) -> Vec<NativeFrameInfo> {
+        let mut cursor = self.cursor(stack);
+        let mut frames = Vec::new();
+        while let Some(f) = cursor.step() {
+            frames.push(f);
+        }
+        frames.reverse();
+        frames
+    }
+
+    /// Total `step()` calls ever taken through this unwinder.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Total cursors created (unwind operations started).
+    pub fn unwinds_started(&self) -> u64 {
+        self.unwinds.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counters (between bench phases).
+    pub fn reset_counters(&self) {
+        self.steps.store(0, Ordering::Relaxed);
+        self.unwinds.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A step-wise unwind cursor, leaf-first like `unw_step`.
+#[derive(Debug)]
+pub struct UnwindCursor<'a> {
+    unwinder: &'a Unwinder,
+    frames: Vec<NativeFrameInfo>,
+}
+
+impl UnwindCursor<'_> {
+    /// Steps to the next outer frame, returning it; `None` past the root.
+    /// Each call increments the unwinder's global step counter.
+    pub fn step(&mut self) -> Option<NativeFrameInfo> {
+        let frame = self.frames.pop()?;
+        self.unwinder.steps.fetch_add(1, Ordering::Relaxed);
+        Some(frame)
+    }
+
+    /// Steps until `pred` matches a frame, returning the frames stepped
+    /// over **leaf-first**, excluding the matching frame. Returns the pair
+    /// `(stepped, matched)`; `matched` is `None` if the root was reached.
+    ///
+    /// This is the primitive behind the paper's *call path caching* mode
+    /// with native collection enabled: "retrieve native frames step-by-step
+    /// ... until we reach the cached deep learning operator".
+    pub fn step_until(
+        &mut self,
+        mut pred: impl FnMut(&NativeFrameInfo) -> bool,
+    ) -> (Vec<NativeFrameInfo>, Option<NativeFrameInfo>) {
+        let mut stepped = Vec::new();
+        while let Some(frame) = self.step() {
+            if pred(&frame) {
+                return (stepped, Some(frame));
+            }
+            stepped.push(frame);
+        }
+        (stepped, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack_of(symbols: &[&str]) -> NativeStack {
+        let s = NativeStack::new();
+        for (i, sym) in symbols.iter().enumerate() {
+            s.push(NativeFrameInfo::new("lib.so", 0x100 + i as u64, sym));
+        }
+        s
+    }
+
+    #[test]
+    fn backtrace_is_root_first_and_counts_steps() {
+        let stack = stack_of(&["main", "dispatch", "launch"]);
+        let u = Unwinder::new();
+        let bt = u.backtrace(&stack);
+        assert_eq!(
+            bt.iter().map(|f| f.symbol.as_ref()).collect::<Vec<_>>(),
+            vec!["main", "dispatch", "launch"]
+        );
+        assert_eq!(u.steps_taken(), 3);
+        assert_eq!(u.unwinds_started(), 1);
+    }
+
+    #[test]
+    fn step_until_stops_at_match() {
+        let stack = stack_of(&["main", "op_entry", "helper", "launch"]);
+        let u = Unwinder::new();
+        let mut cursor = u.cursor(&stack);
+        let (stepped, matched) = cursor.step_until(|f| f.symbol.as_ref() == "op_entry");
+        assert_eq!(
+            stepped.iter().map(|f| f.symbol.as_ref()).collect::<Vec<_>>(),
+            vec!["launch", "helper"]
+        );
+        assert_eq!(matched.unwrap().symbol.as_ref(), "op_entry");
+        // Only 3 steps: launch, helper, op_entry — main untouched.
+        assert_eq!(u.steps_taken(), 3);
+    }
+
+    #[test]
+    fn step_until_without_match_reaches_root() {
+        let stack = stack_of(&["main", "launch"]);
+        let u = Unwinder::new();
+        let mut cursor = u.cursor(&stack);
+        let (stepped, matched) = cursor.step_until(|_| false);
+        assert_eq!(stepped.len(), 2);
+        assert!(matched.is_none());
+    }
+
+    #[test]
+    fn guards_pop_on_drop() {
+        let s = Arc::new(NativeStack::new());
+        {
+            let _g = NativeFrameGuard::enter(&s, NativeFrameInfo::new("lib.so", 1, "f"));
+            assert_eq!(s.depth(), 1);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reset_counters_zeroes() {
+        let stack = stack_of(&["a"]);
+        let u = Unwinder::new();
+        u.backtrace(&stack);
+        assert!(u.steps_taken() > 0);
+        u.reset_counters();
+        assert_eq!(u.steps_taken(), 0);
+        assert_eq!(u.unwinds_started(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Symbol and line-number resolution (the ELF-symtab / DWARF substitute).
+//!
+//! The performance analyzer "initializes the analysis environment by
+//! retrieving function symbols from binaries ... and maps GPU/CPU
+//! instructions back to the source code using the DWARF information"
+//! (paper §4.3). [`SymbolTable`] plays the symtab role; [`LineMap`] plays
+//! DWARF's line table role.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A function registered in the simulated symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Demangled function name.
+    pub name: Arc<str>,
+    /// Containing library path.
+    pub library: Arc<str>,
+    /// Entry address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl FunctionInfo {
+    /// Whether `pc` falls inside this function.
+    pub fn contains(&self, pc: u64) -> bool {
+        pc >= self.addr && pc < self.addr + self.size
+    }
+}
+
+/// Process-wide function symbol table.
+#[derive(Default)]
+pub struct SymbolTable {
+    functions: RwLock<Vec<FunctionInfo>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers a function symbol and returns its info.
+    pub fn register(&self, name: &str, library: &str, addr: u64, size: u64) -> FunctionInfo {
+        let info = FunctionInfo {
+            name: Arc::from(name),
+            library: Arc::from(library),
+            addr,
+            size,
+        };
+        self.functions.write().push(info.clone());
+        info
+    }
+
+    /// Resolves a PC to the containing function.
+    pub fn resolve(&self, pc: u64) -> Option<FunctionInfo> {
+        self.functions.read().iter().find(|f| f.contains(pc)).cloned()
+    }
+
+    /// Finds a function by exact name.
+    pub fn by_name(&self, name: &str) -> Option<FunctionInfo> {
+        self.functions
+            .read()
+            .iter()
+            .find(|f| f.name.as_ref() == name)
+            .cloned()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("functions", &self.len())
+            .finish()
+    }
+}
+
+/// DWARF-like mapping from PC ranges to source file/line.
+#[derive(Default)]
+pub struct LineMap {
+    entries: RwLock<Vec<(u64, u64, Arc<str>, u32)>>,
+}
+
+impl LineMap {
+    /// Creates an empty map.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Maps `[addr, addr+size)` to `file:line`.
+    pub fn add(&self, addr: u64, size: u64, file: &str, line: u32) {
+        self.entries.write().push((addr, size, Arc::from(file), line));
+    }
+
+    /// Resolves a PC to (file, line).
+    pub fn resolve(&self, pc: u64) -> Option<(Arc<str>, u32)> {
+        self.entries
+            .read()
+            .iter()
+            .find(|(a, s, _, _)| pc >= *a && pc < *a + *s)
+            .map(|(_, _, f, l)| (Arc::clone(f), *l))
+    }
+
+    /// Number of line entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for LineMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineMap").field("entries", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_finds_containing_function() {
+        let t = SymbolTable::new();
+        t.register("conv2d_forward", "/lib/libtorch.so", 0x100, 0x40);
+        t.register("relu_forward", "/lib/libtorch.so", 0x140, 0x20);
+        assert_eq!(t.resolve(0x100).unwrap().name.as_ref(), "conv2d_forward");
+        assert_eq!(t.resolve(0x13f).unwrap().name.as_ref(), "conv2d_forward");
+        assert_eq!(t.resolve(0x140).unwrap().name.as_ref(), "relu_forward");
+        assert!(t.resolve(0x160).is_none());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let t = SymbolTable::new();
+        t.register("memcpy", "/lib/libc.so", 0x10, 0x10);
+        assert!(t.by_name("memcpy").is_some());
+        assert!(t.by_name("memmove").is_none());
+    }
+
+    #[test]
+    fn line_map_resolution() {
+        let m = LineMap::new();
+        m.add(0x100, 0x10, "conv.cpp", 42);
+        m.add(0x110, 0x10, "conv.cpp", 57);
+        let (file, line) = m.resolve(0x105).unwrap();
+        assert_eq!(file.as_ref(), "conv.cpp");
+        assert_eq!(line, 42);
+        assert_eq!(m.resolve(0x110).unwrap().1, 57);
+        assert!(m.resolve(0x200).is_none());
+    }
+}

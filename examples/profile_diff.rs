@@ -1,0 +1,50 @@
+//! Profile differencing: the §6.5/§6.6 comparison workflow as a
+//! first-class API. Profiles U-Net on both Table 2 platforms and prints
+//! the contexts with the largest GPU-time changes — the norm template
+//! regression surfaces at the top.
+//!
+//! ```text
+//! cargo run --release --example profile_diff
+//! ```
+
+use deepcontext::analyzer::ProfileDiff;
+use deepcontext::prelude::*;
+
+fn profile(spec: DeviceSpec) -> Result<ProfileDb, Box<dyn std::error::Error>> {
+    let platform = spec.platform_tag();
+    let bed = TestBed::new(spec);
+    let monitor = DlMonitor::init(bed.env(), Interner::new());
+    monitor.attach_framework(bed.eager().core().callbacks());
+    monitor.attach_gpu(bed.gpu());
+    let profiler = Profiler::attach(
+        ProfilerConfig::deepcontext(),
+        bed.env(),
+        &monitor,
+        bed.gpu(),
+    );
+    bed.run_eager(&UNet, &WorkloadOptions::default(), 2)?;
+    Ok(profiler.finish(ProfileMeta {
+        workload: "unet".into(),
+        platform,
+        ..Default::default()
+    }))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nvidia = profile(DeviceSpec::a100_sxm())?;
+    let amd = profile(DeviceSpec::mi250())?;
+
+    let diff = ProfileDiff::compare(&nvidia, &amd, MetricKind::GpuTime);
+    println!("U-Net GPU time, nvidia-a100 (baseline) vs amd-mi250 (candidate):\n");
+    print!("{}", diff.render_top(8));
+
+    println!("\nlargest regressions on MI250:");
+    for entry in diff.regressions().take(3) {
+        println!("  {:+.1}%  {}", (entry.ratio() - 1.0) * 100.0, entry.path);
+    }
+    println!("\nlargest improvements on MI250:");
+    for entry in diff.improvements().take(3) {
+        println!("  {:+.1}%  {}", (entry.ratio() - 1.0) * 100.0, entry.path);
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: profile a workload end to end and print the analysis.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds an A100 test bed, attaches DLMonitor and the profiler, runs
+//! three training iterations of DLRM-small, then prints the top-down
+//! flame graph and the analyzer's findings — including the §6.1
+//! `aten::index` backward abnormality.
+
+use deepcontext::prelude::*;
+use deepcontext_flamegraph::AsciiOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated evaluation platform with eager + JIT engines.
+    let bed = TestBed::new(DeviceSpec::a100_sxm());
+
+    // 2. dlmonitor_init + attach interception to the framework and GPU.
+    let monitor = DlMonitor::init(bed.env(), Interner::new());
+    monitor.attach_framework(bed.eager().core().callbacks());
+    monitor.attach_gpu(bed.gpu());
+
+    // 3. Attach the profiler (Python + framework + native call paths).
+    let profiler = Profiler::attach(
+        ProfilerConfig::deepcontext_native(),
+        bed.env(),
+        &monitor,
+        bed.gpu(),
+    );
+
+    // 4. Run the workload.
+    let stats = bed.run_eager(&DlrmSmall, &WorkloadOptions::default(), 3)?;
+    println!(
+        "ran {} iterations: {} kernels, {} GPU busy, {} wall",
+        stats.iterations, stats.kernels, stats.gpu_busy, stats.wall
+    );
+
+    // 5. Finish the profile and analyze it.
+    let db = profiler.finish(ProfileMeta {
+        workload: "dlrm-small".into(),
+        framework: "eager".into(),
+        platform: "nvidia-a100".into(),
+        iterations: 3,
+        extra: vec![],
+    });
+    let report = Analyzer::with_default_rules().analyze(&db);
+
+    println!("\n=== top-down flame graph (GPU time) ===");
+    let mut flame = FlameGraph::top_down(db.cct(), MetricKind::GpuTime);
+    flame.highlight_hotspots(0.2);
+    flame.annotate(&report);
+    print!(
+        "{}",
+        flame.to_ascii(&AsciiOptions {
+            min_share: 0.03,
+            ..Default::default()
+        })
+    );
+
+    println!("\n=== analyzer report ===");
+    print!("{report}");
+
+    // 6. Persist the profile.
+    let mut buf = Vec::new();
+    db.save(&mut buf)?;
+    println!("profile database: {} bytes", buf.len());
+    Ok(())
+}
