@@ -188,7 +188,9 @@ mod tests {
         assert_eq!(top.ratio(), 3.0);
         assert_eq!(diff.totals(), (140.0, 200.0));
         assert!(diff.regressions().any(|e| e.path.contains("batch_norm")));
-        assert!(diff.improvements().any(|e| e.path.contains("implicit_gemm")));
+        assert!(diff
+            .improvements()
+            .any(|e| e.path.contains("implicit_gemm")));
     }
 
     #[test]

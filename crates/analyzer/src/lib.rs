@@ -121,7 +121,14 @@ impl Analyzer {
 impl std::fmt::Debug for Analyzer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Analyzer")
-            .field("rules", &self.rules.iter().map(|r| r.name().to_owned()).collect::<Vec<_>>())
+            .field(
+                "rules",
+                &self
+                    .rules
+                    .iter()
+                    .map(|r| r.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

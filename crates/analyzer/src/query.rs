@@ -50,9 +50,10 @@ impl FrameMatcher {
         match self {
             FrameMatcher::Kind(kind) => frame.kind() == *kind,
             FrameMatcher::NameContains(s) => view.label(node).contains(s.as_str()),
-            FrameMatcher::OperatorNamed(name) => {
-                view.operator_name(node).map(|n| n == *name).unwrap_or(false)
-            }
+            FrameMatcher::OperatorNamed(name) => view
+                .operator_name(node)
+                .map(|n| n == *name)
+                .unwrap_or(false),
             FrameMatcher::Phase(phase) => view.operator_phase(node) == Some(*phase),
             FrameMatcher::Semantic(class) => semantic_matches(view, node, frame, *class),
             FrameMatcher::MetricAtLeast(kind, min) => view.sum(node, *kind) >= *min,

@@ -28,7 +28,10 @@ impl AnalysisReport {
 
     /// Issues at or above a severity.
     pub fn at_least(&self, severity: Severity) -> Vec<&Issue> {
-        self.issues.iter().filter(|i| i.severity >= severity).collect()
+        self.issues
+            .iter()
+            .filter(|i| i.severity >= severity)
+            .collect()
     }
 
     /// Number of issues.

@@ -523,9 +523,7 @@ impl Rule for CpuLatencyRule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepcontext_core::{
-        CallingContextTree, Frame, NodeId, ProfileDb, ProfileMeta,
-    };
+    use deepcontext_core::{CallingContextTree, Frame, NodeId, ProfileDb, ProfileMeta};
 
     fn view_of(cct: CallingContextTree) -> ProfileDb {
         ProfileDb::new(ProfileMeta::default(), cct)
@@ -558,7 +556,9 @@ mod tests {
     #[test]
     fn hotspot_empty_profile_is_silent() {
         let db = view_of(CallingContextTree::new());
-        assert!(HotspotRule::default().analyze(&ProfileView::new(&db)).is_empty());
+        assert!(HotspotRule::default()
+            .analyze(&ProfileView::new(&db))
+            .is_empty());
     }
 
     #[test]
@@ -592,14 +592,21 @@ mod tests {
             cct.attribute(hot, MetricKind::GpuTime, 5.0e6); // 5ms each
         }
         let db = view_of(cct);
-        assert!(KernelFusionRule::default().analyze(&ProfileView::new(&db)).is_empty());
+        assert!(KernelFusionRule::default()
+            .analyze(&ProfileView::new(&db))
+            .is_empty());
     }
 
     #[test]
     fn fwd_bwd_flags_index_abnormality_with_suggestion() {
         let mut cct = CallingContextTree::new();
         let fwd = kernel_path(&mut cct, "aten::index", "index_kernel", OpPhase::Forward);
-        let bwd = kernel_path(&mut cct, "aten::index", "indexing_backward_kernel", OpPhase::Backward);
+        let bwd = kernel_path(
+            &mut cct,
+            "aten::index",
+            "indexing_backward_kernel",
+            OpPhase::Backward,
+        );
         cct.attribute(fwd, MetricKind::GpuTime, 0.6e9); // 0.8% like the paper
         cct.attribute(bwd, MetricKind::GpuTime, 30.5e9); // 39.6%
         let db = view_of(cct);
@@ -618,7 +625,9 @@ mod tests {
         cct.attribute(fwd, MetricKind::GpuTime, 1.0e9);
         cct.attribute(bwd, MetricKind::GpuTime, 1.8e9);
         let db = view_of(cct);
-        assert!(FwdBwdRule::default().analyze(&ProfileView::new(&db)).is_empty());
+        assert!(FwdBwdRule::default()
+            .analyze(&ProfileView::new(&db))
+            .is_empty());
     }
 
     #[test]
@@ -651,7 +660,9 @@ mod tests {
         let kernel = kernel_path(&mut cct, "aten::matmul", "sgemm", OpPhase::Forward);
         cct.attribute(kernel, MetricKind::GpuTime, 1.0e9);
         let db = view_of(cct);
-        assert!(StallRule::default().analyze(&ProfileView::new(&db)).is_empty());
+        assert!(StallRule::default()
+            .analyze(&ProfileView::new(&db))
+            .is_empty());
     }
 
     #[test]
@@ -662,10 +673,14 @@ mod tests {
         // (GPU-bound), so `train` itself is balanced and the rule should
         // descend to the loader frame — and stop there.
         let train = cct.insert_path(&[Frame::python("train.py", 2, "train", &i)]);
-        let loader =
-            cct.insert_child(train, &Frame::python("input_pipeline.py", 88, "data_selection", &i));
-        let inner =
-            cct.insert_child(loader, &Frame::python("input_pipeline.py", 99, "decode", &i));
+        let loader = cct.insert_child(
+            train,
+            &Frame::python("input_pipeline.py", 88, "data_selection", &i),
+        );
+        let inner = cct.insert_child(
+            loader,
+            &Frame::python("input_pipeline.py", 99, "decode", &i),
+        );
         cct.attribute(inner, MetricKind::CpuTime, 69.0e9);
         let op = cct.insert_child(train, &Frame::operator("aten::conv2d", &i));
         let kernel = cct.insert_child(op, &Frame::gpu_kernel("implicit_gemm", "m.so", 0x100, &i));
@@ -687,6 +702,8 @@ mod tests {
         let py = cct.path_to_root(node)[1];
         cct.attribute_exclusive(py, MetricKind::CpuTime, 2.0e6);
         let db = view_of(cct);
-        assert!(CpuLatencyRule::default().analyze(&ProfileView::new(&db)).is_empty());
+        assert!(CpuLatencyRule::default()
+            .analyze(&ProfileView::new(&db))
+            .is_empty());
     }
 }

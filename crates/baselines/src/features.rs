@@ -114,7 +114,14 @@ pub fn render_table1() -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<18}{:<8}{:<11}{:<6}{:<8}{:<12}{:<18}{:<14}\n",
-        headers[0], headers[1], headers[2], headers[3], headers[4], headers[5], headers[6], headers[7]
+        headers[0],
+        headers[1],
+        headers[2],
+        headers[3],
+        headers[4],
+        headers[5],
+        headers[6],
+        headers[7]
     ));
     let mark = |b: bool| if b { "yes" } else { "-" };
     for r in rows {
@@ -161,7 +168,13 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let text = render_table1();
-        for name in ["Nsight Systems", "RocTracer", "JAX profiler", "PyTorch profiler", "DeepContext"] {
+        for name in [
+            "Nsight Systems",
+            "RocTracer",
+            "JAX profiler",
+            "PyTorch profiler",
+            "DeepContext",
+        ] {
             assert!(text.contains(name));
         }
         assert_eq!(text.lines().count(), 6);

@@ -82,7 +82,10 @@ impl std::fmt::Display for ExportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExportError::OutOfMemory { used, budget } => {
-                write!(f, "trace export out of memory: {used} bytes used, budget {budget}")
+                write!(
+                    f,
+                    "trace export out of memory: {used} bytes used, budget {budget}"
+                )
             }
             ExportError::Io(e) => write!(f, "trace export failed: {e}"),
         }
@@ -129,7 +132,11 @@ impl TraceProfiler {
 
     /// Attaches to a framework's operator callbacks: every op enter/exit
     /// becomes a trace event with metadata.
-    pub fn attach_framework(&mut self, callbacks: &Arc<CallbackRegistry>, clock: deepcontext_core::VirtualClock) {
+    pub fn attach_framework(
+        &mut self,
+        callbacks: &Arc<CallbackRegistry>,
+        clock: deepcontext_core::VirtualClock,
+    ) {
         let events = Arc::clone(&self.events);
         let bytes = Arc::clone(&self.bytes);
         let style = self.style;
@@ -184,13 +191,20 @@ impl TraceProfiler {
         gpu.set_activity_handler(move |batch: Vec<Activity>| {
             for activity in batch {
                 let (kind, name, ts, dur) = match &activity.kind {
-                    ActivityKind::Kernel { name, start, end, .. } => (
+                    ActivityKind::Kernel {
+                        name, start, end, ..
+                    } => (
                         TraceEventKind::Kernel,
                         Arc::clone(name),
                         *start,
                         Some(*end - *start),
                     ),
-                    ActivityKind::Memcpy { bytes: b, start, end, .. } => (
+                    ActivityKind::Memcpy {
+                        bytes: b,
+                        start,
+                        end,
+                        ..
+                    } => (
                         TraceEventKind::Memcpy,
                         Arc::from(format!("memcpy {b}B").as_str()),
                         *start,
@@ -234,7 +248,10 @@ impl TraceProfiler {
 
     fn record_batch(&self, batch: Vec<Activity>) {
         for activity in batch {
-            if let ActivityKind::Kernel { name, start, end, .. } = &activity.kind {
+            if let ActivityKind::Kernel {
+                name, start, end, ..
+            } = &activity.kind
+            {
                 let event = TraceEvent {
                     kind: TraceEventKind::Kernel,
                     name: Arc::clone(name),
@@ -244,7 +261,8 @@ impl TraceProfiler {
                     correlation: Some(activity.correlation_id.0),
                     metadata: String::new(),
                 };
-                self.bytes.fetch_add(event.approx_bytes(), Ordering::Relaxed);
+                self.bytes
+                    .fetch_add(event.approx_bytes(), Ordering::Relaxed);
                 self.events.lock().push(event);
             }
         }

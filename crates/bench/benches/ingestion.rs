@@ -1,0 +1,41 @@
+//! Multi-threaded ingestion throughput: the sharded pipeline vs the
+//! pre-refactor single-lock pipeline at 1/2/4/8 producer threads.
+//!
+//! The measured unit is one full producer run — every thread binds its
+//! launches and delivers its activity batches into a fresh sink — so the
+//! reported time includes both lock contention (multi-core hosts) and the
+//! baseline's O(batch²) prune scan (any host).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use deepcontext_bench::ingestion::{producer_stream, run_ingestion, IngestionEvent, SinkKind};
+use deepcontext_core::Interner;
+
+const OPS_PER_THREAD: usize = 4_096;
+
+fn bench_ingestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingestion");
+    let interner = Interner::new();
+    let streams: Vec<Vec<IngestionEvent>> = (0..8)
+        .map(|p| producer_stream(&interner, p, OPS_PER_THREAD))
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        for kind in [SinkKind::SingleLock, SinkKind::Sharded(16)] {
+            let id = BenchmarkId::new(kind.label(), format!("{threads}t"));
+            let interner = &interner;
+            let streams = &streams;
+            group.bench_with_input(id, &threads, |b, &threads| {
+                b.iter_batched(
+                    || (),
+                    |()| run_ingestion(interner, streams, threads, kind),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

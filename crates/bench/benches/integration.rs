@@ -22,7 +22,7 @@ fn input(py_depth: usize, native_depth: usize) -> IntegrationInput {
         (0..native_depth).map(|i| NativeFrameInfo::new("libtorch.so", 0x100 + i as u64, "impl")),
     );
     let native_is_python: Vec<bool> = std::iter::once(true)
-        .chain(std::iter::repeat(false).take(native_depth))
+        .chain(std::iter::repeat_n(false, native_depth))
         .collect();
     IntegrationInput {
         python,

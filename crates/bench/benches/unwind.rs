@@ -65,7 +65,9 @@ fn bench_unwind(c: &mut Criterion) {
                 .collect();
             let x = TensorMeta::new([1 << 12]);
             b.iter(|| {
-                rig.engine.op(Op::new(OpKind::Relu), std::slice::from_ref(&x)).unwrap()
+                rig.engine
+                    .op(Op::new(OpKind::Relu), std::slice::from_ref(&x))
+                    .unwrap()
             });
         });
     }
@@ -74,7 +76,11 @@ fn bench_unwind(c: &mut Criterion) {
         let env = RuntimeEnv::new();
         let t = env.threads().spawn(ThreadRole::Main);
         for i in 0..30 {
-            t.native().push(sim_runtime::NativeFrameInfo::new("lib.so", 0x100 + i, "frame"));
+            t.native().push(sim_runtime::NativeFrameInfo::new(
+                "lib.so",
+                0x100 + i,
+                "frame",
+            ));
         }
         b.iter(|| env.unwinder().backtrace(t.native()));
     });

@@ -1,0 +1,90 @@
+//! Emits `BENCH_ingestion.json`: the sharded-vs-single-lock ingestion
+//! throughput matrix at 1/2/4/8 producer threads, so future changes to
+//! the hot path have a perf trajectory to compare against.
+//!
+//! The baseline is a faithful reproduction of the pre-refactor pipeline
+//! (global tree mutex + correlation mutex per record, `Vec`-scan prune);
+//! the contender is the sharded sink the profiler now uses by default.
+//!
+//! Run from the repo root: `cargo run --release -p deepcontext-bench
+//! --bin bench_ingestion`.
+
+use std::io::Write;
+
+use deepcontext_bench::ingestion::{throughput_matrix, IngestionPoint, SinkKind, BATCH};
+
+const OPS_PER_THREAD: usize = 30_000;
+const REPEATS: usize = 5;
+
+fn point_for(points: &[IngestionPoint], threads: usize, kind: SinkKind) -> &IngestionPoint {
+    points
+        .iter()
+        .find(|p| p.threads == threads && p.kind == kind)
+        .expect("measured point")
+}
+
+fn main() {
+    let thread_counts = [1usize, 2, 4, 8];
+    let kinds = [SinkKind::SingleLock, SinkKind::Sharded(16)];
+    eprintln!(
+        "measuring ingestion throughput ({OPS_PER_THREAD} events/thread, best of {REPEATS})..."
+    );
+    let points = throughput_matrix(&thread_counts, &kinds, OPS_PER_THREAD, REPEATS);
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingestion\",\n");
+    json.push_str("  \"unit\": \"events_per_sec\",\n");
+    json.push_str("  \"baseline\": \"pre-refactor single-lock pipeline\",\n");
+    json.push_str(&format!("  \"ops_per_thread\": {OPS_PER_THREAD},\n"));
+    json.push_str(&format!("  \"batch\": {BATCH},\n"));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {host_threads},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"sink\": \"{}\", \"events_per_sec\": {:.0}}}{}\n",
+            p.threads,
+            p.kind.label(),
+            p.events_per_sec,
+            sep
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_sharded_vs_single_lock\": {\n");
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let single = point_for(&points, threads, SinkKind::SingleLock).events_per_sec;
+        let sharded = point_for(&points, threads, SinkKind::Sharded(16)).events_per_sec;
+        let sep = if i + 1 == thread_counts.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!(
+            "    \"{}t\": {:.2}{}\n",
+            threads,
+            sharded / single,
+            sep
+        ));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::File::create("BENCH_ingestion.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_ingestion.json");
+    print!("{json}");
+
+    let single_8 = point_for(&points, 8, SinkKind::SingleLock).events_per_sec;
+    let sharded_8 = point_for(&points, 8, SinkKind::Sharded(16)).events_per_sec;
+    eprintln!(
+        "8-thread speedup: {:.2}x (sharded {:.0}/s vs single-lock {:.0}/s)",
+        sharded_8 / single_8,
+        sharded_8,
+        single_8
+    );
+}

@@ -48,7 +48,12 @@ fn main() {
     show("Nvidia A100 (expected hotspot: aten::conv2d)", &nv);
     show("AMD MI250 (abnormal hotspot: aten::instance_norm)", &amd);
 
-    let top = |db: &ProfileDb| operator_times(db).first().map(|(n, _)| n.clone()).unwrap_or_default();
+    let top = |db: &ProfileDb| {
+        operator_times(db)
+            .first()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default()
+    };
     println!(
         "\ntop operator: nvidia={}, amd={} (paper: conv2d vs instance_norm)",
         top(&nv),

@@ -74,7 +74,14 @@ fn main() {
                 "dcnat_mem_x"
             );
             for workload in all_workloads() {
-                let base = measure(spec, workload.as_ref(), &opts, *engine, ProfilerKind::None, iters);
+                let base = measure(
+                    spec,
+                    workload.as_ref(),
+                    &opts,
+                    *engine,
+                    ProfilerKind::None,
+                    iters,
+                );
                 let base_ms = base.real.as_secs_f64() * 1e3;
                 let mut time_cols = Vec::new();
                 let mut mem_cols = Vec::new();

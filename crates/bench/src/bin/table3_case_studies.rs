@@ -18,32 +18,79 @@ use sim_gpu::DeviceSpec;
 
 const ITERS: u32 = 5;
 
-fn gpu_speedup(workload: &dyn Workload, before: &WorkloadOptions, after: &WorkloadOptions) -> (f64, f64, f64) {
+fn gpu_speedup(
+    workload: &dyn Workload,
+    before: &WorkloadOptions,
+    after: &WorkloadOptions,
+) -> (f64, f64, f64) {
     let nv = DeviceSpec::a100_sxm();
-    let slow = measure(&nv, workload, before, EngineKind::Eager, ProfilerKind::None, ITERS);
-    let fast = measure(&nv, workload, after, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let slow = measure(
+        &nv,
+        workload,
+        before,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
+    let fast = measure(
+        &nv,
+        workload,
+        after,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
     let b = slow.stats.gpu_busy.as_secs_f64();
     let a = fast.stats.gpu_busy.as_secs_f64();
     (b, a, b / a)
 }
 
-fn wall_speedup(workload: &dyn Workload, before: &WorkloadOptions, after: &WorkloadOptions) -> (f64, f64, f64) {
+fn wall_speedup(
+    workload: &dyn Workload,
+    before: &WorkloadOptions,
+    after: &WorkloadOptions,
+) -> (f64, f64, f64) {
     let nv = DeviceSpec::a100_sxm();
-    let slow = measure(&nv, workload, before, EngineKind::Eager, ProfilerKind::None, ITERS);
-    let fast = measure(&nv, workload, after, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let slow = measure(
+        &nv,
+        workload,
+        before,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
+    let fast = measure(
+        &nv,
+        workload,
+        after,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
     let b = slow.stats.wall.as_secs_f64();
     let a = fast.stats.wall.as_secs_f64();
     (b, a, b / a)
 }
 
 fn analyzer_findings(workload: &dyn Workload, opts: &WorkloadOptions, rule: &str) -> Vec<String> {
-    let db = deepcontext_profile(&DeviceSpec::a100_sxm(), workload, opts, EngineKind::Eager, 3);
+    let db = deepcontext_profile(
+        &DeviceSpec::a100_sxm(),
+        workload,
+        opts,
+        EngineKind::Eager,
+        3,
+    );
     let report = Analyzer::with_default_rules().analyze(&db);
     report
         .by_rule(rule)
         .iter()
         .take(2)
-        .map(|i| format!("    finding: {}\n    suggestion: {}", i.message, i.suggestion))
+        .map(|i| {
+            format!(
+                "    finding: {}\n    suggestion: {}",
+                i.message, i.suggestion
+            )
+        })
         .collect()
 }
 
@@ -52,7 +99,10 @@ fn case_dlrm_index() {
     for f in analyzer_findings(&DlrmSmall, &WorkloadOptions::default(), "fwd-bwd") {
         println!("{f}");
     }
-    let fixed = WorkloadOptions { use_index_select: true, ..Default::default() };
+    let fixed = WorkloadOptions {
+        use_index_select: true,
+        ..Default::default()
+    };
     let (b, a, s) = gpu_speedup(&DlrmSmall, &WorkloadOptions::default(), &fixed);
     println!("    optimization: replace aten::index with aten::index_select");
     println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 73.2s -> 44.0s, 1.66x)");
@@ -60,7 +110,10 @@ fn case_dlrm_index() {
 
 fn case_gnn_index() {
     println!("\n[gnn-index] GNN / OGBG-MOLPCBA — Forward/Backward Operator Analysis (client 3)");
-    let fixed = WorkloadOptions { use_index_select: true, ..Default::default() };
+    let fixed = WorkloadOptions {
+        use_index_select: true,
+        ..Default::default()
+    };
     let (b, a, s) = gpu_speedup(&Gnn, &WorkloadOptions::default(), &fixed);
     println!("    optimization: replace aten::index with aten::index_select");
     println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 3.97s -> 3.71s, 1.07x)");
@@ -71,7 +124,10 @@ fn case_unet_layout() {
     for f in analyzer_findings(&UNet, &WorkloadOptions::default(), "hotspot") {
         println!("{f}");
     }
-    let fixed = WorkloadOptions { channels_last: true, ..Default::default() };
+    let fixed = WorkloadOptions {
+        channels_last: true,
+        ..Default::default()
+    };
     let (b, a, s) = gpu_speedup(&UNet, &WorkloadOptions::default(), &fixed);
     println!("    optimization: store tensors channels_last, avoid nchw<->nhwc conversions");
     println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 54s -> 42s e2e, 1.28x)");
@@ -82,7 +138,10 @@ fn case_unet_workers() {
     for f in analyzer_findings(&UNet, &WorkloadOptions::default(), "cpu-latency") {
         println!("{f}");
     }
-    let fixed = WorkloadOptions { dataloader_workers: 8, ..Default::default() };
+    let fixed = WorkloadOptions {
+        dataloader_workers: 8,
+        ..Default::default()
+    };
     let (b, a, s) = wall_speedup(&UNet, &WorkloadOptions::default(), &fixed);
     println!("    optimization: match worker count (16 -> 8) to the 6 physical cores");
     println!("    end-to-end {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 54s -> 47s, 1.15x)");
@@ -90,13 +149,22 @@ fn case_unet_workers() {
 
 fn case_transformer_fusion() {
     println!("\n[transformer-fusion] Transformer-Big / WMT — Kernel Fusion Analysis (client 2)");
-    for f in analyzer_findings(&TransformerBig, &WorkloadOptions::default(), "kernel-fusion") {
+    for f in analyzer_findings(
+        &TransformerBig,
+        &WorkloadOptions::default(),
+        "kernel-fusion",
+    ) {
         println!("{f}");
     }
-    let fixed = WorkloadOptions { fused_loss: true, ..Default::default() };
+    let fixed = WorkloadOptions {
+        fused_loss: true,
+        ..Default::default()
+    };
     let (b, a, s) = gpu_speedup(&TransformerBig, &WorkloadOptions::default(), &fixed);
     println!("    optimization: fuse the loss's softmax/copy/nll_loss kernels");
-    println!("    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 30.5s -> 23.9s GPU, 1.06x e2e)");
+    println!(
+        "    GPU time {b:.3}s -> {a:.3}s  speedup {s:.2}x (paper: 30.5s -> 23.9s GPU, 1.06x e2e)"
+    );
 }
 
 fn case_llama_stalls() {
@@ -136,14 +204,30 @@ fn case_llama_stalls() {
         println!("    finding: {}", issue.message);
         println!("    suggestion: {}", issue.suggestion);
     }
-    println!("    (paper: constant-memory misses + math-dependency stalls in torch.to; N/A speedup)");
+    println!(
+        "    (paper: constant-memory misses + math-dependency stalls in torch.to; N/A speedup)"
+    );
 }
 
 fn case_unet_cta() {
     println!("\n[unet-cta] UNet on AMD vs Nvidia — Hotspot Identification (client 1)");
     let opts = WorkloadOptions::default();
-    let nv = measure(&DeviceSpec::a100_sxm(), &UNet, &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
-    let amd = measure(&DeviceSpec::mi250(), &UNet, &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let nv = measure(
+        &DeviceSpec::a100_sxm(),
+        &UNet,
+        &opts,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
+    let amd = measure(
+        &DeviceSpec::mi250(),
+        &UNet,
+        &opts,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
     println!(
         "    default 512-thread CTA template: NV GPU {:.3}s, AMD GPU {:.3}s ({:.2}x slower on AMD)",
         nv.stats.gpu_busy.as_secs_f64(),
@@ -155,7 +239,14 @@ fn case_unet_cta() {
         norm_threads_per_block: Some(1024),
         ..Default::default()
     };
-    let amd_tuned = measure(&DeviceSpec::mi250(), &UNet, &tuned, EngineKind::Eager, ProfilerKind::None, ITERS);
+    let amd_tuned = measure(
+        &DeviceSpec::mi250(),
+        &UNet,
+        &tuned,
+        EngineKind::Eager,
+        ProfilerKind::None,
+        ITERS,
+    );
     println!(
         "    1024-thread CTAs on AMD: {:.3}s ({:.2}x vs default) — adjust CTA size per architecture",
         amd_tuned.stats.gpu_busy.as_secs_f64(),
@@ -174,8 +265,22 @@ fn case_jax_vs_pytorch() {
     for name in ["dlrm-small", "unet", "gnn", "resnet"] {
         let w = dl_models::workload_by_name(name).expect("workload");
         let nv = DeviceSpec::a100_sxm();
-        let eager = measure(&nv, w.as_ref(), &opts, EngineKind::Eager, ProfilerKind::None, ITERS);
-        let jit = measure(&nv, w.as_ref(), &opts, EngineKind::Jit, ProfilerKind::None, ITERS);
+        let eager = measure(
+            &nv,
+            w.as_ref(),
+            &opts,
+            EngineKind::Eager,
+            ProfilerKind::None,
+            ITERS,
+        );
+        let jit = measure(
+            &nv,
+            w.as_ref(),
+            &opts,
+            EngineKind::Jit,
+            ProfilerKind::None,
+            ITERS,
+        );
         println!(
             "    {:<14}{:>14}{:>14}{:>12.3}{:>12.3}",
             name,

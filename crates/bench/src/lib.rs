@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ingestion;
+
 use std::time::{Duration, Instant};
 
 use deepcontext_baselines::{TraceProfiler, TraceStyle};
@@ -243,7 +245,10 @@ mod tests {
             }
             assert_eq!(
                 run.profile.is_some(),
-                matches!(kind, ProfilerKind::DeepContext | ProfilerKind::DeepContextNative)
+                matches!(
+                    kind,
+                    ProfilerKind::DeepContext | ProfilerKind::DeepContextNative
+                )
             );
         }
     }

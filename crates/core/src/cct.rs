@@ -235,18 +235,32 @@ impl CallingContextTree {
     /// All node ids whose frame kind is `kind` (e.g. every GPU kernel node,
     /// the `call_tree.kernels` accessor of the paper's analysis snippets).
     pub fn nodes_of_kind(&self, kind: FrameKind) -> Vec<NodeId> {
-        self.dfs().filter(|id| self.node(*id).frame.kind() == kind).collect()
+        self.dfs()
+            .filter(|id| self.node(*id).frame.kind() == kind)
+            .collect()
     }
 
     /// All leaf node ids.
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.dfs().filter(|id| self.node(*id).children.is_empty()).collect()
+        self.dfs()
+            .filter(|id| self.node(*id).children.is_empty())
+            .collect()
     }
 
     /// Merges `other` into `self`: contexts are unified by collapse keys and
-    /// metric aggregates are merged. Used to combine per-thread trees.
-    pub fn merge(&mut self, other: &CallingContextTree) {
-        // Map other's node ids to ours, walking other's tree top-down.
+    /// metric aggregates (inclusive and exclusive alike — both live in the
+    /// per-node [`MetricStore`]) are merged node-wise, so exclusive metrics
+    /// stay on their node and never propagate root-ward.
+    ///
+    /// Returns the node mapping: entry `i` is the id in `self` that
+    /// `other`'s node `i` collapsed into. Callers holding per-tree side
+    /// state keyed by [`NodeId`] — correlation maps in
+    /// [`CctShard`](crate::CctShard), cached hot nodes — remap it through
+    /// this table. Used to fold per-thread/per-stream shards into a master
+    /// tree.
+    pub fn merge(&mut self, other: &CallingContextTree) -> Vec<NodeId> {
+        // Map other's node ids to ours, walking other's tree top-down
+        // (parents always precede children in the node vector).
         let mut mapping: Vec<NodeId> = Vec::with_capacity(other.nodes.len());
         for (idx, node) in other.nodes.iter().enumerate() {
             let my_id = if idx == 0 {
@@ -258,12 +272,20 @@ impl CallingContextTree {
             mapping.push(my_id);
             self.nodes[my_id.index()].metrics.merge(&node.metrics);
         }
+        mapping
     }
 
     /// Approximate resident bytes of the tree: nodes, child index, metric
     /// stores and interned strings. Drives the Figure 6c/6d memory
     /// comparison.
     pub fn approx_bytes(&self) -> usize {
+        self.approx_tree_bytes() + self.interner.approx_bytes()
+    }
+
+    /// Like [`approx_bytes`](Self::approx_bytes) but without the interner,
+    /// which is shared across trees in a profiling session — shard
+    /// accounting sums this per shard and counts the interner once.
+    pub fn approx_tree_bytes(&self) -> usize {
         let node_bytes: usize = self
             .nodes
             .iter()
@@ -275,7 +297,7 @@ impl CallingContextTree {
             .sum();
         let index_bytes = self.child_index.capacity()
             * (std::mem::size_of::<(NodeId, FrameKey)>() + std::mem::size_of::<NodeId>() + 16);
-        node_bytes + index_bytes + self.interner.approx_bytes()
+        node_bytes + index_bytes
     }
 
     /// Renders the tree as an indented listing with one metric column,
@@ -292,7 +314,11 @@ impl CallingContextTree {
             out.push_str("  ");
         }
         let value = node.metrics.sum(kind);
-        out.push_str(&format!("{} [{}={value}]\n", node.frame.label(&self.interner), kind.name()));
+        out.push_str(&format!(
+            "{} [{}={value}]\n",
+            node.frame.label(&self.interner),
+            kind.name()
+        ));
         for &child in &node.children {
             self.render_into(child, depth + 1, kind, out);
         }
@@ -310,18 +336,23 @@ impl CallingContextTree {
         for (idx, (parent, frame, metrics)) in raw.into_iter().enumerate() {
             if idx == 0 {
                 if parent.is_some() || !matches!(frame, Frame::Root) {
-                    return Err(crate::CoreError::parse("first node must be the root".into()));
+                    return Err(crate::CoreError::parse(
+                        "first node must be the root".into(),
+                    ));
                 }
                 tree.nodes[0].metrics = metrics;
                 continue;
             }
-            let parent = parent.ok_or_else(|| crate::CoreError::parse("non-root node without parent".into()))?;
+            let parent = parent
+                .ok_or_else(|| crate::CoreError::parse("non-root node without parent".into()))?;
             if parent.index() >= idx {
                 return Err(crate::CoreError::parse("parent id out of order".into()));
             }
             let id = tree.insert_child(parent, &frame);
             if id.index() != idx {
-                return Err(crate::CoreError::parse("duplicate collapse key in stored tree".into()));
+                return Err(crate::CoreError::parse(
+                    "duplicate collapse key in stored tree".into(),
+                ));
             }
             tree.nodes[id.index()].metrics = metrics;
         }
@@ -365,7 +396,8 @@ impl Iterator for Bfs<'_> {
 
     fn next(&mut self) -> Option<NodeId> {
         let id = self.queue.pop_front()?;
-        self.queue.extend(self.tree.node(id).children.iter().copied());
+        self.queue
+            .extend(self.tree.node(id).children.iter().copied());
         Some(id)
     }
 }
@@ -537,8 +569,18 @@ mod tests {
     fn backward_and_forward_operators_are_distinct_contexts() {
         let mut t = CallingContextTree::new();
         let i = t.interner();
-        let fwd = vec![Frame::operator_with("aten::index", OpPhase::Forward, Some(3), &i)];
-        let bwd = vec![Frame::operator_with("aten::index", OpPhase::Backward, Some(3), &i)];
+        let fwd = vec![Frame::operator_with(
+            "aten::index",
+            OpPhase::Forward,
+            Some(3),
+            &i,
+        )];
+        let bwd = vec![Frame::operator_with(
+            "aten::index",
+            OpPhase::Backward,
+            Some(3),
+            &i,
+        )];
         let f = t.insert_path(&fwd);
         let b = t.insert_path(&bwd);
         assert_ne!(f, b);

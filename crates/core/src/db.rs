@@ -298,7 +298,11 @@ mod tests {
         ]);
         cct.attribute(leaf1, MetricKind::GpuTime, 100.0);
         cct.attribute(leaf2, MetricKind::GpuTime, 900.0);
-        cct.attribute(leaf2, MetricKind::Stall(StallReason::MemoryDependency), 17.0);
+        cct.attribute(
+            leaf2,
+            MetricKind::Stall(StallReason::MemoryDependency),
+            17.0,
+        );
         cct.attribute_exclusive(leaf2, MetricKind::Warps, 64.0);
         ProfileDb::new(
             ProfileMeta {

@@ -119,9 +119,10 @@ impl fmt::Display for OpPhase {
 /// * native / GPU API / GPU kernel frames collapse on (library, PC),
 /// * Python frames collapse on (file, line),
 /// * operator frames collapse on (name, phase).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub enum Frame {
     /// The synthetic process root.
+    #[default]
     Root,
     /// A CPU thread boundary.
     Thread {
@@ -203,7 +204,12 @@ impl Frame {
     }
 
     /// Creates an operator frame with an explicit phase and sequence id.
-    pub fn operator_with(name: &str, phase: OpPhase, seq_id: Option<u64>, interner: &Interner) -> Self {
+    pub fn operator_with(
+        name: &str,
+        phase: OpPhase,
+        seq_id: Option<u64>,
+        interner: &Interner,
+    ) -> Self {
         Frame::Operator {
             name: interner.intern(name),
             phase,
@@ -270,9 +276,21 @@ impl Frame {
             Frame::Thread { tid, role } => FrameKey::Thread { tid, role },
             Frame::Python { file, line, .. } => FrameKey::Python { file, line },
             Frame::Operator { name, phase, .. } => FrameKey::Operator { name, phase },
-            Frame::Native { library, pc, .. } => FrameKey::Code { library, pc, kind: FrameKind::Native },
-            Frame::GpuApi { library, pc, .. } => FrameKey::Code { library, pc, kind: FrameKind::GpuApi },
-            Frame::GpuKernel { module, pc, .. } => FrameKey::Code { library: module, pc, kind: FrameKind::GpuKernel },
+            Frame::Native { library, pc, .. } => FrameKey::Code {
+                library,
+                pc,
+                kind: FrameKind::Native,
+            },
+            Frame::GpuApi { library, pc, .. } => FrameKey::Code {
+                library,
+                pc,
+                kind: FrameKind::GpuApi,
+            },
+            Frame::GpuKernel { module, pc, .. } => FrameKey::Code {
+                library: module,
+                pc,
+                kind: FrameKind::GpuKernel,
+            },
             Frame::Instruction { pc } => FrameKey::Instruction { pc },
         }
     }
@@ -282,10 +300,23 @@ impl Frame {
         match *self {
             Frame::Root => "<root>".to_owned(),
             Frame::Thread { tid, role } => format!("<thread {tid} ({role})>"),
-            Frame::Python { file, line, function } => {
-                format!("{}:{} ({})", interner.resolve(file), line, interner.resolve(function))
+            Frame::Python {
+                file,
+                line,
+                function,
+            } => {
+                format!(
+                    "{}:{} ({})",
+                    interner.resolve(file),
+                    line,
+                    interner.resolve(function)
+                )
             }
-            Frame::Operator { name, phase, seq_id } => {
+            Frame::Operator {
+                name,
+                phase,
+                seq_id,
+            } => {
                 let name = interner.resolve(name);
                 let seq = seq_id.map(|s| format!(" seq={s}")).unwrap_or_default();
                 match phase {
@@ -293,14 +324,30 @@ impl Frame {
                     OpPhase::Backward => format!("{name} [backward]{seq}"),
                 }
             }
-            Frame::Native { library, pc, symbol } => {
-                format!("{} ({}+{pc:#x})", interner.resolve(symbol), interner.resolve(library))
+            Frame::Native {
+                library,
+                pc,
+                symbol,
+            } => {
+                format!(
+                    "{} ({}+{pc:#x})",
+                    interner.resolve(symbol),
+                    interner.resolve(library)
+                )
             }
             Frame::GpuApi { name, library, pc } => {
-                format!("{} ({}+{pc:#x})", interner.resolve(name), interner.resolve(library))
+                format!(
+                    "{} ({}+{pc:#x})",
+                    interner.resolve(name),
+                    interner.resolve(library)
+                )
             }
             Frame::GpuKernel { name, module, pc } => {
-                format!("{} [kernel] ({}+{pc:#x})", interner.resolve(name), interner.resolve(module))
+                format!(
+                    "{} [kernel] ({}+{pc:#x})",
+                    interner.resolve(name),
+                    interner.resolve(module)
+                )
             }
             Frame::Instruction { pc } => format!("pc {pc:#x}"),
         }
@@ -325,12 +372,6 @@ impl Frame {
             Frame::GpuKernel { name, .. } => interner.resolve(name).to_string(),
             Frame::Instruction { pc } => format!("pc_{pc:#x}"),
         }
-    }
-}
-
-impl Default for Frame {
-    fn default() -> Self {
-        Frame::Root
     }
 }
 
@@ -495,14 +536,26 @@ impl Frame {
         match *self {
             Frame::Root => "R".to_owned(),
             Frame::Thread { tid, role } => format!("T\t{tid}\t{}", role_code(role)),
-            Frame::Python { file, line, function } => format!("P\t{}\t{line}\t{}", file.0, function.0),
-            Frame::Operator { name, phase, seq_id } => format!(
+            Frame::Python {
+                file,
+                line,
+                function,
+            } => format!("P\t{}\t{line}\t{}", file.0, function.0),
+            Frame::Operator {
+                name,
+                phase,
+                seq_id,
+            } => format!(
                 "O\t{}\t{}\t{}",
                 name.0,
                 phase_code(phase),
                 seq_id.map(|s| s as i64).unwrap_or(-1)
             ),
-            Frame::Native { library, pc, symbol } => format!("N\t{}\t{pc}\t{}", library.0, symbol.0),
+            Frame::Native {
+                library,
+                pc,
+                symbol,
+            } => format!("N\t{}\t{pc}\t{}", library.0, symbol.0),
             Frame::GpuApi { name, library, pc } => format!("A\t{}\t{}\t{pc}", name.0, library.0),
             Frame::GpuKernel { name, module, pc } => format!("K\t{}\t{}\t{pc}", name.0, module.0),
             Frame::Instruction { pc } => format!("I\t{pc}"),
@@ -531,20 +584,32 @@ impl Frame {
                 let file = Sym(num("file")? as u32);
                 let line = num("line")? as u32;
                 let function = Sym(num("function")? as u32);
-                Frame::Python { file, line, function }
+                Frame::Python {
+                    file,
+                    line,
+                    function,
+                }
             }
             "O" => {
                 let name = Sym(num("name")? as u32);
                 let phase = phase_from_code(num("phase")? as u8)?;
                 let raw = num("seq")? as i64;
                 let seq_id = if raw < 0 { None } else { Some(raw as u64) };
-                Frame::Operator { name, phase, seq_id }
+                Frame::Operator {
+                    name,
+                    phase,
+                    seq_id,
+                }
             }
             "N" => {
                 let library = Sym(num("library")? as u32);
                 let pc = num("pc")?;
                 let symbol = Sym(num("symbol")? as u32);
-                Frame::Native { library, pc, symbol }
+                Frame::Native {
+                    library,
+                    pc,
+                    symbol,
+                }
             }
             "A" => {
                 let name = Sym(num("name")? as u32);
@@ -559,7 +624,11 @@ impl Frame {
                 Frame::GpuKernel { name, module, pc }
             }
             "I" => Frame::Instruction { pc: num("pc")? },
-            other => return Err(crate::CoreError::parse(format!("unknown frame tag {other:?}"))),
+            other => {
+                return Err(crate::CoreError::parse(format!(
+                    "unknown frame tag {other:?}"
+                )))
+            }
         };
         Ok(frame)
     }
@@ -580,7 +649,11 @@ fn role_from_code(code: u8) -> Result<ThreadRole, crate::CoreError> {
         1 => ThreadRole::Backward,
         2 => ThreadRole::DataLoader,
         3 => ThreadRole::Worker,
-        other => return Err(crate::CoreError::parse(format!("unknown thread role {other}"))),
+        other => {
+            return Err(crate::CoreError::parse(format!(
+                "unknown thread role {other}"
+            )))
+        }
     })
 }
 

@@ -171,7 +171,11 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let i = Arc::clone(&i);
-                std::thread::spawn(move || (0..100).map(|n| i.intern(&format!("s{n}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|n| i.intern(&format!("s{n}")))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -37,6 +37,7 @@ mod error;
 mod frame;
 mod interner;
 mod metrics;
+mod shard;
 
 pub use cct::{CallingContextTree, CctNode, NodeId};
 pub use clock::{TimeNs, VirtualClock};
@@ -45,11 +46,12 @@ pub use error::CoreError;
 pub use frame::{CallPath, Frame, FrameKey, FrameKind, OpPhase, ThreadRole};
 pub use interner::{Interner, Sym};
 pub use metrics::{MetricKind, MetricStat, MetricStore, StallReason};
+pub use shard::CctShard;
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        CallPath, CallingContextTree, Frame, FrameKind, Interner, MetricKind, MetricStat, NodeId,
-        OpPhase, ProfileDb, StallReason, Sym, TimeNs, VirtualClock,
+        CallPath, CallingContextTree, CctShard, Frame, FrameKind, Interner, MetricKind, MetricStat,
+        NodeId, OpPhase, ProfileDb, StallReason, Sym, TimeNs, VirtualClock,
     };
 }

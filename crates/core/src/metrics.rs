@@ -142,7 +142,10 @@ impl MetricKind {
     pub fn is_time(self) -> bool {
         matches!(
             self,
-            MetricKind::GpuTime | MetricKind::MemcpyTime | MetricKind::CpuTime | MetricKind::RealTime
+            MetricKind::GpuTime
+                | MetricKind::MemcpyTime
+                | MetricKind::CpuTime
+                | MetricKind::RealTime
         )
     }
 
@@ -431,7 +434,10 @@ impl MetricStore {
 
     /// The aggregate for `kind`, if any samples were recorded.
     pub fn get(&self, kind: MetricKind) -> Option<&MetricStat> {
-        self.entries.iter().find(|(k, _)| *k == kind).map(|(_, s)| s)
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| s)
     }
 
     /// Sum for `kind`, or 0 if absent (the most common query).
@@ -564,8 +570,14 @@ mod tests {
         assert_eq!(store.sum(MetricKind::GpuTime), 30.0);
         assert_eq!(store.count(MetricKind::GpuTime), 2);
         assert_eq!(store.sum(MetricKind::CpuTime), 5.0);
-        assert_eq!(store.sum(MetricKind::Stall(StallReason::ConstantMemory)), 1.0);
-        assert_eq!(store.sum(MetricKind::Stall(StallReason::MathDependency)), 0.0);
+        assert_eq!(
+            store.sum(MetricKind::Stall(StallReason::ConstantMemory)),
+            1.0
+        );
+        assert_eq!(
+            store.sum(MetricKind::Stall(StallReason::MathDependency)),
+            0.0
+        );
         assert_eq!(store.len(), 3);
     }
 

@@ -1,0 +1,328 @@
+//! Per-thread/per-stream calling-context-tree shards.
+//!
+//! DeepContext aggregates metrics online (paper §4.2), which makes the
+//! attribution path the ingestion bottleneck: one global tree behind one
+//! lock serializes every kernel launch, activity record and CPU sample. A
+//! [`CctShard`] is the unit of the sharded alternative — a private
+//! [`CallingContextTree`] plus the correlation state needed to resolve
+//! asynchronous GPU activity records, owned by one ingestion shard and
+//! locked independently of its siblings. Shards share one [`Interner`], so
+//! frames collapse identically everywhere and folding shards together is
+//! pure [`CallingContextTree::merge`].
+//!
+//! The shard also owns the correlation lifecycle:
+//!
+//! * [`bind`](CctShard::bind) associates a correlation id with the context
+//!   node at launch time;
+//! * [`resolve`](CctShard::resolve) finds it again when the asynchronous
+//!   activity record arrives;
+//! * [`defer_prune`](CctShard::defer_prune) / [`end_batch`](CctShard::end_batch)
+//!   implement two-phase pruning: ids attributed in the *previous* batch
+//!   are dropped at the end of the current one, so records that straddle a
+//!   buffer boundary (e.g. PC-sampling batches) still resolve;
+//! * [`orphan_node`](CctShard::orphan_node) is the hoisted `<unattributed>`
+//!   catch-all context, created once per shard instead of re-interned per
+//!   orphaned record.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::cct::{CallingContextTree, NodeId};
+use crate::frame::{CallPath, Frame};
+use crate::interner::Interner;
+use crate::metrics::MetricKind;
+
+/// One shard of a sharded calling-context-tree ingestion pipeline: a
+/// private tree plus its correlation map and prune queue.
+///
+/// Correlation keys are raw `u64`s so the core stays independent of any
+/// particular GPU runtime's id type.
+#[derive(Debug, Clone)]
+pub struct CctShard {
+    tree: CallingContextTree,
+    corr: HashMap<u64, NodeId>,
+    orphan: Option<NodeId>,
+    prev_batch: Vec<u64>,
+    curr_batch: Vec<u64>,
+}
+
+impl CctShard {
+    /// Creates an empty shard sharing `interner` with its siblings.
+    pub fn new(interner: Arc<Interner>) -> Self {
+        CctShard {
+            tree: CallingContextTree::with_interner(interner),
+            corr: HashMap::new(),
+            orphan: None,
+            prev_batch: Vec::new(),
+            curr_batch: Vec::new(),
+        }
+    }
+
+    /// Read access to the shard's tree.
+    pub fn tree(&self) -> &CallingContextTree {
+        &self.tree
+    }
+
+    /// Mutable access to the shard's tree (inserting paths, attributing
+    /// metrics).
+    pub fn tree_mut(&mut self) -> &mut CallingContextTree {
+        &mut self.tree
+    }
+
+    /// Inserts a call path and returns its leaf (convenience passthrough).
+    pub fn insert_call_path(&mut self, path: &CallPath) -> NodeId {
+        self.tree.insert_call_path(path)
+    }
+
+    /// Associates a correlation id with a context node at launch time.
+    pub fn bind(&mut self, correlation: u64, node: NodeId) {
+        self.corr.insert(correlation, node);
+    }
+
+    /// Looks up the context bound to `correlation`, if still live.
+    pub fn resolve(&self, correlation: u64) -> Option<NodeId> {
+        self.corr.get(&correlation).copied()
+    }
+
+    /// Number of live correlation entries.
+    pub fn correlation_len(&self) -> usize {
+        self.corr.len()
+    }
+
+    /// The hoisted catch-all context for records whose correlation was
+    /// pruned or never seen. Created on first use and reused thereafter,
+    /// so orphaned records cost one hash lookup instead of an intern plus
+    /// a path insertion.
+    pub fn orphan_node(&mut self) -> NodeId {
+        match self.orphan {
+            Some(node) => node,
+            None => {
+                let interner = self.tree.interner();
+                let frame = Frame::gpu_kernel("<unattributed>", "<none>", 0, &interner);
+                let node = self.tree.insert_path(std::slice::from_ref(&frame));
+                self.orphan = Some(node);
+                node
+            }
+        }
+    }
+
+    /// Marks `correlation` as attributed in the current batch; it becomes
+    /// prunable once the *next* batch completes.
+    pub fn defer_prune(&mut self, correlation: u64) {
+        self.curr_batch.push(correlation);
+    }
+
+    /// Ends an activity batch: correlations deferred in the previous batch
+    /// and not re-attributed in this one are dropped from the correlation
+    /// map. Returns the pruned ids so callers can clean up routing state.
+    pub fn end_batch(&mut self) -> Vec<u64> {
+        let keep: HashSet<u64> = self.curr_batch.iter().copied().collect();
+        let mut pruned = Vec::new();
+        for id in self.prev_batch.drain(..) {
+            if !keep.contains(&id) && self.corr.remove(&id).is_some() {
+                pruned.push(id);
+            }
+        }
+        std::mem::swap(&mut self.prev_batch, &mut self.curr_batch);
+        pruned
+    }
+
+    /// Folds `other` into this shard: trees merge by collapse keys, and
+    /// `other`'s correlation state (live bindings, prune queues, orphan
+    /// node) is remapped through the merge's node mapping so asynchronous
+    /// records bound in `other` still resolve here.
+    pub fn merge_from(&mut self, other: &CctShard) {
+        let mapping = self.tree.merge(&other.tree);
+        for (corr, node) in &other.corr {
+            self.corr.insert(*corr, mapping[node.index()]);
+        }
+        self.prev_batch.extend_from_slice(&other.prev_batch);
+        self.curr_batch.extend_from_slice(&other.curr_batch);
+        if self.orphan.is_none() {
+            self.orphan = other.orphan.map(|node| mapping[node.index()]);
+        }
+    }
+
+    /// Consumes the shard, yielding its tree.
+    pub fn into_tree(self) -> CallingContextTree {
+        self.tree
+    }
+
+    /// Approximate resident bytes of tree (interner excluded) plus
+    /// correlation state.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<u64>() + std::mem::size_of::<NodeId>() + 16;
+        self.tree.approx_tree_bytes()
+            + self.corr.capacity() * entry
+            + (self.prev_batch.capacity() + self.curr_batch.capacity()) * std::mem::size_of::<u64>()
+    }
+
+    /// Whether the shard recorded nothing (empty tree, no correlations).
+    pub fn is_empty(&self) -> bool {
+        self.tree.node_count() == 1 && self.corr.is_empty()
+    }
+
+    /// Attributes `value` of `kind` at the context bound to `correlation`,
+    /// falling back to the orphan context. Returns the node attributed to
+    /// and whether it was an orphan.
+    pub fn attribute_correlated(
+        &mut self,
+        correlation: u64,
+        kind: MetricKind,
+        value: f64,
+    ) -> (NodeId, bool) {
+        let (node, orphaned) = match self.resolve(correlation) {
+            Some(node) => (node, false),
+            None => (self.orphan_node(), true),
+        };
+        self.tree.attribute(node, kind, value);
+        (node, orphaned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKind;
+
+    fn interner() -> Arc<Interner> {
+        Interner::new()
+    }
+
+    fn path(i: &Arc<Interner>, op: &str) -> Vec<Frame> {
+        vec![
+            Frame::python("t.py", 1, "f", i),
+            Frame::operator(op, i),
+            Frame::gpu_kernel(&format!("k_{op}"), "m.so", 0x100, i),
+        ]
+    }
+
+    #[test]
+    fn bind_resolve_roundtrip() {
+        let i = interner();
+        let mut shard = CctShard::new(Arc::clone(&i));
+        let node = shard.tree_mut().insert_path(&path(&i, "aten::relu"));
+        shard.bind(7, node);
+        assert_eq!(shard.resolve(7), Some(node));
+        assert_eq!(shard.resolve(8), None);
+        assert_eq!(shard.correlation_len(), 1);
+    }
+
+    #[test]
+    fn orphan_node_is_created_once() {
+        let i = interner();
+        let mut shard = CctShard::new(i);
+        let a = shard.orphan_node();
+        let b = shard.orphan_node();
+        assert_eq!(a, b);
+        assert_eq!(shard.tree().node_count(), 2, "root + one catch-all");
+    }
+
+    #[test]
+    fn attribute_correlated_counts_orphans() {
+        let i = interner();
+        let mut shard = CctShard::new(Arc::clone(&i));
+        let node = shard.tree_mut().insert_path(&path(&i, "aten::gelu"));
+        shard.bind(1, node);
+        let (n, orphaned) = shard.attribute_correlated(1, MetricKind::GpuTime, 5.0);
+        assert_eq!((n, orphaned), (node, false));
+        let (n, orphaned) = shard.attribute_correlated(99, MetricKind::GpuTime, 3.0);
+        assert_eq!(n, shard.orphan_node());
+        assert!(orphaned);
+        assert_eq!(shard.tree().total(MetricKind::GpuTime), 8.0);
+    }
+
+    #[test]
+    fn two_phase_prune_drops_only_previous_batch() {
+        let i = interner();
+        let mut shard = CctShard::new(Arc::clone(&i));
+        let node = shard.tree_mut().insert_path(&path(&i, "aten::relu"));
+        for c in [1u64, 2, 3] {
+            shard.bind(c, node);
+        }
+        // Batch 1 attributes correlations 1 and 2.
+        shard.defer_prune(1);
+        shard.defer_prune(2);
+        assert!(
+            shard.end_batch().is_empty(),
+            "nothing deferred before batch 1"
+        );
+        assert_eq!(
+            shard.resolve(1),
+            Some(node),
+            "still live across the boundary"
+        );
+        // Batch 2 re-attributes 2 (straddling record) and touches 3.
+        shard.defer_prune(2);
+        shard.defer_prune(3);
+        let pruned = shard.end_batch();
+        assert_eq!(pruned, vec![1], "1 was deferred last batch and not renewed");
+        assert_eq!(shard.resolve(1), None);
+        assert_eq!(shard.resolve(2), Some(node));
+        // Batch 3: nothing new; 2 and 3 now age out.
+        let mut pruned = shard.end_batch();
+        pruned.sort_unstable();
+        assert_eq!(pruned, vec![2, 3]);
+        assert_eq!(shard.correlation_len(), 0);
+    }
+
+    #[test]
+    fn merge_from_remaps_correlation_state() {
+        let i = interner();
+        let mut a = CctShard::new(Arc::clone(&i));
+        let mut b = CctShard::new(Arc::clone(&i));
+        // Same logical context in both shards gets different local ids
+        // because `a` inserts another path first.
+        a.tree_mut().insert_path(&path(&i, "aten::conv2d"));
+        let nb = b.tree_mut().insert_path(&path(&i, "aten::relu"));
+        b.tree_mut().attribute(nb, MetricKind::GpuTime, 4.0);
+        b.bind(42, nb);
+        b.defer_prune(42);
+
+        a.merge_from(&b);
+        let resolved = a.resolve(42).expect("binding survives the fold");
+        assert_ne!(resolved, nb, "id was remapped into a's id space");
+        // Attributing through the remapped binding lands on the relu leaf.
+        a.tree_mut().attribute(resolved, MetricKind::GpuTime, 6.0);
+        let relu_leaf = a.tree_mut().insert_path(&path(&i, "aten::relu"));
+        assert_eq!(
+            a.tree().metric(relu_leaf, MetricKind::GpuTime).unwrap().sum,
+            10.0
+        );
+        // Prune queue followed the merge.
+        a.end_batch();
+        let pruned = a.end_batch();
+        assert_eq!(pruned, vec![42]);
+    }
+
+    #[test]
+    fn merge_from_adopts_orphan_node() {
+        let i = interner();
+        let mut a = CctShard::new(Arc::clone(&i));
+        let mut b = CctShard::new(Arc::clone(&i));
+        let orphan_b = b.orphan_node();
+        b.tree_mut().attribute(orphan_b, MetricKind::GpuTime, 1.0);
+        a.merge_from(&b);
+        // a's orphan collapses onto the merged catch-all: no duplicate node.
+        let before = a.tree().node_count();
+        let orphan_a = a.orphan_node();
+        assert_eq!(a.tree().node_count(), before);
+        assert_eq!(
+            a.tree().metric(orphan_a, MetricKind::GpuTime).unwrap().sum,
+            1.0
+        );
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_state() {
+        let i = interner();
+        let mut shard = CctShard::new(Arc::clone(&i));
+        let empty = shard.approx_bytes();
+        let node = shard.tree_mut().insert_path(&path(&i, "aten::matmul"));
+        for c in 0..64 {
+            shard.bind(c, node);
+        }
+        assert!(shard.approx_bytes() > empty);
+        assert!(!shard.is_empty());
+    }
+}

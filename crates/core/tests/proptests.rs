@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use deepcontext_core::{
-    CallingContextTree, Frame, Interner, MetricKind, MetricStat, OpPhase, ProfileDb, ProfileMeta,
+    CallingContextTree, CctShard, Frame, Interner, MetricKind, MetricStat, OpPhase, ProfileDb,
+    ProfileMeta,
 };
 use proptest::prelude::*;
 
@@ -25,7 +26,11 @@ fn arb_frame(interner: Arc<Interner>) -> impl Strategy<Value = Frame> {
         )),
         (0u8..5, prop::bool::ANY).prop_map(move |(n, bwd)| Frame::operator_with(
             &format!("aten::op{n}"),
-            if bwd { OpPhase::Backward } else { OpPhase::Forward },
+            if bwd {
+                OpPhase::Backward
+            } else {
+                OpPhase::Forward
+            },
             None,
             &i2
         )),
@@ -202,6 +207,150 @@ proptest! {
         prop_assert_eq!(
             left.total(MetricKind::GpuTime),
             whole.total(MetricKind::GpuTime)
+        );
+    }
+
+    #[test]
+    fn tree_merge_commutes_on_metric_sums(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(0.0f64..1e6, 1..40),
+        split in 0usize..40,
+    ) {
+        let mut left = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut right = CallingContextTree::with_interner(interner);
+        for (idx, (p, v)) in paths.iter().zip(values.iter().cycle()).enumerate() {
+            let target = if idx < split % paths.len().max(1) { &mut left } else { &mut right };
+            let leaf = target.insert_path(p);
+            target.attribute(leaf, MetricKind::GpuTime, *v);
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        prop_assert_eq!(ab.node_count(), ba.node_count());
+        let sa = ab.total(MetricKind::GpuTime);
+        let sb = ba.total(MetricKind::GpuTime);
+        prop_assert!((sa - sb).abs() <= 1e-9 * sa.abs().max(1.0));
+        let ra = ab.root_metric(MetricKind::GpuTime).map(|s| s.count).unwrap_or(0);
+        let rb = ba.root_metric(MetricKind::GpuTime).map(|s| s.count).unwrap_or(0);
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn merge_preserves_frame_collapse_rules((interner, paths) in arb_paths(), split in 0usize..40) {
+        let mut left = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut right = CallingContextTree::with_interner(interner);
+        for (idx, p) in paths.iter().enumerate() {
+            let target = if idx < split % paths.len().max(1) { &mut left } else { &mut right };
+            target.insert_path(p);
+        }
+        left.merge(&right);
+        // No parent ends up with two children sharing a collapse key, and
+        // re-inserting every path finds existing nodes (no duplicates).
+        for id in left.dfs() {
+            let keys: Vec<_> = left
+                .node(id)
+                .children()
+                .iter()
+                .map(|c| left.node(*c).frame().key())
+                .collect();
+            let mut dedup = keys.clone();
+            dedup.sort_by_key(|k| format!("{k:?}"));
+            dedup.dedup();
+            prop_assert_eq!(keys.len(), dedup.len());
+        }
+        let count = left.node_count();
+        for p in &paths {
+            left.insert_path(p);
+        }
+        prop_assert_eq!(left.node_count(), count);
+    }
+
+    #[test]
+    fn merge_never_propagates_exclusive_metrics_rootward(
+        (interner, paths) in arb_paths(),
+        warps in prop::collection::vec(1.0f64..64.0, 1..40),
+    ) {
+        let mut left = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut right = CallingContextTree::with_interner(interner);
+        let mut expected = 0.0;
+        for (idx, (p, w)) in paths.iter().zip(warps.iter().cycle()).enumerate() {
+            let target = if idx % 2 == 0 { &mut left } else { &mut right };
+            let leaf = target.insert_path(p);
+            target.attribute_exclusive(leaf, MetricKind::Warps, *w);
+            expected += *w;
+        }
+        left.merge(&right);
+        // Exclusive metrics live only where they were attributed: the sum
+        // over all nodes equals the sum of samples, and any node carrying
+        // Warps either was a leaf-attribution target or absorbed one —
+        // never the root unless a path was empty (arb paths are non-empty).
+        let mut total = 0.0;
+        for id in left.dfs() {
+            total += left.node(id).metrics().sum(MetricKind::Warps);
+        }
+        prop_assert!((total - expected).abs() <= 1e-9 * expected.max(1.0));
+        prop_assert!(left.root_metric(MetricKind::Warps).is_none());
+    }
+
+    #[test]
+    fn merge_mapping_points_at_equivalent_contexts((interner, paths) in arb_paths()) {
+        let mut target = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut other = CallingContextTree::with_interner(interner);
+        for (idx, p) in paths.iter().enumerate() {
+            if idx % 2 == 0 {
+                target.insert_path(p);
+            } else {
+                other.insert_path(p);
+            }
+        }
+        let mapping = target.merge(&other);
+        prop_assert_eq!(mapping.len(), other.node_count());
+        for id in other.dfs() {
+            let mapped = mapping[id.index()];
+            // Same collapse key, and the parent relationship survives.
+            prop_assert_eq!(
+                format!("{:?}", target.node(mapped).frame().key()),
+                format!("{:?}", other.node(id).frame().key())
+            );
+            if let Some(parent) = other.node(id).parent() {
+                prop_assert_eq!(target.node(mapped).parent(), Some(mapping[parent.index()]));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_fold_equals_direct_ingestion(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(0.0f64..1e6, 1..40),
+        shard_count in 1usize..9,
+    ) {
+        // Ingesting through round-robin shards then folding must agree
+        // with one tree ingesting everything (the sharded pipeline's
+        // correctness core).
+        let mut whole = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut shards: Vec<CctShard> = (0..shard_count)
+            .map(|_| CctShard::new(Arc::clone(&interner)))
+            .collect();
+        for (idx, (p, v)) in paths.iter().zip(values.iter().cycle()).enumerate() {
+            let leaf = whole.insert_path(p);
+            whole.attribute(leaf, MetricKind::GpuTime, *v);
+            let shard = &mut shards[idx % shard_count];
+            let leaf = shard.tree_mut().insert_path(p);
+            shard.tree_mut().attribute(leaf, MetricKind::GpuTime, *v);
+        }
+        let mut master = CctShard::new(interner);
+        for shard in &shards {
+            master.merge_from(shard);
+        }
+        let folded = master.into_tree();
+        prop_assert_eq!(folded.node_count(), whole.node_count());
+        let fs = folded.total(MetricKind::GpuTime);
+        let ws = whole.total(MetricKind::GpuTime);
+        prop_assert!((fs - ws).abs() <= 1e-9 * ws.abs().max(1.0));
+        prop_assert_eq!(
+            folded.root_metric(MetricKind::GpuTime).unwrap().count,
+            whole.root_metric(MetricKind::GpuTime).unwrap().count
         );
     }
 

@@ -112,7 +112,10 @@ impl CallbackRegistry {
     }
 
     /// Registers a graph-compilation callback.
-    pub fn on_graph(&self, cb: impl Fn(&GraphEvent) + Send + Sync + 'static) -> FrameworkCallbackId {
+    pub fn on_graph(
+        &self,
+        cb: impl Fn(&GraphEvent) + Send + Sync + 'static,
+    ) -> FrameworkCallbackId {
         let id = self.next();
         self.graph.write().push((id, Arc::new(cb)));
         id
@@ -142,7 +145,12 @@ impl CallbackRegistry {
 
     /// Fires a graph event.
     pub fn fire_graph(&self, event: &GraphEvent) {
-        let cbs: Vec<GraphCb> = self.graph.read().iter().map(|(_, c)| Arc::clone(c)).collect();
+        let cbs: Vec<GraphCb> = self
+            .graph
+            .read()
+            .iter()
+            .map(|(_, c)| Arc::clone(c))
+            .collect();
         for cb in cbs {
             cb(event);
         }

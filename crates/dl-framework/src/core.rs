@@ -119,7 +119,9 @@ impl FrameworkCore {
         if let Some(f) = cache.get(name) {
             return f.clone();
         }
-        let f = self.env.define_function(&self.framework_lib, name, 0x100, None);
+        let f = self
+            .env
+            .define_function(&self.framework_lib, name, 0x100, None);
         cache.insert(name.to_owned(), f.clone());
         f
     }
@@ -171,10 +173,12 @@ impl FrameworkCore {
             NativeFrameInfo::new(&impl_fn.library, impl_fn.addr, &impl_fn.name),
         );
 
-        self.env.do_cpu_work(&thread, CpuWork::compute(self.dispatch_cost));
+        self.env
+            .do_cpu_work(&thread, CpuWork::compute(self.dispatch_cost));
 
         for kernel in op.lower(inputs, &output, phase, &self.kernels) {
-            self.env.do_cpu_work(&thread, CpuWork::compute(self.launch_prep_cost));
+            self.env
+                .do_cpu_work(&thread, CpuWork::compute(self.launch_prep_cost));
             self.gpu
                 .launch_kernel(self.device, self.stream, Arc::new(kernel))?;
         }
@@ -216,7 +220,12 @@ mod tests {
     fn dispatch_requires_bound_thread() {
         let (core, _env) = core();
         let err = core
-            .dispatch(&Op::new(OpKind::Relu), &[TensorMeta::new([8])], OpPhase::Forward, None)
+            .dispatch(
+                &Op::new(OpKind::Relu),
+                &[TensorMeta::new([8])],
+                OpPhase::Forward,
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, FrameworkError::NoCurrentThread));
     }
@@ -232,7 +241,12 @@ mod tests {
             e.lock().push((ev.name.to_string(), ev.site));
         });
         let out = core
-            .dispatch(&Op::new(OpKind::Relu), &[TensorMeta::new([1 << 16])], OpPhase::Forward, Some(1))
+            .dispatch(
+                &Op::new(OpKind::Relu),
+                &[TensorMeta::new([1 << 16])],
+                OpPhase::Forward,
+                Some(1),
+            )
             .unwrap();
         assert_eq!(out.shape, vec![1 << 16]);
         let ev = events.lock().clone();

@@ -114,9 +114,8 @@ impl DataLoader {
             .min(self.config.physical_cores)
             .max(1);
         let penalty = oversubscription_penalty(self.config.num_workers, self.config.physical_cores);
-        let mut wall = TimeNs(
-            ((total_work.as_nanos() as f64 / parallel as f64) * penalty).round() as u64,
-        );
+        let mut wall =
+            TimeNs(((total_work.as_nanos() as f64 / parallel as f64) * penalty).round() as u64);
         if iteration == 0 {
             wall += self.config.first_batch_disk;
         }

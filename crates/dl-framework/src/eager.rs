@@ -166,7 +166,9 @@ impl EagerEngine {
         sender
             .send(BackwardMsg::Run(entries, reply_tx))
             .map_err(|_| FrameworkError::BackwardEngineDown)?;
-        reply_rx.recv().map_err(|_| FrameworkError::BackwardEngineDown)?
+        reply_rx
+            .recv()
+            .map_err(|_| FrameworkError::BackwardEngineDown)?
     }
 
     fn spawn_backward_worker(&self) -> BackwardWorker {
@@ -290,13 +292,16 @@ mod tests {
         let (e, env) = engine();
         let t = env.threads().spawn(ThreadRole::Main);
         let _bind = ThreadRegistry::bind_current(&t);
-        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         assert_eq!(e.tape_len(), 0);
         e.set_grad_enabled(true);
-        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         assert_eq!(e.tape_len(), 1);
         // Non-differentiable ops never tape.
-        e.op(Op::new(OpKind::SgdStep), &[TensorMeta::new([64])]).unwrap();
+        e.op(Op::new(OpKind::SgdStep), &[TensorMeta::new([64])])
+            .unwrap();
         assert_eq!(e.tape_len(), 1);
     }
 
@@ -347,7 +352,8 @@ mod tests {
         let _bind = ThreadRegistry::bind_current(&t);
         e.set_grad_enabled(true);
         for _ in 0..3 {
-            e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+            e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+                .unwrap();
         }
         assert_eq!(e.tape_len(), 3);
         e.backward().unwrap();
@@ -355,7 +361,8 @@ mod tests {
         // Second backward with empty tape is a no-op.
         e.backward().unwrap();
         // Tape again: the worker is reused.
-        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         e.backward().unwrap();
     }
 
@@ -375,11 +382,15 @@ mod tests {
             }
         });
 
-        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        e.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         e.backward().unwrap();
         let depths = bwd_py_depth.lock().clone();
         assert!(!depths.is_empty());
-        assert!(depths.iter().all(|d| *d == 0), "backward thread saw Python frames");
+        assert!(
+            depths.iter().all(|d| *d == 0),
+            "backward thread saw Python frames"
+        );
     }
 
     #[test]

@@ -210,7 +210,9 @@ impl CompiledGraph {
     /// Propagates GPU failures; requires a bound thread.
     pub fn execute(&self) -> Result<(), FrameworkError> {
         let thread = self.core.current_thread()?;
-        let exec_fn = self.core.native_fn("xla::gpu::GpuExecutable::ExecuteAsyncOnStream");
+        let exec_fn = self
+            .core
+            .native_fn("xla::gpu::GpuExecutable::ExecuteAsyncOnStream");
         let _g = NativeFrameGuard::enter(
             thread.native(),
             NativeFrameInfo::new(&exec_fn.library, exec_fn.addr, &exec_fn.name),
@@ -460,10 +462,7 @@ impl JitEngine {
         let esize = out.dtype.size_bytes() as f64;
         let flops: f64 = elems * members.len() as f64;
         // Distinct external inputs of the chain + one output.
-        let external_inputs = members
-            .first()
-            .map(|m| m.inputs.len().max(1))
-            .unwrap_or(1) as f64;
+        let external_inputs = members.first().map(|m| m.inputs.len().max(1)).unwrap_or(1) as f64;
         let bytes = (external_inputs + 1.0) * elems * esize;
         self.core
             .kernels()
@@ -612,7 +611,10 @@ mod tests {
             }
         });
         compiled.execute().unwrap();
-        assert_eq!(*names.lock(), vec!["aten::matmul".to_owned(), "fusion.0".to_owned()]);
+        assert_eq!(
+            *names.lock(),
+            vec!["aten::matmul".to_owned(), "fusion.0".to_owned()]
+        );
         assert_eq!(
             jit.core().gpu().kernel_count(DeviceId(0)).unwrap(),
             compiled.kernel_count() as u64
@@ -637,7 +639,10 @@ mod tests {
         let phases: Vec<_> = graph.nodes().iter().map(|n| n.phase).collect();
         assert_eq!(phases.iter().filter(|p| **p == OpPhase::Forward).count(), 2);
         // relu backward (1) + matmul backward (2 matmuls).
-        assert_eq!(phases.iter().filter(|p| **p == OpPhase::Backward).count(), 3);
+        assert_eq!(
+            phases.iter().filter(|p| **p == OpPhase::Backward).count(),
+            3
+        );
         // Backward of the last forward op comes first.
         let first_bwd = graph
             .nodes()

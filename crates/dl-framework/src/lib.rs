@@ -39,7 +39,9 @@ pub use callbacks::{CallbackRegistry, FrameworkCallbackId, GraphEvent, MemEvent,
 pub use dataloader::{DataLoader, DataLoaderConfig};
 pub use eager::EagerEngine;
 pub use error::FrameworkError;
-pub use jit::{CompiledGraph, FusionMapping, Graph, GraphNode, JitEngine, NodeId as GraphNodeId, Tracer};
+pub use jit::{
+    CompiledGraph, FusionMapping, Graph, GraphNode, JitEngine, NodeId as GraphNodeId, Tracer,
+};
 pub use ops::{backward_ops, Op, OpAttrs, OpKind};
 pub use pyscope::{PyScope, PythonSim};
 pub use registry::KernelRegistry;

@@ -281,11 +281,10 @@ impl Op {
                     out.shape = shape;
                 }
                 OpKind::Conv2d | OpKind::Conv2dBackward => {
-                    let w = self
-                        .attrs
-                        .weight_shape
-                        .as_ref()
-                        .ok_or_else(|| self.shape_err("conv2d requires weight_shape [K,C,R,S]"))?;
+                    let w =
+                        self.attrs.weight_shape.as_ref().ok_or_else(|| {
+                            self.shape_err("conv2d requires weight_shape [K,C,R,S]")
+                        })?;
                     if first.shape.len() != 4 || w.len() != 4 {
                         return Err(self.shape_err("conv2d expects 4-D input and weight"));
                     }
@@ -295,11 +294,10 @@ impl Op {
                     out.shape = vec![first.shape[0], w[0], first.shape[2], first.shape[3]];
                 }
                 OpKind::Embedding => {
-                    let w = self
-                        .attrs
-                        .weight_shape
-                        .as_ref()
-                        .ok_or_else(|| self.shape_err("embedding requires weight_shape [V,D]"))?;
+                    let w =
+                        self.attrs.weight_shape.as_ref().ok_or_else(|| {
+                            self.shape_err("embedding requires weight_shape [V,D]")
+                        })?;
                     let mut shape = first.shape.clone();
                     shape.push(w[1]);
                     out.shape = shape;
@@ -346,7 +344,10 @@ impl Op {
                     ];
                 }
                 OpKind::Concat => {
-                    let dim0: usize = inputs.iter().map(|t| t.shape.first().copied().unwrap_or(1)).sum();
+                    let dim0: usize = inputs
+                        .iter()
+                        .map(|t| t.shape.first().copied().unwrap_or(1))
+                        .sum();
                     let mut shape = first.shape.clone();
                     if !shape.is_empty() {
                         shape[0] = dim0;
@@ -431,7 +432,12 @@ impl Op {
             }
             OpKind::Conv2d | OpKind::Conv2dBackward => {
                 let w = self.attrs.weight_shape.clone().unwrap_or(vec![1, 1, 1, 1]);
-                let (n_, c, h, wdt) = (first.shape[0], first.shape[1], first.shape[2], first.shape[3]);
+                let (n_, c, h, wdt) = (
+                    first.shape[0],
+                    first.shape[1],
+                    first.shape[2],
+                    first.shape[3],
+                );
                 let (kout, r, s) = (w[0], w[2], w[3]);
                 let flops = 2.0 * (n_ * kout * h * wdt * c * r * s) as f64;
                 let in_bytes = first.bytes() as f64;
@@ -439,10 +445,17 @@ impl Op {
                 let w_bytes = (w.iter().product::<usize>() * 4) as f64;
                 let needs_conversion = first.layout == Layout::ChannelsFirst;
                 if needs_conversion {
-                    kernels.push(conversion_kernel(registry, "cudnn::nchwToNhwcKernel", in_bytes, block));
+                    kernels.push(conversion_kernel(
+                        registry,
+                        "cudnn::nchwToNhwcKernel",
+                        in_bytes,
+                        block,
+                    ));
                 }
                 let main_name = match (self.kind, phase) {
-                    (OpKind::Conv2dBackward, _) | (_, OpPhase::Backward) => "cudnn::implicit_gemm_dgrad",
+                    (OpKind::Conv2dBackward, _) | (_, OpPhase::Backward) => {
+                        "cudnn::implicit_gemm_dgrad"
+                    }
                     _ => "cudnn::implicit_gemm_fprop",
                 };
                 let tiles = (n_ * h * wdt).div_ceil(64) * kout.div_ceil(64);
@@ -458,7 +471,10 @@ impl Op {
                 if self.kind == OpKind::Conv2dBackward {
                     kernels.push(
                         registry
-                            .kernel("cudnn::implicit_gemm_wgrad", LaunchConfig::new(clamp_grid(tiles), 256))
+                            .kernel(
+                                "cudnn::implicit_gemm_wgrad",
+                                LaunchConfig::new(clamp_grid(tiles), 256),
+                            )
                             .with_flops(flops)
                             .with_bytes(in_bytes + w_bytes)
                             .with_registers(168)
@@ -467,7 +483,12 @@ impl Op {
                     );
                 }
                 if needs_conversion {
-                    kernels.push(conversion_kernel(registry, "cudnn::nhwcToNchwKernel", out_bytes, block));
+                    kernels.push(conversion_kernel(
+                        registry,
+                        "cudnn::nhwcToNchwKernel",
+                        out_bytes,
+                        block,
+                    ));
                 }
             }
             OpKind::Embedding | OpKind::Index | OpKind::IndexSelect | OpKind::Gather => {
@@ -480,7 +501,10 @@ impl Op {
                 let bytes = 2.0 * out_elems * esize;
                 kernels.push(
                     registry
-                        .kernel(name, LaunchConfig::new(grid_for(output.numel(), block), block))
+                        .kernel(
+                            name,
+                            LaunchConfig::new(grid_for(output.numel(), block), block),
+                        )
                         .with_flops(out_elems * 0.5)
                         .with_bytes(bytes)
                         .with_memory_pattern(MemoryPattern::Strided)
@@ -552,7 +576,12 @@ impl Op {
                     (Layout::ChannelsLast, Layout::ChannelsFirst) => "cudnn::nhwcToNchwKernel",
                     _ => "copy_kernel",
                 };
-                kernels.push(conversion_kernel(registry, name, 2.0 * out_elems * esize, block));
+                kernels.push(conversion_kernel(
+                    registry,
+                    name,
+                    2.0 * out_elems * esize,
+                    block,
+                ));
             }
             OpKind::Softmax | OpKind::LogSoftmax => {
                 let name = match (self.kind, phase) {
@@ -563,7 +592,10 @@ impl Op {
                 };
                 kernels.push(
                     registry
-                        .kernel(name, LaunchConfig::new(grid_for(output.numel(), block), block))
+                        .kernel(
+                            name,
+                            LaunchConfig::new(grid_for(output.numel(), block), block),
+                        )
                         .with_flops(4.0 * out_elems)
                         .with_bytes(3.0 * out_elems * esize)
                         .with_registers(40)
@@ -588,7 +620,10 @@ impl Op {
                 let in_elems = first.numel() as f64;
                 kernels.push(
                     registry
-                        .kernel("reduce_kernel", LaunchConfig::new(grid_for(first.numel() / 4 + 1, block), block))
+                        .kernel(
+                            "reduce_kernel",
+                            LaunchConfig::new(grid_for(first.numel() / 4 + 1, block), block),
+                        )
                         .with_flops(in_elems)
                         .with_bytes(in_elems * esize)
                         .with_profile(InstructionProfile::memory_bound()),
@@ -646,7 +681,11 @@ impl Op {
                     );
                 }
             }
-            OpKind::MaxPool2d | OpKind::Upsample2d | OpKind::Concat | OpKind::Pad | OpKind::Transpose => {
+            OpKind::MaxPool2d
+            | OpKind::Upsample2d
+            | OpKind::Concat
+            | OpKind::Pad
+            | OpKind::Transpose => {
                 let name = match self.kind {
                     OpKind::MaxPool2d => "max_pool_forward_nchw",
                     OpKind::Upsample2d => "upsample_nearest2d_out_frame",
@@ -654,7 +693,12 @@ impl Op {
                     OpKind::Pad => "elementwise_kernel<pad>",
                     _ => "transpose_kernel",
                 };
-                kernels.push(conversion_kernel(registry, name, 2.0 * out_elems * esize, block));
+                kernels.push(conversion_kernel(
+                    registry,
+                    name,
+                    2.0 * out_elems * esize,
+                    block,
+                ));
             }
             OpKind::SgdStep | OpKind::AdamStep => {
                 kernels.push(
@@ -663,7 +707,13 @@ impl Op {
                             "multi_tensor_apply_kernel",
                             LaunchConfig::new(grid_for(output.numel(), block), block),
                         )
-                        .with_flops(if self.kind == OpKind::AdamStep { 8.0 } else { 2.0 } * out_elems)
+                        .with_flops(
+                            if self.kind == OpKind::AdamStep {
+                                8.0
+                            } else {
+                                2.0
+                            } * out_elems,
+                        )
                         .with_bytes(4.0 * out_elems * esize)
                         .with_profile(InstructionProfile::memory_bound()),
                 );
@@ -682,7 +732,10 @@ impl Op {
                 let n_in = inputs.len().max(1) as f64;
                 kernels.push(
                     registry
-                        .kernel(&name, LaunchConfig::new(grid_for(output.numel(), block), block))
+                        .kernel(
+                            &name,
+                            LaunchConfig::new(grid_for(output.numel(), block), block),
+                        )
                         .with_flops(out_elems)
                         .with_bytes((n_in + 1.0) * out_elems * esize)
                         .with_profile(InstructionProfile::memory_bound()),
@@ -703,7 +756,11 @@ impl Op {
 ///   the 1.66× DLRM case study (§6.1);
 /// * `aten::matmul` produces two gradient matmuls;
 /// * `aten::conv2d` produces dgrad + wgrad (plus layout conversions).
-pub fn backward_ops(op: &Op, inputs: &[TensorMeta], output: &TensorMeta) -> Vec<(Op, Vec<TensorMeta>)> {
+pub fn backward_ops(
+    op: &Op,
+    inputs: &[TensorMeta],
+    output: &TensorMeta,
+) -> Vec<(Op, Vec<TensorMeta>)> {
     let grad_out = output.clone();
     match op.kind {
         OpKind::MatMul => {
@@ -841,7 +898,10 @@ mod tests {
     fn index_shape_takes_rows() {
         let op = Op::new(OpKind::Index);
         let out = op
-            .infer_shape(&[TensorMeta::new([1000, 64]), TensorMeta::new([128]).with_dtype(DType::I64)])
+            .infer_shape(&[
+                TensorMeta::new([1000, 64]),
+                TensorMeta::new([128]).with_dtype(DType::I64),
+            ])
             .unwrap();
         assert_eq!(out.shape, vec![128, 64]);
     }
@@ -865,7 +925,7 @@ mod tests {
         let op = Op::new(OpKind::Conv2d).with_weight([64, 32, 3, 3]);
         let input = TensorMeta::new([4, 32, 64, 64]).with_layout(Layout::ChannelsFirst);
         let out = op.infer_shape(std::slice::from_ref(&input)).unwrap();
-        let kernels = op.lower(&[input.clone()], &out, OpPhase::Forward, &reg);
+        let kernels = op.lower(std::slice::from_ref(&input), &out, OpPhase::Forward, &reg);
         let names: Vec<_> = kernels.iter().map(|k| k.name.as_ref().to_owned()).collect();
         assert_eq!(
             names,
@@ -896,7 +956,10 @@ mod tests {
         assert_eq!(bwd[0].0.kind, OpKind::IndexBackward);
         let bout = bwd[0].0.infer_shape(&bwd[0].1).unwrap();
         let kernels = bwd[0].0.lower(&bwd[0].1, &bout, OpPhase::Backward, &reg);
-        assert_eq!(kernels[0].name.as_ref(), "vectorized_elementwise_kernel<zero_>");
+        assert_eq!(
+            kernels[0].name.as_ref(),
+            "vectorized_elementwise_kernel<zero_>"
+        );
         assert_eq!(kernels[1].name.as_ref(), "indexing_backward_kernel");
         assert_eq!(kernels[1].serialization_factor, 48.0);
 
@@ -924,10 +987,18 @@ mod tests {
     #[test]
     fn nondifferentiable_ops_have_no_backward() {
         let t = TensorMeta::new([8]);
-        for kind in [OpKind::SgdStep, OpKind::AdamStep, OpKind::Reshape, OpKind::Copy] {
+        for kind in [
+            OpKind::SgdStep,
+            OpKind::AdamStep,
+            OpKind::Reshape,
+            OpKind::Copy,
+        ] {
             let op = Op::new(kind).with_out_shape([8]);
             let out = op.infer_shape(std::slice::from_ref(&t)).unwrap();
-            assert!(backward_ops(&op, &[t.clone()], &out).is_empty(), "{kind:?}");
+            assert!(
+                backward_ops(&op, std::slice::from_ref(&t), &out).is_empty(),
+                "{kind:?}"
+            );
         }
     }
 
@@ -965,7 +1036,10 @@ mod tests {
         let fwd = op.lower(std::slice::from_ref(&input), &out, OpPhase::Forward, &reg);
         assert_eq!(fwd[0].name.as_ref(), "vectorized_elementwise_kernel<relu>");
         let bwd = op.lower(std::slice::from_ref(&input), &out, OpPhase::Backward, &reg);
-        assert_eq!(bwd[0].name.as_ref(), "vectorized_elementwise_kernel<relu_backward>");
+        assert_eq!(
+            bwd[0].name.as_ref(),
+            "vectorized_elementwise_kernel<relu_backward>"
+        );
     }
 
     #[test]
@@ -976,11 +1050,10 @@ mod tests {
         let input = TensorMeta::new([4096]);
         let out = op.infer_shape(std::slice::from_ref(&input)).unwrap();
         let k = &op.lower(std::slice::from_ref(&input), &out, OpPhase::Forward, &reg)[0];
-        assert!(k
-            .instruction_profile
-            .instrs()
+        assert!(k.instruction_profile.instrs().iter().any(|i| i
+            .stall_mix
             .iter()
-            .any(|i| i.stall_mix.iter().any(|(r, _)| *r == StallReason::ConstantMemory)));
+            .any(|(r, _)| *r == StallReason::ConstantMemory)));
     }
 
     #[test]

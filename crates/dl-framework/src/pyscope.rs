@@ -10,7 +10,8 @@
 use std::sync::Arc;
 
 use sim_runtime::{
-    LibraryInfo, NativeFrameGuard, NativeFrameInfo, PyFrameGuard, PyFrameInfo, RuntimeEnv, ThreadCtx,
+    LibraryInfo, NativeFrameGuard, NativeFrameInfo, PyFrameGuard, PyFrameInfo, RuntimeEnv,
+    ThreadCtx,
 };
 
 /// The simulated CPython runtime: owns `libpython.so` and its interpreter

@@ -41,10 +41,7 @@ impl Workload for Conformer {
         let mut x = {
             let _scope = ctx.scope("conformer.py", 21, "subsample");
             let spec = TensorMeta::new([batch, 1, Self::SEQ, 80]);
-            let c1 = ctx.op(
-                Op::new(OpKind::Conv2d).with_weight([32, 1, 3, 3]),
-                &[spec],
-            )?;
+            let c1 = ctx.op(Op::new(OpKind::Conv2d).with_weight([32, 1, 3, 3]), &[spec])?;
             let c1 = ctx.op(Op::new(OpKind::Relu), &[c1])?;
             let pooled = ctx.op(Op::new(OpKind::MaxPool2d), &[c1])?;
             ctx.op(

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use deepcontext_core::{ThreadRole, TimeNs};
-use dl_framework::{
-    DataLoader, EagerEngine, FrameworkCore, FrameworkError, JitEngine,
-};
+use dl_framework::{DataLoader, EagerEngine, FrameworkCore, FrameworkError, JitEngine};
 use sim_gpu::{DeviceId, DeviceSpec, GpuRuntime};
 use sim_runtime::{RuntimeEnv, ThreadCtx, ThreadRegistry};
 
@@ -178,9 +176,7 @@ impl TestBed {
         let start_kernels = self.gpu.kernel_count(self.device)?;
 
         let graph = {
-            let _trace_scope = core
-                .python()
-                .frame(&self.main, "train.py", 22, "jit_step");
+            let _trace_scope = core.python().frame(&self.main, "train.py", 22, "jit_step");
             self.jit.trace(workload.name(), |tracer| {
                 let mut sink = TraceSink::new(tracer);
                 let mut ctx = ModelCtx::new(
@@ -199,7 +195,9 @@ impl TestBed {
         let compiled = self.jit.compile(&graph)?;
 
         for _ in 0..iterations {
-            let _step = core.python().frame(&self.main, "train.py", 30, "train_step");
+            let _step = core
+                .python()
+                .frame(&self.main, "train.py", 30, "train_step");
             if let Some(loader) = &loader {
                 let _load = core
                     .python()

@@ -160,7 +160,8 @@ mod tests {
     use sim_runtime::RuntimeEnv;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    const CONFIG: &str = "\n# custom NPU driver\nlibnpu.so  npuLaunchKernel\nlibnpu.so  npuMemcpy\n";
+    const CONFIG: &str =
+        "\n# custom NPU driver\nlibnpu.so  npuLaunchKernel\nlibnpu.so  npuMemcpy\n";
 
     #[test]
     fn parse_accepts_comments_and_pairs() {

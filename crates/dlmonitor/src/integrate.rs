@@ -77,20 +77,25 @@ pub fn integrate_call_path(input: &IntegrationInput, interner: &Interner) -> Cal
 
     let mut ops = input.operators.iter().peekable();
     for (idx, frame) in input.native.iter().enumerate().skip(tail_start) {
-        while ops
-            .peek()
-            .map(|op| op.native_depth <= idx)
-            .unwrap_or(false)
-        {
+        while ops.peek().map(|op| op.native_depth <= idx).unwrap_or(false) {
             let op = ops.next().expect("peeked");
-            path.push(Frame::operator_with(&op.name, op.phase, op.seq_id, interner));
+            path.push(Frame::operator_with(
+                &op.name, op.phase, op.seq_id, interner,
+            ));
         }
-        path.push(Frame::native(&frame.library, frame.pc, &frame.symbol, interner));
+        path.push(Frame::native(
+            &frame.library,
+            frame.pc,
+            &frame.symbol,
+            interner,
+        ));
     }
     // Operators with no native frames below them (native collection off,
     // or the operator entered and no deeper native frame captured yet).
     for op in ops {
-        path.push(Frame::operator_with(&op.name, op.phase, op.seq_id, interner));
+        path.push(Frame::operator_with(
+            &op.name, op.phase, op.seq_id, interner,
+        ));
     }
     path
 }
@@ -138,7 +143,11 @@ mod tests {
             native_is_python: vec![false, true, true, false, false],
         };
         let path = integrate_call_path(&input, &interner);
-        let labels: Vec<_> = path.frames().iter().map(|f| f.short_label(&interner)).collect();
+        let labels: Vec<_> = path
+            .frames()
+            .iter()
+            .map(|f| f.short_label(&interner))
+            .collect();
         assert_eq!(
             labels,
             vec![
@@ -175,13 +184,21 @@ mod tests {
                 cached_python: vec![],
             }],
             native: vec![
-                native("libtorch_cpu.so", 0x10, "torch::autograd::Engine::thread_main"),
+                native(
+                    "libtorch_cpu.so",
+                    0x10,
+                    "torch::autograd::Engine::thread_main",
+                ),
                 native("libtorch_cpu.so", 0x11, "c10::Dispatcher::call"),
             ],
             native_is_python: vec![false, false],
         };
         let path = integrate_call_path(&input, &interner);
-        let labels: Vec<_> = path.frames().iter().map(|f| f.short_label(&interner)).collect();
+        let labels: Vec<_> = path
+            .frames()
+            .iter()
+            .map(|f| f.short_label(&interner))
+            .collect();
         assert_eq!(
             labels,
             vec![
@@ -206,7 +223,11 @@ mod tests {
             native_is_python: vec![true, false, false],
         };
         let path = integrate_call_path(&input, &interner);
-        let labels: Vec<_> = path.frames().iter().map(|f| f.short_label(&interner)).collect();
+        let labels: Vec<_> = path
+            .frames()
+            .iter()
+            .map(|f| f.short_label(&interner))
+            .collect();
         assert_eq!(
             labels,
             vec![

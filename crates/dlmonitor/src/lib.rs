@@ -37,4 +37,7 @@ mod monitor;
 
 pub use custom::{CustomHook, CustomInterceptor};
 pub use integrate::{integrate_call_path, IntegrationInput, ShadowOp};
-pub use monitor::{CallPathSources, DlEvent, DlMonitor, Domain, GpuCallbackEvent, MonitorStats, RegistrationId};
+pub use monitor::{
+    CallPathSources, DlEvent, DlMonitor, Domain, EventOrigin, GpuCallbackEvent, MonitorStats,
+    RegistrationId,
+};

@@ -35,6 +35,40 @@ pub struct GpuCallbackEvent {
     pub thread: Option<Arc<ThreadCtx>>,
 }
 
+impl GpuCallbackEvent {
+    /// The originating thread's id, when the call site was bound to one.
+    pub fn tid(&self) -> Option<u64> {
+        self.thread.as_ref().map(|t| t.tid())
+    }
+
+    /// Routing identity of this interception.
+    pub fn origin(&self) -> EventOrigin {
+        EventOrigin {
+            tid: self.tid(),
+            stream: self.data.stream,
+            correlation: Some(self.data.correlation_id),
+        }
+    }
+}
+
+/// Where an event came from: the identity an ingestion pipeline routes on.
+///
+/// Sharded profiler sinks (see `deepcontext-profiler`) pick an ingestion
+/// shard from these fields *before* taking any lock, so concurrent
+/// producers on different threads/streams never serialize on a global
+/// mutex. All fields are optional — events raised outside any bound thread
+/// (e.g. a runtime-internal callback) simply carry less identity, and the
+/// consumer falls back to whatever field is present.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventOrigin {
+    /// The originating simulated OS thread.
+    pub tid: Option<u64>,
+    /// The GPU stream targeted, for GPU API events that have one.
+    pub stream: Option<sim_gpu::StreamId>,
+    /// The GPU correlation id, for GPU API events.
+    pub correlation: Option<sim_gpu::CorrelationId>,
+}
+
 /// Events delivered to registered profiler callbacks.
 #[derive(Debug, Clone)]
 pub enum DlEvent {
@@ -46,6 +80,22 @@ pub enum DlEvent {
     Mem(MemEvent),
     /// A GPU API callback.
     Gpu(GpuCallbackEvent),
+}
+
+impl DlEvent {
+    /// The event's routing identity. Operator events carry their executing
+    /// thread; GPU events carry thread, stream and correlation id; graph
+    /// and memory events have no stable origin (they are process-global).
+    pub fn origin(&self) -> EventOrigin {
+        match self {
+            DlEvent::Op(op) => EventOrigin {
+                tid: Some(op.thread.tid()),
+                ..EventOrigin::default()
+            },
+            DlEvent::Graph(_) | DlEvent::Mem(_) => EventOrigin::default(),
+            DlEvent::Gpu(gpu) => gpu.origin(),
+        }
+    }
 }
 
 /// Which call-path sources `dlmonitor_callpath_get` integrates — the
@@ -356,7 +406,12 @@ impl DlMonitor {
                 prefix.push(Frame::python(&f.file, f.line, &f.function, &self.interner));
             }
             for (name, seq) in &a.operators {
-                prefix.push(Frame::operator_with(name, OpPhase::Forward, *seq, &self.interner));
+                prefix.push(Frame::operator_with(
+                    name,
+                    OpPhase::Forward,
+                    *seq,
+                    &self.interner,
+                ));
             }
             Vec::new()
         } else if cache_on {
@@ -684,12 +739,16 @@ mod tests {
         rig.monitor.set_cache_enabled(true);
         {
             let _s = core.python().frame(&main, "a.py", 1, "f");
-            rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+            rig.engine
+                .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+                .unwrap();
         }
         rig.monitor.set_cache_enabled(false);
         {
             let _s = core.python().frame(&main, "a.py", 1, "f");
-            rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+            rig.engine
+                .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+                .unwrap();
         }
         let paths = paths.lock();
         assert_eq!(paths[0], paths[1]);
@@ -705,17 +764,24 @@ mod tests {
         let core = Arc::clone(rig.engine.core());
         // Deep Python nesting makes full unwinds expensive.
         let _scopes: Vec<_> = (0..10)
-            .map(|i| core.python().frame(&main, "deep.py", i, &format!("level{i}")))
+            .map(|i| {
+                core.python()
+                    .frame(&main, "deep.py", i, &format!("level{i}"))
+            })
             .collect();
 
         rig.monitor.set_cache_enabled(false);
         rig.env.unwinder().reset_counters();
-        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         let uncached_steps = rig.env.unwinder().steps_taken();
 
         rig.monitor.set_cache_enabled(true);
         rig.env.unwinder().reset_counters();
-        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         let cached_steps = rig.env.unwinder().steps_taken();
 
         assert!(
@@ -735,7 +801,9 @@ mod tests {
         let _s = core.python().frame(&main, "a.py", 1, "f");
 
         rig.env.unwinder().reset_counters();
-        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         assert_eq!(rig.env.unwinder().steps_taken(), 0);
 
         let paths = paths.lock();
@@ -758,7 +826,9 @@ mod tests {
         let _bind = ThreadRegistry::bind_current(&main);
         let paths = launch_paths(&rig);
         rig.monitor.finalize();
-        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([64])]).unwrap();
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([64])])
+            .unwrap();
         assert!(paths.lock().is_empty());
         assert_eq!(rig.monitor.shadow_depth(main.tid()), 0);
     }
@@ -772,15 +842,20 @@ mod tests {
         let d = Arc::clone(&depths);
         let monitor = Arc::clone(&rig.monitor);
         let tid = main.tid();
-        rig.monitor.callback_register(Domain::Framework, move |event| {
-            if let DlEvent::Op(op) = event {
-                if op.site == Site::Enter {
-                    d.lock().push(monitor.shadow_depth(tid));
+        rig.monitor
+            .callback_register(Domain::Framework, move |event| {
+                if let DlEvent::Op(op) = event {
+                    if op.site == Site::Enter {
+                        d.lock().push(monitor.shadow_depth(tid));
+                    }
                 }
-            }
-        });
-        rig.engine.op(Op::new(OpKind::Relu), &[TensorMeta::new([8])]).unwrap();
-        rig.engine.op(Op::new(OpKind::Gelu), &[TensorMeta::new([8])]).unwrap();
+            });
+        rig.engine
+            .op(Op::new(OpKind::Relu), &[TensorMeta::new([8])])
+            .unwrap();
+        rig.engine
+            .op(Op::new(OpKind::Gelu), &[TensorMeta::new([8])])
+            .unwrap();
         // Depth observed at Enter is 1 for each (not nested; exits popped).
         assert_eq!(*depths.lock(), vec![1, 1]);
         assert_eq!(rig.monitor.shadow_depth(tid), 0);
@@ -793,11 +868,12 @@ mod tests {
         let _bind = ThreadRegistry::bind_current(&main);
         let count = Arc::new(Mutex::new(0usize));
         let c = Arc::clone(&count);
-        rig.monitor.callback_register(Domain::Framework, move |event| {
-            if matches!(event, DlEvent::Mem(_)) {
-                *c.lock() += 1;
-            }
-        });
+        rig.monitor
+            .callback_register(Domain::Framework, move |event| {
+                if matches!(event, DlEvent::Mem(_)) {
+                    *c.lock() += 1;
+                }
+            });
         let meta = TensorMeta::new([256]);
         let ptr = rig.engine.alloc_tensor(&meta).unwrap();
         rig.engine.free_tensor(ptr, meta.bytes() as u64).unwrap();

@@ -20,9 +20,9 @@ struct Scenario {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        0usize..6,  // python frames
-        0usize..4,  // operators
-        0usize..8,  // native frames below the interpreter
+        0usize..6,       // python frames
+        0usize..4,       // operators
+        0usize..8,       // native frames below the interpreter
         prop::bool::ANY, // whether an interpreter frame exists at all
     )
         .prop_map(|(n_py, n_ops, n_native, has_interp)| {

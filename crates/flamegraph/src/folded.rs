@@ -116,10 +116,7 @@ mod tests {
         let folded = graph().to_folded();
         let mut lines: Vec<&str> = folded.lines().collect();
         lines.sort();
-        assert_eq!(
-            lines,
-            vec!["root;a.py:1;k1 30", "root;a.py:1;k2 70"]
-        );
+        assert_eq!(lines, vec!["root;a.py:1;k1 30", "root;a.py:1;k2 70"]);
     }
 
     #[test]

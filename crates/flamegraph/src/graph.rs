@@ -41,12 +41,21 @@ impl FlameNode {
 
     /// Total number of boxes in this subtree.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(FlameNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(FlameNode::node_count)
+            .sum::<usize>()
     }
 
     /// Maximum depth of this subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(FlameNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(FlameNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     fn find_child_mut(&mut self, label: &str) -> Option<usize> {

@@ -101,7 +101,11 @@ fn render_node(
          height=\"{:.2}\" fill=\"{}\" fill-opacity=\"{opacity}\"{stroke}/>",
         escape(&node.label),
         node.value / total * 100.0,
-        if node.issues.is_empty() { "" } else { ", flagged" },
+        if node.issues.is_empty() {
+            ""
+        } else {
+            ", flagged"
+        },
         x,
         y,
         w,
@@ -160,8 +164,7 @@ mod tests {
         let b = cct.insert_path(&[Frame::gpu_kernel("k2", "m.so", 0x20, &i)]);
         cct.attribute(a, MetricKind::GpuTime, 50.0);
         cct.attribute(b, MetricKind::GpuTime, 50.0);
-        let svg = FlameGraph::top_down(&cct, MetricKind::GpuTime)
-            .to_svg(&SvgOptions::default());
+        let svg = FlameGraph::top_down(&cct, MetricKind::GpuTime).to_svg(&SvgOptions::default());
         // Two 600px boxes at x=0 and x=600.
         assert!(svg.contains("x=\"0.00\""));
         assert!(svg.contains("x=\"600.00\""));

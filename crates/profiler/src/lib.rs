@@ -20,26 +20,31 @@
 //!   perf-style hardware-counter overflow samples attribute to the
 //!   sampled thread's unified call path (§6.4).
 //!
+//! All of those paths terminate in an [`EventSink`]. The default sink is
+//! the [`ShardedSink`]: per-thread/per-stream [`CctShard`]s (private tree
+//! plus correlation map behind independent locks) that fold into one
+//! master tree on [`Profiler::with_cct`] / [`Profiler::finish`], so
+//! concurrent producers never serialize on a global profile lock — see
+//! the [`sink`] module docs for the routing rules.
+//!
+//! [`CctShard`]: deepcontext_core::CctShard
 //! [`Frame::Instruction`]: deepcontext_core::Frame
 //! [`CallingContextTree`]: deepcontext_core::CallingContextTree
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use deepcontext_core::{
-    CallingContextTree, Frame, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs,
-};
-use dlmonitor::{CallPathSources, DlEvent, DlMonitor, Domain, RegistrationId};
-use sim_gpu::{
-    Activity, ActivityKind, ApiKind, CallbackSite, CorrelationId, GpuRuntime, SamplingConfig,
-};
+use deepcontext_core::{CallingContextTree, MetricKind, ProfileDb, ProfileMeta, TimeNs};
+use dlmonitor::{CallPathSources, DlEvent, DlMonitor, Domain, EventOrigin, RegistrationId};
+use sim_gpu::{ApiKind, CallbackSite, GpuRuntime, SamplingConfig};
 use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
+
+pub mod sink;
+
+pub use sink::{attribute_activity_metrics, EventSink, ShardedSink, SinkCounters};
 
 /// Profiler configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +66,10 @@ pub struct ProfilerConfig {
     pub hw_counter_period: Option<u64>,
     /// GPU activity buffer capacity before auto-flush.
     pub activity_buffer_capacity: usize,
+    /// Number of ingestion shards (parallel CCT shards events are routed
+    /// to before any lock is taken). `1` reproduces the historical
+    /// single-lock pipeline.
+    pub ingestion_shards: usize,
 }
 
 impl Default for ProfilerConfig {
@@ -74,6 +83,7 @@ impl Default for ProfilerConfig {
             real_time_interval: None,
             hw_counter_period: None,
             activity_buffer_capacity: 4096,
+            ingestion_shards: 16,
         }
     }
 }
@@ -109,128 +119,18 @@ pub struct ProfilerStats {
     pub cpu_samples: u64,
     /// Instruction samples attributed.
     pub instruction_samples: u64,
+    /// Activity records that fell back to the `<unattributed>` catch-all
+    /// context because their correlation was pruned or never seen.
+    pub orphans: u64,
     /// Peak profile memory (bytes) observed at flush points.
     pub peak_bytes: usize,
 }
 
 struct Inner {
     monitor: Arc<DlMonitor>,
-    cct: Mutex<CallingContextTree>,
-    corr: Mutex<HashMap<CorrelationId, NodeId>>,
-    prune_queue: Mutex<Vec<CorrelationId>>,
+    sink: Arc<dyn EventSink>,
     launches: AtomicU64,
-    activities: AtomicU64,
     cpu_samples: AtomicU64,
-    instruction_samples: AtomicU64,
-    peak_bytes: AtomicUsize,
-}
-
-impl Inner {
-    fn attribute_activity(&self, activity: &Activity) {
-        let node = {
-            let corr = self.corr.lock();
-            corr.get(&activity.correlation_id).copied()
-        };
-        let mut cct = self.cct.lock();
-        let node = match node {
-            Some(n) => n,
-            None => {
-                // Orphaned record (correlation pruned or never seen):
-                // attribute under a catch-all kernel context so the data
-                // is not silently lost.
-                let interner = cct.interner();
-                let frame = Frame::gpu_kernel("<unattributed>", "<none>", 0, &interner);
-                cct.insert_path(std::slice::from_ref(&frame))
-            }
-        };
-        self.activities.fetch_add(1, Ordering::Relaxed);
-        match &activity.kind {
-            ActivityKind::Kernel {
-                start,
-                end,
-                blocks,
-                warps,
-                occupancy,
-                shared_mem_per_block,
-                registers_per_thread,
-                ..
-            } => {
-                let duration = (*end - *start).as_nanos() as f64;
-                cct.attribute(node, MetricKind::GpuTime, duration);
-                cct.attribute_exclusive(node, MetricKind::Blocks, f64::from(*blocks));
-                cct.attribute_exclusive(node, MetricKind::Warps, *warps as f64);
-                cct.attribute_exclusive(node, MetricKind::Occupancy, *occupancy);
-                cct.attribute_exclusive(
-                    node,
-                    MetricKind::SharedMemPerBlock,
-                    *shared_mem_per_block as f64,
-                );
-                cct.attribute_exclusive(
-                    node,
-                    MetricKind::RegistersPerThread,
-                    f64::from(*registers_per_thread),
-                );
-                self.prune_queue.lock().push(activity.correlation_id);
-            }
-            ActivityKind::Memcpy { bytes, start, end, .. } => {
-                cct.attribute(node, MetricKind::MemcpyBytes, *bytes as f64);
-                cct.attribute(node, MetricKind::MemcpyTime, (*end - *start).as_nanos() as f64);
-                self.prune_queue.lock().push(activity.correlation_id);
-            }
-            ActivityKind::Malloc { bytes, .. } => {
-                cct.attribute(node, MetricKind::GpuAllocBytes, *bytes as f64);
-                self.prune_queue.lock().push(activity.correlation_id);
-            }
-            ActivityKind::Free { .. } => {
-                self.prune_queue.lock().push(activity.correlation_id);
-            }
-            ActivityKind::PcSampling { samples, .. } => {
-                // Extend the kernel's call path with per-PC instruction
-                // frames (paper §4.2: "we will extend the call path by
-                // inserting the PC of each instruction collected").
-                for sample in samples {
-                    let child = cct.insert_child(node, &Frame::instruction(sample.pc));
-                    cct.attribute(child, MetricKind::InstructionSamples, 1.0);
-                    cct.attribute(child, MetricKind::Stall(sample.stall), 1.0);
-                    self.instruction_samples.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
-    fn handle_batch(&self, batch: &[Activity]) {
-        for activity in batch {
-            self.attribute_activity(activity);
-        }
-        // Two-phase pruning: correlations attributed in the *previous*
-        // batch are dropped now, so sampling records that straddle a
-        // buffer boundary still resolve.
-        let mut queue = self.prune_queue.lock();
-        let keep: Vec<CorrelationId> = queue
-            .iter()
-            .rev()
-            .take(batch.len())
-            .copied()
-            .collect();
-        let mut corr = self.corr.lock();
-        for id in queue.drain(..) {
-            if !keep.contains(&id) {
-                corr.remove(&id);
-            }
-        }
-        *queue = keep;
-        drop(corr);
-
-        let bytes = self.approx_bytes();
-        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
-    }
-
-    fn approx_bytes(&self) -> usize {
-        let cct_bytes = self.cct.lock().approx_bytes();
-        let corr_bytes = self.corr.lock().len()
-            * (std::mem::size_of::<CorrelationId>() + std::mem::size_of::<NodeId>() + 16);
-        cct_bytes + corr_bytes
-    }
 }
 
 /// The DeepContext profiler.
@@ -257,19 +157,27 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
+        let sink = ShardedSink::new(monitor.interner(), config.ingestion_shards);
+        Profiler::attach_with_sink(config, env, monitor, gpu, sink)
+    }
+
+    /// Attaches a profiler delivering events to a caller-provided sink
+    /// (custom aggregation pipelines, instrumented sinks in tests).
+    pub fn attach_with_sink(
+        config: ProfilerConfig,
+        env: &RuntimeEnv,
+        monitor: &Arc<DlMonitor>,
+        gpu: &Arc<GpuRuntime>,
+        sink: Arc<dyn EventSink>,
+    ) -> Profiler {
         monitor.set_sources(config.sources);
         monitor.set_cache_enabled(config.cache_enabled);
 
         let inner = Arc::new(Inner {
             monitor: Arc::clone(monitor),
-            cct: Mutex::new(CallingContextTree::with_interner(monitor.interner())),
-            corr: Mutex::new(HashMap::new()),
-            prune_queue: Mutex::new(Vec::new()),
+            sink,
             launches: AtomicU64::new(0),
-            activities: AtomicU64::new(0),
             cpu_samples: AtomicU64::new(0),
-            instruction_samples: AtomicU64::new(0),
-            peak_bytes: AtomicUsize::new(0),
         });
 
         let mut monitor_regs = Vec::new();
@@ -290,21 +198,18 @@ impl Profiler {
                         _ => return,
                     }
                     let path = me.monitor.callpath_for_gpu(gpu_event);
-                    let mut cct = me.cct.lock();
-                    let node = cct.insert_call_path(&path);
+                    me.sink
+                        .gpu_launch(&gpu_event.origin(), &path, gpu_event.data.api);
                     if gpu_event.data.api == ApiKind::LaunchKernel {
-                        cct.attribute(node, MetricKind::KernelLaunches, 1.0);
                         me.launches.fetch_add(1, Ordering::Relaxed);
                     }
-                    drop(cct);
-                    me.corr.lock().insert(gpu_event.data.correlation_id, node);
                 }
             }));
 
             // Asynchronous activity delivery (buffer-completed handler).
             let me = Arc::clone(&inner);
             gpu.set_activity_handler(move |batch| {
-                me.handle_batch(&batch);
+                me.sink.activity_batch(&batch);
             });
         }
 
@@ -312,13 +217,21 @@ impl Profiler {
         let mut sampler_ids = Vec::new();
         let cpu_sampler = |kind: SampleKind, metric: MetricKind, interval: u64| {
             let me = Arc::clone(&inner);
-            env.samplers().register(kind, interval, move |thread, event| {
-                let path = me.monitor.callpath_get(thread);
-                let mut cct = me.cct.lock();
-                let node = cct.insert_call_path(&path);
-                cct.attribute(node, metric, (event.count * event.interval) as f64);
-                me.cpu_samples.fetch_add(event.count, Ordering::Relaxed);
-            })
+            env.samplers()
+                .register(kind, interval, move |thread, event| {
+                    let path = me.monitor.callpath_get(thread);
+                    let origin = EventOrigin {
+                        tid: Some(thread.tid()),
+                        ..EventOrigin::default()
+                    };
+                    me.sink.cpu_sample(
+                        &origin,
+                        &path,
+                        metric,
+                        (event.count * event.interval) as f64,
+                    );
+                    me.cpu_samples.fetch_add(event.count, Ordering::Relaxed);
+                })
         };
         if let Some(interval) = config.cpu_time_interval {
             sampler_ids.push(cpu_sampler(
@@ -361,33 +274,34 @@ impl Profiler {
     pub fn flush(&self) {
         let batch = self.gpu.flush_completed();
         if !batch.is_empty() {
-            self.inner.handle_batch(&batch);
+            self.inner.sink.activity_batch(&batch);
         }
     }
 
-    /// Current approximate profile memory (CCT + correlation state).
+    /// Current approximate profile memory (shards + correlation state).
     pub fn approx_bytes(&self) -> usize {
-        self.inner.approx_bytes()
+        self.inner.sink.approx_bytes()
     }
 
     /// Activity counters.
     pub fn stats(&self) -> ProfilerStats {
+        let counters = self.inner.sink.counters();
         ProfilerStats {
             launches: self.inner.launches.load(Ordering::Relaxed),
-            activities: self.inner.activities.load(Ordering::Relaxed),
+            activities: counters.activities,
             cpu_samples: self.inner.cpu_samples.load(Ordering::Relaxed),
-            instruction_samples: self.inner.instruction_samples.load(Ordering::Relaxed),
-            peak_bytes: self
-                .inner
-                .peak_bytes
-                .load(Ordering::Relaxed)
-                .max(self.inner.approx_bytes()),
+            instruction_samples: counters.instruction_samples,
+            orphans: counters.orphans,
+            peak_bytes: counters.peak_bytes.max(self.inner.sink.approx_bytes()),
         }
     }
 
     /// Read access to the in-progress tree (analysis previews, tests).
+    ///
+    /// Folds the ingestion shards into a merged snapshot for the duration
+    /// of the call; the per-shard trees stay live and keep ingesting.
     pub fn with_cct<R>(&self, f: impl FnOnce(&CallingContextTree) -> R) -> R {
-        f(&self.inner.cct.lock())
+        f(&self.inner.sink.snapshot())
     }
 
     /// Detaches all collection and returns the finished profile.
@@ -395,14 +309,10 @@ impl Profiler {
         // Drain anything still buffered.
         let batch = self.gpu.flush_all();
         if !batch.is_empty() {
-            self.inner.handle_batch(&batch);
+            self.inner.sink.activity_batch(&batch);
         }
         self.detach();
-        let cct = std::mem::replace(
-            &mut *self.inner.cct.lock(),
-            CallingContextTree::with_interner(self.inner.monitor.interner()),
-        );
-        ProfileDb::new(meta, cct)
+        ProfileDb::new(meta, self.inner.sink.snapshot())
     }
 
     fn detach(&mut self) {
@@ -436,7 +346,7 @@ mod tests {
     use super::*;
     use deepcontext_core::{FrameKind, StallReason, ThreadRole};
     use dl_framework::{EagerEngine, FrameworkCore, Op, OpKind, TensorMeta};
-    use sim_gpu::{DeviceId, DeviceSpec};
+    use sim_gpu::{Activity, ActivityKind, CorrelationId, DeviceId, DeviceSpec};
     use sim_runtime::ThreadRegistry;
 
     struct Rig {
@@ -485,7 +395,8 @@ mod tests {
     #[test]
     fn gpu_time_attributes_to_kernel_context() {
         let rig = rig();
-        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
         run_relu(&rig, 5);
         profiler.flush();
 
@@ -495,7 +406,10 @@ mod tests {
 
         profiler.with_cct(|cct| {
             assert!(cct.total(MetricKind::GpuTime) > 0.0);
-            assert_eq!(cct.root_metric(MetricKind::KernelLaunches).unwrap().sum, 5.0);
+            assert_eq!(
+                cct.root_metric(MetricKind::KernelLaunches).unwrap().sum,
+                5.0
+            );
             // All five launches collapsed into one kernel context.
             let kernels = cct.nodes_of_kind(FrameKind::GpuKernel);
             assert_eq!(kernels.len(), 1);
@@ -510,14 +424,18 @@ mod tests {
     #[test]
     fn profile_size_is_iteration_independent() {
         let rig = rig();
-        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
         run_relu(&rig, 3);
         profiler.flush();
         let nodes_small = profiler.with_cct(|c| c.node_count());
         run_relu(&rig, 50);
         profiler.flush();
         let nodes_large = profiler.with_cct(|c| c.node_count());
-        assert_eq!(nodes_small, nodes_large, "CCT must not grow with iterations");
+        assert_eq!(
+            nodes_small, nodes_large,
+            "CCT must not grow with iterations"
+        );
     }
 
     #[test]
@@ -579,14 +497,18 @@ mod tests {
                 assert_eq!(cct.node(parent).frame().kind(), FrameKind::GpuKernel);
             }
             let const_stalls = cct.total(MetricKind::Stall(StallReason::ConstantMemory));
-            assert!(const_stalls > 0.0, "cast kernel must show constant-memory stalls");
+            assert!(
+                const_stalls > 0.0,
+                "cast kernel must show constant-memory stalls"
+            );
         });
     }
 
     #[test]
     fn finish_produces_loadable_profile() {
         let rig = rig();
-        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
         run_relu(&rig, 4);
         let db = profiler.finish(ProfileMeta {
             workload: "relu-micro".into(),
@@ -605,7 +527,8 @@ mod tests {
     #[test]
     fn peak_bytes_is_tracked_and_bounded() {
         let rig = rig();
-        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
         run_relu(&rig, 2);
         profiler.flush();
         let after_two = profiler.stats().peak_bytes;
@@ -621,7 +544,8 @@ mod tests {
     #[test]
     fn memcpy_and_malloc_metrics_attribute() {
         let rig = rig();
-        let profiler = Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
         let main = rig.env.threads().spawn(ThreadRole::Main);
         let _bind = ThreadRegistry::bind_current(&main);
         rig.gpu.malloc(DeviceId(0), 4096).unwrap();
@@ -648,5 +572,60 @@ mod tests {
         // no stale callbacks firing into freed state).
         run_relu(&rig, 2);
         assert!(rig.env.samplers().is_empty());
+    }
+
+    #[test]
+    fn single_shard_config_matches_default() {
+        // The sharded pipeline is an API-compatible refactor: one shard
+        // (the historical single-lock design) and many shards must agree
+        // on every aggregate.
+        let totals = |shards: usize| {
+            let rig = rig();
+            let config = ProfilerConfig {
+                ingestion_shards: shards,
+                ..ProfilerConfig::default()
+            };
+            let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+            run_relu(&rig, 6);
+            profiler.flush();
+            profiler.with_cct(|cct| {
+                (
+                    cct.node_count(),
+                    cct.total(MetricKind::GpuTime),
+                    cct.total(MetricKind::KernelLaunches),
+                )
+            })
+        };
+        assert_eq!(totals(1), totals(16));
+    }
+
+    #[test]
+    fn orphaned_activities_are_counted_and_kept() {
+        let rig = rig();
+        let profiler =
+            Profiler::attach(ProfilerConfig::default(), &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 1);
+        profiler.flush();
+        assert_eq!(profiler.stats().orphans, 0);
+
+        // Fabricate a record whose correlation the profiler never saw.
+        let orphan = Activity {
+            correlation_id: CorrelationId(u64::MAX),
+            device: DeviceId(0),
+            kind: ActivityKind::Malloc {
+                bytes: 512,
+                at: TimeNs(1),
+            },
+        };
+        profiler
+            .inner
+            .sink
+            .activity_batch(std::slice::from_ref(&orphan));
+        let stats = profiler.stats();
+        assert_eq!(stats.orphans, 1);
+        // The data is attributed under the catch-all, not dropped.
+        profiler.with_cct(|cct| {
+            assert_eq!(cct.total(MetricKind::GpuAllocBytes), 512.0);
+        });
     }
 }

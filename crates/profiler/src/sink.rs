@@ -1,0 +1,383 @@
+//! The sharded event-ingestion pipeline.
+//!
+//! Every collection path of the profiler — GPU launch callbacks, completed
+//! activity buffers, CPU samples, PC-sampling records — terminates in an
+//! [`EventSink`]. The previous design funneled all of them through one
+//! `Mutex<CallingContextTree>` plus a correlation-map mutex, so ingestion
+//! throughput was capped at one core no matter how many workload threads
+//! were producing events. [`ShardedSink`] removes that ceiling:
+//!
+//! * events are routed to one of N [`CctShard`]s **before** any lock is
+//!   taken, keyed by the originating thread (launches, CPU samples) or by
+//!   the correlation-id's registered home shard (activity records);
+//! * each shard owns a private tree + correlation map behind its own
+//!   mutex, so producers on different threads proceed in parallel;
+//! * a lock-striped correlation *directory* remembers which shard a
+//!   correlation id was bound in, letting asynchronous activity records —
+//!   which carry no thread identity — find their way home;
+//! * [`ShardedSink::snapshot`] folds all shards into one master tree via
+//!   [`CallingContextTree::merge`]; correlation state stays behind in the
+//!   shards for records still in flight ([`CctShard::merge_from`] exists
+//!   for folds that must carry it along).
+//!
+//! A `ShardedSink` with one shard routes everything through one lock like
+//! the old design (set `ingestion_shards: 1`); the ingestion benchmark in
+//! `crates/bench` additionally keeps a faithful reproduction of the full
+//! pre-refactor pipeline as its baseline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use deepcontext_core::{
+    CallPath, CallingContextTree, CctShard, Frame, Interner, MetricKind, NodeId,
+};
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ActivityKind, ApiKind};
+
+/// Writes one activity record's metrics at its resolved context `node` —
+/// the single source of truth for the activity-kind → metric mapping,
+/// shared by [`ShardedSink`] and the benchmark's single-lock baseline so
+/// throughput comparisons never drift apart semantically. Returns the
+/// number of instruction samples attributed (0 for non-sampling records).
+pub fn attribute_activity_metrics(
+    tree: &mut CallingContextTree,
+    node: NodeId,
+    activity: &Activity,
+) -> u64 {
+    match &activity.kind {
+        ActivityKind::Kernel {
+            start,
+            end,
+            blocks,
+            warps,
+            occupancy,
+            shared_mem_per_block,
+            registers_per_thread,
+            ..
+        } => {
+            tree.attribute(node, MetricKind::GpuTime, (*end - *start).as_nanos() as f64);
+            tree.attribute_exclusive(node, MetricKind::Blocks, f64::from(*blocks));
+            tree.attribute_exclusive(node, MetricKind::Warps, *warps as f64);
+            tree.attribute_exclusive(node, MetricKind::Occupancy, *occupancy);
+            tree.attribute_exclusive(
+                node,
+                MetricKind::SharedMemPerBlock,
+                *shared_mem_per_block as f64,
+            );
+            tree.attribute_exclusive(
+                node,
+                MetricKind::RegistersPerThread,
+                f64::from(*registers_per_thread),
+            );
+            0
+        }
+        ActivityKind::Memcpy {
+            bytes, start, end, ..
+        } => {
+            tree.attribute(node, MetricKind::MemcpyBytes, *bytes as f64);
+            tree.attribute(
+                node,
+                MetricKind::MemcpyTime,
+                (*end - *start).as_nanos() as f64,
+            );
+            0
+        }
+        ActivityKind::Malloc { bytes, .. } => {
+            tree.attribute(node, MetricKind::GpuAllocBytes, *bytes as f64);
+            0
+        }
+        ActivityKind::Free { .. } => 0,
+        ActivityKind::PcSampling { samples, .. } => {
+            // Extend the kernel's call path with per-PC instruction frames
+            // (paper §4.2: "we will extend the call path by inserting the
+            // PC of each instruction collected").
+            for sample in samples {
+                let child = tree.insert_child(node, &Frame::instruction(sample.pc));
+                tree.attribute(child, MetricKind::InstructionSamples, 1.0);
+                tree.attribute(child, MetricKind::Stall(sample.stall), 1.0);
+            }
+            samples.len() as u64
+        }
+    }
+}
+
+/// Monotonic counters a sink maintains while ingesting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkCounters {
+    /// Activity records attributed.
+    pub activities: u64,
+    /// Instruction samples attributed.
+    pub instruction_samples: u64,
+    /// Records that fell back to the `<unattributed>` catch-all context.
+    pub orphans: u64,
+    /// Peak approximate profile bytes observed at batch boundaries.
+    pub peak_bytes: usize,
+}
+
+/// Where profiler collection paths deliver their events.
+///
+/// Implementations must be callable from any producer thread concurrently;
+/// the profiler registers one sink and never wraps it in an outer lock.
+pub trait EventSink: Send + Sync {
+    /// A GPU API call was intercepted at its launch site: bind
+    /// `origin.correlation` to the context `path` and (for kernel
+    /// launches) count the launch.
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind);
+
+    /// A buffer of completed asynchronous activity records.
+    fn activity_batch(&self, batch: &[Activity]);
+
+    /// A CPU sample (interval timer or hardware-counter overflow) on the
+    /// thread identified by `origin`.
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64);
+
+    /// Folds the sink's state into one calling context tree.
+    fn snapshot(&self) -> CallingContextTree;
+
+    /// Current ingestion counters.
+    fn counters(&self) -> SinkCounters;
+
+    /// Approximate resident bytes of all ingestion state.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Mixes a routing key so sequential tids/correlation ids spread across
+/// shards (splitmix64 finalizer).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The sharded [`EventSink`] (see the [module docs](self)).
+pub struct ShardedSink {
+    interner: Arc<Interner>,
+    shards: Vec<Mutex<CctShard>>,
+    /// Correlation id -> index of the shard it was bound in. Striped by
+    /// correlation hash so binding and resolving rarely contend.
+    directory: Vec<Mutex<HashMap<u64, u32>>>,
+    /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
+    /// shard lock is already held at batch boundaries, so peak tracking
+    /// never sweeps every shard lock.
+    shard_bytes: Vec<AtomicUsize>,
+    /// Live directory entries across all stripes.
+    dir_entries: AtomicUsize,
+    activities: AtomicU64,
+    instruction_samples: AtomicU64,
+    orphans: AtomicU64,
+    peak_bytes: AtomicUsize,
+}
+
+impl ShardedSink {
+    /// Creates a sink with `shard_count` shards (clamped to at least one)
+    /// sharing `interner`.
+    pub fn new(interner: Arc<Interner>, shard_count: usize) -> Arc<Self> {
+        let n = shard_count.max(1);
+        Arc::new(ShardedSink {
+            shards: (0..n)
+                .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
+                .collect(),
+            directory: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            dir_entries: AtomicUsize::new(0),
+            interner,
+            activities: AtomicU64::new(0),
+            instruction_samples: AtomicU64::new(0),
+            orphans: AtomicU64::new(0),
+            peak_bytes: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn index_for(&self, key: u64) -> usize {
+        (mix(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard an event from `origin` routes to: thread identity first
+    /// (keeps one producer's contexts together), falling back to the
+    /// correlation id, then to shard 0 for identity-less events.
+    fn route(&self, origin: &EventOrigin) -> usize {
+        if let Some(tid) = origin.tid {
+            self.index_for(tid)
+        } else if let Some(corr) = origin.correlation {
+            self.index_for(corr.0)
+        } else {
+            0
+        }
+    }
+
+    fn directory_bind(&self, corr: u64, shard: usize) {
+        let slot = self.index_for(corr);
+        if self.directory[slot]
+            .lock()
+            .insert(corr, shard as u32)
+            .is_none()
+        {
+            self.dir_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn directory_lookup(&self, corr: u64) -> Option<usize> {
+        let slot = self.index_for(corr);
+        self.directory[slot].lock().get(&corr).map(|s| *s as usize)
+    }
+
+    fn directory_remove(&self, corr: u64) {
+        let slot = self.index_for(corr);
+        if self.directory[slot].lock().remove(&corr).is_some() {
+            self.dir_entries.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Attributes one activity record inside its home shard.
+    fn attribute_activity(&self, shard: &mut CctShard, activity: &Activity) {
+        let corr = activity.correlation_id.0;
+        self.activities.fetch_add(1, Ordering::Relaxed);
+        let node = match shard.resolve(corr) {
+            Some(node) => node,
+            None => {
+                self.orphans.fetch_add(1, Ordering::Relaxed);
+                shard.orphan_node()
+            }
+        };
+        let samples = attribute_activity_metrics(shard.tree_mut(), node, activity);
+        if matches!(activity.kind, ActivityKind::PcSampling { .. }) {
+            // Sampling records keep their correlation live for the kernel
+            // record that follows them.
+            self.instruction_samples
+                .fetch_add(samples, Ordering::Relaxed);
+        } else {
+            // Terminal record kinds retire their correlation.
+            shard.defer_prune(corr);
+        }
+    }
+
+    /// Records the current approximate profile size into the peak, using
+    /// the per-shard byte estimates refreshed at batch boundaries — no
+    /// cross-shard locking on the ingestion hot path.
+    fn note_peak(&self) {
+        let shard_bytes: usize = self
+            .shard_bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
+        let bytes = shard_bytes
+            + self.dir_entries.load(Ordering::Relaxed) * dir_entry
+            + self.interner.approx_bytes();
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+impl EventSink for ShardedSink {
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        let idx = self.route(origin);
+        let mut shard = self.shards[idx].lock();
+        let node = shard.insert_call_path(path);
+        if api == ApiKind::LaunchKernel {
+            shard
+                .tree_mut()
+                .attribute(node, MetricKind::KernelLaunches, 1.0);
+        }
+        if let Some(corr) = origin.correlation {
+            shard.bind(corr.0, node);
+            // Directory stripes are leaf locks: binding here (while the
+            // shard is held) guarantees the activity path — which never
+            // holds a stripe and a shard at once — sees the binding as
+            // soon as it can see the shard's node.
+            self.directory_bind(corr.0, idx);
+        }
+    }
+
+    fn activity_batch(&self, batch: &[Activity]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Route every record to its home shard first, then take each
+        // shard lock once per batch.
+        let mut buckets: Vec<Vec<&Activity>> = vec![Vec::new(); self.shards.len()];
+        for activity in batch {
+            let corr = activity.correlation_id.0;
+            let idx = self
+                .directory_lookup(corr)
+                .unwrap_or_else(|| self.index_for(corr));
+            buckets[idx].push(activity);
+        }
+        for (idx, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let pruned = {
+                let mut shard = self.shards[idx].lock();
+                for activity in bucket {
+                    self.attribute_activity(&mut shard, activity);
+                }
+                // Two-phase pruning per shard: correlations attributed in
+                // the shard's *previous* batch are dropped now, so
+                // sampling records straddling a buffer boundary resolve.
+                let pruned = shard.end_batch();
+                self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+                pruned
+            };
+            for corr in pruned {
+                self.directory_remove(corr);
+            }
+        }
+        self.note_peak();
+    }
+
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
+        let idx = self.route(origin);
+        let mut shard = self.shards[idx].lock();
+        let node = shard.insert_call_path(path);
+        shard.tree_mut().attribute(node, metric, value);
+    }
+
+    fn snapshot(&self) -> CallingContextTree {
+        // Trees only: correlation state stays in the shards (it is still
+        // needed for records that have not arrived yet), so the fold skips
+        // `CctShard::merge_from`'s remapping work.
+        let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
+        for shard in &self.shards {
+            master.merge(shard.lock().tree());
+        }
+        master
+    }
+
+    fn counters(&self) -> SinkCounters {
+        SinkCounters {
+            activities: self.activities.load(Ordering::Relaxed),
+            instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
+            orphans: self.orphans.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let shard_bytes: usize = self.shards.iter().map(|s| s.lock().approx_bytes()).sum();
+        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
+        let dir_bytes: usize = self
+            .directory
+            .iter()
+            .map(|d| d.lock().capacity() * dir_entry)
+            .sum();
+        shard_bytes + dir_bytes + self.interner.approx_bytes()
+    }
+}
+
+impl std::fmt::Debug for ShardedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSink")
+            .field("shards", &self.shards.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}

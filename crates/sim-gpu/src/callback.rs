@@ -95,15 +95,27 @@ mod tests {
 
     #[test]
     fn api_names_follow_vendor() {
-        assert_eq!(ApiKind::LaunchKernel.api_name(Vendor::Nvidia), "cuLaunchKernel");
-        assert_eq!(ApiKind::LaunchKernel.api_name(Vendor::Amd), "hipModuleLaunchKernel");
+        assert_eq!(
+            ApiKind::LaunchKernel.api_name(Vendor::Nvidia),
+            "cuLaunchKernel"
+        );
+        assert_eq!(
+            ApiKind::LaunchKernel.api_name(Vendor::Amd),
+            "hipModuleLaunchKernel"
+        );
         assert_eq!(ApiKind::MemAlloc.api_name(Vendor::Amd), "hipMalloc");
-        assert_eq!(ApiKind::Synchronize.api_name(Vendor::Nvidia), "cuCtxSynchronize");
+        assert_eq!(
+            ApiKind::Synchronize.api_name(Vendor::Nvidia),
+            "cuCtxSynchronize"
+        );
     }
 
     #[test]
     fn api_libraries_follow_vendor() {
-        assert_eq!(ApiKind::LaunchKernel.api_library(Vendor::Nvidia), "libcuda.so");
+        assert_eq!(
+            ApiKind::LaunchKernel.api_library(Vendor::Nvidia),
+            "libcuda.so"
+        );
         assert_eq!(ApiKind::MemFree.api_library(Vendor::Amd), "libamdhip64.so");
     }
 }

@@ -47,18 +47,16 @@ pub struct KernelCost {
 fn blocks_per_sm(spec: &DeviceSpec, desc: &KernelDesc) -> u32 {
     let by_threads = spec.max_threads_per_sm / desc.config.block.max(1);
     let by_blocks = spec.max_blocks_per_sm;
-    let by_shared = if desc.shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        (spec.shared_mem_per_sm / desc.shared_mem_per_block) as u32
-    };
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(desc.shared_mem_per_block)
+        .map_or(u32::MAX, |n| n as u32);
     let regs_per_block = u64::from(desc.registers_per_thread) * u64::from(desc.config.block);
-    let by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        (spec.registers_per_sm / regs_per_block) as u32
-    };
-    by_threads.min(by_blocks).min(by_shared).min(by_regs).max(0)
+    let by_regs = spec
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .map_or(u32::MAX, |n| n as u32);
+    by_threads.min(by_blocks).min(by_shared).min(by_regs)
 }
 
 /// Costs one launch of `desc` on `spec`.
@@ -79,13 +77,10 @@ pub fn kernel_cost(spec: &DeviceSpec, desc: &KernelDesc) -> KernelCost {
 
     // Device-wide parallelism: how many of the warp slots this grid can
     // actually cover, relative to the saturation point.
-    let resident_total = warps.min(
-        u64::from(resident_blocks.max(1)) * warps_per_block * u64::from(spec.sm_count),
-    );
-    let utilization = (resident_total as f64
-        / (spec.total_warp_slots() as f64 * SATURATION))
-        .min(1.0)
-        .max(MIN_UTIL);
+    let resident_total =
+        warps.min(u64::from(resident_blocks.max(1)) * warps_per_block * u64::from(spec.sm_count));
+    let utilization = (resident_total as f64 / (spec.total_warp_slots() as f64 * SATURATION))
+        .clamp(MIN_UTIL, 1.0);
 
     let compute_time = desc.flops / spec.peak_flops;
     let bw_efficiency = match desc.memory_pattern {

@@ -92,7 +92,10 @@ impl InstructionProfile {
                 pc: 0x10,
                 opcode: "FFMA".into(),
                 weight: 0.7,
-                stall_mix: vec![(StallReason::ExecutionDependency, 0.2), (StallReason::NotSelected, 0.1)],
+                stall_mix: vec![
+                    (StallReason::ExecutionDependency, 0.2),
+                    (StallReason::NotSelected, 0.1),
+                ],
             },
             InstrInfo {
                 pc: 0x20,
@@ -117,7 +120,10 @@ impl InstructionProfile {
                 pc: 0x10,
                 opcode: "LDG.E.128".into(),
                 weight: 0.6,
-                stall_mix: vec![(StallReason::MemoryDependency, 0.7), (StallReason::MemoryThrottle, 0.2)],
+                stall_mix: vec![
+                    (StallReason::MemoryDependency, 0.7),
+                    (StallReason::MemoryThrottle, 0.2),
+                ],
             },
             InstrInfo {
                 pc: 0x20,
@@ -291,13 +297,18 @@ mod tests {
 
     #[test]
     fn builder_chain_sets_fields() {
-        let k = KernelDesc::new("sgemm", "libtorch_cuda.so", 0x100, LaunchConfig::new(64, 256))
-            .with_flops(1e9)
-            .with_bytes(4e6)
-            .with_registers(96)
-            .with_shared_mem(48 * 1024)
-            .with_serialization(3.0)
-            .with_profile(InstructionProfile::compute_bound());
+        let k = KernelDesc::new(
+            "sgemm",
+            "libtorch_cuda.so",
+            0x100,
+            LaunchConfig::new(64, 256),
+        )
+        .with_flops(1e9)
+        .with_bytes(4e6)
+        .with_registers(96)
+        .with_shared_mem(48 * 1024)
+        .with_serialization(3.0)
+        .with_profile(InstructionProfile::compute_bound());
         assert_eq!(k.name.as_ref(), "sgemm");
         assert_eq!(k.flops, 1e9);
         assert_eq!(k.bytes, 4e6);
@@ -317,14 +328,16 @@ mod tests {
     fn canned_profiles_have_expected_stalls() {
         use deepcontext_core::StallReason;
         let cast = InstructionProfile::cast_kernel();
-        let has_const = cast
-            .instrs()
-            .iter()
-            .any(|i| i.stall_mix.iter().any(|(r, _)| *r == StallReason::ConstantMemory));
-        let has_math = cast
-            .instrs()
-            .iter()
-            .any(|i| i.stall_mix.iter().any(|(r, _)| *r == StallReason::MathDependency));
+        let has_const = cast.instrs().iter().any(|i| {
+            i.stall_mix
+                .iter()
+                .any(|(r, _)| *r == StallReason::ConstantMemory)
+        });
+        let has_math = cast.instrs().iter().any(|i| {
+            i.stall_mix
+                .iter()
+                .any(|(r, _)| *r == StallReason::MathDependency)
+        });
         assert!(has_const && has_math);
         assert!(cast.total_weight() > 0.0);
     }

@@ -164,7 +164,8 @@ impl GpuRuntime {
     /// Sets the activity buffer capacity; a full buffer is handed to the
     /// activity handler automatically.
     pub fn set_buffer_capacity(&self, capacity: usize) {
-        self.buffer_capacity.store(capacity as u64, Ordering::SeqCst);
+        self.buffer_capacity
+            .store(capacity as u64, Ordering::SeqCst);
     }
 
     /// Enables (`Some`) or disables (`None`) instruction sampling.
@@ -188,7 +189,12 @@ impl GpuRuntime {
 
     fn fire(&self, data: &CallbackData) {
         // Snapshot so callbacks may (un)subscribe re-entrantly.
-        let cbs: Vec<Callback> = self.callbacks.read().iter().map(|(_, c)| Arc::clone(c)).collect();
+        let cbs: Vec<Callback> = self
+            .callbacks
+            .read()
+            .iter()
+            .map(|(_, c)| Arc::clone(c))
+            .collect();
         for cb in cbs {
             cb(data);
         }
@@ -434,7 +440,10 @@ impl GpuRuntime {
             let dev = devices
                 .get_mut(device.0 as usize)
                 .ok_or(GpuError::NoSuchDevice(device.0))?;
-            let bytes = dev.allocations.remove(&ptr.0).ok_or(GpuError::InvalidFree(ptr.0))?;
+            let bytes = dev
+                .allocations
+                .remove(&ptr.0)
+                .ok_or(GpuError::InvalidFree(ptr.0))?;
             dev.allocated -= bytes;
             (
                 bytes,
@@ -588,7 +597,8 @@ mod tests {
 
     fn kernel(name: &str) -> Arc<KernelDesc> {
         Arc::new(
-            KernelDesc::new(name, "libtest.so", 0x100, LaunchConfig::new(512, 256)).with_flops(1e10),
+            KernelDesc::new(name, "libtest.so", 0x100, LaunchConfig::new(512, 256))
+                .with_flops(1e10),
         )
     }
 
@@ -600,18 +610,27 @@ mod tests {
         rt.subscribe(move |data| {
             s.lock().push((data.site, data.api, data.correlation_id));
         });
-        let corr = rt.launch_kernel(DeviceId(0), StreamId(0), kernel("k1")).unwrap();
+        let corr = rt
+            .launch_kernel(DeviceId(0), StreamId(0), kernel("k1"))
+            .unwrap();
         let events = seen.lock().clone();
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0], (CallbackSite::Enter, ApiKind::LaunchKernel, corr));
+        assert_eq!(
+            events[0],
+            (CallbackSite::Enter, ApiKind::LaunchKernel, corr)
+        );
         assert_eq!(events[1], (CallbackSite::Exit, ApiKind::LaunchKernel, corr));
     }
 
     #[test]
     fn correlation_ids_are_unique_and_increasing() {
         let rt = runtime();
-        let a = rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
-        let b = rt.launch_kernel(DeviceId(0), StreamId(0), kernel("b")).unwrap();
+        let a = rt
+            .launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
+        let b = rt
+            .launch_kernel(DeviceId(0), StreamId(0), kernel("b"))
+            .unwrap();
         let c = rt.memcpy_async(DeviceId(0), StreamId(0), 1024).unwrap();
         assert!(a < b && b < c);
     }
@@ -619,8 +638,10 @@ mod tests {
     #[test]
     fn kernels_on_one_stream_serialize() {
         let rt = runtime();
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("b")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("b"))
+            .unwrap();
         rt.synchronize(DeviceId(0)).unwrap();
         let acts = rt.flush_all();
         let kernels: Vec<_> = acts
@@ -631,14 +652,18 @@ mod tests {
             })
             .collect();
         assert_eq!(kernels.len(), 2);
-        assert!(kernels[1].0 >= kernels[0].1, "second starts after first ends");
+        assert!(
+            kernels[1].0 >= kernels[0].1,
+            "second starts after first ends"
+        );
     }
 
     #[test]
     fn kernels_on_different_streams_overlap() {
         let rt = runtime();
         let s1 = rt.create_stream(DeviceId(0)).unwrap();
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
         rt.launch_kernel(DeviceId(0), s1, kernel("b")).unwrap();
         rt.synchronize(DeviceId(0)).unwrap();
         let acts = rt.flush_all();
@@ -657,7 +682,8 @@ mod tests {
     #[test]
     fn synchronize_advances_clock_to_horizon() {
         let rt = runtime();
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
         let before = rt.clock().now();
         rt.synchronize(DeviceId(0)).unwrap();
         let after = rt.clock().now();
@@ -671,7 +697,8 @@ mod tests {
     #[test]
     fn flush_completed_leaves_pending_kernels() {
         let rt = runtime();
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
         // Kernel ends in the future; nothing completed yet.
         let done = rt.flush_completed();
         assert!(done.is_empty());
@@ -693,7 +720,8 @@ mod tests {
             r.fetch_add(acts.len(), Ordering::SeqCst);
         });
         for i in 0..10 {
-            rt.launch_kernel(DeviceId(0), StreamId(0), kernel(&format!("k{i}"))).unwrap();
+            rt.launch_kernel(DeviceId(0), StreamId(0), kernel(&format!("k{i}")))
+                .unwrap();
         }
         assert_eq!(batches.load(Ordering::SeqCst), 2);
         assert_eq!(records.load(Ordering::SeqCst), 8);
@@ -764,7 +792,10 @@ mod tests {
             rt.launch_kernel(DeviceId(0), StreamId(7), kernel("x")),
             Err(GpuError::NoSuchStream(7))
         ));
-        assert!(matches!(rt.synchronize(DeviceId(3)), Err(GpuError::NoSuchDevice(3))));
+        assert!(matches!(
+            rt.synchronize(DeviceId(3)),
+            Err(GpuError::NoSuchDevice(3))
+        ));
     }
 
     #[test]
@@ -775,10 +806,12 @@ mod tests {
         let id = rt.subscribe(move |_| {
             c.fetch_add(1, Ordering::SeqCst);
         });
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("a"))
+            .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 2);
         rt.unsubscribe(id);
-        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("b")).unwrap();
+        rt.launch_kernel(DeviceId(0), StreamId(0), kernel("b"))
+            .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 2);
     }
 
@@ -786,7 +819,8 @@ mod tests {
     fn kernel_count_and_busy_time_accumulate() {
         let rt = runtime();
         for i in 0..3 {
-            rt.launch_kernel(DeviceId(0), StreamId(0), kernel(&format!("k{i}"))).unwrap();
+            rt.launch_kernel(DeviceId(0), StreamId(0), kernel(&format!("k{i}")))
+                .unwrap();
         }
         assert_eq!(rt.kernel_count(DeviceId(0)).unwrap(), 3);
         assert!(rt.device_busy_time(DeviceId(0)).unwrap() > TimeNs::ZERO);

@@ -87,8 +87,8 @@ impl DeviceSpec {
             max_blocks_per_sm: 32,
             shared_mem_per_sm: 164 * 1024,
             registers_per_sm: 65_536,
-            peak_flops: 156e12,     // 156 TF32 TFLOP/s
-            mem_bandwidth: 2.0e12,  // 2 TB/s
+            peak_flops: 156e12,    // 156 TF32 TFLOP/s
+            mem_bandwidth: 2.0e12, // 2 TB/s
             memory_bytes: 80 * (1 << 30),
             launch_overhead_ns: 4_000,
             kernel_latency_ns: 2_500,
@@ -109,8 +109,8 @@ impl DeviceSpec {
             max_blocks_per_sm: 32,
             shared_mem_per_sm: 64 * 1024,
             registers_per_sm: 65_536 * 2,
-            peak_flops: 362.1e12,   // 362.1 FP16 TFLOP/s
-            mem_bandwidth: 3.2e12,  // 3.2 TB/s
+            peak_flops: 362.1e12,  // 362.1 FP16 TFLOP/s
+            mem_bandwidth: 3.2e12, // 3.2 TB/s
             memory_bytes: 64 * (1 << 30),
             launch_overhead_ns: 5_500,
             kernel_latency_ns: 3_500,

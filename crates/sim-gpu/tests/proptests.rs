@@ -7,14 +7,14 @@ use sim_gpu::{cost::kernel_cost, DeviceSpec, KernelDesc, LaunchConfig, MemoryPat
 
 fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
     (
-        1u32..4096,          // grid
-        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]), // block
-        0f64..1e12,          // flops
-        0f64..1e9,           // bytes
-        prop::sample::select(vec![16u32, 32, 64, 128, 255]),        // registers
+        1u32..4096,                                                    // grid
+        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),    // block
+        0f64..1e12,                                                    // flops
+        0f64..1e9,                                                     // bytes
+        prop::sample::select(vec![16u32, 32, 64, 128, 255]),           // registers
         prop::sample::select(vec![0u64, 1 << 10, 16 << 10, 48 << 10]), // shared mem
-        1f64..64.0,          // serialization
-        prop::bool::ANY,     // strided
+        1f64..64.0,                                                    // serialization
+        prop::bool::ANY,                                               // strided
     )
         .prop_map(|(grid, block, flops, bytes, regs, shared, ser, strided)| {
             KernelDesc::new("k", "m.so", 0x10, LaunchConfig::new(grid, block))

@@ -74,7 +74,10 @@ mod tests {
                 std::thread::spawn(move || (0..50).map(|_| s.alloc(0x1000)).collect::<Vec<_>>())
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 400);

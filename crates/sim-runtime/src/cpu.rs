@@ -242,10 +242,22 @@ mod tests {
             f.fetch_add(e.count, Ordering::SeqCst);
         });
         let t = thread();
-        reg.on_work(&t, &CpuWork { time: TimeNs(250), ..Default::default() });
+        reg.on_work(
+            &t,
+            &CpuWork {
+                time: TimeNs(250),
+                ..Default::default()
+            },
+        );
         assert_eq!(fired.load(Ordering::SeqCst), 2);
         // Residual 50 + 50 = one more boundary.
-        reg.on_work(&t, &CpuWork { time: TimeNs(50), ..Default::default() });
+        reg.on_work(
+            &t,
+            &CpuWork {
+                time: TimeNs(50),
+                ..Default::default()
+            },
+        );
         assert_eq!(fired.load(Ordering::SeqCst), 3);
     }
 
@@ -260,11 +272,29 @@ mod tests {
         let threads = ThreadRegistry::new();
         let t1 = threads.spawn(ThreadRole::Main);
         let t2 = threads.spawn(ThreadRole::Worker);
-        reg.on_work(&t1, &CpuWork { time: TimeNs(60), ..Default::default() });
-        reg.on_work(&t2, &CpuWork { time: TimeNs(60), ..Default::default() });
+        reg.on_work(
+            &t1,
+            &CpuWork {
+                time: TimeNs(60),
+                ..Default::default()
+            },
+        );
+        reg.on_work(
+            &t2,
+            &CpuWork {
+                time: TimeNs(60),
+                ..Default::default()
+            },
+        );
         // Neither crossed a boundary on its own.
         assert_eq!(fired.load(Ordering::SeqCst), 0);
-        reg.on_work(&t1, &CpuWork { time: TimeNs(60), ..Default::default() });
+        reg.on_work(
+            &t1,
+            &CpuWork {
+                time: TimeNs(60),
+                ..Default::default()
+            },
+        );
         assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 
@@ -297,11 +327,23 @@ mod tests {
             f.fetch_add(e.count, Ordering::SeqCst);
         });
         let t = thread();
-        reg.on_work(&t, &CpuWork { time: TimeNs(20), ..Default::default() });
+        reg.on_work(
+            &t,
+            &CpuWork {
+                time: TimeNs(20),
+                ..Default::default()
+            },
+        );
         assert_eq!(fired.load(Ordering::SeqCst), 2);
         reg.unregister(id);
         assert!(reg.is_empty());
-        reg.on_work(&t, &CpuWork { time: TimeNs(100), ..Default::default() });
+        reg.on_work(
+            &t,
+            &CpuWork {
+                time: TimeNs(100),
+                ..Default::default()
+            },
+        );
         assert_eq!(fired.load(Ordering::SeqCst), 2);
     }
 

@@ -76,7 +76,11 @@ impl LibraryMap {
 
     /// Finds a library by exact path.
     pub fn by_path(&self, path: &str) -> Option<LibraryInfo> {
-        self.libs.read().iter().find(|l| l.path.as_ref() == path).cloned()
+        self.libs
+            .read()
+            .iter()
+            .find(|l| l.path.as_ref() == path)
+            .cloned()
     }
 
     /// Finds a library whose basename matches, e.g. `libpython3.11.so`.

@@ -246,7 +246,10 @@ mod tests {
         let mut cursor = u.cursor(&stack);
         let (stepped, matched) = cursor.step_until(|f| f.symbol.as_ref() == "op_entry");
         assert_eq!(
-            stepped.iter().map(|f| f.symbol.as_ref()).collect::<Vec<_>>(),
+            stepped
+                .iter()
+                .map(|f| f.symbol.as_ref())
+                .collect::<Vec<_>>(),
             vec!["launch", "helper"]
         );
         assert_eq!(matched.unwrap().symbol.as_ref(), "op_entry");

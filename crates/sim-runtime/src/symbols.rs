@@ -56,7 +56,11 @@ impl SymbolTable {
 
     /// Resolves a PC to the containing function.
     pub fn resolve(&self, pc: u64) -> Option<FunctionInfo> {
-        self.functions.read().iter().find(|f| f.contains(pc)).cloned()
+        self.functions
+            .read()
+            .iter()
+            .find(|f| f.contains(pc))
+            .cloned()
     }
 
     /// Finds a function by exact name.
@@ -87,10 +91,13 @@ impl std::fmt::Debug for SymbolTable {
     }
 }
 
+/// One line-table row: PC range start/end, source file, line.
+type LineEntry = (u64, u64, Arc<str>, u32);
+
 /// DWARF-like mapping from PC ranges to source file/line.
 #[derive(Default)]
 pub struct LineMap {
-    entries: RwLock<Vec<(u64, u64, Arc<str>, u32)>>,
+    entries: RwLock<Vec<LineEntry>>,
 }
 
 impl LineMap {
@@ -101,7 +108,9 @@ impl LineMap {
 
     /// Maps `[addr, addr+size)` to `file:line`.
     pub fn add(&self, addr: u64, size: u64, file: &str, line: u32) {
-        self.entries.write().push((addr, size, Arc::from(file), line));
+        self.entries
+            .write()
+            .push((addr, size, Arc::from(file), line));
     }
 
     /// Resolves a PC to (file, line).
@@ -126,7 +135,9 @@ impl LineMap {
 
 impl std::fmt::Debug for LineMap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LineMap").field("entries", &self.len()).finish()
+        f.debug_struct("LineMap")
+            .field("entries", &self.len())
+            .finish()
     }
 }
 

@@ -90,10 +90,14 @@ impl ThreadCtx {
     /// Adds a chunk of work to the counters (called by
     /// [`RuntimeEnv::do_cpu_work`](crate::RuntimeEnv::do_cpu_work)).
     pub(crate) fn account(&self, work: &CpuWork) {
-        self.cpu_time_ns.fetch_add(work.time.as_nanos(), Ordering::SeqCst);
-        self.instructions.fetch_add(work.instructions, Ordering::SeqCst);
-        self.cache_misses.fetch_add(work.cache_misses, Ordering::SeqCst);
-        self.branch_misses.fetch_add(work.branch_misses, Ordering::SeqCst);
+        self.cpu_time_ns
+            .fetch_add(work.time.as_nanos(), Ordering::SeqCst);
+        self.instructions
+            .fetch_add(work.instructions, Ordering::SeqCst);
+        self.cache_misses
+            .fetch_add(work.cache_misses, Ordering::SeqCst);
+        self.branch_misses
+            .fetch_add(work.branch_misses, Ordering::SeqCst);
     }
 }
 

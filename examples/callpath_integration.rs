@@ -77,10 +77,7 @@ fn main() {
     let unified = collect_launch_path(&monitor, CallPathSources::all(), &bed, &core);
     print!("{}", unified.render(&interner));
 
-    println!(
-        "\nlayers in (a): {:?}",
-        layer_set(&native_only)
-    );
+    println!("\nlayers in (a): {:?}", layer_set(&native_only));
     println!("layers in (b): {:?}", layer_set(&unified));
 }
 

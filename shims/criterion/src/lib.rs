@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock measurement loop:
+//! a short warm-up, then timed batches until a budget elapses, reporting
+//! the mean time per iteration on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API parity; the
+/// shim always runs setup once per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            ns_per_iter: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(60);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters.max(1);
+        self.ns_per_iter = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        let budget = Duration::from_millis(60);
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let wall = Instant::now();
+        while measured < budget && wall.elapsed() < budget * 4 && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.ns_per_iter = measured.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's measurement loop is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's warm-up is fixed.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's time budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        println!(
+            "bench {:<55} {:>14.1} ns/iter ({} iters)",
+            format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            b.iters
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!(
+            "bench {:<55} {:>14.1} ns/iter ({} iters)",
+            id.to_string(),
+            b.ns_per_iter,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.ns_per_iter >= 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("p", 4), &4u32, |b, n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+}

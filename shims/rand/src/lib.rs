@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the deterministic subset this workspace needs: a seedable
+//! small PRNG (`rngs::SmallRng`, xorshift64*) and `Rng::gen_range` over
+//! integer and float ranges. Distribution quality is adequate for the
+//! simulation's weighted sampling; it makes no cryptographic claims.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over a random generator.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// A uniformly random boolean with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self, 0.0..1.0) < p
+    }
+}
+
+/// Types uniformly sampleable from a `Range` by [`Rng::gen_range`].
+pub trait SampleRange: PartialOrd + Copy {
+    /// Draws one value in `[range.start, range.end)`.
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (range.start as u128).wrapping_add(r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (range.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange for f64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        f64::sample(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+/// Named RNG implementations (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small fast deterministic generator (xorshift64* core, seeded via
+    /// splitmix64 so that small/sequential seeds decorrelate).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step guarantees a non-zero, well-mixed state.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            let v = rng.gen_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&v));
+            if v < 3.0 {
+                lo_half += 1;
+            }
+        }
+        // Roughly uniform: both halves are hit a lot.
+        assert!(lo_half > 300 && lo_half < 700, "{lo_half}");
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(5u32..8);
+            assert!((5..8).contains(&v));
+        }
+        let v: i32 = rng.gen_range(-3i32..3);
+        assert!((-3..3).contains(&v));
+    }
+}

@@ -69,13 +69,13 @@ pub mod prelude {
         ProfileDb, ProfileMeta, StallReason, TimeNs, VirtualClock,
     };
     pub use deepcontext_flamegraph::FlameGraph;
-    pub use deepcontext_profiler::{Profiler, ProfilerConfig};
+    pub use deepcontext_profiler::{EventSink, Profiler, ProfilerConfig, ShardedSink};
     pub use dl_framework::{
         DType, EagerEngine, FrameworkCore, JitEngine, Layout, Op, OpKind, TensorMeta,
     };
     pub use dl_models::{
-        all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, NanoGpt,
-        ResNet, RunStats, TestBed, TransformerBig, UNet, ViT, Workload, WorkloadOptions,
+        all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, NanoGpt, ResNet,
+        RunStats, TestBed, TransformerBig, UNet, ViT, Workload, WorkloadOptions,
     };
     pub use dlmonitor::{CallPathSources, DlEvent, DlMonitor, Domain};
     pub use sim_gpu::{DeviceId, DeviceSpec, GpuRuntime, SamplingConfig, StreamId, Vendor};

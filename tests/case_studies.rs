@@ -13,7 +13,11 @@ fn gpu_time(workload: &dyn Workload, opts: &WorkloadOptions, spec: DeviceSpec) -
 #[test]
 fn case1_dlrm_index_select_speedup() {
     // Paper: 73.2s -> 44.0s GPU time (1.66x).
-    let base = gpu_time(&DlrmSmall, &WorkloadOptions::default(), DeviceSpec::a100_sxm());
+    let base = gpu_time(
+        &DlrmSmall,
+        &WorkloadOptions::default(),
+        DeviceSpec::a100_sxm(),
+    );
     let fixed = gpu_time(
         &DlrmSmall,
         &WorkloadOptions {
@@ -112,7 +116,10 @@ fn case5_transformer_fused_loss_speedup() {
         )
         .unwrap();
     assert!(fused.kernels < base.kernels, "fusion must reduce launches");
-    assert!(fused.gpu_busy <= base.gpu_busy, "fusion must not slow the GPU");
+    assert!(
+        fused.gpu_busy <= base.gpu_busy,
+        "fusion must not slow the GPU"
+    );
 }
 
 #[test]
@@ -132,11 +139,20 @@ fn case6_llama_stall_analysis_finds_cast_stalls() {
         ..ProfilerConfig::deepcontext_native()
     };
     let profiler = Profiler::attach(config, bed.env(), &monitor, bed.gpu());
-    bed.run_eager(&Llama3, &WorkloadOptions::default(), 2).unwrap();
+    bed.run_eager(&Llama3, &WorkloadOptions::default(), 2)
+        .unwrap();
     let db = profiler.finish(ProfileMeta::default());
 
-    assert!(db.cct().total(MetricKind::Stall(StallReason::ConstantMemory)) > 0.0);
-    assert!(db.cct().total(MetricKind::Stall(StallReason::MathDependency)) > 0.0);
+    assert!(
+        db.cct()
+            .total(MetricKind::Stall(StallReason::ConstantMemory))
+            > 0.0
+    );
+    assert!(
+        db.cct()
+            .total(MetricKind::Stall(StallReason::MathDependency))
+            > 0.0
+    );
 
     let report = Analyzer::with_default_rules().analyze(&db);
     let stalls = report.by_rule("fine-grained-stall");
@@ -159,7 +175,8 @@ fn case7_amd_norm_share_exceeds_nvidia_norm_share() {
             &monitor,
             bed.gpu(),
         );
-        bed.run_eager(&UNet, &WorkloadOptions::default(), 1).unwrap();
+        bed.run_eager(&UNet, &WorkloadOptions::default(), 1)
+            .unwrap();
         let db = profiler.finish(ProfileMeta {
             platform,
             ..Default::default()
@@ -172,7 +189,10 @@ fn case7_amd_norm_share_exceeds_nvidia_norm_share() {
             .filter(|n| {
                 matches!(
                     cct.node(*n).frame(),
-                    deepcontext::core::Frame::Operator { phase: OpPhase::Forward, .. }
+                    deepcontext::core::Frame::Operator {
+                        phase: OpPhase::Forward,
+                        ..
+                    }
                 ) && cct.node(*n).frame().short_label(&interner) == op_label
             })
             .map(|n| cct.node(n).metrics().sum(MetricKind::GpuTime))

@@ -74,9 +74,7 @@ fn backward_kernels_are_attributed_to_forward_python_context() {
     let bwd_kernel = cct
         .nodes_of_kind(FrameKind::GpuKernel)
         .into_iter()
-        .find(|n| {
-            cct.node(*n).frame().short_label(&interner) == "indexing_backward_kernel"
-        })
+        .find(|n| cct.node(*n).frame().short_label(&interner) == "indexing_backward_kernel")
         .expect("backward kernel present");
     let path = cct.frames_to_root(bwd_kernel);
     let kinds: Vec<FrameKind> = path.frames().iter().map(|f| f.kind()).collect();

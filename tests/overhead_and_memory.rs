@@ -143,7 +143,8 @@ fn trace_export_can_oom_where_deepcontext_profile_stays_small() {
     let mut trace = TraceProfiler::new(TraceStyle::Torch).with_memory_budget(256 << 10);
     trace.attach_framework(bed.eager().core().callbacks(), bed.env().clock().clone());
     trace.attach_gpu(bed.gpu());
-    bed.run_eager(&Llama3, &WorkloadOptions::default(), 3).unwrap();
+    bed.run_eager(&Llama3, &WorkloadOptions::default(), 3)
+        .unwrap();
     trace.flush();
     assert!(trace.export_chrome_trace(Vec::new()).is_err());
 
@@ -160,7 +161,10 @@ fn trace_export_can_oom_where_deepcontext_profile_stays_small() {
     let db = profiler.finish(ProfileMeta::default());
     let mut out = Vec::new();
     db.save(&mut out).unwrap();
-    assert!(out.len() < (256 << 10), "CCT profile fits where the trace OOMed");
+    assert!(
+        out.len() < (256 << 10),
+        "CCT profile fits where the trace OOMed"
+    );
 }
 
 #[test]
@@ -177,17 +181,23 @@ fn jit_profiles_work_cross_framework() {
         &monitor,
         bed.gpu(),
     );
-    bed.run_jit(&NanoGpt, &WorkloadOptions::default(), 2).unwrap();
+    bed.run_jit(&NanoGpt, &WorkloadOptions::default(), 2)
+        .unwrap();
     let db = profiler.finish(ProfileMeta {
         framework: "jit".into(),
         ..Default::default()
     });
     let cct = db.cct();
     let interner = cct.interner();
-    let has_fusion = cct
-        .nodes_of_kind(FrameKind::Operator)
-        .into_iter()
-        .any(|n| cct.node(n).frame().short_label(&interner).starts_with("fusion."));
-    assert!(has_fusion, "JIT profile must contain fused operator contexts");
+    let has_fusion = cct.nodes_of_kind(FrameKind::Operator).into_iter().any(|n| {
+        cct.node(n)
+            .frame()
+            .short_label(&interner)
+            .starts_with("fusion.")
+    });
+    assert!(
+        has_fusion,
+        "JIT profile must contain fused operator contexts"
+    );
     assert!(cct.total(MetricKind::GpuTime) > 0.0);
 }
