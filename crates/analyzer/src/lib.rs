@@ -36,7 +36,7 @@ pub use report::AnalysisReport;
 pub use rules::{CpuLatencyRule, FwdBwdRule, HotspotRule, KernelFusionRule, StallRule};
 pub use view::ProfileView;
 
-use deepcontext_core::ProfileDb;
+use deepcontext_core::{CallingContextTree, ProfileDb};
 
 /// A performance-analysis rule.
 pub trait Rule: Send + Sync {
@@ -104,10 +104,21 @@ impl Analyzer {
 
     /// Runs every rule over `db`.
     pub fn analyze(&self, db: &ProfileDb) -> AnalysisReport {
-        let view = ProfileView::new(db);
+        self.run(&ProfileView::new(db))
+    }
+
+    /// Runs every rule over a live (in-progress) calling context tree —
+    /// the preview path for interactive analysis against a running
+    /// profiler's cached snapshot (`profiler.with_cct(|cct|
+    /// analyzer.preview(cct))`), with no database round-trip.
+    pub fn preview(&self, cct: &CallingContextTree) -> AnalysisReport {
+        self.run(&ProfileView::live(cct))
+    }
+
+    fn run(&self, view: &ProfileView<'_>) -> AnalysisReport {
         let mut issues = Vec::new();
         for rule in &self.rules {
-            issues.extend(rule.analyze(&view));
+            issues.extend(rule.analyze(view));
         }
         issues.sort_by(|a, b| {
             b.severity

@@ -8,25 +8,42 @@ use deepcontext_core::{
 
 /// A convenience view over a profile for rules: label rendering, semantic
 /// lookups, and common metric projections.
+///
+/// Rules only ever need the calling context tree, so a view can wrap
+/// either a stored [`ProfileDb`] ([`new`](Self::new)) or a borrowed
+/// in-progress tree ([`live`](Self::live)) — the latter is how analysis
+/// previews run inside `Profiler::with_cct` against the profiler's
+/// cached snapshot, without serializing a database first.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfileView<'a> {
-    db: &'a ProfileDb,
+    cct: &'a CallingContextTree,
+    db: Option<&'a ProfileDb>,
 }
 
 impl<'a> ProfileView<'a> {
-    /// Wraps a profile.
+    /// Wraps a stored profile.
     pub fn new(db: &'a ProfileDb) -> Self {
-        ProfileView { db }
+        ProfileView {
+            cct: db.cct(),
+            db: Some(db),
+        }
     }
 
-    /// The underlying profile.
-    pub fn db(&self) -> &'a ProfileDb {
+    /// Wraps a live (in-progress) calling context tree, e.g. the cached
+    /// snapshot a running profiler exposes through `with_cct`.
+    pub fn live(cct: &'a CallingContextTree) -> Self {
+        ProfileView { cct, db: None }
+    }
+
+    /// The underlying stored profile, when this view wraps one (`None`
+    /// for live previews).
+    pub fn db(&self) -> Option<&'a ProfileDb> {
         self.db
     }
 
     /// The calling context tree.
     pub fn cct(&self) -> &'a CallingContextTree {
-        self.db.cct()
+        self.cct
     }
 
     /// The interner.
@@ -116,6 +133,24 @@ mod tests {
         ]);
         cct.attribute(leaf, MetricKind::GpuTime, 42.0);
         ProfileDb::new(ProfileMeta::default(), cct)
+    }
+
+    #[test]
+    fn live_view_answers_the_same_queries_without_a_db() {
+        let db = sample();
+        let stored = ProfileView::new(&db);
+        let live = ProfileView::live(db.cct());
+        assert!(live.db().is_none());
+        assert!(stored.db().is_some());
+        assert_eq!(live.kernels(), stored.kernels());
+        assert_eq!(
+            live.total(MetricKind::GpuTime),
+            stored.total(MetricKind::GpuTime)
+        );
+        assert_eq!(
+            live.path_string(live.kernels()[0]),
+            stored.path_string(stored.kernels()[0])
+        );
     }
 
     #[test]

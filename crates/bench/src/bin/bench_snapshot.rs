@@ -1,0 +1,83 @@
+//! Emits `BENCH_snapshot.json`: repeated-`with_cct` snapshot latency —
+//! cold full fold vs the warm generation-tracked cache — under 0, 1 and
+//! all-16 dirty shards.
+//!
+//! The headline number is `speedup_warm_1_dirty_vs_cold`: the issue's
+//! acceptance bar is ≥ 5x when at most one of 16 shards is dirty
+//! between snapshots.
+//!
+//! Run from the repo root: `cargo run --release -p deepcontext-bench
+//! --bin bench_snapshot`.
+
+use std::io::Write;
+
+use deepcontext_bench::snapshot::{snapshot_matrix, SnapshotPoint, POPULATE_TIDS, SHARDS};
+
+const CONTEXTS_PER_TID: u64 = 40;
+const REPEATS: usize = 60;
+
+fn point<'a>(points: &'a [SnapshotPoint], scenario: &str) -> &'a SnapshotPoint {
+    points
+        .iter()
+        .find(|p| p.scenario == scenario)
+        .expect("measured scenario")
+}
+
+fn main() {
+    eprintln!(
+        "measuring snapshot latency ({SHARDS} shards, {POPULATE_TIDS} producers x \
+         {CONTEXTS_PER_TID} contexts, median of {REPEATS})..."
+    );
+    let points = snapshot_matrix(CONTEXTS_PER_TID, REPEATS);
+
+    let cold = point(&points, "cold_full_fold").nanos;
+    let warm0 = point(&points, "warm_0_dirty").nanos;
+    let warm1 = point(&points, "warm_1_dirty").nanos;
+    let warm_all = point(&points, "warm_all_dirty").nanos;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"snapshot\",\n");
+    json.push_str("  \"unit\": \"ns_per_snapshot\",\n");
+    json.push_str("  \"baseline\": \"uncached full fold of all shards per snapshot\",\n");
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("  \"producers\": {POPULATE_TIDS},\n"));
+    json.push_str(&format!(
+        "  \"contexts_per_producer\": {CONTEXTS_PER_TID},\n"
+    ));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"dirty_producer_tids\": {}, \"ns_per_snapshot\": {:.0}}}{}\n",
+            p.scenario, p.dirty_tids, p.nanos, sep
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_warm_0_dirty_vs_cold\": {:.2},\n",
+        cold / warm0
+    ));
+    json.push_str(&format!(
+        "  \"speedup_warm_1_dirty_vs_cold\": {:.2},\n",
+        cold / warm1
+    ));
+    json.push_str(&format!(
+        "  \"speedup_warm_all_dirty_vs_cold\": {:.2}\n",
+        cold / warm_all
+    ));
+    json.push_str("}\n");
+
+    std::fs::File::create("BENCH_snapshot.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_snapshot.json");
+    print!("{json}");
+
+    eprintln!(
+        "warm(≤1 dirty) vs cold: {:.2}x / {:.2}x (target ≥ 5x); all-dirty: {:.2}x",
+        cold / warm0,
+        cold / warm1,
+        cold / warm_all
+    );
+}

@@ -203,6 +203,8 @@ impl EventSink for SingleLockSink {
             instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
             orphans: 0,
             peak_bytes: 0,
+            snapshot_merges: 0,
+            shards_skipped: 0,
         }
     }
 

@@ -275,6 +275,126 @@ impl CallingContextTree {
         mapping
     }
 
+    /// Incrementally folds `other` into `self`, resuming from `state`.
+    ///
+    /// The first call with a fresh [`FoldState`] is equivalent to
+    /// [`merge`](Self::merge). Subsequent calls against a *grown* `other`
+    /// (CCT shards only ever gain nodes and samples during profiling)
+    /// fold in only what changed since the previous call: new contexts
+    /// are inserted, and per-node aggregates advance by their
+    /// [`MetricStore::merge_delta`] — unchanged nodes cost one equality
+    /// check and contribute nothing. This is what makes cached profile
+    /// snapshots O(dirty shards) instead of O(shards × tree).
+    ///
+    /// `state` must only ever be used with the same `(self, other)` pair,
+    /// and `other` must evolve append-only between calls (no node or
+    /// sample removal); both are upheld by the profiler's snapshot cache.
+    pub fn merge_incremental(&mut self, other: &CallingContextTree, state: &mut FoldState) {
+        for (idx, node) in other.nodes.iter().enumerate() {
+            let my_id = if idx < state.mapping.len() {
+                state.mapping[idx]
+            } else if idx == 0 {
+                state.mapping.push(self.root());
+                self.root()
+            } else {
+                let my_parent = state.mapping[node.parent.expect("non-root has parent").index()];
+                let id = self.insert_child(my_parent, &node.frame);
+                state.mapping.push(id);
+                id
+            };
+            if let Some(folded) = state.folded.get_mut(idx) {
+                if *folded == node.metrics {
+                    continue;
+                }
+                self.nodes[my_id.index()]
+                    .metrics
+                    .merge_delta(&node.metrics, folded);
+                folded.clone_from(&node.metrics);
+            } else {
+                self.nodes[my_id.index()].metrics.merge(&node.metrics);
+                state.folded.push(node.metrics.clone());
+            }
+        }
+    }
+
+    /// Compares two trees for *semantic* equality: the same contexts
+    /// (matched by collapse key, ignoring node ids and child insertion
+    /// order) carrying the same aggregates. Counts compare exactly;
+    /// sums, extrema, means and standard deviations compare within
+    /// relative 1e-9, since merge order perturbs Welford state at f64
+    /// precision. Returns a description of the first difference found,
+    /// or `None` when the trees are equivalent — the oracle behind the
+    /// `cached == fresh` snapshot equivalence tests.
+    pub fn semantic_diff(&self, other: &CallingContextTree) -> Option<String> {
+        fn close(a: f64, b: f64) -> bool {
+            let scale = a.abs().max(b.abs());
+            (a - b).abs() <= 1e-9 * scale.max(1.0)
+        }
+        fn diff_nodes(
+            a: &CallingContextTree,
+            an: NodeId,
+            b: &CallingContextTree,
+            bn: NodeId,
+        ) -> Option<String> {
+            let (na, nb) = (a.node(an), b.node(bn));
+            let at = format!("{} ({an})", na.frame.label(&a.interner));
+            if na.metrics.len() != nb.metrics.len() {
+                return Some(format!(
+                    "{at}: {} metric kinds vs {}",
+                    na.metrics.len(),
+                    nb.metrics.len()
+                ));
+            }
+            for (kind, sa) in na.metrics.iter() {
+                let Some(sb) = nb.metrics.get(kind) else {
+                    return Some(format!("{at}: metric {kind} missing on the right"));
+                };
+                if sa.count != sb.count {
+                    return Some(format!("{at}: {kind} count {} vs {}", sa.count, sb.count));
+                }
+                if sa.count == 0 {
+                    continue;
+                }
+                for (what, va, vb) in [
+                    ("sum", sa.sum, sb.sum),
+                    ("min", sa.min, sb.min),
+                    ("max", sa.max, sb.max),
+                    ("mean", sa.mean(), sb.mean()),
+                    ("stddev", sa.stddev(), sb.stddev()),
+                ] {
+                    if !close(va, vb) {
+                        return Some(format!("{at}: {kind} {what} {va} vs {vb}"));
+                    }
+                }
+            }
+            if na.children.len() != nb.children.len() {
+                return Some(format!(
+                    "{at}: {} children vs {}",
+                    na.children.len(),
+                    nb.children.len()
+                ));
+            }
+            let index: HashMap<FrameKey, NodeId> = nb
+                .children
+                .iter()
+                .map(|&c| (b.node(c).frame.key(), c))
+                .collect();
+            for &ca in &na.children {
+                let Some(&cb) = index.get(&a.node(ca).frame.key()) else {
+                    return Some(format!(
+                        "{at}: child {} missing on the right",
+                        a.node(ca).frame.label(&a.interner)
+                    ));
+                };
+                if let Some(diff) = diff_nodes(a, ca, b, cb) {
+                    return Some(diff);
+                }
+            }
+            None
+        }
+        diff_nodes(self, self.root(), other, other.root())
+    }
+
     /// Approximate resident bytes of the tree: nodes, child index, metric
     /// stores and interned strings. Drives the Figure 6c/6d memory
     /// comparison.
@@ -363,6 +483,46 @@ impl CallingContextTree {
 impl Default for CallingContextTree {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Resumable state of one incremental fold (see
+/// [`CallingContextTree::merge_incremental`]): the node mapping from the
+/// source tree into the destination, plus each source node's aggregates
+/// as of the last fold, so the next fold can compute deltas.
+#[derive(Debug, Clone, Default)]
+pub struct FoldState {
+    mapping: Vec<NodeId>,
+    folded: Vec<MetricStore>,
+}
+
+impl FoldState {
+    /// A fresh state: the first fold through it behaves like a plain
+    /// [`CallingContextTree::merge`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The destination id each source node folded into so far (entry `i`
+    /// is source node `i`), mirroring [`CallingContextTree::merge`]'s
+    /// return value.
+    pub fn mapping(&self) -> &[NodeId] {
+        &self.mapping
+    }
+
+    /// Number of source nodes folded so far.
+    pub fn folded_nodes(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Approximate resident bytes of the fold state (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.mapping.capacity() * std::mem::size_of::<NodeId>()
+            + self
+                .folded
+                .iter()
+                .map(|s| std::mem::size_of::<MetricStore>() + s.approx_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -563,6 +723,79 @@ mod tests {
         assert_eq!(a.node_count(), 4);
         let relu = a.insert_path(&path1);
         assert_eq!(a.metric(relu, MetricKind::GpuTime).unwrap().sum, 15.0);
+    }
+
+    #[test]
+    fn merge_incremental_first_fold_matches_merge() {
+        let mut fresh = CallingContextTree::new();
+        let interner = fresh.interner();
+        let mut source = CallingContextTree::with_interner(Arc::clone(&interner));
+        for (op, kernel, v) in [
+            ("aten::matmul", "sgemm", 4.0),
+            ("aten::relu", "relu_k", 2.0),
+        ] {
+            let leaf = source.insert_path(&sample_path(&source, op, kernel));
+            source.attribute(leaf, MetricKind::GpuTime, v);
+        }
+        let mut incr = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut state = FoldState::new();
+        incr.merge_incremental(&source, &mut state);
+        let mapping = fresh.merge(&source);
+        assert_eq!(state.mapping(), &mapping[..]);
+        assert_eq!(state.folded_nodes(), source.node_count());
+        assert_eq!(incr.semantic_diff(&fresh), None);
+    }
+
+    #[test]
+    fn merge_incremental_folds_only_the_delta() {
+        let mut master = CallingContextTree::new();
+        let interner = master.interner();
+        let mut source = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut state = FoldState::new();
+
+        let a = source.insert_path(&sample_path(&source, "aten::matmul", "sgemm"));
+        source.attribute(a, MetricKind::GpuTime, 10.0);
+        master.merge_incremental(&source, &mut state);
+
+        // Grow the source: more samples on an old node, plus a new context.
+        source.attribute(a, MetricKind::GpuTime, 7.0);
+        let b = source.insert_path(&sample_path(&source, "aten::conv2d", "implicit_gemm"));
+        source.attribute(b, MetricKind::GpuTime, 5.0);
+        master.merge_incremental(&source, &mut state);
+
+        let mut fresh = CallingContextTree::with_interner(Arc::clone(&interner));
+        fresh.merge(&source);
+        assert_eq!(
+            master.semantic_diff(&fresh),
+            None,
+            "\n{}",
+            master.render(MetricKind::GpuTime)
+        );
+
+        // A third fold with nothing new is a no-op.
+        let before = master.total(MetricKind::GpuTime);
+        master.merge_incremental(&source, &mut state);
+        assert_eq!(master.total(MetricKind::GpuTime), before);
+    }
+
+    #[test]
+    fn semantic_diff_ignores_order_but_catches_differences() {
+        let mut a = CallingContextTree::new();
+        let interner = a.interner();
+        let mut b = CallingContextTree::with_interner(Arc::clone(&interner));
+        // Same contexts inserted in opposite orders.
+        let pa = sample_path(&a, "aten::matmul", "sgemm");
+        let pb = sample_path(&a, "aten::conv2d", "implicit_gemm");
+        let la = a.insert_path(&pa);
+        a.insert_path(&pb);
+        let lb = b.insert_path(&pb);
+        let lb2 = b.insert_path(&pa);
+        a.attribute(la, MetricKind::GpuTime, 3.0);
+        b.attribute(lb2, MetricKind::GpuTime, 3.0);
+        assert_eq!(a.semantic_diff(&b), None);
+        // Metric drift is caught.
+        b.attribute(lb, MetricKind::GpuTime, 1.0);
+        assert!(a.semantic_diff(&b).is_some());
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod interner;
 mod metrics;
 mod shard;
 
-pub use cct::{CallingContextTree, CctNode, NodeId};
+pub use cct::{CallingContextTree, CctNode, FoldState, NodeId};
 pub use clock::{TimeNs, VirtualClock};
 pub use db::{ProfileDb, ProfileMeta};
 pub use error::CoreError;

@@ -333,6 +333,44 @@ impl MetricStat {
         self.max = self.max.max(other.max);
     }
 
+    /// The aggregate of the samples added to `new` since it looked like
+    /// `old` — the inverse of [`merge`](Self::merge), valid only for
+    /// *append-only* histories (`new` is `old` plus further `add`s, which
+    /// is how CCT nodes evolve during profiling). Merging the returned
+    /// stat into any aggregate that already contains `old`'s samples
+    /// yields the aggregate of `new`'s samples: count and sum are exact;
+    /// min/max carry `new`'s bounds (correct because `new`'s extrema
+    /// subsume `old`'s); mean and variance are recovered by inverting the
+    /// parallel Welford merge, exact up to f64 rounding.
+    pub fn delta_since(new: &MetricStat, old: &MetricStat) -> MetricStat {
+        if old.count == 0 {
+            return *new;
+        }
+        debug_assert!(
+            old.count <= new.count,
+            "delta_since needs append-only stats"
+        );
+        let count = new.count.saturating_sub(old.count);
+        if count == 0 {
+            return MetricStat::new();
+        }
+        let sum = new.sum - old.sum;
+        let mean = sum / count as f64;
+        let delta = mean - old.mean;
+        let m2 = (new.m2
+            - old.m2
+            - delta * delta * (old.count as f64) * (count as f64) / (new.count as f64))
+            .max(0.0);
+        MetricStat {
+            count,
+            sum,
+            min: new.min,
+            max: new.max,
+            mean,
+            m2,
+        }
+    }
+
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -429,6 +467,22 @@ impl MetricStore {
     pub fn merge(&mut self, other: &MetricStore) {
         for (kind, stat) in &other.entries {
             self.merge_stat(*kind, stat);
+        }
+    }
+
+    /// Merges only what `new` accumulated since it looked like `old`
+    /// (see [`MetricStat::delta_since`]). `old` must be an earlier state
+    /// of the *same* store: kinds never disappear and per-kind histories
+    /// are append-only. Kinds whose sample count did not advance are
+    /// skipped entirely, making repeated incremental folds of a mostly
+    /// quiet store O(changed kinds).
+    pub fn merge_delta(&mut self, new: &MetricStore, old: &MetricStore) {
+        for (kind, stat) in &new.entries {
+            match old.get(*kind) {
+                None => self.merge_stat(*kind, stat),
+                Some(o) if o.count == stat.count => {}
+                Some(o) => self.merge_stat(*kind, &MetricStat::delta_since(stat, o)),
+            }
         }
     }
 
@@ -551,6 +605,72 @@ mod tests {
         let mut empty = MetricStat::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn delta_since_recovers_the_appended_samples() {
+        let mut old = MetricStat::new();
+        for v in [4.0, 9.0, 1.0] {
+            old.add(v);
+        }
+        let mut new = old;
+        for v in [7.0, 0.5, 12.0] {
+            new.add(v);
+        }
+        let delta = MetricStat::delta_since(&new, &old);
+        assert_eq!(delta.count, 3);
+        assert_eq!(delta.sum, 19.5);
+
+        // Folding old + delta into a third aggregate matches folding new.
+        let mut base = MetricStat::new();
+        base.add(100.0);
+        let mut via_delta = base;
+        via_delta.merge(&old);
+        via_delta.merge(&delta);
+        let mut direct = base;
+        direct.merge(&new);
+        assert_eq!(via_delta.count, direct.count);
+        assert_eq!(via_delta.sum, direct.sum);
+        assert_eq!(via_delta.min, direct.min);
+        assert_eq!(via_delta.max, direct.max);
+        assert!((via_delta.mean() - direct.mean()).abs() < 1e-9);
+        assert!((via_delta.stddev() - direct.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_empty_old_is_new_and_unchanged_is_empty() {
+        let mut new = MetricStat::new();
+        new.add(3.0);
+        assert_eq!(MetricStat::delta_since(&new, &MetricStat::new()), new);
+        assert!(MetricStat::delta_since(&new, &new).is_empty());
+    }
+
+    #[test]
+    fn store_merge_delta_folds_only_advanced_kinds() {
+        let mut old = MetricStore::new();
+        old.add(MetricKind::GpuTime, 10.0);
+        old.add(MetricKind::Warps, 32.0);
+        let mut new = old.clone();
+        new.add(MetricKind::GpuTime, 5.0);
+        new.add(MetricKind::CpuTime, 2.0); // kind born after `old`
+
+        let mut dest = MetricStore::new();
+        dest.merge(&old);
+        dest.merge_delta(&new, &old);
+
+        let mut direct = MetricStore::new();
+        direct.merge(&new);
+        assert_eq!(
+            dest.sum(MetricKind::GpuTime),
+            direct.sum(MetricKind::GpuTime)
+        );
+        assert_eq!(
+            dest.count(MetricKind::GpuTime),
+            direct.count(MetricKind::GpuTime)
+        );
+        assert_eq!(dest.sum(MetricKind::Warps), 32.0);
+        assert_eq!(dest.sum(MetricKind::CpuTime), 2.0);
+        assert_eq!(dest.len(), direct.len());
     }
 
     #[test]

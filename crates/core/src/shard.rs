@@ -44,6 +44,7 @@ pub struct CctShard {
     orphan: Option<NodeId>,
     prev_batch: Vec<u64>,
     curr_batch: Vec<u64>,
+    generation: u64,
 }
 
 impl CctShard {
@@ -55,7 +56,19 @@ impl CctShard {
             orphan: None,
             prev_batch: Vec::new(),
             curr_batch: Vec::new(),
+            generation: 0,
         }
+    }
+
+    /// The shard's dirty generation: a counter advanced by every
+    /// operation that may have changed the shard's *tree* (inserting
+    /// contexts, attributing metrics, folding another shard in).
+    /// Snapshot caches remember the generation they folded and skip the
+    /// shard entirely while it has not advanced. Correlation-only
+    /// bookkeeping (`bind`, `defer_prune`, `end_batch`) does not bump it,
+    /// because snapshots fold trees only.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Read access to the shard's tree.
@@ -64,13 +77,16 @@ impl CctShard {
     }
 
     /// Mutable access to the shard's tree (inserting paths, attributing
-    /// metrics).
+    /// metrics). Conservatively bumps the dirty generation: callers take
+    /// this to mutate, and a spurious bump only costs one no-op re-fold.
     pub fn tree_mut(&mut self) -> &mut CallingContextTree {
+        self.generation += 1;
         &mut self.tree
     }
 
     /// Inserts a call path and returns its leaf (convenience passthrough).
     pub fn insert_call_path(&mut self, path: &CallPath) -> NodeId {
+        self.generation += 1;
         self.tree.insert_call_path(path)
     }
 
@@ -97,6 +113,7 @@ impl CctShard {
         match self.orphan {
             Some(node) => node,
             None => {
+                self.generation += 1;
                 let interner = self.tree.interner();
                 let frame = Frame::gpu_kernel("<unattributed>", "<none>", 0, &interner);
                 let node = self.tree.insert_path(std::slice::from_ref(&frame));
@@ -127,11 +144,34 @@ impl CctShard {
         pruned
     }
 
+    /// Releases correlation scratch capacity that a large batch left
+    /// behind (the map and prune queues retain their high-water capacity
+    /// after draining). Called at quiescent points — e.g. after a flush
+    /// boundary has retired all deferred correlations — so resident
+    /// profile memory tracks *live* state, not the largest batch ever
+    /// seen. Does not touch the tree (and so does not dirty the shard's
+    /// snapshot generation).
+    pub fn trim(&mut self) {
+        fn oversized(capacity: usize, len: usize) -> bool {
+            capacity > 64 && capacity / 4 > len
+        }
+        if oversized(self.corr.capacity(), self.corr.len()) {
+            self.corr.shrink_to_fit();
+        }
+        if oversized(self.prev_batch.capacity(), self.prev_batch.len()) {
+            self.prev_batch.shrink_to_fit();
+        }
+        if oversized(self.curr_batch.capacity(), self.curr_batch.len()) {
+            self.curr_batch.shrink_to_fit();
+        }
+    }
+
     /// Folds `other` into this shard: trees merge by collapse keys, and
     /// `other`'s correlation state (live bindings, prune queues, orphan
     /// node) is remapped through the merge's node mapping so asynchronous
     /// records bound in `other` still resolve here.
     pub fn merge_from(&mut self, other: &CctShard) {
+        self.generation += 1;
         let mapping = self.tree.merge(&other.tree);
         for (corr, node) in &other.corr {
             self.corr.insert(*corr, mapping[node.index()]);
@@ -175,6 +215,7 @@ impl CctShard {
             Some(node) => (node, false),
             None => (self.orphan_node(), true),
         };
+        self.generation += 1;
         self.tree.attribute(node, kind, value);
         (node, orphaned)
     }
@@ -311,6 +352,29 @@ mod tests {
             a.tree().metric(orphan_a, MetricKind::GpuTime).unwrap().sum,
             1.0
         );
+    }
+
+    #[test]
+    fn generation_advances_on_tree_mutations_only() {
+        let i = interner();
+        let mut shard = CctShard::new(Arc::clone(&i));
+        assert_eq!(shard.generation(), 0);
+        let node = shard.tree_mut().insert_path(&path(&i, "aten::relu"));
+        let after_insert = shard.generation();
+        assert!(after_insert > 0);
+        // Correlation-only bookkeeping leaves the tree untouched.
+        shard.bind(1, node);
+        shard.defer_prune(1);
+        shard.end_batch();
+        let _ = shard.resolve(1);
+        assert_eq!(shard.generation(), after_insert);
+        // Attribution dirties the tree again.
+        shard.attribute_correlated(1, MetricKind::GpuTime, 1.0);
+        assert!(shard.generation() > after_insert);
+        let g = shard.generation();
+        let other = CctShard::new(Arc::clone(&i));
+        shard.merge_from(&other);
+        assert!(shard.generation() > g);
     }
 
     #[test]

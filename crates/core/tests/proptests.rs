@@ -390,4 +390,35 @@ proptest! {
             db.cct().render(MetricKind::Warps)
         );
     }
+
+    #[test]
+    fn incremental_fold_of_a_growing_tree_matches_one_shot_merge(
+        (interner, paths) in arb_paths(),
+        values in prop::collection::vec(1u32..1000, 1..40),
+        fold_every in 1usize..6,
+    ) {
+        // Grow a source tree path by path, folding it into a master
+        // every few steps through one resumed FoldState; the master
+        // must always equal a one-shot merge of the source's current
+        // state (the shard-level guarantee behind snapshot caching).
+        let mut source = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut master = CallingContextTree::with_interner(Arc::clone(&interner));
+        let mut state = deepcontext_core::FoldState::new();
+        for (step, (p, v)) in paths.iter().zip(values.iter().cycle()).enumerate() {
+            let leaf = source.insert_path(p);
+            source.attribute(leaf, MetricKind::GpuTime, f64::from(*v));
+            source.attribute_exclusive(leaf, MetricKind::Warps, 32.0);
+            if step % fold_every == 0 {
+                master.merge_incremental(&source, &mut state);
+                let mut fresh = CallingContextTree::with_interner(Arc::clone(&interner));
+                fresh.merge(&source);
+                prop_assert_eq!(master.semantic_diff(&fresh), None);
+            }
+        }
+        master.merge_incremental(&source, &mut state);
+        let mut fresh = CallingContextTree::with_interner(Arc::clone(&interner));
+        fresh.merge(&source);
+        prop_assert_eq!(master.semantic_diff(&fresh), None);
+        prop_assert_eq!(state.folded_nodes(), source.node_count());
+    }
 }

@@ -176,11 +176,14 @@ impl FrameworkCore {
         self.env
             .do_cpu_work(&thread, CpuWork::compute(self.dispatch_cost));
 
+        // Honour explicit placement (multi-GPU / multi-stream workloads),
+        // defaulting to the engine's device and stream.
+        let device = op.attrs.device.unwrap_or(self.device);
+        let stream = op.attrs.stream.unwrap_or(self.stream);
         for kernel in op.lower(inputs, &output, phase, &self.kernels) {
             self.env
                 .do_cpu_work(&thread, CpuWork::compute(self.launch_prep_cost));
-            self.gpu
-                .launch_kernel(self.device, self.stream, Arc::new(kernel))?;
+            self.gpu.launch_kernel(device, stream, Arc::new(kernel))?;
         }
 
         self.callbacks.fire_op(&OpEvent {

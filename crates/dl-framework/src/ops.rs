@@ -9,7 +9,7 @@
 //! launch shapes and cost parameters), and what its backward pass
 //! dispatches.
 
-use sim_gpu::{InstructionProfile, KernelDesc, LaunchConfig, MemoryPattern};
+use sim_gpu::{DeviceId, InstructionProfile, KernelDesc, LaunchConfig, MemoryPattern, StreamId};
 
 use crate::error::FrameworkError;
 use crate::registry::KernelRegistry;
@@ -168,6 +168,12 @@ pub struct OpAttrs {
     pub target_layout: Option<Layout>,
     /// Target dtype for [`OpKind::Cast`].
     pub target_dtype: Option<DType>,
+    /// Explicit device placement (multi-GPU workloads); `None` launches
+    /// on the engine's default device.
+    pub device: Option<DeviceId>,
+    /// Explicit stream placement (multi-stream workloads); `None`
+    /// launches on the engine's default stream.
+    pub stream: Option<StreamId>,
 }
 
 impl Default for OpAttrs {
@@ -180,6 +186,8 @@ impl Default for OpAttrs {
             threads_per_block: None,
             target_layout: None,
             target_dtype: None,
+            device: None,
+            stream: None,
         }
     }
 }
@@ -246,6 +254,21 @@ impl Op {
     /// Sets the target dtype (for [`OpKind::Cast`]).
     pub fn with_target_dtype(mut self, dtype: DType) -> Self {
         self.attrs.target_dtype = Some(dtype);
+        self
+    }
+
+    /// Places this op's kernels on an explicit device (multi-GPU
+    /// workloads).
+    pub fn on_device(mut self, device: DeviceId) -> Self {
+        self.attrs.device = Some(device);
+        self
+    }
+
+    /// Places this op's kernels on an explicit stream of its device
+    /// (multi-stream workloads; the stream must exist — see
+    /// `GpuRuntime::ensure_streams`).
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.attrs.stream = Some(stream);
         self
     }
 

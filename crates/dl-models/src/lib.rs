@@ -38,8 +38,8 @@ mod sink;
 mod testbed;
 
 pub use models::{
-    all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, NanoGpt, ResNet,
-    TransformerBig, UNet, ViT,
+    all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, MultiStream,
+    NanoGpt, ResNet, TransformerBig, UNet, ViT,
 };
 pub use sink::{EagerSink, OpSink, TraceSink};
 pub use testbed::{RunStats, TestBed};
@@ -161,6 +161,13 @@ pub trait Workload: Send + Sync {
     /// The input pipeline, if the workload uses one.
     fn dataloader(&self, _opts: &WorkloadOptions) -> Option<DataLoaderConfig> {
         None
+    }
+
+    /// How many streams per device this workload launches into. The
+    /// harness pre-creates them on every device before running (streams
+    /// beyond the default stream 0 do not exist until created).
+    fn streams_per_device(&self) -> usize {
+        1
     }
 
     /// Emits one iteration's forward pass (and loss, for training

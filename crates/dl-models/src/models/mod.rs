@@ -1,11 +1,13 @@
 //! Workload implementations and shared building blocks.
 
 mod llm;
+mod multi_stream;
 mod recommendation;
 mod speech_text;
 mod vision;
 
 pub use llm::{Gemma, Llama3, NanoGpt};
+pub use multi_stream::MultiStream;
 pub use recommendation::{DlrmSmall, Gnn};
 pub use speech_text::{Conformer, TransformerBig};
 pub use vision::{ResNet, UNet, ViT};

@@ -1,0 +1,159 @@
+//! A multi-stream, multi-GPU inference workload.
+//!
+//! Every other workload launches on one device's default stream, so the
+//! profiler's stream-keyed plumbing (`EventOrigin::stream`, per-stream
+//! activity records) never sees more than one value. [`MultiStream`]
+//! exercises it end to end: each iteration fans a small per-branch
+//! pipeline out over `devices × streams` placements, launching from its
+//! own Python scope so every branch owns a distinct call path. Kernels
+//! on different streams of one device overlap in device time (each
+//! stream has an independent busy horizon), which is what the paper's
+//! multi-stream traces look like.
+
+use dl_framework::{FrameworkError, Op, OpKind, TensorMeta};
+use sim_gpu::{DeviceId, StreamId};
+
+use crate::{ModelCtx, Workload};
+
+/// Overlapping elementwise pipelines on several streams of several
+/// devices (defaults: 2 devices × 3 streams).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiStream {
+    devices: usize,
+    streams: usize,
+}
+
+impl MultiStream {
+    /// Ops each branch launches per iteration (one kernel each).
+    pub const OPS_PER_BRANCH: usize = 2;
+
+    /// Streams per device are capped so [`scope_line`](Self::scope_line)
+    /// stays injective (and `StreamId`/branch counts stay sane).
+    pub const MAX_STREAMS: usize = 256;
+
+    /// Source line branch `(device, stream)` scopes itself under —
+    /// distinct per branch (streams are capped at [`Self::MAX_STREAMS`],
+    /// so no two branches collide) and always ≥ 100, so tests can both
+    /// locate each branch's subtree and tell branches apart from the
+    /// model's own scopes.
+    pub fn scope_line(device: usize, stream: usize) -> u32 {
+        100 + (device * Self::MAX_STREAMS + stream) as u32
+    }
+
+    /// A workload spanning `devices` devices with `streams` streams
+    /// each (clamped to at least 1, and streams to at most
+    /// [`Self::MAX_STREAMS`]).
+    pub fn new(devices: usize, streams: usize) -> Self {
+        MultiStream {
+            devices: devices.max(1),
+            streams: streams.clamp(1, Self::MAX_STREAMS),
+        }
+    }
+
+    /// Devices this workload launches on.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Streams per device.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Kernels one iteration launches in total.
+    pub fn kernels_per_iteration(&self) -> u64 {
+        (self.devices * self.streams * Self::OPS_PER_BRANCH) as u64
+    }
+}
+
+impl Default for MultiStream {
+    fn default() -> Self {
+        MultiStream::new(2, 3)
+    }
+}
+
+impl Workload for MultiStream {
+    fn name(&self) -> &'static str {
+        "multi-stream"
+    }
+
+    fn dataset(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn param_bytes(&self) -> u64 {
+        (self.devices * self.streams * (1 << 22) * 4) as u64
+    }
+
+    fn streams_per_device(&self) -> usize {
+        self.streams
+    }
+
+    fn iteration(&self, ctx: &mut ModelCtx<'_>) -> Result<(), FrameworkError> {
+        let _model = ctx.scope("multi_stream.py", 7, "forward");
+        // Interleave launches across branches so streams fill up
+        // side-by-side, the way concurrent inference requests would.
+        for stream in 0..self.streams {
+            for device in 0..self.devices {
+                let _branch = ctx.scope(
+                    "multi_stream.py",
+                    Self::scope_line(device, stream),
+                    "stream_branch",
+                );
+                let x = TensorMeta::new([1 << 22]);
+                let activation = match (device + stream) % 3 {
+                    0 => OpKind::Relu,
+                    1 => OpKind::Gelu,
+                    _ => OpKind::Silu,
+                };
+                let place = |op: Op| {
+                    op.on_device(DeviceId(device as u32))
+                        .on_stream(StreamId(stream as u32))
+                };
+                let h = ctx.op(place(Op::new(activation)), &[x])?;
+                ctx.op(place(Op::new(OpKind::Mul)), &[h.clone(), h])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TestBed, WorkloadOptions};
+    use deepcontext_core::TimeNs;
+    use sim_gpu::DeviceSpec;
+
+    #[test]
+    fn launches_on_every_device_and_overlaps_streams() {
+        let w = MultiStream::default();
+        let bed = TestBed::with_devices(vec![DeviceSpec::a100_sxm(), DeviceSpec::a100_sxm()]);
+        let stats = bed
+            .run_eager(&w, &WorkloadOptions::default(), 2)
+            .expect("run");
+        assert_eq!(stats.kernels, 2 * w.kernels_per_iteration());
+        // Work really landed on the second device too.
+        for d in 0..2 {
+            assert!(
+                bed.gpu().kernel_count(DeviceId(d)).unwrap() > 0,
+                "device {d} launched nothing"
+            );
+            assert!(bed.gpu().device_busy_time(DeviceId(d)).unwrap() > TimeNs::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_branch_degenerates_to_default_placement() {
+        let w = MultiStream::new(1, 1);
+        let bed = TestBed::new(DeviceSpec::a100_sxm());
+        let stats = bed
+            .run_eager(&w, &WorkloadOptions::default(), 1)
+            .expect("run");
+        assert_eq!(stats.kernels, w.kernels_per_iteration());
+    }
+}

@@ -37,8 +37,20 @@ pub struct TestBed {
 impl TestBed {
     /// Builds a test bed on a device model.
     pub fn new(spec: DeviceSpec) -> TestBed {
+        TestBed::with_devices(vec![spec])
+    }
+
+    /// Builds a test bed over several devices (multi-GPU workloads).
+    /// Both engines default to device 0; workloads place ops on other
+    /// devices explicitly via `Op::on_device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty.
+    pub fn with_devices(specs: Vec<DeviceSpec>) -> TestBed {
+        assert!(!specs.is_empty(), "a test bed needs at least one device");
         let env = RuntimeEnv::new();
-        let gpu = GpuRuntime::new(env.clock().clone(), vec![spec]);
+        let gpu = GpuRuntime::new(env.clock().clone(), specs);
         let device = DeviceId(0);
         let eager_core = FrameworkCore::new(
             env.clone(),
@@ -112,14 +124,15 @@ impl TestBed {
     ) -> Result<RunStats, FrameworkError> {
         let _bind = ThreadRegistry::bind_current(&self.main);
         self.eager.set_grad_enabled(workload.training());
+        self.prepare_streams(workload)?;
         let core = Arc::clone(self.eager.core());
         let loader = workload
             .dataloader(opts)
             .map(|config| DataLoader::new(&self.env, core.python(), config));
 
         let start_wall = self.env.clock().now();
-        let start_busy = self.gpu.device_busy_time(self.device)?;
-        let start_kernels = self.gpu.kernel_count(self.device)?;
+        let start_busy = self.busy_all_devices()?;
+        let start_kernels = self.kernels_all_devices()?;
 
         for _ in 0..iterations {
             let _step = core
@@ -143,14 +156,47 @@ impl TestBed {
                 ctx.backward()?;
             }
         }
-        self.gpu.synchronize(self.device)?;
+        self.synchronize_all()?;
 
         Ok(RunStats {
             wall: self.env.clock().now() - start_wall,
-            gpu_busy: self.gpu.device_busy_time(self.device)? - start_busy,
-            kernels: self.gpu.kernel_count(self.device)? - start_kernels,
+            gpu_busy: self.busy_all_devices()? - start_busy,
+            kernels: self.kernels_all_devices()? - start_kernels,
             iterations,
         })
+    }
+
+    /// Pre-creates the streams a workload declares, on every device.
+    fn prepare_streams(&self, workload: &dyn Workload) -> Result<(), FrameworkError> {
+        let streams = workload.streams_per_device();
+        for d in 0..self.gpu.device_count() {
+            self.gpu.ensure_streams(DeviceId(d as u32), streams)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronizes every device (multi-GPU runs must drain them all).
+    fn synchronize_all(&self) -> Result<(), FrameworkError> {
+        for d in 0..self.gpu.device_count() {
+            self.gpu.synchronize(DeviceId(d as u32))?;
+        }
+        Ok(())
+    }
+
+    fn busy_all_devices(&self) -> Result<TimeNs, FrameworkError> {
+        let mut total = TimeNs::ZERO;
+        for d in 0..self.gpu.device_count() {
+            total += self.gpu.device_busy_time(DeviceId(d as u32))?;
+        }
+        Ok(total)
+    }
+
+    fn kernels_all_devices(&self) -> Result<u64, FrameworkError> {
+        let mut total = 0;
+        for d in 0..self.gpu.device_count() {
+            total += self.gpu.kernel_count(DeviceId(d as u32))?;
+        }
+        Ok(total)
     }
 
     /// Runs `iterations` of `workload` on the JIT engine: trace + compile
@@ -166,14 +212,15 @@ impl TestBed {
         iterations: u32,
     ) -> Result<RunStats, FrameworkError> {
         let _bind = ThreadRegistry::bind_current(&self.main);
+        self.prepare_streams(workload)?;
         let core = Arc::clone(self.jit.core());
         let loader = workload
             .dataloader(opts)
             .map(|config| DataLoader::new(&self.env, core.python(), config));
 
         let start_wall = self.env.clock().now();
-        let start_busy = self.gpu.device_busy_time(self.device)?;
-        let start_kernels = self.gpu.kernel_count(self.device)?;
+        let start_busy = self.busy_all_devices()?;
+        let start_kernels = self.kernels_all_devices()?;
 
         let graph = {
             let _trace_scope = core.python().frame(&self.main, "train.py", 22, "jit_step");
@@ -206,12 +253,12 @@ impl TestBed {
             }
             compiled.execute()?;
         }
-        self.gpu.synchronize(self.device)?;
+        self.synchronize_all()?;
 
         Ok(RunStats {
             wall: self.env.clock().now() - start_wall,
-            gpu_busy: self.gpu.device_busy_time(self.device)? - start_busy,
-            kernels: self.gpu.kernel_count(self.device)? - start_kernels,
+            gpu_busy: self.busy_all_devices()? - start_busy,
+            kernels: self.kernels_all_devices()? - start_kernels,
             iterations,
         })
     }

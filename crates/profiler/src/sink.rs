@@ -15,10 +15,18 @@
 //! * a lock-striped correlation *directory* remembers which shard a
 //!   correlation id was bound in, letting asynchronous activity records —
 //!   which carry no thread identity — find their way home;
-//! * [`ShardedSink::snapshot`] folds all shards into one master tree via
-//!   [`CallingContextTree::merge`]; correlation state stays behind in the
-//!   shards for records still in flight ([`CctShard::merge_from`] exists
-//!   for folds that must carry it along).
+//! * snapshots fold the shards into one master tree and **cache** the
+//!   result: every shard carries a dirty generation
+//!   ([`CctShard::generation`]) advanced by each tree mutation, and a
+//!   refresh re-folds only shards whose generation moved — via
+//!   [`CallingContextTree::merge_incremental`], which resumes the
+//!   per-shard node mapping and folds per-node metric deltas. Clean
+//!   shards are skipped outright, so a warm snapshot costs O(dirty
+//!   shards) instead of O(shards × tree). Correlation state stays behind
+//!   in the shards for records still in flight ([`CctShard::merge_from`]
+//!   exists for folds that must carry it along), and
+//!   [`ShardedSink::snapshot_uncached`] keeps the historical full fold
+//!   as baseline and test oracle.
 //!
 //! A `ShardedSink` with one shard routes everything through one lock like
 //! the old design (set `ingestion_shards: 1`); the ingestion benchmark in
@@ -32,7 +40,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use deepcontext_core::{
-    CallPath, CallingContextTree, CctShard, Frame, Interner, MetricKind, NodeId,
+    CallPath, CallingContextTree, CctShard, FoldState, Frame, Interner, MetricKind, NodeId,
 };
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
@@ -115,6 +123,13 @@ pub struct SinkCounters {
     pub orphans: u64,
     /// Peak approximate profile bytes observed at batch boundaries.
     pub peak_bytes: usize,
+    /// Shard folds performed while refreshing snapshots (a cold snapshot
+    /// folds every shard; warm ones fold only dirty shards).
+    pub snapshot_merges: u64,
+    /// Shards skipped by snapshot refreshes because their dirty
+    /// generation had not advanced — direct evidence the snapshot cache
+    /// is being hit.
+    pub shards_skipped: u64,
 }
 
 /// Where profiler collection paths deliver their events.
@@ -130,12 +145,43 @@ pub trait EventSink: Send + Sync {
     /// A buffer of completed asynchronous activity records.
     fn activity_batch(&self, batch: &[Activity]);
 
+    /// A flush boundary completed: the runtime's entire completed-record
+    /// backlog has been delivered, so no record referencing an
+    /// already-attributed correlation can still be in flight (activity
+    /// buffers deliver a kernel's trailing sampling records no later
+    /// than the flush that drains the kernel). Sinks may use this to
+    /// retire deferred correlation state eagerly and release batch-sized
+    /// scratch, keeping resident memory proportional to live state.
+    /// Default: no-op.
+    fn epoch_complete(&self) {}
+
     /// A CPU sample (interval timer or hardware-counter overflow) on the
     /// thread identified by `origin`.
     fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64);
 
     /// Folds the sink's state into one calling context tree.
     fn snapshot(&self) -> CallingContextTree;
+
+    /// Runs `f` against a folded snapshot without handing out ownership.
+    /// Sinks that cache their fold (see [`ShardedSink`]) serve this by
+    /// borrowing the cached tree, so repeated analysis previews skip both
+    /// the re-fold *and* the clone that [`snapshot`](Self::snapshot) pays.
+    ///
+    /// `f` may run while the sink's snapshot lock is held: it must not
+    /// call back into this sink's snapshot APIs (`snapshot`,
+    /// `with_snapshot`, `finish_snapshot`, `approx_bytes`) — on
+    /// [`ShardedSink`] that self-deadlocks. Ingestion from *other*
+    /// threads is unaffected.
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        f(&self.snapshot());
+    }
+
+    /// Final snapshot at detach time: like [`snapshot`](Self::snapshot),
+    /// but the sink may yield its cached fold by value instead of
+    /// cloning, since no further snapshots will be requested.
+    fn finish_snapshot(&self) -> CallingContextTree {
+        self.snapshot()
+    }
 
     /// Current ingestion counters.
     fn counters(&self) -> SinkCounters;
@@ -153,10 +199,37 @@ fn mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The memoized fold of all shards: the merged master tree, the
+/// per-shard [`FoldState`] it was built through, and the shard dirty
+/// generations it reflects. Refreshing re-folds **only** shards whose
+/// generation advanced; the rest are skipped without touching their
+/// trees, turning repeated snapshots from O(shards × tree) into
+/// O(dirty shards).
+struct SnapshotCache {
+    master: CallingContextTree,
+    folds: Vec<FoldState>,
+    /// Generation folded per shard; `u64::MAX` = never folded (shard
+    /// generations start at 0, so the first refresh folds everything).
+    generations: Vec<u64>,
+}
+
+impl SnapshotCache {
+    fn empty(interner: &Arc<Interner>, shards: usize) -> Self {
+        SnapshotCache {
+            master: CallingContextTree::with_interner(Arc::clone(interner)),
+            folds: (0..shards).map(|_| FoldState::new()).collect(),
+            generations: vec![u64::MAX; shards],
+        }
+    }
+}
+
 /// The sharded [`EventSink`] (see the [module docs](self)).
 pub struct ShardedSink {
     interner: Arc<Interner>,
     shards: Vec<Mutex<CctShard>>,
+    /// Cached incremental snapshot; `None` until the first snapshot is
+    /// requested (and again after `finish_snapshot` consumes it).
+    cache: Mutex<Option<SnapshotCache>>,
     /// Correlation id -> index of the shard it was bound in. Striped by
     /// correlation hash so binding and resolving rarely contend.
     directory: Vec<Mutex<HashMap<u64, u32>>>,
@@ -170,6 +243,8 @@ pub struct ShardedSink {
     instruction_samples: AtomicU64,
     orphans: AtomicU64,
     peak_bytes: AtomicUsize,
+    snapshot_merges: AtomicU64,
+    shards_skipped: AtomicU64,
 }
 
 impl ShardedSink {
@@ -184,11 +259,14 @@ impl ShardedSink {
             directory: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             dir_entries: AtomicUsize::new(0),
+            cache: Mutex::new(None),
             interner,
             activities: AtomicU64::new(0),
             instruction_samples: AtomicU64::new(0),
             orphans: AtomicU64::new(0),
             peak_bytes: AtomicUsize::new(0),
+            snapshot_merges: AtomicU64::new(0),
+            shards_skipped: AtomicU64::new(0),
         })
     }
 
@@ -258,6 +336,41 @@ impl ShardedSink {
             // Terminal record kinds retire their correlation.
             shard.defer_prune(corr);
         }
+    }
+
+    /// Brings the snapshot cache up to date: folds every shard whose
+    /// dirty generation advanced since the last refresh and skips the
+    /// rest. Each shard lock is held only while that one shard is
+    /// inspected/folded (cache → shard is the only lock order involving
+    /// the cache, so ingestion never deadlocks against refreshes).
+    fn refresh_cache(&self, cache: &mut Option<SnapshotCache>) {
+        let cache =
+            cache.get_or_insert_with(|| SnapshotCache::empty(&self.interner, self.shards.len()));
+        for (idx, slot) in self.shards.iter().enumerate() {
+            let shard = slot.lock();
+            let generation = shard.generation();
+            if cache.generations[idx] == generation {
+                self.shards_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            cache
+                .master
+                .merge_incremental(shard.tree(), &mut cache.folds[idx]);
+            cache.generations[idx] = generation;
+            self.snapshot_merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds all shards into a fresh master tree, bypassing the snapshot
+    /// cache — the historical O(shards × tree) path, kept as the
+    /// benchmark baseline and as the oracle the `cached == fresh`
+    /// equivalence tests compare against.
+    pub fn snapshot_uncached(&self) -> CallingContextTree {
+        let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
+        for shard in &self.shards {
+            master.merge(shard.lock().tree());
+        }
+        master
     }
 
     /// Records the current approximate profile size into the peak, using
@@ -341,15 +454,50 @@ impl EventSink for ShardedSink {
         shard.tree_mut().attribute(node, metric, value);
     }
 
+    fn epoch_complete(&self) {
+        for (idx, slot) in self.shards.iter().enumerate() {
+            let pruned = {
+                let mut shard = slot.lock();
+                // Every deferred correlation's trailing records have been
+                // delivered by now, so one extra epoch retires them all.
+                let pruned = shard.end_batch();
+                shard.trim();
+                self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+                pruned
+            };
+            for corr in pruned {
+                self.directory_remove(corr);
+            }
+        }
+        // Directory stripes shed their high-water capacity too.
+        for stripe in &self.directory {
+            let mut map = stripe.lock();
+            if map.capacity() > 64 && map.capacity() / 4 > map.len() {
+                map.shrink_to_fit();
+            }
+        }
+    }
+
     fn snapshot(&self) -> CallingContextTree {
         // Trees only: correlation state stays in the shards (it is still
         // needed for records that have not arrived yet), so the fold skips
-        // `CctShard::merge_from`'s remapping work.
-        let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
-        for shard in &self.shards {
-            master.merge(shard.lock().tree());
-        }
-        master
+        // `CctShard::merge_from`'s remapping work. The fold is cached and
+        // refreshed incrementally: clean shards are skipped outright.
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        cache.as_ref().expect("cache refreshed").master.clone()
+    }
+
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        f(&cache.as_ref().expect("cache refreshed").master);
+    }
+
+    fn finish_snapshot(&self) -> CallingContextTree {
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        cache.take().expect("cache refreshed").master
     }
 
     fn counters(&self) -> SinkCounters {
@@ -358,10 +506,24 @@ impl EventSink for ShardedSink {
             instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
             orphans: self.orphans.load(Ordering::Relaxed),
             peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            snapshot_merges: self.snapshot_merges.load(Ordering::Relaxed),
+            shards_skipped: self.shards_skipped.load(Ordering::Relaxed),
         }
     }
 
     fn approx_bytes(&self) -> usize {
+        // The snapshot cache (cached master tree + per-shard fold state)
+        // is tool memory too — once an analysis session opens, it holds
+        // roughly another copy of the profile.
+        let cache_bytes: usize = self
+            .cache
+            .lock()
+            .as_ref()
+            .map(|c| {
+                c.master.approx_tree_bytes()
+                    + c.folds.iter().map(FoldState::approx_bytes).sum::<usize>()
+            })
+            .unwrap_or(0);
         let shard_bytes: usize = self.shards.iter().map(|s| s.lock().approx_bytes()).sum();
         let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
         let dir_bytes: usize = self
@@ -369,7 +531,7 @@ impl EventSink for ShardedSink {
             .iter()
             .map(|d| d.lock().capacity() * dir_entry)
             .sum();
-        shard_bytes + dir_bytes + self.interner.approx_bytes()
+        shard_bytes + dir_bytes + cache_bytes + self.interner.approx_bytes()
     }
 }
 

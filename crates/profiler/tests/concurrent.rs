@@ -146,6 +146,68 @@ fn eight_threads_match_single_thread_totals() {
 }
 
 #[test]
+fn cached_snapshots_stay_consistent_under_eight_producers() {
+    // 8 producer threads ingest while a reader loops over the *cached*
+    // snapshot path: every intermediate snapshot must be internally
+    // consistent, the final totals must be exact, and the cache must
+    // demonstrably skip clean shards.
+    let interner = Interner::new();
+    let sharded = ShardedSink::new(Arc::clone(&interner), 16);
+    let streams: Vec<Vec<LaunchEvent>> = (0..PRODUCERS)
+        .map(|p| producer_events(&interner, p))
+        .collect();
+    let streams = Arc::new(streams);
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let sink = Arc::clone(&sharded);
+            let streams = Arc::clone(&streams);
+            scope.spawn(move || ingest(&sink, &streams[p]));
+        }
+        // Reader: repeated cached snapshots while producers are live.
+        let sink = Arc::clone(&sharded);
+        scope.spawn(move || {
+            let mut last_time = 0.0;
+            for _ in 0..30 {
+                sink.with_snapshot(&mut |cct| {
+                    let root = cct.total(MetricKind::GpuTime);
+                    // Inclusive-metric invariant at every node.
+                    for id in cct.dfs() {
+                        assert!(root >= cct.node(id).metrics().sum(MetricKind::GpuTime) - 1e-6);
+                    }
+                    // Aggregates only grow while producers run.
+                    assert!(root >= last_time, "snapshot went backwards");
+                    last_time = root;
+                });
+            }
+        });
+    });
+
+    // Producers are done: totals are exact and match an uncached fold.
+    let expected_time = (PRODUCERS * OPS_PER_PRODUCER) as f64 * 250.0;
+    let final_cached = sharded.snapshot();
+    assert_eq!(final_cached.total(MetricKind::GpuTime), expected_time);
+    assert_eq!(
+        final_cached.total(MetricKind::KernelLaunches),
+        (PRODUCERS * OPS_PER_PRODUCER) as f64
+    );
+    assert_eq!(
+        sharded.snapshot_uncached().semantic_diff(&final_cached),
+        None
+    );
+
+    // A second quiescent snapshot folds nothing: all 16 shards skip —
+    // proof the reader was hitting the cache, not re-folding.
+    let merges_before = sharded.counters().snapshot_merges;
+    let skipped_before = sharded.counters().shards_skipped;
+    let again = sharded.snapshot();
+    assert_eq!(again.total(MetricKind::GpuTime), expected_time);
+    let counters = sharded.counters();
+    assert_eq!(counters.snapshot_merges, merges_before);
+    assert_eq!(counters.shards_skipped, skipped_before + 16);
+    assert!(counters.shards_skipped > 0);
+}
+
+#[test]
 fn snapshot_is_stable_while_producers_run() {
     // Folding shards must not disturb ongoing ingestion: interleave
     // snapshots with producer threads and verify the final totals.

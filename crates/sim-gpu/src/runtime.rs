@@ -187,6 +187,24 @@ impl GpuRuntime {
         Ok(StreamId(dev.streams.len() as u32 - 1))
     }
 
+    /// Ensures `device` has at least `count` streams, creating any
+    /// missing ones (multi-stream workloads declare how many streams
+    /// they launch into; harnesses call this before running them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::NoSuchDevice`] for unknown devices.
+    pub fn ensure_streams(&self, device: DeviceId, count: usize) -> Result<(), GpuError> {
+        let mut devices = self.devices.lock();
+        let dev = devices
+            .get_mut(device.0 as usize)
+            .ok_or(GpuError::NoSuchDevice(device.0))?;
+        while dev.streams.len() < count {
+            dev.streams.push(TimeNs::ZERO);
+        }
+        Ok(())
+    }
+
     fn fire(&self, data: &CallbackData) {
         // Snapshot so callbacks may (un)subscribe re-entrantly.
         let cbs: Vec<Callback> = self

@@ -7,7 +7,10 @@
 //! a seed derived from the test name and case index, so failures reproduce
 //! exactly across runs. Shrinking is not implemented — a failing case
 //! panics with the generated input's `Debug` output via the standard
-//! assertion message instead.
+//! assertion message instead, and the runner prints the failing case's
+//! RNG seed to stderr. Setting `DEEPCONTEXT_PROPTEST_SEED` to a reported
+//! seed (decimal or `0x` hex) re-runs exactly that case, so a CI failure
+//! reproduces locally without replaying the whole case sequence.
 
 #![forbid(unsafe_code)]
 
@@ -228,6 +231,11 @@ pub mod sample {
 
 /// Runner internals used by the [`proptest!`] expansion.
 pub mod test_runner {
+    /// Environment variable that pins the runner to a single seed: set it
+    /// to a failing case's reported seed (decimal or `0x`-prefixed hex)
+    /// to reproduce exactly that case locally.
+    pub const SEED_ENV: &str = "DEEPCONTEXT_PROPTEST_SEED";
+
     /// Derives the per-case RNG seed from the test name and case index.
     pub fn case_seed(test_name: &str, case: u32) -> u64 {
         use std::collections::hash_map::DefaultHasher;
@@ -235,6 +243,50 @@ pub mod test_runner {
         let mut h = DefaultHasher::new();
         test_name.hash(&mut h);
         h.finish() ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Parses a seed value as written in a failure report (decimal or
+    /// `0x` hex, surrounding whitespace ignored).
+    pub fn parse_seed(value: &str) -> Option<u64> {
+        let value = value.trim();
+        if let Some(hex) = value
+            .strip_prefix("0x")
+            .or_else(|| value.strip_prefix("0X"))
+        {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            value.parse().ok()
+        }
+    }
+
+    /// The pinned seed from [`SEED_ENV`], if one is set and parses.
+    pub fn pinned_seed() -> Option<u64> {
+        std::env::var(SEED_ENV).ok().as_deref().and_then(parse_seed)
+    }
+
+    /// Runs the cases of one property: every case body executes under
+    /// `catch_unwind` so a failure can report its RNG seed (and the
+    /// exact re-run command) before the panic resumes. When a seed is
+    /// pinned via [`SEED_ENV`], exactly one case runs with that seed.
+    pub fn run_cases(test_name: &str, cases: u32, mut case_body: impl FnMut(u64)) {
+        if let Some(seed) = pinned_seed() {
+            eprintln!("proptest: {test_name} pinned to seed {seed:#x} via {SEED_ENV}");
+            case_body(seed);
+            return;
+        }
+        for case in 0..cases {
+            let seed = case_seed(test_name, case);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case_body(seed);
+            }));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest: {test_name} failed at case {case}/{cases} with seed {seed:#x}; \
+                     re-run just this case with {SEED_ENV}={seed:#x}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 }
 
@@ -295,18 +347,18 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                for case in 0..config.cases {
-                    let seed = $crate::test_runner::case_seed(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        case,
-                    );
-                    let mut proptest_rng: $crate::TestRng =
-                        <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(seed);
-                    $(
-                        let $pat = $crate::Strategy::generate(&($strategy), &mut proptest_rng);
-                    )+
-                    $body
-                }
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    |seed| {
+                        let mut proptest_rng: $crate::TestRng =
+                            <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(seed);
+                        $(
+                            let $pat = $crate::Strategy::generate(&($strategy), &mut proptest_rng);
+                        )+
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -360,5 +412,40 @@ mod tests {
         let b = crate::test_runner::case_seed("t", 5);
         assert_eq!(a, b);
         assert_ne!(a, crate::test_runner::case_seed("t", 6));
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        use crate::test_runner::parse_seed;
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 42\n"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed("0X2A"), Some(42));
+        assert_eq!(parse_seed(&format!("{:#x}", u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_seed("not-a-seed"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn run_cases_reports_the_failing_seed_and_resumes_the_panic() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let failing_seed = AtomicU64::new(0);
+        let seen = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::test_runner::run_cases("shim::explode", 16, |seed| {
+                if seen.fetch_add(1, Ordering::Relaxed) == 3 {
+                    failing_seed.store(seed, Ordering::Relaxed);
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the case panic must propagate");
+        assert_eq!(seen.load(Ordering::Relaxed), 4, "stops at the failure");
+        // The reported seed is the deterministic per-case seed, so the
+        // pinned re-run path replays the identical case.
+        assert_eq!(
+            failing_seed.load(Ordering::Relaxed),
+            crate::test_runner::case_seed("shim::explode", 3)
+        );
     }
 }

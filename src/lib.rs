@@ -74,8 +74,8 @@ pub mod prelude {
         DType, EagerEngine, FrameworkCore, JitEngine, Layout, Op, OpKind, TensorMeta,
     };
     pub use dl_models::{
-        all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, NanoGpt, ResNet,
-        RunStats, TestBed, TransformerBig, UNet, ViT, Workload, WorkloadOptions,
+        all_workloads, workload_by_name, Conformer, DlrmSmall, Gemma, Gnn, Llama3, MultiStream,
+        NanoGpt, ResNet, RunStats, TestBed, TransformerBig, UNet, ViT, Workload, WorkloadOptions,
     };
     pub use dlmonitor::{CallPathSources, DlEvent, DlMonitor, Domain};
     pub use sim_gpu::{DeviceId, DeviceSpec, GpuRuntime, SamplingConfig, StreamId, Vendor};
