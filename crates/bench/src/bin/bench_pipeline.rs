@@ -1,0 +1,118 @@
+//! Emits `BENCH_pipeline.json`: producer-side enqueue cost and
+//! end-to-end throughput of the asynchronous bounded-channel pipeline vs
+//! inline synchronous attribution, over a coarse (kernel-records-only)
+//! and a fine-grained (PC-sampling, paper §6.7) event stream.
+//!
+//! The headline number is `producer_speedup` — how much cheaper one
+//! fine-grained event is for the monitored workload when attribution
+//! moves to the worker pool. The issue's acceptance bar is ≥ 5x with
+//! zero dropped events under the default `Block` policy.
+//!
+//! Run from the repo root: `cargo run --release -p deepcontext-bench
+//! --bin bench_pipeline`.
+
+use std::io::Write;
+
+use deepcontext_bench::pipeline::{pipeline_matrix, PipelinePoint, SHARDS};
+
+const OPS: usize = 30_000;
+const SAMPLES_PER_KERNEL: usize = 24;
+const REPEATS: usize = 5;
+
+fn point<'a>(points: &'a [PipelinePoint], prefix: &str) -> &'a PipelinePoint {
+    points
+        .iter()
+        .find(|p| p.scenario.starts_with(prefix))
+        .expect("measured scenario")
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "measuring pipeline producer cost ({SHARDS} shards, {OPS} events, \
+         {SAMPLES_PER_KERNEL} PC samples/kernel on the fine stream, host \
+         parallelism {parallelism}, best of {REPEATS})..."
+    );
+    let points = pipeline_matrix(OPS, SAMPLES_PER_KERNEL, REPEATS);
+    let coarse_sync = point(&points, "coarse_sync");
+    let coarse_async = point(&points, "coarse_async");
+    let fine_sync = point(&points, "fine_sync");
+    let fine_async = point(&points, "fine_async");
+
+    let fine_speedup = fine_sync.producer_ns_per_event / fine_async.producer_ns_per_event;
+    let coarse_speedup = coarse_sync.producer_ns_per_event / coarse_async.producer_ns_per_event;
+    let utilization = if fine_async.counters.worker_batches > 0 {
+        fine_async.counters.worker_events as f64 / fine_async.counters.worker_batches as f64
+    } else {
+        0.0
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pipeline\",\n");
+    json.push_str("  \"unit\": \"ns_per_event\",\n");
+    json.push_str("  \"baseline\": \"inline synchronous attribution on the producer thread\",\n");
+    json.push_str("  \"policy\": \"Block\",\n");
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("  \"events\": {OPS},\n"));
+    json.push_str(&format!(
+        "  \"fine_samples_per_kernel\": {SAMPLES_PER_KERNEL},\n"
+    ));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {parallelism},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"producer_ns_per_event\": {:.0}, \
+             \"total_ns_per_event\": {:.0}, \"dropped_events\": {}, \
+             \"max_queue_depth\": {}}}{}\n",
+            p.scenario,
+            p.producer_ns_per_event,
+            p.total_ns_per_event,
+            p.counters.dropped_events,
+            p.counters.max_queue_depth,
+            sep
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"producer_speedup_coarse\": {coarse_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"producer_speedup\": {fine_speedup:.2},\n"));
+    json.push_str(&format!(
+        "  \"end_to_end_events_per_sec_sync\": {:.0},\n",
+        1e9 / fine_sync.total_ns_per_event
+    ));
+    json.push_str(&format!(
+        "  \"end_to_end_events_per_sec_async\": {:.0},\n",
+        1e9 / fine_async.total_ns_per_event
+    ));
+    json.push_str(&format!(
+        "  \"worker_events_per_wakeup\": {utilization:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"dropped_events\": {}\n",
+        fine_async.counters.dropped_events + coarse_async.counters.dropped_events
+    ));
+    json.push_str("}\n");
+
+    std::fs::File::create("BENCH_pipeline.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_pipeline.json");
+    print!("{json}");
+
+    eprintln!(
+        "fine-grained producer: sync {:.0} ns/event vs async enqueue {:.0} ns/event = {:.2}x \
+         (target >= 5x); coarse: {:.0} vs {:.0} = {:.2}x; drops {}",
+        fine_sync.producer_ns_per_event,
+        fine_async.producer_ns_per_event,
+        fine_speedup,
+        coarse_sync.producer_ns_per_event,
+        coarse_async.producer_ns_per_event,
+        coarse_speedup,
+        fine_async.counters.dropped_events
+    );
+}

@@ -201,10 +201,7 @@ impl EventSink for SingleLockSink {
         SinkCounters {
             activities: self.activities.load(Ordering::Relaxed),
             instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
-            orphans: 0,
-            peak_bytes: 0,
-            snapshot_merges: 0,
-            shards_skipped: 0,
+            ..SinkCounters::default()
         }
     }
 

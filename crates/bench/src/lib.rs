@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ingestion;
+pub mod pipeline;
 pub mod snapshot;
 
 use std::time::{Duration, Instant};

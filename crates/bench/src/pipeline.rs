@@ -1,0 +1,310 @@
+//! Asynchronous-pipeline cost harness.
+//!
+//! Two questions, answered over the same pre-built event streams:
+//!
+//! 1. **Producer-side cost** — what does the monitored workload pay per
+//!    event? Inline (synchronous) ingestion pays routing + shard lock +
+//!    tree mutation + metric folds on the producer thread; asynchronous
+//!    ingestion pays routing + a directory bind + a bounded-channel
+//!    push of the owned event. The async sink is given queue headroom
+//!    for the whole measured window so the number isolates the enqueue
+//!    path (backpressure never engages — the regime the pipeline is
+//!    designed to run in). Launch paths are handed over by value
+//!    (`gpu_launch_owned`), as the profiler's callback does, so neither
+//!    mode clones a path in the timed loop.
+//! 2. **End-to-end throughput** — events/sec from first enqueue to full
+//!    drain, where the asynchronous pipeline must also pay its workers.
+//!    On a single-core host this bounds the overhead of the decoupling;
+//!    on multi-core hosts attribution overlaps the workload.
+//!
+//! Both questions are asked for two stream shapes: **coarse** (kernel
+//! records only — the cheapest possible attribution) and
+//! **fine-grained** (each kernel preceded by a PC-sampling record, the
+//! paper's §6.7 instruction-level mode) — where inline attribution must
+//! extend call paths per sampled PC and the producer-side win is
+//! largest.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use deepcontext_core::{CallPath, Interner, StallReason};
+use deepcontext_profiler::{
+    AsyncSink, BackpressurePolicy, EventSink, PipelineConfig, ShardedSink, SinkCounters,
+};
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ActivityKind, ApiKind, PcSample};
+
+use crate::ingestion::{producer_stream, BATCH};
+
+/// Shards both sinks use (the profiler default).
+pub const SHARDS: usize = 16;
+
+/// One pre-built launch with every activity record it produces.
+pub struct PipelineEvent {
+    /// Routing identity (thread, stream, correlation).
+    pub origin: EventOrigin,
+    /// The unified call path bound at the launch site.
+    pub path: CallPath,
+    /// The activity records that later resolve through the correlation
+    /// (sampling records first, terminal kernel record last).
+    pub activities: Vec<Activity>,
+}
+
+/// Kernel-record-only stream: the cheapest attribution per event.
+pub fn coarse_stream(interner: &Arc<Interner>, ops: usize) -> Vec<PipelineEvent> {
+    producer_stream(interner, 0, ops)
+        .into_iter()
+        .map(|e| PipelineEvent {
+            origin: e.origin,
+            path: e.path,
+            activities: vec![e.activity],
+        })
+        .collect()
+}
+
+/// Fine-grained stream: each kernel also delivers a PC-sampling record
+/// with `samples_per_kernel` instruction samples (stall-reason rotation),
+/// the §6.7 instruction-level profiling shape.
+pub fn fine_grained_stream(
+    interner: &Arc<Interner>,
+    ops: usize,
+    samples_per_kernel: usize,
+) -> Vec<PipelineEvent> {
+    const STALLS: [StallReason; 4] = [
+        StallReason::MemoryDependency,
+        StallReason::ExecutionDependency,
+        StallReason::ConstantMemory,
+        StallReason::None,
+    ];
+    producer_stream(interner, 0, ops)
+        .into_iter()
+        .map(|e| {
+            let name = match &e.activity.kind {
+                ActivityKind::Kernel { name, .. } => Arc::clone(name),
+                _ => Arc::from("kernel"),
+            };
+            let samples: Vec<PcSample> = (0..samples_per_kernel)
+                .map(|s| PcSample {
+                    pc: 0x40 + (s as u64 % 16) * 8,
+                    stall: STALLS[s % STALLS.len()],
+                })
+                .collect();
+            let sampling = Activity {
+                correlation_id: e.activity.correlation_id,
+                device: e.activity.device,
+                kind: ActivityKind::PcSampling { name, samples },
+            };
+            PipelineEvent {
+                origin: e.origin,
+                path: e.path,
+                activities: vec![sampling, e.activity],
+            }
+        })
+        .collect()
+}
+
+/// One measured pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelinePoint {
+    /// Scenario label (report key).
+    pub scenario: String,
+    /// Producer-side nanoseconds per event (launch + its activities).
+    pub producer_ns_per_event: f64,
+    /// End-to-end nanoseconds per event (producers + full drain).
+    pub total_ns_per_event: f64,
+    /// Pipeline counters after the run (drops, queue depth, utilization).
+    pub counters: SinkCounters,
+}
+
+/// The per-repeat owned inputs a producer hands the sink: one path per
+/// launch and one runtime-owned activity buffer per chunk — prepared
+/// outside the timed region, exactly as the real collection paths
+/// receive them (the monitor builds each `CallPath` fresh, the GPU
+/// runtime owns the buffers it flushes).
+struct ProducerInputs {
+    paths: Vec<CallPath>,
+    batches: Vec<Vec<Activity>>,
+}
+
+fn prepare(events: &[PipelineEvent]) -> ProducerInputs {
+    ProducerInputs {
+        paths: events.iter().map(|e| e.path.clone()).collect(),
+        batches: events
+            .chunks(BATCH)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|e| e.activities.iter().cloned())
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Drives one stream: launch bursts handing paths over by value, then
+/// the chunk's activity buffer by value — the shape the GPU runtime
+/// delivers them in.
+fn drive_producer(sink: &dyn EventSink, events: &[PipelineEvent], inputs: ProducerInputs) {
+    let mut paths = inputs.paths.into_iter();
+    let mut batches = inputs.batches.into_iter();
+    for chunk in events.chunks(BATCH) {
+        for e in chunk {
+            let path = paths.next().expect("one pre-built path per event");
+            sink.gpu_launch_owned(&e.origin, path, ApiKind::LaunchKernel);
+        }
+        let batch = batches.next().expect("one pre-built batch per chunk");
+        sink.activity_batch_owned(batch);
+    }
+}
+
+fn measure_once(
+    sink: &dyn EventSink,
+    events: &[PipelineEvent],
+    inputs: ProducerInputs,
+    finish: impl FnOnce(),
+) -> (f64, f64) {
+    let start = Instant::now();
+    drive_producer(sink, events, inputs);
+    let producer = start.elapsed().as_nanos() as f64;
+    finish();
+    let total = start.elapsed().as_nanos() as f64;
+    let n = events.len() as f64;
+    (producer / n, total / n)
+}
+
+/// Measures inline (synchronous) ingestion of `events`: the producer
+/// loop *is* the whole pipeline.
+pub fn measure_sync(
+    label: &str,
+    events: &[PipelineEvent],
+    interner: &Arc<Interner>,
+    repeats: usize,
+) -> PipelinePoint {
+    let mut best: Option<(f64, f64)> = None;
+    let mut counters = SinkCounters::default();
+    for _ in 0..repeats.max(1) {
+        let sink = ShardedSink::new(Arc::clone(interner), SHARDS);
+        let inputs = prepare(events);
+        let point = measure_once(sink.as_ref(), events, inputs, || {});
+        counters = sink.counters();
+        best = Some(match best {
+            Some((p, t)) => (p.min(point.0), t.min(point.1)),
+            None => point,
+        });
+    }
+    let (producer, total) = best.expect("at least one repeat");
+    PipelinePoint {
+        scenario: format!("{label}_sync_inline"),
+        producer_ns_per_event: producer,
+        total_ns_per_event: total,
+        counters,
+    }
+}
+
+/// Measures asynchronous ingestion of `events` under the default `Block`
+/// policy with queue headroom for the entire stream (so the producer
+/// number isolates the enqueue cost) and a full drain for the
+/// end-to-end number.
+pub fn measure_async(
+    label: &str,
+    events: &[PipelineEvent],
+    interner: &Arc<Interner>,
+    workers: usize,
+    repeats: usize,
+) -> PipelinePoint {
+    let mut best: Option<(f64, f64)> = None;
+    let mut counters = SinkCounters::default();
+    for _ in 0..repeats.max(1) {
+        let inner = ShardedSink::new(Arc::clone(interner), SHARDS);
+        let sink = AsyncSink::new(
+            inner,
+            PipelineConfig {
+                workers,
+                // Headroom for every message of the stream: backpressure
+                // never engages inside the measured window.
+                queue_capacity: events.len() + events.len() / BATCH + SHARDS + 1,
+                backpressure: BackpressurePolicy::Block,
+            },
+        );
+        let inputs = prepare(events);
+        let point = measure_once(sink.as_ref(), events, inputs, || sink.drain());
+        counters = sink.counters();
+        assert_eq!(
+            counters.dropped_events, 0,
+            "Block policy must never drop events"
+        );
+        best = Some(match best {
+            Some((p, t)) => (p.min(point.0), t.min(point.1)),
+            None => point,
+        });
+    }
+    let (producer, total) = best.expect("at least one repeat");
+    PipelinePoint {
+        scenario: format!("{label}_async_enqueue_w{workers}"),
+        producer_ns_per_event: producer,
+        total_ns_per_event: total,
+        counters,
+    }
+}
+
+/// The full comparison: sync inline vs async enqueue over the coarse and
+/// fine-grained streams, one producer, `ops` events, best of `repeats`.
+pub fn pipeline_matrix(
+    ops: usize,
+    samples_per_kernel: usize,
+    repeats: usize,
+) -> Vec<PipelinePoint> {
+    let interner = Interner::new();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(SHARDS))
+        .unwrap_or(1);
+    let coarse = coarse_stream(&interner, ops);
+    let fine = fine_grained_stream(&interner, ops, samples_per_kernel);
+    vec![
+        measure_sync("coarse", &coarse, &interner, repeats),
+        measure_async("coarse", &coarse, &interner, workers, repeats),
+        measure_sync("fine", &fine, &interner, repeats),
+        measure_async("fine", &fine, &interner, workers, repeats),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::MetricKind;
+
+    #[test]
+    fn matrix_produces_all_scenarios_with_zero_drops() {
+        let points = pipeline_matrix(256, 4, 1);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.producer_ns_per_event > 0.0, "{}", p.scenario);
+            assert!(p.total_ns_per_event >= p.producer_ns_per_event);
+            assert_eq!(p.counters.dropped_events, 0);
+        }
+        // Fine-grained streams attribute instruction samples too.
+        assert!(points[2].counters.instruction_samples > 0);
+        assert!(points[3].counters.enqueued_events > 0);
+    }
+
+    #[test]
+    fn async_profile_matches_sync_profile_for_both_streams() {
+        let interner = Interner::new();
+        for events in [
+            coarse_stream(&interner, 192),
+            fine_grained_stream(&interner, 192, 4),
+        ] {
+            let sync = ShardedSink::new(Arc::clone(&interner), SHARDS);
+            drive_producer(sync.as_ref(), &events, prepare(&events));
+            let async_sink = AsyncSink::new(
+                ShardedSink::new(Arc::clone(&interner), SHARDS),
+                PipelineConfig::default(),
+            );
+            drive_producer(async_sink.as_ref(), &events, prepare(&events));
+            let s = sync.snapshot();
+            let a = async_sink.snapshot();
+            assert_eq!(s.semantic_diff(&a), None);
+            assert_eq!(s.total(MetricKind::GpuTime), a.total(MetricKind::GpuTime));
+        }
+    }
+}

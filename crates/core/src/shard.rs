@@ -100,6 +100,15 @@ impl CctShard {
         self.corr.get(&correlation).copied()
     }
 
+    /// Drops a correlation binding immediately, bypassing the two-phase
+    /// prune — for ingestion pipelines discarding a correlation whose
+    /// remaining records will never arrive (e.g. evicted by a drop
+    /// policy). Returns whether the binding existed. Does not touch the
+    /// tree (and so does not dirty the snapshot generation).
+    pub fn unbind(&mut self, correlation: u64) -> bool {
+        self.corr.remove(&correlation).is_some()
+    }
+
     /// Number of live correlation entries.
     pub fn correlation_len(&self) -> usize {
         self.corr.len()
@@ -120,6 +129,17 @@ impl CctShard {
                 self.orphan = Some(node);
                 node
             }
+        }
+    }
+
+    /// Resolves `correlation` to its bound context, falling back to the
+    /// hoisted catch-all. Returns the node and whether it was the orphan
+    /// fallback — the resolution step ingestion workers run per activity
+    /// record before folding its metrics.
+    pub fn resolve_or_orphan(&mut self, correlation: u64) -> (NodeId, bool) {
+        match self.resolve(correlation) {
+            Some(node) => (node, false),
+            None => (self.orphan_node(), true),
         }
     }
 

@@ -69,6 +69,27 @@ pub struct EventOrigin {
     pub correlation: Option<sim_gpu::CorrelationId>,
 }
 
+impl EventOrigin {
+    /// The routing key sharded ingestion pipelines hash a shard index
+    /// from: `(tid, stream)` when both are known — so a *single* thread
+    /// fanning kernels over many streams spreads across shards instead
+    /// of serializing on one — `tid` alone for events without a stream
+    /// (CPU samples), the correlation id for events raised outside any
+    /// bound thread, and `None` when the event carries no identity at
+    /// all. Events for the same `(tid, stream)` pair always share a key,
+    /// which is what keeps one stream's launches in FIFO order through a
+    /// per-shard queue.
+    pub fn route_key(&self) -> Option<u64> {
+        match (self.tid, self.stream) {
+            (Some(tid), Some(stream)) => {
+                Some(tid ^ (u64::from(stream.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            }
+            (Some(tid), None) => Some(tid),
+            (None, _) => self.correlation.map(|corr| corr.0),
+        }
+    }
+}
+
 /// Events delivered to registered profiler callbacks.
 #[derive(Debug, Clone)]
 pub enum DlEvent {

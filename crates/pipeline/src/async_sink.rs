@@ -1,0 +1,914 @@
+//! The asynchronous ingestion pipeline.
+//!
+//! [`AsyncSink`] decouples event *production* from event *attribution*:
+//! producers (launch callbacks, activity-buffer flushes, CPU samplers)
+//! only route the event, record its correlation's home shard in the
+//! directory, and enqueue an owned copy into that shard's bounded
+//! channel — no shard lock, no tree mutation, no metric fold on the
+//! producer's critical path. A configurable worker pool drains the
+//! channels and drives the events through the same
+//! [`ShardedSink`] per-shard entry points the synchronous mode uses
+//! ([`ShardedSink::apply_launch`] et al.), so the two modes cannot drift
+//! apart semantically.
+//!
+//! # Ordering
+//!
+//! Correctness rests on two invariants:
+//!
+//! * **Per-shard FIFO.** Each shard's events flow through one bounded
+//!   channel consumed by exactly one worker (shard *i* is owned by
+//!   worker *i* mod `workers`), so a launch is always applied before the
+//!   activity records that resolve through its correlation — the
+//!   activity can only be enqueued after the launch callback returned.
+//! * **Enqueue-time route binding.** The producer registers
+//!   `correlation → shard` in the directory *before* the launch event is
+//!   applied ([`ShardedSink::bind_route`]), so activity records that
+//!   arrive while the launch is still queued route to the same shard and
+//!   find the binding once the worker reaches it.
+//!
+//! # Backpressure
+//!
+//! Bounded channels make the producer-side cost explicit when workers
+//! fall behind ([`BackpressurePolicy`]):
+//!
+//! * [`Block`](BackpressurePolicy::Block) (default): the producer blocks
+//!   until the worker frees a slot — no event is ever lost, the workload
+//!   stalls instead (the paper's low-overhead contract: prefer bounded
+//!   memory over unbounded queues).
+//! * [`DropOldest`](BackpressurePolicy::DropOldest): the producer evicts
+//!   the oldest queued message, counts the discarded events in
+//!   [`SinkCounters::dropped_events`], and enqueues — the workload never
+//!   stalls, the profile becomes a sample.
+//!
+//! # Drain barriers
+//!
+//! Every snapshot path ([`EventSink::snapshot`] / `with_snapshot` /
+//! `finish_snapshot`), `epoch_complete` and `counters` first runs a
+//! deterministic drain barrier: it records each queue's enqueue count
+//! and waits until the matching number of messages has been applied (or
+//! dropped). Events enqueued *after* the barrier started are not waited
+//! for, so a barrier under live producers still terminates. This is what
+//! keeps `Profiler::flush()` / `finish()` / `with_cct` exactly as
+//! deterministic as the synchronous mode.
+//!
+//! `epoch_complete` additionally propagates the flush boundary through
+//! the queues as an [`Event::Epoch`] marker per shard, so shard trim /
+//! generation semantics happen in event order on the owning worker, then
+//! trims the routing directory once the barrier completes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, TrySendError};
+
+use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ActivityKind, ApiKind};
+
+use crate::sharded::ShardedSink;
+use crate::sink::{EventSink, SinkCounters};
+
+/// What producers do when a shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until the worker frees a slot. No event is
+    /// ever dropped; the monitored workload absorbs the stall.
+    #[default]
+    Block,
+    /// Evict the oldest queued message (counting its events as dropped)
+    /// and enqueue. The workload never stalls; the profile under
+    /// sustained overload becomes a sample of the event stream.
+    DropOldest,
+}
+
+/// Asynchronous-pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Attribution worker threads. `0` = auto: one per shard, capped at
+    /// the host's available parallelism.
+    pub workers: usize,
+    /// Bounded capacity of each shard's queue, in messages (one launch,
+    /// one CPU sample, or one routed activity bucket per message).
+    pub queue_capacity: usize,
+    /// What producers do when a shard queue is full.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 0,
+            queue_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn resolved_workers(&self, shards: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match self.workers {
+            0 => shards.min(auto()).max(1),
+            n => n.min(shards).max(1),
+        }
+    }
+}
+
+/// One message through a shard queue. Activity buckets are pre-routed by
+/// the producer, so a message never needs re-routing on the worker.
+enum Event {
+    Launch {
+        origin: EventOrigin,
+        path: CallPath,
+        api: ApiKind,
+    },
+    Activities(Vec<Activity>),
+    Sample {
+        path: CallPath,
+        metric: MetricKind,
+        value: f64,
+    },
+    /// A flush boundary, propagated per shard in event order.
+    Epoch,
+}
+
+impl Event {
+    /// Underlying profiler events carried by this message (what the
+    /// `enqueued_events` / `dropped_events` counters count).
+    fn weight(&self) -> u64 {
+        match self {
+            Event::Activities(batch) => batch.len() as u64,
+            Event::Launch { .. } | Event::Sample { .. } => 1,
+            Event::Epoch => 0,
+        }
+    }
+}
+
+/// One shard's bounded queue plus the sequence counters the drain
+/// barrier is built on: `enqueued` counts messages accepted, `applied`
+/// counts messages retired (attributed by a worker or evicted by
+/// `DropOldest`). `applied >= enqueued-at-barrier-entry` ⇒ the shard has
+/// caught up with everything that preceded the barrier.
+struct ShardQueue {
+    tx: channel::Sender<Event>,
+    rx: channel::Receiver<Event>,
+    enqueued: AtomicU64,
+    applied: AtomicU64,
+    /// Epoch markers displaced from the queue by `DropOldest` eviction,
+    /// owed to the shard: the owning worker applies them (collapsed to
+    /// one `epoch_complete_shard`, since back-to-back epochs with
+    /// nothing between them are a no-op after the first) at the end of
+    /// its next pass over the shard.
+    pending_epochs: AtomicU64,
+}
+
+/// Parking slot for one worker: producers nudge it only when it is (or
+/// may be) parked, so the enqueue fast path costs one atomic load. The
+/// worker re-checks for work after flagging itself parked and waits with
+/// a timeout, so a lost nudge costs at most one timeout period.
+struct Parker {
+    mutex: Mutex<()>,
+    cv: Condvar,
+    parked: AtomicBool,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+            parked: AtomicBool::new(false),
+        }
+    }
+
+    fn nudge(&self) {
+        if self.parked.load(Ordering::Acquire) {
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+}
+
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+/// Messages a worker retires from one shard before visiting the next —
+/// bounds per-shard latency while still coalescing adjacent activity
+/// buckets under one shard lock.
+const COALESCE: usize = 128;
+/// Activity records a worker accumulates into one coalesced bucket
+/// before applying it. Coalescing across flush boundaries amortizes the
+/// shard lock and the fold, but each coalesced apply runs `end_batch`
+/// only once — so an unbounded run would defer two-phase pruning and let
+/// live correlation state balloon with the queue backlog. This cap keeps
+/// the prune cadence within a small factor of synchronous mode.
+const COALESCE_RECORDS: usize = 512;
+
+struct Shared {
+    inner: Arc<ShardedSink>,
+    queues: Vec<ShardQueue>,
+    parkers: Vec<Parker>,
+    policy: BackpressurePolicy,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+    paused_workers: AtomicUsize,
+    // Drain-barrier rendezvous.
+    drain_mutex: Mutex<()>,
+    drain_cv: Condvar,
+    drain_waiters: AtomicUsize,
+    // Pipeline counters.
+    enqueued_events: AtomicU64,
+    dropped_events: AtomicU64,
+    max_queue_depth: AtomicU64,
+    drain_waits: AtomicU64,
+    worker_batches: AtomicU64,
+    worker_events: AtomicU64,
+}
+
+impl Shared {
+    fn worker_for(&self, shard: usize) -> usize {
+        shard % self.parkers.len()
+    }
+
+    /// Messages queued at `shard` right now, derived from the sequence
+    /// counters so the hot path never takes the queue lock twice.
+    fn depth(&self, shard: usize) -> u64 {
+        let q = &self.queues[shard];
+        q.enqueued
+            .load(Ordering::Acquire)
+            .saturating_sub(q.applied.load(Ordering::Acquire))
+    }
+
+    /// Marks `n` messages of shard `idx` retired and wakes any drain
+    /// barrier that may be waiting on them.
+    fn retire(&self, idx: usize, n: u64) {
+        self.queues[idx].applied.fetch_add(n, Ordering::AcqRel);
+        if self.drain_waiters.load(Ordering::Acquire) > 0 {
+            let _guard = self.drain_mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.drain_cv.notify_all();
+        }
+    }
+
+    /// Enqueues one message to `shard`, honouring the backpressure
+    /// policy, and nudges the owning worker.
+    fn enqueue(&self, shard: usize, event: Event) {
+        let weight = event.weight();
+        let q = &self.queues[shard];
+        match self.policy {
+            BackpressurePolicy::Block => {
+                if q.tx.send(event).is_err() {
+                    // Workers are gone (sink shutting down); account the
+                    // message as retired so barriers never hang.
+                    self.dropped_events.fetch_add(weight, Ordering::Relaxed);
+                    self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                    q.enqueued.fetch_add(1, Ordering::AcqRel);
+                    self.retire(shard, 1);
+                    return;
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                let mut event = event;
+                loop {
+                    match q.tx.try_send(event) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            match q.rx.try_recv() {
+                                Ok(Event::Epoch) => {
+                                    // Flush boundaries are control flow,
+                                    // never data: a displaced marker is
+                                    // deferred, not dropped — the owning
+                                    // worker applies it at the end of
+                                    // its next pass. Applying an epoch
+                                    // late only delays retirement (the
+                                    // conservative direction), and never
+                                    // blocks this producer.
+                                    self.retire(shard, 1);
+                                    q.pending_epochs.fetch_add(1, Ordering::Release);
+                                }
+                                Ok(old) => {
+                                    // Evict the oldest data message; its
+                                    // events are gone and counted, and
+                                    // any correlation state that only
+                                    // the evicted message would have
+                                    // retired is discarded with it —
+                                    // otherwise every dropped launch or
+                                    // terminal record would leak its
+                                    // directory/shard binding forever.
+                                    self.dropped_events
+                                        .fetch_add(old.weight(), Ordering::Relaxed);
+                                    self.discard_bindings_of(&old);
+                                    self.retire(shard, 1);
+                                }
+                                Err(_) => {}
+                            }
+                            event = back;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.dropped_events.fetch_add(weight, Ordering::Relaxed);
+                            self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                            q.enqueued.fetch_add(1, Ordering::AcqRel);
+                            self.retire(shard, 1);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+        let enq = q.enqueued.fetch_add(1, Ordering::AcqRel) + 1;
+        let depth = enq.saturating_sub(q.applied.load(Ordering::Acquire));
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.parkers[self.worker_for(shard)].nudge();
+    }
+
+    /// Discards the correlation state an evicted message leaves behind:
+    /// a dropped launch unbinds its enqueue-time route (and any shard
+    /// binding, had a duplicate already been applied), a dropped bucket
+    /// unbinds the correlations of its *terminal* records (nothing else
+    /// will ever retire them; later records for those correlations — if
+    /// any survive — fall to the orphan context, the documented drop
+    /// semantics). Sampling records are non-terminal and keep their
+    /// correlation live for the kernel record behind them.
+    fn discard_bindings_of(&self, event: &Event) {
+        match event {
+            Event::Launch { origin, .. } => {
+                if let Some(corr) = origin.correlation {
+                    self.inner.discard_correlation(corr.0);
+                }
+            }
+            Event::Activities(batch) => {
+                for activity in batch {
+                    if !matches!(activity.kind, ActivityKind::PcSampling { .. }) {
+                        self.inner.discard_correlation(activity.correlation_id.0);
+                    }
+                }
+            }
+            Event::Sample { .. } | Event::Epoch => {}
+        }
+    }
+
+    /// Waits until every message enqueued before this call has been
+    /// retired. Returns immediately when the pipeline is already drained.
+    fn drain(&self) {
+        let targets: Vec<u64> = self
+            .queues
+            .iter()
+            .map(|q| q.enqueued.load(Ordering::Acquire))
+            .collect();
+        let mut waited = false;
+        for (idx, &target) in targets.iter().enumerate() {
+            if self.queues[idx].applied.load(Ordering::Acquire) >= target {
+                continue;
+            }
+            waited = true;
+            self.drain_waiters.fetch_add(1, Ordering::AcqRel);
+            let mut guard = self.drain_mutex.lock().unwrap_or_else(|e| e.into_inner());
+            while self.queues[idx].applied.load(Ordering::Acquire) < target {
+                // The timeout is a safety net against a nudge lost to the
+                // parked-flag race; progress normally wakes us promptly.
+                let (g, _) = self
+                    .drain_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+                guard = g;
+            }
+            drop(guard);
+            self.drain_waiters.fetch_sub(1, Ordering::AcqRel);
+        }
+        if waited {
+            self.drain_waits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The attribution loop: drain owned shards, coalescing adjacent
+    /// activity buckets under one shard-lock acquisition; park when idle.
+    fn worker_loop(&self, worker: usize) {
+        let owned: Vec<usize> = (0..self.queues.len())
+            .filter(|idx| self.worker_for(*idx) == worker)
+            .collect();
+        loop {
+            if self.paused.load(Ordering::Acquire) && !self.shutdown.load(Ordering::Acquire) {
+                self.paused_workers.fetch_add(1, Ordering::AcqRel);
+                while self.paused.load(Ordering::Acquire) && !self.shutdown.load(Ordering::Acquire)
+                {
+                    self.park(worker, || false);
+                }
+                self.paused_workers.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let mut applied = 0u64;
+            for &idx in &owned {
+                applied += self.drain_shard(idx);
+            }
+            if applied > 0 {
+                self.worker_batches.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire)
+                && owned.iter().all(|&idx| self.depth(idx) == 0)
+            {
+                return;
+            }
+            let has_work = || owned.iter().any(|&idx| self.depth(idx) > 0);
+            self.park(worker, has_work);
+        }
+    }
+
+    /// Retires up to [`COALESCE`] messages from shard `idx`. Runs of
+    /// consecutive activity buckets — including buckets from *different*
+    /// flushes — are applied under one shard-lock acquisition
+    /// ([`ShardedSink::apply_activity_buckets`]), which amortizes the
+    /// fold cost of a busy shard across flush boundaries while keeping
+    /// one two-phase-prune batch per original bucket (so resident
+    /// correlation state never grows with the worker's backlog).
+    fn drain_shard(&self, idx: usize) -> u64 {
+        let q = &self.queues[idx];
+        let mut messages = 0u64;
+        let mut events = 0u64;
+        let mut run: Vec<Vec<Activity>> = Vec::new();
+        let mut run_records = 0usize;
+        // Event counts are published *before* each retirement so counter
+        // reads behind a drain barrier are exact, not lagging the pass.
+        let flush_run = |run: &mut Vec<Vec<Activity>>, run_records: &mut usize| {
+            if !run.is_empty() {
+                self.inner.apply_activity_buckets(idx, run);
+                self.inner.note_peak();
+                self.worker_events
+                    .fetch_add(*run_records as u64, Ordering::Relaxed);
+                self.retire(idx, run.len() as u64);
+                run.clear();
+                *run_records = 0;
+            }
+        };
+        while messages < COALESCE as u64 {
+            let Ok(event) = q.rx.try_recv() else { break };
+            messages += 1;
+            events += event.weight();
+            match event {
+                Event::Launch { origin, path, api } => {
+                    flush_run(&mut run, &mut run_records);
+                    self.inner.apply_launch(idx, &origin, &path, api);
+                    self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    self.retire(idx, 1);
+                }
+                Event::Activities(batch) => {
+                    run_records += batch.len();
+                    run.push(batch);
+                    if run_records >= COALESCE_RECORDS {
+                        flush_run(&mut run, &mut run_records);
+                    }
+                }
+                Event::Sample {
+                    path,
+                    metric,
+                    value,
+                } => {
+                    flush_run(&mut run, &mut run_records);
+                    self.inner.apply_cpu_sample(idx, &path, metric, value);
+                    self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    self.retire(idx, 1);
+                }
+                Event::Epoch => {
+                    flush_run(&mut run, &mut run_records);
+                    self.inner.epoch_complete_shard(idx);
+                    self.retire(idx, 1);
+                }
+            }
+        }
+        flush_run(&mut run, &mut run_records);
+        // Settle epoch markers displaced from this queue by DropOldest
+        // eviction (see `enqueue`): one application covers any number of
+        // them, since back-to-back epochs are a no-op after the first.
+        if q.pending_epochs.swap(0, Ordering::Acquire) > 0 {
+            self.inner.epoch_complete_shard(idx);
+        }
+        events
+    }
+
+    fn park(&self, worker: usize, has_work: impl Fn() -> bool) {
+        let parker = &self.parkers[worker];
+        let guard = parker.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        parker.parked.store(true, Ordering::Release);
+        // Close the missed-nudge window: anything enqueued before the
+        // flag went up may have skipped the notify.
+        if !has_work() && !self.shutdown.load(Ordering::Acquire) {
+            let _ = parker
+                .cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        parker.parked.store(false, Ordering::Release);
+    }
+}
+
+/// The asynchronous [`EventSink`] (see the [module docs](self)): a
+/// producer-side router over per-shard bounded queues plus an owned
+/// attribution worker pool, wrapping the [`ShardedSink`] that holds the
+/// actual profile state.
+pub struct AsyncSink {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl AsyncSink {
+    /// Spawns the worker pool over `inner`'s shards.
+    pub fn new(inner: Arc<ShardedSink>, config: PipelineConfig) -> Arc<Self> {
+        let shards = inner.shard_count();
+        let workers = config.resolved_workers(shards);
+        let shared = Arc::new(Shared {
+            queues: (0..shards)
+                .map(|_| {
+                    let (tx, rx) = channel::bounded(config.queue_capacity);
+                    ShardQueue {
+                        tx,
+                        rx,
+                        enqueued: AtomicU64::new(0),
+                        applied: AtomicU64::new(0),
+                        pending_epochs: AtomicU64::new(0),
+                    }
+                })
+                .collect(),
+            parkers: (0..workers).map(|_| Parker::new()).collect(),
+            policy: config.backpressure,
+            shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            paused_workers: AtomicUsize::new(0),
+            drain_mutex: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            drain_waiters: AtomicUsize::new(0),
+            enqueued_events: AtomicU64::new(0),
+            dropped_events: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            drain_waits: AtomicU64::new(0),
+            worker_batches: AtomicU64::new(0),
+            worker_events: AtomicU64::new(0),
+            inner,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dc-pipeline-{w}"))
+                    .spawn(move || shared.worker_loop(w))
+                    .expect("spawn pipeline worker")
+            })
+            .collect();
+        Arc::new(AsyncSink {
+            shared,
+            workers,
+            handles,
+        })
+    }
+
+    /// The wrapped synchronous sink holding the profile state.
+    pub fn inner(&self) -> &Arc<ShardedSink> {
+        &self.shared.inner
+    }
+
+    /// Worker threads attributing events.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Blocks until every event enqueued before this call has been
+    /// attributed (or dropped). All snapshot paths call this implicitly;
+    /// it is public for tests and for explicit quiesce points.
+    pub fn drain(&self) {
+        self.shared.drain();
+    }
+
+    /// Parks the worker pool (and blocks until every worker is parked):
+    /// queued events stay queued, producers keep enqueueing until the
+    /// backpressure policy engages. Used by tests to make queue overflow
+    /// deterministic and by operators to quiesce attribution around a
+    /// measurement window. While paused, drain barriers — and therefore
+    /// snapshots, `counters`, and `Block`-policy sends on a full queue —
+    /// wait until [`resume`](Self::resume).
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::Release);
+        for parker in &self.shared.parkers {
+            parker.nudge();
+        }
+        while self.shared.paused_workers.load(Ordering::Acquire) < self.workers {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Resumes a [`pause`](Self::pause)d worker pool.
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+        for parker in &self.shared.parkers {
+            parker.nudge();
+        }
+    }
+}
+
+impl EventSink for AsyncSink {
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        self.gpu_launch_owned(origin, path.clone(), api);
+    }
+
+    fn gpu_launch_owned(&self, origin: &EventOrigin, path: CallPath, api: ApiKind) {
+        let idx = self.shared.inner.route(origin);
+        if let Some(corr) = origin.correlation {
+            // Bind the route before the event is visible anywhere, so
+            // activity records arriving while this launch is queued
+            // route to the same shard (module docs: ordering).
+            self.shared.inner.bind_route(corr.0, idx);
+        }
+        self.shared.enqueue(
+            idx,
+            Event::Launch {
+                origin: *origin,
+                path,
+                api,
+            },
+        );
+    }
+
+    fn activity_batch(&self, batch: &[Activity]) {
+        self.activity_batch_owned(batch.to_vec());
+    }
+
+    fn activity_batch_owned(&self, batch: Vec<Activity>) {
+        if batch.is_empty() {
+            return;
+        }
+        // Route every record once, then move records into buckets — no
+        // activity (or PC-sample payload) is ever cloned on this path.
+        let routes: Vec<u32> = batch
+            .iter()
+            .map(|a| self.shared.inner.route_activity(a.correlation_id.0) as u32)
+            .collect();
+        let first = routes[0];
+        if routes.iter().all(|&r| r == first) {
+            // Fast path — the whole flush belongs to one shard (the
+            // common case for single-stream producers): the runtime's
+            // buffer becomes the queue message as-is.
+            self.shared
+                .enqueue(first as usize, Event::Activities(batch));
+            return;
+        }
+        let shards = self.shared.inner.shard_count();
+        let mut buckets: Vec<Vec<Activity>> = vec![Vec::new(); shards];
+        for (activity, idx) in batch.into_iter().zip(&routes) {
+            buckets[*idx as usize].push(activity);
+        }
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shared.enqueue(idx, Event::Activities(bucket));
+            }
+        }
+    }
+
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
+        self.cpu_sample_owned(origin, path.clone(), metric, value);
+    }
+
+    fn cpu_sample_owned(
+        &self,
+        origin: &EventOrigin,
+        path: CallPath,
+        metric: MetricKind,
+        value: f64,
+    ) {
+        let idx = self.shared.inner.route(origin);
+        self.shared.enqueue(
+            idx,
+            Event::Sample {
+                path,
+                metric,
+                value,
+            },
+        );
+    }
+
+    fn epoch_complete(&self) {
+        // First barrier: everything enqueued before this flush boundary
+        // is applied — and peak-samples its batch-boundary states —
+        // before any shard sees the boundary itself, exactly as in
+        // synchronous mode (where `activity_batch` returns before
+        // `epoch_complete` starts trimming).
+        self.shared.drain();
+        // Then propagate the boundary through every shard queue in event
+        // order and wait for the trims to land.
+        for idx in 0..self.shared.inner.shard_count() {
+            self.shared.enqueue(idx, Event::Epoch);
+        }
+        self.shared.drain();
+        self.shared.inner.trim_directory();
+    }
+
+    fn snapshot(&self) -> CallingContextTree {
+        self.shared.drain();
+        self.shared.inner.snapshot()
+    }
+
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        self.shared.drain();
+        self.shared.inner.with_snapshot(f);
+    }
+
+    fn finish_snapshot(&self) -> CallingContextTree {
+        self.shared.drain();
+        self.shared.inner.finish_snapshot()
+    }
+
+    fn counters(&self) -> SinkCounters {
+        // Drain first so counter reads are as deterministic as in
+        // synchronous mode (high-water marks are unaffected).
+        self.shared.drain();
+        SinkCounters {
+            enqueued_events: self.shared.enqueued_events.load(Ordering::Relaxed),
+            dropped_events: self.shared.dropped_events.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+            drain_waits: self.shared.drain_waits.load(Ordering::Relaxed),
+            worker_batches: self.shared.worker_batches.load(Ordering::Relaxed),
+            worker_events: self.shared.worker_events.load(Ordering::Relaxed),
+            ..self.shared.inner.counters()
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let queued: u64 = (0..self.shared.queues.len())
+            .map(|idx| self.shared.depth(idx))
+            .sum();
+        // Queued messages are owned event copies awaiting attribution;
+        // estimate them at one cache line each plus the channel shells.
+        self.shared.inner.approx_bytes()
+            + queued as usize * (std::mem::size_of::<Event>() + 64)
+            + self.shared.queues.len() * std::mem::size_of::<ShardQueue>()
+    }
+}
+
+impl Drop for AsyncSink {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.paused.store(false, Ordering::Release);
+        for parker in &self.shared.parkers {
+            // Unconditional wake: a worker may be between the parked-flag
+            // store and the wait.
+            let _guard = parker.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            parker.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for AsyncSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSink")
+            .field("workers", &self.workers)
+            .field("shards", &self.shared.inner.shard_count())
+            .field("policy", &self.shared.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{Frame, Interner, TimeNs};
+    use sim_gpu::{ActivityKind, CorrelationId, DeviceId, StreamId};
+
+    #[test]
+    fn drop_oldest_defers_displaced_epoch_markers() {
+        // A flush-boundary marker evicted by DropOldest must still take
+        // effect (deferred to the worker's next pass), or the shard's
+        // deferred correlations would never retire for that boundary.
+        let interner = Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 1);
+        let sink = AsyncSink::new(
+            Arc::clone(&inner),
+            PipelineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                backpressure: BackpressurePolicy::DropOldest,
+            },
+        );
+        // Seed: a launch plus its terminal activity — after the bucket's
+        // end_batch the correlation is deferred but still live; only the
+        // next flush boundary retires it.
+        let origin = EventOrigin {
+            tid: Some(1),
+            stream: Some(StreamId(0)),
+            correlation: Some(CorrelationId(7)),
+        };
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel("k", "m.so", 0x1, &interner));
+        sink.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+        sink.activity_batch(&[Activity {
+            correlation_id: CorrelationId(7),
+            device: DeviceId(0),
+            kind: ActivityKind::Malloc {
+                bytes: 64,
+                at: TimeNs(1),
+            },
+        }]);
+        sink.drain();
+        assert_eq!(inner.correlation_entries(), 1, "deferred, not retired");
+
+        // Park the worker, plant an epoch marker, then overflow the
+        // 2-slot queue so eviction displaces the marker.
+        sink.pause();
+        sink.shared.enqueue(0, Event::Epoch);
+        let sample_origin = EventOrigin {
+            tid: Some(1),
+            ..EventOrigin::default()
+        };
+        for _ in 0..6 {
+            sink.cpu_sample(&sample_origin, &path, MetricKind::CpuTime, 1.0);
+        }
+        sink.resume();
+        sink.drain();
+        // The displaced boundary settles at the end of the worker's next
+        // pass (after the barrier), so poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while inner.correlation_entries() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            inner.correlation_entries(),
+            0,
+            "displaced epoch marker must still retire the correlation"
+        );
+        assert!(
+            sink.counters().dropped_events > 0,
+            "data messages were evicted"
+        );
+    }
+
+    #[test]
+    fn drop_oldest_does_not_leak_correlation_state() {
+        // Evicted launches must unbind their enqueue-time directory
+        // entry, and evicted terminal activity records must discard
+        // their correlation's shard binding — otherwise sustained
+        // overload grows the directory and correlation maps without
+        // bound in exactly the mode meant to bound memory.
+        let interner = Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 1);
+        let sink = AsyncSink::new(
+            Arc::clone(&inner),
+            PipelineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                backpressure: BackpressurePolicy::DropOldest,
+            },
+        );
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel("k", "m.so", 0x1, &interner));
+
+        // Phase 1: flood launches into a parked pipeline — most are
+        // evicted and must take their directory bindings with them.
+        sink.pause();
+        for corr in 1..=100u64 {
+            let origin = EventOrigin {
+                tid: Some(1),
+                stream: Some(StreamId(0)),
+                correlation: Some(CorrelationId(corr)),
+            };
+            sink.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+        }
+        sink.resume();
+        sink.drain();
+        assert!(
+            inner.directory_entries() <= 2 + 1,
+            "evicted launches leaked directory entries: {}",
+            inner.directory_entries()
+        );
+
+        // Phase 2: the surviving launches' terminal records are evicted
+        // too; their shard bindings must be discarded, and an epoch
+        // retires whatever was attributed normally.
+        sink.pause();
+        for corr in 1..=100u64 {
+            sink.activity_batch(&[Activity {
+                correlation_id: CorrelationId(corr),
+                device: DeviceId(0),
+                kind: ActivityKind::Malloc {
+                    bytes: 64,
+                    at: TimeNs(1),
+                },
+            }]);
+        }
+        sink.resume();
+        sink.drain();
+        sink.epoch_complete();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (inner.correlation_entries() != 0 || inner.directory_entries() != 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(inner.correlation_entries(), 0, "shard bindings leaked");
+        assert_eq!(inner.directory_entries(), 0, "directory entries leaked");
+        assert!(sink.counters().dropped_events > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The DeepContext event-ingestion pipeline.
+//!
+//! Every collection path of the profiler terminates in an [`EventSink`].
+//! This crate owns that contract and both sinks that implement it:
+//!
+//! * [`ShardedSink`] — the synchronous pipeline: producers route each
+//!   event to one of N [`CctShard`]s and attribute it inline under that
+//!   shard's lock (see [`sharded`]);
+//! * [`AsyncSink`] — the asynchronous pipeline: producers enqueue owned
+//!   events into per-shard **bounded channels** and a worker pool
+//!   performs correlation resolution, CCT mutation and metric folds off
+//!   the producer's critical path, with explicit
+//!   [backpressure](BackpressurePolicy) and deterministic drain barriers
+//!   (see [`async_sink`]).
+//!
+//! The asynchronous mode drives the *same* per-shard entry points as the
+//! synchronous mode ([`ShardedSink::apply_launch`] et al.), so the two
+//! modes produce semantically identical profiles — an equivalence this
+//! crate's proptests assert tree-by-tree via
+//! `CallingContextTree::semantic_diff`.
+//!
+//! ```text
+//!  producers (launch cb / activity flush / CPU sampler)
+//!      │  route + bind corr→shard        (no shard lock)
+//!      ▼
+//!  per-shard bounded channels  ──ᴮˡᵒᶜᵏ/ᴰʳᵒᵖᴼˡᵈᵉˢᵗ──  backpressure
+//!      │  FIFO per shard
+//!      ▼
+//!  worker pool (shard i → worker i mod W)
+//!      │  apply_launch / apply_activities / apply_cpu_sample / epoch
+//!      ▼
+//!  CctShards ──merge_incremental──▶ cached master CCT
+//! ```
+//!
+//! [`CctShard`]: deepcontext_core::CctShard
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_sink;
+pub mod sharded;
+pub mod sink;
+
+pub use async_sink::{AsyncSink, BackpressurePolicy, PipelineConfig};
+pub use sharded::ShardedSink;
+pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+/// Whether attribution runs inline on producers or on the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestionMode {
+    /// Producers attribute inline under per-shard locks ([`ShardedSink`]).
+    #[default]
+    Sync,
+    /// Producers enqueue into bounded channels; a worker pool attributes
+    /// ([`AsyncSink`]).
+    Async,
+}
+
+/// The default ingestion mode, honouring the
+/// `DEEPCONTEXT_INGESTION_MODE` environment override (`sync` / `async`)
+/// CI uses to run the whole suite under both pipelines. Falls back to
+/// [`IngestionMode::Sync`] when unset or invalid, so the asynchronous
+/// path is strictly opt-in.
+pub fn default_ingestion_mode() -> IngestionMode {
+    match std::env::var("DEEPCONTEXT_INGESTION_MODE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("async") => IngestionMode::Async,
+        _ => IngestionMode::Sync,
+    }
+}

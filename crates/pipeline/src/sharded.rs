@@ -1,0 +1,614 @@
+//! The sharded synchronous event-ingestion sink.
+//!
+//! The previous design funneled every collection path through one
+//! `Mutex<CallingContextTree>` plus a correlation-map mutex, so ingestion
+//! throughput was capped at one core no matter how many workload threads
+//! were producing events. [`ShardedSink`] removes that ceiling:
+//!
+//! * events are routed to one of N [`CctShard`]s **before** any lock is
+//!   taken, keyed by the originating thread and stream (launches, CPU
+//!   samples — see [`EventOrigin::route_key`]) or by the correlation-id's
+//!   registered home shard (activity records);
+//! * each shard owns a private tree + correlation map behind its own
+//!   mutex, so producers on different threads proceed in parallel;
+//! * a lock-striped correlation *directory* remembers which shard a
+//!   correlation id was bound in, letting asynchronous activity records —
+//!   which carry no thread identity — find their way home;
+//! * snapshots fold the shards into one master tree and **cache** the
+//!   result: every shard carries a dirty generation
+//!   ([`CctShard::generation`]) advanced by each tree mutation, and a
+//!   refresh re-folds only shards whose generation moved — via
+//!   [`CallingContextTree::merge_incremental`], which resumes the
+//!   per-shard node mapping and folds per-node metric deltas. Clean
+//!   shards are skipped outright, so a warm snapshot costs O(dirty
+//!   shards) instead of O(shards × tree). Correlation state stays behind
+//!   in the shards for records still in flight ([`CctShard::merge_from`]
+//!   exists for folds that must carry it along), and
+//!   [`ShardedSink::snapshot_uncached`] keeps the historical full fold
+//!   as baseline and test oracle. Memory-tight deployments can disable
+//!   the cache entirely ([`ShardedSink::with_options`]): snapshots then
+//!   re-fold every shard per request and the sink holds no second copy
+//!   of the profile.
+//!
+//! The per-shard mutation entry points ([`apply_launch`],
+//! [`apply_activities`], [`apply_cpu_sample`], [`epoch_complete_shard`])
+//! are public so the asynchronous pipeline's workers
+//! ([`AsyncSink`](crate::AsyncSink)) can drive pre-routed events into
+//! individual shards; the synchronous [`EventSink`] implementation is a
+//! thin route-then-apply composition of the same entry points, so the two
+//! ingestion modes cannot drift apart semantically.
+//!
+//! A `ShardedSink` with one shard routes everything through one lock like
+//! the old design (set `ingestion_shards: 1`); the ingestion benchmark in
+//! `crates/bench` additionally keeps a faithful reproduction of the full
+//! pre-refactor pipeline as its baseline.
+//!
+//! [`apply_launch`]: ShardedSink::apply_launch
+//! [`apply_activities`]: ShardedSink::apply_activities
+//! [`apply_cpu_sample`]: ShardedSink::apply_cpu_sample
+//! [`epoch_complete_shard`]: ShardedSink::epoch_complete_shard
+//! [`EventOrigin::route_key`]: dlmonitor::EventOrigin::route_key
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use deepcontext_core::{CallPath, CallingContextTree, CctShard, FoldState, Interner, MetricKind};
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ActivityKind, ApiKind};
+
+use crate::sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+/// Mixes a routing key so sequential tids/correlation ids spread across
+/// shards (splitmix64 finalizer).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hasher for the correlation directory's `u64` keys: one splitmix64
+/// round instead of SipHash. The directory sits on the producer-side
+/// enqueue path of the asynchronous pipeline (bind on every launch,
+/// lookup on every activity record), where the default hasher's setup
+/// cost is measurable.
+#[derive(Default, Clone)]
+struct CorrHasher(u64);
+
+impl std::hash::Hasher for CorrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused for u64 keys): fold bytes then mix.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+        self.0 = mix(self.0);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = mix(n);
+    }
+}
+
+#[derive(Default, Clone)]
+struct CorrHashBuilder;
+
+impl std::hash::BuildHasher for CorrHashBuilder {
+    type Hasher = CorrHasher;
+    fn build_hasher(&self) -> CorrHasher {
+        CorrHasher::default()
+    }
+}
+
+type DirectoryStripe = HashMap<u64, u32, CorrHashBuilder>;
+
+/// The memoized fold of all shards: the merged master tree, the
+/// per-shard [`FoldState`] it was built through, and the shard dirty
+/// generations it reflects. Refreshing re-folds **only** shards whose
+/// generation advanced; the rest are skipped without touching their
+/// trees, turning repeated snapshots from O(shards × tree) into
+/// O(dirty shards).
+struct SnapshotCache {
+    master: CallingContextTree,
+    folds: Vec<FoldState>,
+    /// Generation folded per shard; `u64::MAX` = never folded (shard
+    /// generations start at 0, so the first refresh folds everything).
+    generations: Vec<u64>,
+}
+
+impl SnapshotCache {
+    fn empty(interner: &Arc<Interner>, shards: usize) -> Self {
+        SnapshotCache {
+            master: CallingContextTree::with_interner(Arc::clone(interner)),
+            folds: (0..shards).map(|_| FoldState::new()).collect(),
+            generations: vec![u64::MAX; shards],
+        }
+    }
+}
+
+/// The sharded [`EventSink`] (see the [module docs](self)).
+pub struct ShardedSink {
+    interner: Arc<Interner>,
+    shards: Vec<Mutex<CctShard>>,
+    /// Whether snapshots go through the incremental cache. Off for
+    /// memory-tight deployments: every snapshot is then a full fold and
+    /// the sink never holds a second copy of the profile.
+    cache_enabled: bool,
+    /// Cached incremental snapshot; `None` until the first snapshot is
+    /// requested (and again after `finish_snapshot` consumes it).
+    cache: Mutex<Option<SnapshotCache>>,
+    /// Correlation id -> index of the shard it was bound in. Striped by
+    /// correlation hash so binding and resolving rarely contend.
+    directory: Vec<Mutex<DirectoryStripe>>,
+    /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
+    /// shard lock is already held at batch boundaries, so peak tracking
+    /// never sweeps every shard lock.
+    shard_bytes: Vec<AtomicUsize>,
+    /// Live directory entries across all stripes.
+    dir_entries: AtomicUsize,
+    activities: AtomicU64,
+    instruction_samples: AtomicU64,
+    orphans: AtomicU64,
+    peak_bytes: AtomicUsize,
+    snapshot_merges: AtomicU64,
+    shards_skipped: AtomicU64,
+}
+
+impl ShardedSink {
+    /// Creates a sink with `shard_count` shards (clamped to at least one)
+    /// sharing `interner`, with the incremental snapshot cache enabled.
+    pub fn new(interner: Arc<Interner>, shard_count: usize) -> Arc<Self> {
+        ShardedSink::with_options(interner, shard_count, true)
+    }
+
+    /// Creates a sink with `shard_count` shards and an explicit snapshot
+    /// cache setting (`snapshot_cache: false` trades warm-snapshot
+    /// latency for not holding a merged second copy of the profile).
+    pub fn with_options(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+    ) -> Arc<Self> {
+        let n = shard_count.max(1);
+        Arc::new(ShardedSink {
+            shards: (0..n)
+                .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
+                .collect(),
+            directory: (0..n)
+                .map(|_| Mutex::new(DirectoryStripe::default()))
+                .collect(),
+            shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            dir_entries: AtomicUsize::new(0),
+            cache_enabled: snapshot_cache,
+            cache: Mutex::new(None),
+            interner,
+            activities: AtomicU64::new(0),
+            instruction_samples: AtomicU64::new(0),
+            orphans: AtomicU64::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            snapshot_merges: AtomicU64::new(0),
+            shards_skipped: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The interner shared by every shard.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Whether the incremental snapshot cache is enabled.
+    pub fn snapshot_cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Number of shards that have recorded anything — used by routing
+    /// tests to assert that multi-stream workloads actually spread.
+    pub fn shards_occupied(&self) -> usize {
+        self.shards.iter().filter(|s| !s.lock().is_empty()).count()
+    }
+
+    /// Live correlation bindings across all shards — introspection for
+    /// retirement tests and leak diagnostics.
+    pub fn correlation_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().correlation_len()).sum()
+    }
+
+    /// Live correlation-directory entries — introspection for routing
+    /// and leak diagnostics.
+    pub fn directory_entries(&self) -> usize {
+        self.dir_entries.load(Ordering::Relaxed)
+    }
+
+    fn index_for(&self, key: u64) -> usize {
+        (mix(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard an event from `origin` routes to, keyed by
+    /// [`EventOrigin::route_key`]: thread **and** stream for launches (a
+    /// single thread fanning work over many streams spreads across
+    /// shards), thread alone for CPU samples, correlation id for
+    /// identity-less events, shard 0 as the last resort.
+    pub fn route(&self, origin: &EventOrigin) -> usize {
+        match origin.route_key() {
+            Some(key) => self.index_for(key),
+            None => 0,
+        }
+    }
+
+    /// The shard an activity record for `correlation` should be applied
+    /// at: the directory's registered home shard when the launch has been
+    /// routed already, the correlation-hash shard otherwise.
+    pub fn route_activity(&self, correlation: u64) -> usize {
+        self.directory_lookup(correlation)
+            .unwrap_or_else(|| self.index_for(correlation))
+    }
+
+    /// Registers `correlation`'s home shard in the directory without
+    /// touching the shard itself. The asynchronous pipeline calls this at
+    /// *enqueue* time so activity records that arrive while the launch is
+    /// still queued route to the same shard and resolve once the worker
+    /// applies the launch ahead of them in FIFO order.
+    pub fn bind_route(&self, correlation: u64, shard: usize) {
+        self.directory_bind(correlation, shard);
+    }
+
+    /// Forgets every trace of `correlation`: its directory entry and, if
+    /// the launch was already applied, the shard's binding — bypassing
+    /// the two-phase prune. For drop policies discarding a correlation
+    /// whose remaining records will never arrive; without this, evicted
+    /// launches/terminal records would leak their entries forever (the
+    /// prune only retires correlations whose terminal record was
+    /// actually attributed).
+    pub fn discard_correlation(&self, correlation: u64) {
+        if let Some(idx) = self.directory_lookup(correlation) {
+            // Shard before directory stripe (the crate's lock order);
+            // the stripe lock from `directory_lookup` is already
+            // released here.
+            self.shards[idx].lock().unbind(correlation);
+        }
+        self.directory_remove(correlation);
+    }
+
+    fn directory_bind(&self, corr: u64, shard: usize) {
+        let slot = self.index_for(corr);
+        if self.directory[slot]
+            .lock()
+            .insert(corr, shard as u32)
+            .is_none()
+        {
+            self.dir_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn directory_lookup(&self, corr: u64) -> Option<usize> {
+        let slot = self.index_for(corr);
+        self.directory[slot].lock().get(&corr).map(|s| *s as usize)
+    }
+
+    fn directory_remove(&self, corr: u64) {
+        let slot = self.index_for(corr);
+        if self.directory[slot].lock().remove(&corr).is_some() {
+            self.dir_entries.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Attributes one activity record inside its home shard.
+    fn attribute_activity(&self, shard: &mut CctShard, activity: &Activity) {
+        let corr = activity.correlation_id.0;
+        self.activities.fetch_add(1, Ordering::Relaxed);
+        let (node, orphaned) = shard.resolve_or_orphan(corr);
+        if orphaned {
+            self.orphans.fetch_add(1, Ordering::Relaxed);
+        }
+        let samples = attribute_activity_metrics(shard.tree_mut(), node, activity);
+        if matches!(activity.kind, ActivityKind::PcSampling { .. }) {
+            // Sampling records keep their correlation live for the kernel
+            // record that follows them.
+            self.instruction_samples
+                .fetch_add(samples, Ordering::Relaxed);
+        } else {
+            // Terminal record kinds retire their correlation.
+            shard.defer_prune(corr);
+        }
+    }
+
+    /// Applies one launch event at shard `idx`: inserts the call path,
+    /// counts kernel launches, and binds the correlation in both the
+    /// shard and the directory. `idx` is normally [`route`](Self::route)
+    /// of the origin; workers pass the shard their queue is bound to.
+    pub fn apply_launch(&self, idx: usize, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        let mut shard = self.shards[idx].lock();
+        let node = shard.insert_call_path(path);
+        if api == ApiKind::LaunchKernel {
+            shard
+                .tree_mut()
+                .attribute(node, MetricKind::KernelLaunches, 1.0);
+        }
+        if let Some(corr) = origin.correlation {
+            shard.bind(corr.0, node);
+            // Directory stripes are leaf locks: binding here (while the
+            // shard is held) guarantees the activity path — which never
+            // holds a stripe and a shard at once — sees the binding as
+            // soon as it can see the shard's node.
+            self.directory_bind(corr.0, idx);
+        }
+    }
+
+    /// Applies a pre-routed bucket of activity records at shard `idx`,
+    /// ending one two-phase-prune batch afterwards. Callers route records
+    /// via [`route_activity`](Self::route_activity) first; records whose
+    /// correlation lives in another shard fall to the catch-all context.
+    pub fn apply_activities(&self, idx: usize, bucket: &[Activity]) {
+        self.apply_activity_refs(idx, bucket.iter());
+    }
+
+    /// Applies several pre-routed buckets at shard `idx` under **one**
+    /// shard-lock acquisition — how pipeline workers batch folds across
+    /// flush boundaries — while still ending one two-phase-prune batch
+    /// per bucket, so correlation retirement keeps exactly the cadence
+    /// of applying each bucket synchronously (resident correlation state
+    /// stays proportional to the in-flight window, not to the worker's
+    /// backlog).
+    pub fn apply_activity_buckets(&self, idx: usize, buckets: &[Vec<Activity>]) {
+        if buckets.iter().all(|bucket| bucket.is_empty()) {
+            return;
+        }
+        let pruned = {
+            let mut shard = self.shards[idx].lock();
+            let mut pruned = Vec::new();
+            for bucket in buckets {
+                if bucket.is_empty() {
+                    continue;
+                }
+                for activity in bucket {
+                    self.attribute_activity(&mut shard, activity);
+                }
+                pruned.extend(shard.end_batch());
+            }
+            self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+            pruned
+        };
+        for corr in pruned {
+            self.directory_remove(corr);
+        }
+    }
+
+    fn apply_activity_refs<'a>(&self, idx: usize, bucket: impl Iterator<Item = &'a Activity>) {
+        let mut bucket = bucket.peekable();
+        if bucket.peek().is_none() {
+            return;
+        }
+        let pruned = {
+            let mut shard = self.shards[idx].lock();
+            for activity in bucket {
+                self.attribute_activity(&mut shard, activity);
+            }
+            // Two-phase pruning per shard: correlations attributed in
+            // the shard's *previous* batch are dropped now, so
+            // sampling records straddling a buffer boundary resolve.
+            let pruned = shard.end_batch();
+            self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+            pruned
+        };
+        for corr in pruned {
+            self.directory_remove(corr);
+        }
+    }
+
+    /// Applies one CPU sample at shard `idx` (normally
+    /// [`route`](Self::route) of the sampled thread's origin). The
+    /// shard's byte estimate is deliberately *not* refreshed here — like
+    /// every pipeline before this one, sample-only shards enter peak
+    /// accounting at flush boundaries (their `epoch_complete_shard`),
+    /// keeping the per-sample hot path O(path) and the set of states a
+    /// peak sample can observe identical across ingestion modes.
+    pub fn apply_cpu_sample(&self, idx: usize, path: &CallPath, metric: MetricKind, value: f64) {
+        let mut shard = self.shards[idx].lock();
+        let node = shard.insert_call_path(path);
+        shard.tree_mut().attribute(node, metric, value);
+    }
+
+    /// The per-shard portion of [`EventSink::epoch_complete`]: retires the
+    /// shard's deferred correlations (every straggler has been delivered
+    /// by the flush boundary) and releases batch-sized scratch.
+    pub fn epoch_complete_shard(&self, idx: usize) {
+        let pruned = {
+            let mut shard = self.shards[idx].lock();
+            // Every deferred correlation's trailing records have been
+            // delivered by now, so one extra epoch retires them all.
+            let pruned = shard.end_batch();
+            shard.trim();
+            self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+            pruned
+        };
+        for corr in pruned {
+            self.directory_remove(corr);
+        }
+    }
+
+    /// Sheds the directory stripes' high-water capacity — the cross-shard
+    /// portion of a flush boundary, run after every shard's
+    /// [`epoch_complete_shard`](Self::epoch_complete_shard).
+    pub fn trim_directory(&self) {
+        for stripe in &self.directory {
+            let mut map = stripe.lock();
+            if map.capacity() > 64 && map.capacity() / 4 > map.len() {
+                map.shrink_to_fit();
+            }
+        }
+    }
+
+    /// Brings the snapshot cache up to date: folds every shard whose
+    /// dirty generation advanced since the last refresh and skips the
+    /// rest. Each shard lock is held only while that one shard is
+    /// inspected/folded (cache → shard is the only lock order involving
+    /// the cache, so ingestion never deadlocks against refreshes).
+    fn refresh_cache(&self, cache: &mut Option<SnapshotCache>) {
+        let cache =
+            cache.get_or_insert_with(|| SnapshotCache::empty(&self.interner, self.shards.len()));
+        for (idx, slot) in self.shards.iter().enumerate() {
+            let shard = slot.lock();
+            let generation = shard.generation();
+            if cache.generations[idx] == generation {
+                self.shards_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            cache
+                .master
+                .merge_incremental(shard.tree(), &mut cache.folds[idx]);
+            cache.generations[idx] = generation;
+            self.snapshot_merges.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds all shards into a fresh master tree, bypassing the snapshot
+    /// cache — the historical O(shards × tree) path, kept as the
+    /// benchmark baseline, as the oracle the `cached == fresh`
+    /// equivalence tests compare against, and as the only snapshot path
+    /// when the cache is disabled.
+    pub fn snapshot_uncached(&self) -> CallingContextTree {
+        let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
+        for shard in &self.shards {
+            master.merge(shard.lock().tree());
+        }
+        master
+    }
+
+    /// Records the current approximate profile size into the peak, using
+    /// the per-shard byte estimates refreshed at batch boundaries — no
+    /// cross-shard locking on the ingestion hot path.
+    pub(crate) fn note_peak(&self) {
+        let shard_bytes: usize = self
+            .shard_bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
+        let bytes = shard_bytes
+            + self.dir_entries.load(Ordering::Relaxed) * dir_entry
+            + self.interner.approx_bytes();
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+impl EventSink for ShardedSink {
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        self.apply_launch(self.route(origin), origin, path, api);
+    }
+
+    fn activity_batch(&self, batch: &[Activity]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Route every record to its home shard first, then take each
+        // shard lock once per batch.
+        let mut buckets: Vec<Vec<&Activity>> = vec![Vec::new(); self.shards.len()];
+        for activity in batch {
+            let idx = self.route_activity(activity.correlation_id.0);
+            buckets[idx].push(activity);
+        }
+        for (idx, bucket) in buckets.iter().enumerate() {
+            self.apply_activity_refs(idx, bucket.iter().copied());
+        }
+        self.note_peak();
+    }
+
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
+        self.apply_cpu_sample(self.route(origin), path, metric, value);
+    }
+
+    fn epoch_complete(&self) {
+        for idx in 0..self.shards.len() {
+            self.epoch_complete_shard(idx);
+        }
+        // Directory stripes shed their high-water capacity too.
+        self.trim_directory();
+    }
+
+    fn snapshot(&self) -> CallingContextTree {
+        if !self.cache_enabled {
+            return self.snapshot_uncached();
+        }
+        // Trees only: correlation state stays in the shards (it is still
+        // needed for records that have not arrived yet), so the fold skips
+        // `CctShard::merge_from`'s remapping work. The fold is cached and
+        // refreshed incrementally: clean shards are skipped outright.
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        cache.as_ref().expect("cache refreshed").master.clone()
+    }
+
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        if !self.cache_enabled {
+            f(&self.snapshot_uncached());
+            return;
+        }
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        f(&cache.as_ref().expect("cache refreshed").master);
+    }
+
+    fn finish_snapshot(&self) -> CallingContextTree {
+        if !self.cache_enabled {
+            return self.snapshot_uncached();
+        }
+        let mut cache = self.cache.lock();
+        self.refresh_cache(&mut cache);
+        cache.take().expect("cache refreshed").master
+    }
+
+    fn counters(&self) -> SinkCounters {
+        SinkCounters {
+            activities: self.activities.load(Ordering::Relaxed),
+            instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
+            orphans: self.orphans.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            snapshot_merges: self.snapshot_merges.load(Ordering::Relaxed),
+            shards_skipped: self.shards_skipped.load(Ordering::Relaxed),
+            ..SinkCounters::default()
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // The snapshot cache (cached master tree + per-shard fold state)
+        // is tool memory too — once an analysis session opens, it holds
+        // roughly another copy of the profile.
+        let cache_bytes: usize = self
+            .cache
+            .lock()
+            .as_ref()
+            .map(|c| {
+                c.master.approx_tree_bytes()
+                    + c.folds.iter().map(FoldState::approx_bytes).sum::<usize>()
+            })
+            .unwrap_or(0);
+        let shard_bytes: usize = self.shards.iter().map(|s| s.lock().approx_bytes()).sum();
+        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
+        let dir_bytes: usize = self
+            .directory
+            .iter()
+            .map(|d| d.lock().capacity() * dir_entry)
+            .sum();
+        shard_bytes + dir_bytes + cache_bytes + self.interner.approx_bytes()
+    }
+}
+
+impl std::fmt::Debug for ShardedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSink")
+            .field("shards", &self.shards.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}

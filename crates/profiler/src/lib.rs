@@ -46,7 +46,10 @@ use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
 
 pub mod sink;
 
-pub use sink::{attribute_activity_metrics, EventSink, ShardedSink, SinkCounters};
+pub use sink::{
+    attribute_activity_metrics, default_ingestion_mode, AsyncSink, BackpressurePolicy, EventSink,
+    IngestionMode, PipelineConfig, ShardedSink, SinkCounters,
+};
 
 /// The default ingestion shard count, honouring the
 /// `DEEPCONTEXT_TEST_SHARDS` environment override CI uses to run the
@@ -84,6 +87,20 @@ pub struct ProfilerConfig {
     /// to before any lock is taken). `1` reproduces the historical
     /// single-lock pipeline.
     pub ingestion_shards: usize,
+    /// Whether attribution runs inline on producers
+    /// ([`IngestionMode::Sync`], the default) or on a bounded-channel
+    /// worker pool ([`IngestionMode::Async`]) that takes correlation
+    /// resolution, CCT mutation and metric folds off the monitored
+    /// workload's critical path.
+    pub ingestion_mode: IngestionMode,
+    /// Asynchronous-pipeline tuning (worker count, per-shard queue
+    /// capacity, backpressure policy). Ignored in synchronous mode.
+    pub pipeline: PipelineConfig,
+    /// Whether snapshots are served from the incremental generation-
+    /// tracked cache. Disabling trades warm `with_cct` latency for not
+    /// holding a merged second copy of the profile — for memory-tight
+    /// deployments.
+    pub snapshot_cache: bool,
 }
 
 impl Default for ProfilerConfig {
@@ -98,6 +115,9 @@ impl Default for ProfilerConfig {
             hw_counter_period: None,
             activity_buffer_capacity: 4096,
             ingestion_shards: default_ingestion_shards(),
+            ingestion_mode: default_ingestion_mode(),
+            pipeline: PipelineConfig::default(),
+            snapshot_cache: true,
         }
     }
 }
@@ -145,6 +165,23 @@ pub struct ProfilerStats {
     /// since the cached fold — proof the incremental snapshot cache is
     /// doing its job.
     pub shards_skipped: u64,
+    /// Events accepted into the asynchronous pipeline's shard queues
+    /// (zero in synchronous mode).
+    pub enqueued_events: u64,
+    /// Events discarded by the `DropOldest` backpressure policy (always
+    /// zero under the default `Block` policy and in synchronous mode).
+    pub dropped_events: u64,
+    /// High-water mark of any one shard queue's depth, in messages.
+    pub max_queue_depth: u64,
+    /// Drain barriers (flush / snapshot / stats points) that found
+    /// attribution still in flight and had to wait for workers.
+    pub drain_waits: u64,
+    /// Worker passes that applied at least one event; with
+    /// [`worker_events`](Self::worker_events) this measures utilization
+    /// (`worker_events / worker_batches` = mean events per wake-up).
+    pub worker_batches: u64,
+    /// Events applied by asynchronous pipeline workers.
+    pub worker_events: u64,
 }
 
 struct Inner {
@@ -178,7 +215,15 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
-        let sink = ShardedSink::new(monitor.interner(), config.ingestion_shards);
+        let sharded = ShardedSink::with_options(
+            monitor.interner(),
+            config.ingestion_shards,
+            config.snapshot_cache,
+        );
+        let sink: Arc<dyn EventSink> = match config.ingestion_mode {
+            IngestionMode::Sync => sharded,
+            IngestionMode::Async => AsyncSink::new(sharded, config.pipeline),
+        };
         Profiler::attach_with_sink(config, env, monitor, gpu, sink)
     }
 
@@ -219,8 +264,10 @@ impl Profiler {
                         _ => return,
                     }
                     let path = me.monitor.callpath_for_gpu(gpu_event);
+                    // Hand the freshly built path over by value: the
+                    // async sink enqueues it without a clone.
                     me.sink
-                        .gpu_launch(&gpu_event.origin(), &path, gpu_event.data.api);
+                        .gpu_launch_owned(&gpu_event.origin(), path, gpu_event.data.api);
                     if gpu_event.data.api == ApiKind::LaunchKernel {
                         me.launches.fetch_add(1, Ordering::Relaxed);
                     }
@@ -228,9 +275,12 @@ impl Profiler {
             }));
 
             // Asynchronous activity delivery (buffer-completed handler).
+            // The runtime owns the buffer it hands over, so the sink
+            // takes it by value (asynchronous sinks route it into queue
+            // messages without cloning a single record).
             let me = Arc::clone(&inner);
             gpu.set_activity_handler(move |batch| {
-                me.sink.activity_batch(&batch);
+                me.sink.activity_batch_owned(batch);
             });
         }
 
@@ -245,9 +295,9 @@ impl Profiler {
                         tid: Some(thread.tid()),
                         ..EventOrigin::default()
                     };
-                    me.sink.cpu_sample(
+                    me.sink.cpu_sample_owned(
                         &origin,
-                        &path,
+                        path,
                         metric,
                         (event.count * event.interval) as f64,
                     );
@@ -297,7 +347,7 @@ impl Profiler {
     pub fn flush(&self) {
         let batch = self.gpu.flush_completed();
         if !batch.is_empty() {
-            self.inner.sink.activity_batch(&batch);
+            self.inner.sink.activity_batch_owned(batch);
         }
         self.inner.sink.epoch_complete();
     }
@@ -319,6 +369,12 @@ impl Profiler {
             peak_bytes: counters.peak_bytes.max(self.inner.sink.approx_bytes()),
             snapshot_merges: counters.snapshot_merges,
             shards_skipped: counters.shards_skipped,
+            enqueued_events: counters.enqueued_events,
+            dropped_events: counters.dropped_events,
+            max_queue_depth: counters.max_queue_depth,
+            drain_waits: counters.drain_waits,
+            worker_batches: counters.worker_batches,
+            worker_events: counters.worker_events,
         }
     }
 
@@ -354,7 +410,7 @@ impl Profiler {
         // Drain anything still buffered.
         let batch = self.gpu.flush_all();
         if !batch.is_empty() {
-            self.inner.sink.activity_batch(&batch);
+            self.inner.sink.activity_batch_owned(batch);
         }
         self.inner.sink.epoch_complete();
         self.detach();
@@ -643,6 +699,115 @@ mod tests {
             })
         };
         assert_eq!(totals(1), totals(16));
+    }
+
+    #[test]
+    fn async_mode_matches_sync_mode() {
+        // The asynchronous pipeline is a scheduling change, not a
+        // semantic one: the same workload must produce identical
+        // aggregates under both ingestion modes, with nothing dropped
+        // under the default Block policy.
+        let run = |mode: IngestionMode| {
+            let rig = rig();
+            let config = ProfilerConfig {
+                ingestion_mode: mode,
+                ..ProfilerConfig::default()
+            };
+            let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+            run_relu(&rig, 6);
+            profiler.flush();
+            let stats = profiler.stats();
+            let totals = profiler.with_cct(|cct| {
+                (
+                    cct.node_count(),
+                    cct.total(MetricKind::GpuTime),
+                    cct.total(MetricKind::KernelLaunches),
+                )
+            });
+            (stats, totals)
+        };
+        let (sync_stats, sync_totals) = run(IngestionMode::Sync);
+        let (async_stats, async_totals) = run(IngestionMode::Async);
+        assert_eq!(sync_totals, async_totals);
+        assert_eq!(sync_stats.activities, async_stats.activities);
+        assert_eq!(sync_stats.launches, async_stats.launches);
+        assert_eq!(async_stats.orphans, 0);
+        // Pipeline accounting: events flowed through the queues and the
+        // Block policy lost none of them.
+        assert!(async_stats.enqueued_events > 0);
+        assert_eq!(async_stats.dropped_events, 0);
+        assert_eq!(async_stats.worker_events, async_stats.enqueued_events);
+        assert_eq!(sync_stats.enqueued_events, 0, "sync mode bypasses queues");
+    }
+
+    #[test]
+    fn async_finish_produces_complete_profile() {
+        let rig = rig();
+        let config = ProfilerConfig {
+            ingestion_mode: IngestionMode::Async,
+            ..ProfilerConfig::default()
+        };
+        let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+        run_relu(&rig, 5);
+        // No explicit flush: finish itself must drain the pipeline.
+        let db = profiler.finish(ProfileMeta {
+            workload: "relu-async".into(),
+            framework: "eager".into(),
+            platform: "nvidia-a100".into(),
+            iterations: 5,
+            extra: vec![],
+        });
+        assert_eq!(
+            db.cct()
+                .root_metric(MetricKind::KernelLaunches)
+                .unwrap()
+                .sum,
+            5.0
+        );
+        assert_eq!(
+            db.cct()
+                .metric(db.cct().root(), MetricKind::GpuTime)
+                .unwrap()
+                .count,
+            5
+        );
+    }
+
+    #[test]
+    fn snapshot_cache_knob_trades_memory_for_snapshot_cost() {
+        let run = |snapshot_cache: bool| {
+            let rig = rig();
+            let config = ProfilerConfig {
+                ingestion_shards: 16,
+                snapshot_cache,
+                ..ProfilerConfig::default()
+            };
+            let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+            run_relu(&rig, 6);
+            profiler.flush();
+            // Open an "analysis session": repeated snapshot reads.
+            let totals = profiler.with_cct(|c| (c.node_count(), c.total(MetricKind::GpuTime)));
+            assert_eq!(
+                totals,
+                profiler.with_cct(|c| (c.node_count(), c.total(MetricKind::GpuTime)))
+            );
+            (totals, profiler.approx_bytes(), profiler.stats())
+        };
+        let (on_totals, on_bytes, on_stats) = run(true);
+        let (off_totals, off_bytes, off_stats) = run(false);
+        // Same profile either way.
+        assert_eq!(on_totals, off_totals);
+        // With the cache on, snapshots hold a merged second copy; off, the
+        // resident footprint drops.
+        assert!(
+            off_bytes < on_bytes,
+            "cache-off bytes {off_bytes} must undercut cache-on bytes {on_bytes}"
+        );
+        assert!(on_stats.snapshot_merges > 0);
+        assert_eq!(
+            off_stats.snapshot_merges, 0,
+            "cache disabled: no incremental folds happen"
+        );
     }
 
     #[test]

@@ -1,545 +1,13 @@
-//! The sharded event-ingestion pipeline.
+//! Event-sink re-exports.
 //!
-//! Every collection path of the profiler — GPU launch callbacks, completed
-//! activity buffers, CPU samples, PC-sampling records — terminates in an
-//! [`EventSink`]. The previous design funneled all of them through one
-//! `Mutex<CallingContextTree>` plus a correlation-map mutex, so ingestion
-//! throughput was capped at one core no matter how many workload threads
-//! were producing events. [`ShardedSink`] removes that ceiling:
-//!
-//! * events are routed to one of N [`CctShard`]s **before** any lock is
-//!   taken, keyed by the originating thread (launches, CPU samples) or by
-//!   the correlation-id's registered home shard (activity records);
-//! * each shard owns a private tree + correlation map behind its own
-//!   mutex, so producers on different threads proceed in parallel;
-//! * a lock-striped correlation *directory* remembers which shard a
-//!   correlation id was bound in, letting asynchronous activity records —
-//!   which carry no thread identity — find their way home;
-//! * snapshots fold the shards into one master tree and **cache** the
-//!   result: every shard carries a dirty generation
-//!   ([`CctShard::generation`]) advanced by each tree mutation, and a
-//!   refresh re-folds only shards whose generation moved — via
-//!   [`CallingContextTree::merge_incremental`], which resumes the
-//!   per-shard node mapping and folds per-node metric deltas. Clean
-//!   shards are skipped outright, so a warm snapshot costs O(dirty
-//!   shards) instead of O(shards × tree). Correlation state stays behind
-//!   in the shards for records still in flight ([`CctShard::merge_from`]
-//!   exists for folds that must carry it along), and
-//!   [`ShardedSink::snapshot_uncached`] keeps the historical full fold
-//!   as baseline and test oracle.
-//!
-//! A `ShardedSink` with one shard routes everything through one lock like
-//! the old design (set `ingestion_shards: 1`); the ingestion benchmark in
-//! `crates/bench` additionally keeps a faithful reproduction of the full
-//! pre-refactor pipeline as its baseline.
+//! The ingestion pipeline — the [`EventSink`] contract, the synchronous
+//! [`ShardedSink`], and the asynchronous bounded-channel [`AsyncSink`] —
+//! lives in its own crate, `deepcontext-pipeline`, so the profiler, the
+//! benchmarks and external embedders share one implementation. This
+//! module re-exports it under the historical `deepcontext_profiler::sink`
+//! path.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-
-use deepcontext_core::{
-    CallPath, CallingContextTree, CctShard, FoldState, Frame, Interner, MetricKind, NodeId,
+pub use deepcontext_pipeline::{
+    attribute_activity_metrics, default_ingestion_mode, AsyncSink, BackpressurePolicy, EventSink,
+    IngestionMode, PipelineConfig, ShardedSink, SinkCounters,
 };
-use dlmonitor::EventOrigin;
-use sim_gpu::{Activity, ActivityKind, ApiKind};
-
-/// Writes one activity record's metrics at its resolved context `node` —
-/// the single source of truth for the activity-kind → metric mapping,
-/// shared by [`ShardedSink`] and the benchmark's single-lock baseline so
-/// throughput comparisons never drift apart semantically. Returns the
-/// number of instruction samples attributed (0 for non-sampling records).
-pub fn attribute_activity_metrics(
-    tree: &mut CallingContextTree,
-    node: NodeId,
-    activity: &Activity,
-) -> u64 {
-    match &activity.kind {
-        ActivityKind::Kernel {
-            start,
-            end,
-            blocks,
-            warps,
-            occupancy,
-            shared_mem_per_block,
-            registers_per_thread,
-            ..
-        } => {
-            tree.attribute(node, MetricKind::GpuTime, (*end - *start).as_nanos() as f64);
-            tree.attribute_exclusive(node, MetricKind::Blocks, f64::from(*blocks));
-            tree.attribute_exclusive(node, MetricKind::Warps, *warps as f64);
-            tree.attribute_exclusive(node, MetricKind::Occupancy, *occupancy);
-            tree.attribute_exclusive(
-                node,
-                MetricKind::SharedMemPerBlock,
-                *shared_mem_per_block as f64,
-            );
-            tree.attribute_exclusive(
-                node,
-                MetricKind::RegistersPerThread,
-                f64::from(*registers_per_thread),
-            );
-            0
-        }
-        ActivityKind::Memcpy {
-            bytes, start, end, ..
-        } => {
-            tree.attribute(node, MetricKind::MemcpyBytes, *bytes as f64);
-            tree.attribute(
-                node,
-                MetricKind::MemcpyTime,
-                (*end - *start).as_nanos() as f64,
-            );
-            0
-        }
-        ActivityKind::Malloc { bytes, .. } => {
-            tree.attribute(node, MetricKind::GpuAllocBytes, *bytes as f64);
-            0
-        }
-        ActivityKind::Free { .. } => 0,
-        ActivityKind::PcSampling { samples, .. } => {
-            // Extend the kernel's call path with per-PC instruction frames
-            // (paper §4.2: "we will extend the call path by inserting the
-            // PC of each instruction collected").
-            for sample in samples {
-                let child = tree.insert_child(node, &Frame::instruction(sample.pc));
-                tree.attribute(child, MetricKind::InstructionSamples, 1.0);
-                tree.attribute(child, MetricKind::Stall(sample.stall), 1.0);
-            }
-            samples.len() as u64
-        }
-    }
-}
-
-/// Monotonic counters a sink maintains while ingesting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SinkCounters {
-    /// Activity records attributed.
-    pub activities: u64,
-    /// Instruction samples attributed.
-    pub instruction_samples: u64,
-    /// Records that fell back to the `<unattributed>` catch-all context.
-    pub orphans: u64,
-    /// Peak approximate profile bytes observed at batch boundaries.
-    pub peak_bytes: usize,
-    /// Shard folds performed while refreshing snapshots (a cold snapshot
-    /// folds every shard; warm ones fold only dirty shards).
-    pub snapshot_merges: u64,
-    /// Shards skipped by snapshot refreshes because their dirty
-    /// generation had not advanced — direct evidence the snapshot cache
-    /// is being hit.
-    pub shards_skipped: u64,
-}
-
-/// Where profiler collection paths deliver their events.
-///
-/// Implementations must be callable from any producer thread concurrently;
-/// the profiler registers one sink and never wraps it in an outer lock.
-pub trait EventSink: Send + Sync {
-    /// A GPU API call was intercepted at its launch site: bind
-    /// `origin.correlation` to the context `path` and (for kernel
-    /// launches) count the launch.
-    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind);
-
-    /// A buffer of completed asynchronous activity records.
-    fn activity_batch(&self, batch: &[Activity]);
-
-    /// A flush boundary completed: the runtime's entire completed-record
-    /// backlog has been delivered, so no record referencing an
-    /// already-attributed correlation can still be in flight (activity
-    /// buffers deliver a kernel's trailing sampling records no later
-    /// than the flush that drains the kernel). Sinks may use this to
-    /// retire deferred correlation state eagerly and release batch-sized
-    /// scratch, keeping resident memory proportional to live state.
-    /// Default: no-op.
-    fn epoch_complete(&self) {}
-
-    /// A CPU sample (interval timer or hardware-counter overflow) on the
-    /// thread identified by `origin`.
-    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64);
-
-    /// Folds the sink's state into one calling context tree.
-    fn snapshot(&self) -> CallingContextTree;
-
-    /// Runs `f` against a folded snapshot without handing out ownership.
-    /// Sinks that cache their fold (see [`ShardedSink`]) serve this by
-    /// borrowing the cached tree, so repeated analysis previews skip both
-    /// the re-fold *and* the clone that [`snapshot`](Self::snapshot) pays.
-    ///
-    /// `f` may run while the sink's snapshot lock is held: it must not
-    /// call back into this sink's snapshot APIs (`snapshot`,
-    /// `with_snapshot`, `finish_snapshot`, `approx_bytes`) — on
-    /// [`ShardedSink`] that self-deadlocks. Ingestion from *other*
-    /// threads is unaffected.
-    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
-        f(&self.snapshot());
-    }
-
-    /// Final snapshot at detach time: like [`snapshot`](Self::snapshot),
-    /// but the sink may yield its cached fold by value instead of
-    /// cloning, since no further snapshots will be requested.
-    fn finish_snapshot(&self) -> CallingContextTree {
-        self.snapshot()
-    }
-
-    /// Current ingestion counters.
-    fn counters(&self) -> SinkCounters;
-
-    /// Approximate resident bytes of all ingestion state.
-    fn approx_bytes(&self) -> usize;
-}
-
-/// Mixes a routing key so sequential tids/correlation ids spread across
-/// shards (splitmix64 finalizer).
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// The memoized fold of all shards: the merged master tree, the
-/// per-shard [`FoldState`] it was built through, and the shard dirty
-/// generations it reflects. Refreshing re-folds **only** shards whose
-/// generation advanced; the rest are skipped without touching their
-/// trees, turning repeated snapshots from O(shards × tree) into
-/// O(dirty shards).
-struct SnapshotCache {
-    master: CallingContextTree,
-    folds: Vec<FoldState>,
-    /// Generation folded per shard; `u64::MAX` = never folded (shard
-    /// generations start at 0, so the first refresh folds everything).
-    generations: Vec<u64>,
-}
-
-impl SnapshotCache {
-    fn empty(interner: &Arc<Interner>, shards: usize) -> Self {
-        SnapshotCache {
-            master: CallingContextTree::with_interner(Arc::clone(interner)),
-            folds: (0..shards).map(|_| FoldState::new()).collect(),
-            generations: vec![u64::MAX; shards],
-        }
-    }
-}
-
-/// The sharded [`EventSink`] (see the [module docs](self)).
-pub struct ShardedSink {
-    interner: Arc<Interner>,
-    shards: Vec<Mutex<CctShard>>,
-    /// Cached incremental snapshot; `None` until the first snapshot is
-    /// requested (and again after `finish_snapshot` consumes it).
-    cache: Mutex<Option<SnapshotCache>>,
-    /// Correlation id -> index of the shard it was bound in. Striped by
-    /// correlation hash so binding and resolving rarely contend.
-    directory: Vec<Mutex<HashMap<u64, u32>>>,
-    /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
-    /// shard lock is already held at batch boundaries, so peak tracking
-    /// never sweeps every shard lock.
-    shard_bytes: Vec<AtomicUsize>,
-    /// Live directory entries across all stripes.
-    dir_entries: AtomicUsize,
-    activities: AtomicU64,
-    instruction_samples: AtomicU64,
-    orphans: AtomicU64,
-    peak_bytes: AtomicUsize,
-    snapshot_merges: AtomicU64,
-    shards_skipped: AtomicU64,
-}
-
-impl ShardedSink {
-    /// Creates a sink with `shard_count` shards (clamped to at least one)
-    /// sharing `interner`.
-    pub fn new(interner: Arc<Interner>, shard_count: usize) -> Arc<Self> {
-        let n = shard_count.max(1);
-        Arc::new(ShardedSink {
-            shards: (0..n)
-                .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
-                .collect(),
-            directory: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
-            shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            dir_entries: AtomicUsize::new(0),
-            cache: Mutex::new(None),
-            interner,
-            activities: AtomicU64::new(0),
-            instruction_samples: AtomicU64::new(0),
-            orphans: AtomicU64::new(0),
-            peak_bytes: AtomicUsize::new(0),
-            snapshot_merges: AtomicU64::new(0),
-            shards_skipped: AtomicU64::new(0),
-        })
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    fn index_for(&self, key: u64) -> usize {
-        (mix(key) % self.shards.len() as u64) as usize
-    }
-
-    /// The shard an event from `origin` routes to: thread identity first
-    /// (keeps one producer's contexts together), falling back to the
-    /// correlation id, then to shard 0 for identity-less events.
-    fn route(&self, origin: &EventOrigin) -> usize {
-        if let Some(tid) = origin.tid {
-            self.index_for(tid)
-        } else if let Some(corr) = origin.correlation {
-            self.index_for(corr.0)
-        } else {
-            0
-        }
-    }
-
-    fn directory_bind(&self, corr: u64, shard: usize) {
-        let slot = self.index_for(corr);
-        if self.directory[slot]
-            .lock()
-            .insert(corr, shard as u32)
-            .is_none()
-        {
-            self.dir_entries.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn directory_lookup(&self, corr: u64) -> Option<usize> {
-        let slot = self.index_for(corr);
-        self.directory[slot].lock().get(&corr).map(|s| *s as usize)
-    }
-
-    fn directory_remove(&self, corr: u64) {
-        let slot = self.index_for(corr);
-        if self.directory[slot].lock().remove(&corr).is_some() {
-            self.dir_entries.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Attributes one activity record inside its home shard.
-    fn attribute_activity(&self, shard: &mut CctShard, activity: &Activity) {
-        let corr = activity.correlation_id.0;
-        self.activities.fetch_add(1, Ordering::Relaxed);
-        let node = match shard.resolve(corr) {
-            Some(node) => node,
-            None => {
-                self.orphans.fetch_add(1, Ordering::Relaxed);
-                shard.orphan_node()
-            }
-        };
-        let samples = attribute_activity_metrics(shard.tree_mut(), node, activity);
-        if matches!(activity.kind, ActivityKind::PcSampling { .. }) {
-            // Sampling records keep their correlation live for the kernel
-            // record that follows them.
-            self.instruction_samples
-                .fetch_add(samples, Ordering::Relaxed);
-        } else {
-            // Terminal record kinds retire their correlation.
-            shard.defer_prune(corr);
-        }
-    }
-
-    /// Brings the snapshot cache up to date: folds every shard whose
-    /// dirty generation advanced since the last refresh and skips the
-    /// rest. Each shard lock is held only while that one shard is
-    /// inspected/folded (cache → shard is the only lock order involving
-    /// the cache, so ingestion never deadlocks against refreshes).
-    fn refresh_cache(&self, cache: &mut Option<SnapshotCache>) {
-        let cache =
-            cache.get_or_insert_with(|| SnapshotCache::empty(&self.interner, self.shards.len()));
-        for (idx, slot) in self.shards.iter().enumerate() {
-            let shard = slot.lock();
-            let generation = shard.generation();
-            if cache.generations[idx] == generation {
-                self.shards_skipped.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            cache
-                .master
-                .merge_incremental(shard.tree(), &mut cache.folds[idx]);
-            cache.generations[idx] = generation;
-            self.snapshot_merges.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Folds all shards into a fresh master tree, bypassing the snapshot
-    /// cache — the historical O(shards × tree) path, kept as the
-    /// benchmark baseline and as the oracle the `cached == fresh`
-    /// equivalence tests compare against.
-    pub fn snapshot_uncached(&self) -> CallingContextTree {
-        let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
-        for shard in &self.shards {
-            master.merge(shard.lock().tree());
-        }
-        master
-    }
-
-    /// Records the current approximate profile size into the peak, using
-    /// the per-shard byte estimates refreshed at batch boundaries — no
-    /// cross-shard locking on the ingestion hot path.
-    fn note_peak(&self) {
-        let shard_bytes: usize = self
-            .shard_bytes
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum();
-        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
-        let bytes = shard_bytes
-            + self.dir_entries.load(Ordering::Relaxed) * dir_entry
-            + self.interner.approx_bytes();
-        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
-    }
-}
-
-impl EventSink for ShardedSink {
-    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
-        let idx = self.route(origin);
-        let mut shard = self.shards[idx].lock();
-        let node = shard.insert_call_path(path);
-        if api == ApiKind::LaunchKernel {
-            shard
-                .tree_mut()
-                .attribute(node, MetricKind::KernelLaunches, 1.0);
-        }
-        if let Some(corr) = origin.correlation {
-            shard.bind(corr.0, node);
-            // Directory stripes are leaf locks: binding here (while the
-            // shard is held) guarantees the activity path — which never
-            // holds a stripe and a shard at once — sees the binding as
-            // soon as it can see the shard's node.
-            self.directory_bind(corr.0, idx);
-        }
-    }
-
-    fn activity_batch(&self, batch: &[Activity]) {
-        if batch.is_empty() {
-            return;
-        }
-        // Route every record to its home shard first, then take each
-        // shard lock once per batch.
-        let mut buckets: Vec<Vec<&Activity>> = vec![Vec::new(); self.shards.len()];
-        for activity in batch {
-            let corr = activity.correlation_id.0;
-            let idx = self
-                .directory_lookup(corr)
-                .unwrap_or_else(|| self.index_for(corr));
-            buckets[idx].push(activity);
-        }
-        for (idx, bucket) in buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let pruned = {
-                let mut shard = self.shards[idx].lock();
-                for activity in bucket {
-                    self.attribute_activity(&mut shard, activity);
-                }
-                // Two-phase pruning per shard: correlations attributed in
-                // the shard's *previous* batch are dropped now, so
-                // sampling records straddling a buffer boundary resolve.
-                let pruned = shard.end_batch();
-                self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
-                pruned
-            };
-            for corr in pruned {
-                self.directory_remove(corr);
-            }
-        }
-        self.note_peak();
-    }
-
-    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
-        let idx = self.route(origin);
-        let mut shard = self.shards[idx].lock();
-        let node = shard.insert_call_path(path);
-        shard.tree_mut().attribute(node, metric, value);
-    }
-
-    fn epoch_complete(&self) {
-        for (idx, slot) in self.shards.iter().enumerate() {
-            let pruned = {
-                let mut shard = slot.lock();
-                // Every deferred correlation's trailing records have been
-                // delivered by now, so one extra epoch retires them all.
-                let pruned = shard.end_batch();
-                shard.trim();
-                self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
-                pruned
-            };
-            for corr in pruned {
-                self.directory_remove(corr);
-            }
-        }
-        // Directory stripes shed their high-water capacity too.
-        for stripe in &self.directory {
-            let mut map = stripe.lock();
-            if map.capacity() > 64 && map.capacity() / 4 > map.len() {
-                map.shrink_to_fit();
-            }
-        }
-    }
-
-    fn snapshot(&self) -> CallingContextTree {
-        // Trees only: correlation state stays in the shards (it is still
-        // needed for records that have not arrived yet), so the fold skips
-        // `CctShard::merge_from`'s remapping work. The fold is cached and
-        // refreshed incrementally: clean shards are skipped outright.
-        let mut cache = self.cache.lock();
-        self.refresh_cache(&mut cache);
-        cache.as_ref().expect("cache refreshed").master.clone()
-    }
-
-    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
-        let mut cache = self.cache.lock();
-        self.refresh_cache(&mut cache);
-        f(&cache.as_ref().expect("cache refreshed").master);
-    }
-
-    fn finish_snapshot(&self) -> CallingContextTree {
-        let mut cache = self.cache.lock();
-        self.refresh_cache(&mut cache);
-        cache.take().expect("cache refreshed").master
-    }
-
-    fn counters(&self) -> SinkCounters {
-        SinkCounters {
-            activities: self.activities.load(Ordering::Relaxed),
-            instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
-            orphans: self.orphans.load(Ordering::Relaxed),
-            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
-            snapshot_merges: self.snapshot_merges.load(Ordering::Relaxed),
-            shards_skipped: self.shards_skipped.load(Ordering::Relaxed),
-        }
-    }
-
-    fn approx_bytes(&self) -> usize {
-        // The snapshot cache (cached master tree + per-shard fold state)
-        // is tool memory too — once an analysis session opens, it holds
-        // roughly another copy of the profile.
-        let cache_bytes: usize = self
-            .cache
-            .lock()
-            .as_ref()
-            .map(|c| {
-                c.master.approx_tree_bytes()
-                    + c.folds.iter().map(FoldState::approx_bytes).sum::<usize>()
-            })
-            .unwrap_or(0);
-        let shard_bytes: usize = self.shards.iter().map(|s| s.lock().approx_bytes()).sum();
-        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
-        let dir_bytes: usize = self
-            .directory
-            .iter()
-            .map(|d| d.lock().capacity() * dir_entry)
-            .sum();
-        shard_bytes + dir_bytes + cache_bytes + self.interner.approx_bytes()
-    }
-}
-
-impl std::fmt::Debug for ShardedSink {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedSink")
-            .field("shards", &self.shards.len())
-            .field("counters", &self.counters())
-            .finish()
-    }
-}

@@ -1,22 +1,48 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Only the `channel` module subset used by this workspace is provided:
-//! `unbounded()` channels whose `Sender` is `Clone + Send` and whose
-//! `Receiver` supports blocking `recv`. Implemented over `std::sync::mpsc`
-//! with a mutex around the receiver so the handle is `Sync` like
-//! crossbeam's.
+//! `unbounded()` and `bounded()` multi-producer channels whose `Sender`
+//! and `Receiver` are both `Clone + Send + Sync`. Both flavors share one
+//! implementation — a `VecDeque` behind a mutex with two condition
+//! variables — so bounded channels get real blocking `send` backpressure
+//! and both get non-blocking `try_send` / `try_recv` plus queue-depth
+//! introspection (`len`), which the ingestion pipeline's backpressure
+//! policies and drain barriers rely on.
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer channels (crossbeam-channel API subset).
 pub mod channel {
+    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex, PoisonError};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
     /// Error returned by [`Sender::send`] when the channel is disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full channel (vs a disconnected one).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
 
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// disconnected.
@@ -37,21 +63,124 @@ pub mod channel {
         }
     }
 
-    /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// Receivers blocked in `recv` — senders skip the condvar notify
+        /// entirely when nobody is waiting, keeping the uncontended send
+        /// path to one lock round-trip.
+        recv_waiters: usize,
+        /// Senders blocked in a bounded `send`.
+        send_waiters: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        /// `usize::MAX` for unbounded channels.
+        cap: usize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                drop(state);
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if all receivers are gone.
+        /// Sends a message, blocking while a bounded channel is at
+        /// capacity. Fails only if all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let mut state = self.0.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.0.cap {
+                    state.queue.push_back(value);
+                    let wake = state.recv_waiters > 0;
+                    drop(state);
+                    if wake {
+                        self.0.not_empty.notify_one();
+                    }
+                    return Ok(());
+                }
+                state.send_waiters += 1;
+                state = self
+                    .0
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state.send_waiters -= 1;
+            }
+        }
+
+        /// Sends without blocking, failing with [`TrySendError::Full`]
+        /// when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            let wake = state.recv_waiters > 0;
+            drop(state);
+            if wake {
+                self.0.not_empty.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel capacity (`None` for unbounded channels).
+        pub fn capacity(&self) -> Option<usize> {
+            (self.0.cap != usize::MAX).then_some(self.0.cap)
         }
     }
 
@@ -61,32 +190,82 @@ pub mod channel {
         }
     }
 
-    /// The receiving half of an unbounded channel.
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.0.not_full.notify_all();
+            }
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .recv()
-                .map_err(|_| RecvError)
+            let mut state = self.0.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    let wake = state.send_waiters > 0;
+                    drop(state);
+                    if wake {
+                        self.0.not_full.notify_one();
+                    }
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state.recv_waiters += 1;
+                state = self
+                    .0
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state.recv_waiters -= 1;
+            }
         }
 
         /// Returns a message if one is ready, without blocking.
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.0
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .try_recv()
-                .map_err(|_| RecvError)
+            let mut state = self.0.lock();
+            match state.queue.pop_front() {
+                Some(value) => {
+                    let wake = state.send_waiters > 0;
+                    drop(state);
+                    if wake {
+                        self.0.not_full.notify_one();
+                    }
+                    Ok(value)
+                }
+                None => Err(RecvError),
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel capacity (`None` for unbounded channels).
+        pub fn capacity(&self) -> Option<usize> {
+            (self.0.cap != usize::MAX).then_some(self.0.cap)
         }
     }
 
@@ -96,10 +275,39 @@ pub mod channel {
         }
     }
 
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // Bounded channels preallocate their ring (capped so pathological
+        // capacities don't reserve gigabytes), keeping reallocation
+        // memcpys off the send path.
+        let prealloc = if cap == usize::MAX {
+            0
+        } else {
+            cap.min(1 << 16)
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(prealloc),
+                senders: 1,
+                receivers: 1,
+                recv_waiters: 0,
+                send_waiters: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        with_cap(usize::MAX)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages (clamped
+    /// to at least one so `send` can always make progress).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(cap.max(1))
     }
 
     #[cfg(test)]
@@ -131,6 +339,52 @@ pub mod channel {
             let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
             got.sort();
             assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || {
+                // Blocks until the main thread drains the slot.
+                tx.send(2).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn send_errors_when_receivers_dropped() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        }
+
+        #[test]
+        fn capacity_and_len_introspection() {
+            let (tx, rx) = bounded::<u8>(4);
+            assert_eq!(tx.capacity(), Some(4));
+            assert_eq!(rx.capacity(), Some(4));
+            assert!(tx.is_empty());
+            tx.send(1).unwrap();
+            assert_eq!(rx.len(), 1);
+            let (utx, _urx) = unbounded::<u8>();
+            assert_eq!(utx.capacity(), None);
         }
     }
 }

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | [`core`] | `deepcontext-core` | unified frames, call paths, calling context tree, metrics |
 //! | [`monitor`] | `dlmonitor` | the DLMonitor shim layer (§4.1) |
+//! | [`pipeline`] | `deepcontext-pipeline` | event-ingestion pipeline: sharded sync + bounded-channel async sinks |
 //! | [`profiler`] | `deepcontext-profiler` | metric collection & online aggregation (§4.2) |
 //! | [`analyzer`] | `deepcontext-analyzer` | automated performance analyses (§4.3) |
 //! | [`flamegraph`] | `deepcontext-flamegraph` | GUI views & renderers (§4.4) |
@@ -54,6 +55,7 @@ pub use deepcontext_analyzer as analyzer;
 pub use deepcontext_baselines as baselines;
 pub use deepcontext_core as core;
 pub use deepcontext_flamegraph as flamegraph;
+pub use deepcontext_pipeline as pipeline;
 pub use deepcontext_profiler as profiler;
 pub use dl_framework as framework;
 pub use dl_models as workloads;
