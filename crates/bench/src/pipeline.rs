@@ -29,7 +29,8 @@ use std::time::Instant;
 
 use deepcontext_core::{CallPath, Interner, StallReason};
 use deepcontext_profiler::{
-    AsyncSink, BackpressurePolicy, EventSink, PipelineConfig, ShardedSink, SinkCounters,
+    AsyncSink, BackpressurePolicy, BatchingSink, EventSink, PipelineConfig, ShardedSink,
+    SinkCounters, DEFAULT_LAUNCH_BATCH,
 };
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind, PcSample};
@@ -202,15 +203,19 @@ pub fn measure_sync(
 }
 
 /// Measures asynchronous ingestion of `events` under the default `Block`
-/// policy with queue headroom for the entire stream (so the producer
-/// number isolates the enqueue cost) and a full drain for the
-/// end-to-end number.
+/// policy with queue headroom for the entire stream and the worker pool
+/// **parked** during the producer loop — so the producer number isolates
+/// the enqueue path itself (no backpressure, and on few-core hosts no
+/// worker stealing the producer's core mid-measurement) — then resumes
+/// the pool and drains for the end-to-end number. `launch_batch` sets
+/// the thread-local producer-batching threshold (1 = unbatched).
 pub fn measure_async(
     label: &str,
     events: &[PipelineEvent],
     interner: &Arc<Interner>,
     workers: usize,
     repeats: usize,
+    launch_batch: usize,
 ) -> PipelinePoint {
     let mut best: Option<(f64, f64)> = None;
     let mut counters = SinkCounters::default();
@@ -224,10 +229,15 @@ pub fn measure_async(
                 // never engages inside the measured window.
                 queue_capacity: events.len() + events.len() / BATCH + SHARDS + 1,
                 backpressure: BackpressurePolicy::Block,
+                launch_batch,
             },
         );
         let inputs = prepare(events);
-        let point = measure_once(sink.as_ref(), events, inputs, || sink.drain());
+        sink.pause();
+        let point = measure_once(sink.as_ref(), events, inputs, || {
+            sink.resume();
+            sink.drain();
+        });
         counters = sink.counters();
         assert_eq!(
             counters.dropped_events, 0,
@@ -240,15 +250,52 @@ pub fn measure_async(
     }
     let (producer, total) = best.expect("at least one repeat");
     PipelinePoint {
-        scenario: format!("{label}_async_enqueue_w{workers}"),
+        scenario: format!("{label}_async_enqueue_w{workers}_b{launch_batch}"),
         producer_ns_per_event: producer,
         total_ns_per_event: total,
         counters,
     }
 }
 
+/// Measures synchronous ingestion through the thread-local batching
+/// wrapper ([`BatchingSink`]): producers buffer `launch_batch` events,
+/// then apply each shard's run under one lock acquisition.
+pub fn measure_sync_batched(
+    label: &str,
+    events: &[PipelineEvent],
+    interner: &Arc<Interner>,
+    repeats: usize,
+    launch_batch: usize,
+) -> PipelinePoint {
+    let mut best: Option<(f64, f64)> = None;
+    let mut counters = SinkCounters::default();
+    for _ in 0..repeats.max(1) {
+        let sink = BatchingSink::new(ShardedSink::new(Arc::clone(interner), SHARDS), launch_batch);
+        let inputs = prepare(events);
+        let point = measure_once(sink.as_ref(), events, inputs, || sink.flush_batches());
+        counters = sink.counters();
+        best = Some(match best {
+            Some((p, t)) => (p.min(point.0), t.min(point.1)),
+            None => point,
+        });
+    }
+    let (producer, total) = best.expect("at least one repeat");
+    PipelinePoint {
+        scenario: format!("{label}_sync_batched_b{launch_batch}"),
+        producer_ns_per_event: producer,
+        total_ns_per_event: total,
+        counters,
+    }
+}
+
+/// The batch sizes the sweep measures (1 = unbatched baseline).
+pub const BATCH_SWEEP: [usize; 4] = [1, 8, 64, 256];
+
 /// The full comparison: sync inline vs async enqueue over the coarse and
-/// fine-grained streams, one producer, `ops` events, best of `repeats`.
+/// fine-grained streams — the asynchronous side swept across
+/// [`BATCH_SWEEP`] producer batch sizes, plus one batched synchronous
+/// point at the default batch — one producer, `ops` events, best of
+/// `repeats`.
 pub fn pipeline_matrix(
     ops: usize,
     samples_per_kernel: usize,
@@ -260,12 +307,33 @@ pub fn pipeline_matrix(
         .unwrap_or(1);
     let coarse = coarse_stream(&interner, ops);
     let fine = fine_grained_stream(&interner, ops, samples_per_kernel);
-    vec![
+    let mut points = vec![
         measure_sync("coarse", &coarse, &interner, repeats),
-        measure_async("coarse", &coarse, &interner, workers, repeats),
         measure_sync("fine", &fine, &interner, repeats),
-        measure_async("fine", &fine, &interner, workers, repeats),
-    ]
+    ];
+    for &batch in &BATCH_SWEEP {
+        points.push(measure_async(
+            "coarse", &coarse, &interner, workers, repeats, batch,
+        ));
+        points.push(measure_async(
+            "fine", &fine, &interner, workers, repeats, batch,
+        ));
+    }
+    points.push(measure_sync_batched(
+        "coarse",
+        &coarse,
+        &interner,
+        repeats,
+        DEFAULT_LAUNCH_BATCH,
+    ));
+    points.push(measure_sync_batched(
+        "fine",
+        &fine,
+        &interner,
+        repeats,
+        DEFAULT_LAUNCH_BATCH,
+    ));
+    points
 }
 
 #[cfg(test)]
@@ -276,19 +344,39 @@ mod tests {
     #[test]
     fn matrix_produces_all_scenarios_with_zero_drops() {
         let points = pipeline_matrix(256, 4, 1);
-        assert_eq!(points.len(), 4);
+        // 2 sync baselines + (coarse, fine) × batch sweep + 2 batched sync.
+        assert_eq!(points.len(), 4 + 2 * BATCH_SWEEP.len());
         for p in &points {
             assert!(p.producer_ns_per_event > 0.0, "{}", p.scenario);
             assert!(p.total_ns_per_event >= p.producer_ns_per_event);
-            assert_eq!(p.counters.dropped_events, 0);
+            assert_eq!(p.counters.dropped_events, 0, "{}", p.scenario);
         }
+        let by = |prefix: &str| {
+            points
+                .iter()
+                .find(|p| p.scenario.starts_with(prefix))
+                .unwrap_or_else(|| panic!("scenario {prefix} measured"))
+        };
         // Fine-grained streams attribute instruction samples too.
-        assert!(points[2].counters.instruction_samples > 0);
-        assert!(points[3].counters.enqueued_events > 0);
+        assert!(by("fine_sync_inline").counters.instruction_samples > 0);
+        assert!(by("fine_async").counters.enqueued_events > 0);
+        // Batched scenarios actually batched; the unbatched ones did not.
+        let async_at = |batch: usize| {
+            let suffix = format!("_b{batch}");
+            points
+                .iter()
+                .find(|p| p.scenario.starts_with("coarse_async") && p.scenario.ends_with(&suffix))
+                .unwrap_or_else(|| panic!("coarse async point at batch {batch}"))
+        };
+        let batched = async_at(DEFAULT_LAUNCH_BATCH);
+        assert!(batched.counters.producer_flushes > 0);
+        assert!(batched.counters.batched_events > 0);
+        assert_eq!(async_at(1).counters.batched_events, 0);
+        assert!(by("coarse_sync_batched").counters.producer_flushes > 0);
     }
 
     #[test]
-    fn async_profile_matches_sync_profile_for_both_streams() {
+    fn async_and_batched_profiles_match_the_sync_profile() {
         let interner = Interner::new();
         for events in [
             coarse_stream(&interner, 192),
@@ -296,15 +384,22 @@ mod tests {
         ] {
             let sync = ShardedSink::new(Arc::clone(&interner), SHARDS);
             drive_producer(sync.as_ref(), &events, prepare(&events));
+            let s = sync.snapshot();
             let async_sink = AsyncSink::new(
                 ShardedSink::new(Arc::clone(&interner), SHARDS),
                 PipelineConfig::default(),
             );
             drive_producer(async_sink.as_ref(), &events, prepare(&events));
-            let s = sync.snapshot();
             let a = async_sink.snapshot();
             assert_eq!(s.semantic_diff(&a), None);
             assert_eq!(s.total(MetricKind::GpuTime), a.total(MetricKind::GpuTime));
+            let batched = BatchingSink::new(
+                ShardedSink::new(Arc::clone(&interner), SHARDS),
+                DEFAULT_LAUNCH_BATCH,
+            );
+            drive_producer(batched.as_ref(), &events, prepare(&events));
+            let b = batched.snapshot();
+            assert_eq!(s.semantic_diff(&b), None);
         }
     }
 }

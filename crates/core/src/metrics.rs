@@ -97,7 +97,10 @@ impl fmt::Display for StallReason {
 /// Coarse-grained kinds (times, launches, occupancy, memory) come from the
 /// GPU callback/activity APIs and CPU sampling; fine-grained kinds (stall
 /// samples) come from instruction sampling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` order is arbitrary but stable — [`MetricStore`] keeps its
+/// entries sorted by it so lookups can binary-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MetricKind {
     /// GPU kernel execution time, nanoseconds.
     GpuTime,
@@ -131,6 +134,10 @@ pub enum MetricKind {
     HwBranchMisses,
     /// GPU instruction samples (count).
     InstructionSamples,
+    /// Profiler events discarded by an overloaded ingestion pipeline
+    /// (the `DropOldest` backpressure policy), attributed to a synthetic
+    /// `<dropped>` context so overload is visible in the profile itself.
+    DroppedEvents,
     /// GPU instruction samples stalled for a specific reason (count).
     Stall(StallReason),
     /// A user-defined metric named by an interned symbol.
@@ -168,6 +175,7 @@ impl MetricKind {
             MetricKind::HwCacheMisses => "hw_cache_misses".into(),
             MetricKind::HwBranchMisses => "hw_branch_misses".into(),
             MetricKind::InstructionSamples => "instruction_samples".into(),
+            MetricKind::DroppedEvents => "dropped_events".into(),
             MetricKind::Stall(r) => format!("stall.{r}"),
             MetricKind::Custom(sym) => format!("custom.{}", sym.index()),
         }
@@ -215,6 +223,7 @@ impl MetricKind {
             MetricKind::HwCacheMisses => 13,
             MetricKind::HwBranchMisses => 14,
             MetricKind::InstructionSamples => 15,
+            MetricKind::DroppedEvents => 16,
             MetricKind::Stall(_) | MetricKind::Custom(_) => unreachable!("encoded separately"),
         }
     }
@@ -237,6 +246,7 @@ impl MetricKind {
             13 => MetricKind::HwCacheMisses,
             14 => MetricKind::HwBranchMisses,
             15 => MetricKind::InstructionSamples,
+            16 => MetricKind::DroppedEvents,
             _ => return None,
         })
     }
@@ -430,8 +440,12 @@ impl MetricStat {
 
 /// Per-node map from metric kind to aggregate.
 ///
-/// Stored as a small sorted-by-insertion vector: nodes typically carry only
-/// a handful of metric kinds, so a `HashMap` per node would waste memory.
+/// Stored as a small vector kept **sorted by kind**: nodes typically carry
+/// only a handful of metric kinds, so a `HashMap` per node would waste
+/// memory, and the sorted layout lets every lookup binary-search instead
+/// of scanning — attribution touches this map once per event, so at the
+/// ~10-kind scale the store stays allocation-free on lookups and pays at
+/// most one small `memmove` when a node sees a brand-new kind.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricStore {
     entries: Vec<(MetricKind, MetricStat)>,
@@ -443,23 +457,29 @@ impl MetricStore {
         Self::default()
     }
 
+    /// Index of `kind` (`Ok`) or its sorted insertion point (`Err`).
+    #[inline]
+    fn position(&self, kind: MetricKind) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(&kind))
+    }
+
     /// Adds a sample of `kind`.
     pub fn add(&mut self, kind: MetricKind, value: f64) {
-        if let Some((_, stat)) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
-            stat.add(value);
-        } else {
-            let mut stat = MetricStat::new();
-            stat.add(value);
-            self.entries.push((kind, stat));
+        match self.position(kind) {
+            Ok(i) => self.entries[i].1.add(value),
+            Err(i) => {
+                let mut stat = MetricStat::new();
+                stat.add(value);
+                self.entries.insert(i, (kind, stat));
+            }
         }
     }
 
     /// Merges a whole aggregate of `kind` (used by CCT merging).
     pub fn merge_stat(&mut self, kind: MetricKind, other: &MetricStat) {
-        if let Some((_, stat)) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
-            stat.merge(other);
-        } else {
-            self.entries.push((kind, *other));
+        match self.position(kind) {
+            Ok(i) => self.entries[i].1.merge(other),
+            Err(i) => self.entries.insert(i, (kind, *other)),
         }
     }
 
@@ -488,10 +508,7 @@ impl MetricStore {
 
     /// The aggregate for `kind`, if any samples were recorded.
     pub fn get(&self, kind: MetricKind) -> Option<&MetricStat> {
-        self.entries
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, s)| s)
+        self.position(kind).ok().map(|i| &self.entries[i].1)
     }
 
     /// Sum for `kind`, or 0 if absent (the most common query).
@@ -504,7 +521,7 @@ impl MetricStore {
         self.get(kind).map(|s| s.count).unwrap_or(0)
     }
 
-    /// Iterates (kind, stat) pairs in insertion order.
+    /// Iterates (kind, stat) pairs in kind-sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (MetricKind, &MetricStat)> {
         self.entries.iter().map(|(k, s)| (*k, s))
     }
@@ -734,6 +751,7 @@ mod tests {
             MetricKind::HwCacheMisses,
             MetricKind::HwBranchMisses,
             MetricKind::InstructionSamples,
+            MetricKind::DroppedEvents,
             MetricKind::Stall(StallReason::MathDependency),
             custom,
         ];
@@ -741,6 +759,35 @@ mod tests {
             let rec = k.to_record();
             assert_eq!(MetricKind::from_record(&rec).unwrap(), k, "record {rec:?}");
         }
+    }
+
+    #[test]
+    fn store_entries_stay_sorted_regardless_of_insertion_order() {
+        let i = crate::Interner::new();
+        let kinds = [
+            MetricKind::Stall(StallReason::Other),
+            MetricKind::GpuTime,
+            MetricKind::Custom(i.intern("late")),
+            MetricKind::CpuTime,
+            MetricKind::DroppedEvents,
+            MetricKind::Stall(StallReason::MemoryDependency),
+        ];
+        let mut forward = MetricStore::new();
+        for k in kinds {
+            forward.add(k, 1.0);
+        }
+        let mut backward = MetricStore::new();
+        for k in kinds.iter().rev() {
+            backward.add(*k, 1.0);
+        }
+        let fwd: Vec<MetricKind> = forward.iter().map(|(k, _)| k).collect();
+        let bwd: Vec<MetricKind> = backward.iter().map(|(k, _)| k).collect();
+        assert_eq!(fwd, bwd, "iteration order is insertion-independent");
+        assert!(fwd.windows(2).all(|w| w[0] < w[1]), "sorted by kind");
+        for k in kinds {
+            assert_eq!(forward.get(k).map(|s| s.count), Some(1));
+        }
+        assert_eq!(forward.get(MetricKind::RealTime), None);
     }
 
     #[test]

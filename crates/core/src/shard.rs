@@ -42,6 +42,7 @@ pub struct CctShard {
     tree: CallingContextTree,
     corr: HashMap<u64, NodeId>,
     orphan: Option<NodeId>,
+    dropped: Option<NodeId>,
     prev_batch: Vec<u64>,
     curr_batch: Vec<u64>,
     generation: u64,
@@ -54,6 +55,7 @@ impl CctShard {
             tree: CallingContextTree::with_interner(interner),
             corr: HashMap::new(),
             orphan: None,
+            dropped: None,
             prev_batch: Vec::new(),
             curr_batch: Vec::new(),
             generation: 0,
@@ -132,6 +134,34 @@ impl CctShard {
         }
     }
 
+    /// The hoisted synthetic `<dropped>` context: overload telemetry for
+    /// ingestion pipelines whose drop policy discarded events. Created on
+    /// first use, like [`orphan_node`](Self::orphan_node).
+    pub fn dropped_node(&mut self) -> NodeId {
+        match self.dropped {
+            Some(node) => node,
+            None => {
+                self.generation += 1;
+                let interner = self.tree.interner();
+                let frame = Frame::operator("<dropped>", &interner);
+                let node = self.tree.insert_path(std::slice::from_ref(&frame));
+                self.dropped = Some(node);
+                node
+            }
+        }
+    }
+
+    /// Records `count` events discarded by an overloaded pipeline under
+    /// the synthetic `<dropped>` context
+    /// ([`MetricKind::DroppedEvents`]), so `DropOldest` overload is
+    /// visible inside the profile rather than only in side counters.
+    pub fn attribute_dropped(&mut self, count: u64) {
+        let node = self.dropped_node();
+        self.generation += 1;
+        self.tree
+            .attribute(node, MetricKind::DroppedEvents, count as f64);
+    }
+
     /// Resolves `correlation` to its bound context, falling back to the
     /// hoisted catch-all. Returns the node and whether it was the orphan
     /// fallback — the resolution step ingestion workers run per activity
@@ -200,6 +230,9 @@ impl CctShard {
         self.curr_batch.extend_from_slice(&other.curr_batch);
         if self.orphan.is_none() {
             self.orphan = other.orphan.map(|node| mapping[node.index()]);
+        }
+        if self.dropped.is_none() {
+            self.dropped = other.dropped.map(|node| mapping[node.index()]);
         }
     }
 
@@ -372,6 +405,23 @@ mod tests {
             a.tree().metric(orphan_a, MetricKind::GpuTime).unwrap().sum,
             1.0
         );
+    }
+
+    #[test]
+    fn dropped_node_is_created_once_and_aggregates_counts() {
+        let i = interner();
+        let mut shard = CctShard::new(i);
+        shard.attribute_dropped(3);
+        shard.attribute_dropped(4);
+        let node = shard.dropped_node();
+        assert_eq!(shard.dropped_node(), node);
+        assert_eq!(shard.tree().node_count(), 2, "root + one <dropped>");
+        let stat = shard
+            .tree()
+            .metric(node, MetricKind::DroppedEvents)
+            .expect("dropped metric present");
+        assert_eq!(stat.sum, 7.0);
+        assert_eq!(stat.count, 2);
     }
 
     #[test]

@@ -67,6 +67,7 @@ use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
+use crate::batch::{BatchCounters, BatchDelivery, Batcher, ProducerEvent};
 use crate::sharded::ShardedSink;
 use crate::sink::{EventSink, SinkCounters};
 
@@ -90,10 +91,25 @@ pub struct PipelineConfig {
     /// the host's available parallelism.
     pub workers: usize,
     /// Bounded capacity of each shard's queue, in messages (one launch,
-    /// one CPU sample, or one routed activity bucket per message).
+    /// one CPU sample, one routed activity bucket, or one flushed
+    /// thread-local batch per message).
     pub queue_capacity: usize,
     /// What producers do when a shard queue is full.
     pub backpressure: BackpressurePolicy,
+    /// Thread-local producer batching threshold, in events: launches and
+    /// CPU samples accumulate in a per-thread buffer that is flushed —
+    /// one striped-directory bind pass plus one channel batch-push per
+    /// shard — when this many events are pending, at every barrier
+    /// (flush / snapshot / finish / epoch / counters), before any
+    /// activity delivery, and on thread exit. `1` disables batching
+    /// (every event is enqueued as it happens). The default honours the
+    /// `DEEPCONTEXT_LAUNCH_BATCH` environment override
+    /// ([`default_launch_batch`](crate::default_launch_batch)).
+    ///
+    /// Applies to the synchronous pipeline too: the profiler wraps its
+    /// [`ShardedSink`] in a [`BatchingSink`](crate::BatchingSink) when
+    /// this is above 1.
+    pub launch_batch: usize,
 }
 
 impl Default for PipelineConfig {
@@ -102,6 +118,7 @@ impl Default for PipelineConfig {
             workers: 0,
             queue_capacity: 256,
             backpressure: BackpressurePolicy::Block,
+            launch_batch: crate::default_launch_batch(),
         }
     }
 }
@@ -134,6 +151,9 @@ enum Event {
         metric: MetricKind,
         value: f64,
     },
+    /// One flushed thread-local producer batch (launches and samples in
+    /// buffer order), applied under a single shard-lock acquisition.
+    Batch(Vec<ProducerEvent>),
     /// A flush boundary, propagated per shard in event order.
     Epoch,
 }
@@ -144,6 +164,7 @@ impl Event {
     fn weight(&self) -> u64 {
         match self {
             Event::Activities(batch) => batch.len() as u64,
+            Event::Batch(events) => events.len() as u64,
             Event::Launch { .. } | Event::Sample { .. } => 1,
             Event::Epoch => 0,
         }
@@ -166,6 +187,14 @@ struct ShardQueue {
     /// nothing between them are a no-op after the first) at the end of
     /// its next pass over the shard.
     pending_epochs: AtomicU64,
+    /// Events this queue's `DropOldest` evictions discarded — the
+    /// per-shard half of the global `dropped_events` counter, feeding the
+    /// synthetic `<dropped>` CCT context.
+    dropped: AtomicU64,
+    /// How much of [`dropped`](Self::dropped) has already been attributed
+    /// to the shard's `<dropped>` context (snapshot paths publish the
+    /// delta).
+    dropped_published: AtomicU64,
 }
 
 /// Parking slot for one worker: producers nudge it only when it is (or
@@ -207,6 +236,11 @@ const COALESCE: usize = 128;
 /// live correlation state balloon with the queue backlog. This cap keeps
 /// the prune cadence within a small factor of synchronous mode.
 const COALESCE_RECORDS: usize = 512;
+/// Events per `Event::Batch` queue message: flushed producer batches
+/// larger than this are chunked (and pushed as one single-notify channel
+/// run), so a message never represents an unbounded slice of the queue's
+/// capacity.
+const MESSAGE_GRAIN: usize = 64;
 
 struct Shared {
     inner: Arc<ShardedSink>,
@@ -220,6 +254,9 @@ struct Shared {
     drain_mutex: Mutex<()>,
     drain_cv: Condvar,
     drain_waiters: AtomicUsize,
+    /// Serializes `<dropped>`-telemetry publication (see
+    /// [`publish_drops`](Shared::publish_drops)).
+    drop_publish: Mutex<()>,
     // Pipeline counters.
     enqueued_events: AtomicU64,
     dropped_events: AtomicU64,
@@ -227,6 +264,7 @@ struct Shared {
     drain_waits: AtomicU64,
     worker_batches: AtomicU64,
     worker_events: AtomicU64,
+    producer_batches: BatchCounters,
 }
 
 impl Shared {
@@ -291,15 +329,19 @@ impl Shared {
                                 }
                                 Ok(old) => {
                                     // Evict the oldest data message; its
-                                    // events are gone and counted, and
-                                    // any correlation state that only
-                                    // the evicted message would have
-                                    // retired is discarded with it —
-                                    // otherwise every dropped launch or
-                                    // terminal record would leak its
+                                    // events are gone and counted (both
+                                    // globally and per shard, so the
+                                    // synthetic `<dropped>` context can
+                                    // localize the overload), and any
+                                    // correlation state that only the
+                                    // evicted message would have retired
+                                    // is discarded with it — otherwise
+                                    // every dropped launch or terminal
+                                    // record would leak its
                                     // directory/shard binding forever.
-                                    self.dropped_events
-                                        .fetch_add(old.weight(), Ordering::Relaxed);
+                                    let weight = old.weight();
+                                    self.dropped_events.fetch_add(weight, Ordering::Relaxed);
+                                    q.dropped.fetch_add(weight, Ordering::Relaxed);
                                     self.discard_bindings_of(&old);
                                     self.retire(shard, 1);
                                 }
@@ -322,7 +364,79 @@ impl Shared {
         let enq = q.enqueued.fetch_add(1, Ordering::AcqRel) + 1;
         let depth = enq.saturating_sub(q.applied.load(Ordering::Acquire));
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
-        self.parkers[self.worker_for(shard)].nudge();
+        self.nudge_worker(shard);
+    }
+
+    /// Nudges the worker owning `shard` — unless the pool is paused:
+    /// paused workers ignore work anyway, and `resume` re-nudges
+    /// everyone, so skipping saves a mutex + notify per enqueue during a
+    /// pause (worst case, a racing resume costs one park timeout).
+    fn nudge_worker(&self, shard: usize) {
+        if !self.paused.load(Ordering::Relaxed) {
+            self.parkers[self.worker_for(shard)].nudge();
+        }
+    }
+
+    /// Enqueues a run of messages to `shard` under one channel pass.
+    /// Under `Block` the whole run goes through the channel's
+    /// single-notify batch push ([`channel::Sender::send_batch`]) — one
+    /// lock round-trip and at most one waiter wake for the entire flush
+    /// instead of one per message. `DropOldest` falls back to the
+    /// per-message eviction loop, which must interleave sends with
+    /// evictions.
+    fn enqueue_run(&self, shard: usize, run: Vec<Event>) {
+        if run.is_empty() {
+            return;
+        }
+        match self.policy {
+            BackpressurePolicy::Block => {
+                let weight: u64 = run.iter().map(Event::weight).sum();
+                let messages = run.len() as u64;
+                let q = &self.queues[shard];
+                let mut lost = 0u64;
+                if let Err(channel::SendError(rest)) = q.tx.send_batch(run) {
+                    // Workers are gone (sink shutting down); account the
+                    // unsent remainder as dropped-and-retired so barriers
+                    // never hang (mirrors `enqueue`'s disconnect path).
+                    lost = rest.len() as u64;
+                    self.dropped_events
+                        .fetch_add(rest.iter().map(Event::weight).sum(), Ordering::Relaxed);
+                }
+                self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                let enq = q.enqueued.fetch_add(messages, Ordering::AcqRel) + messages;
+                if lost > 0 {
+                    self.retire(shard, lost);
+                }
+                let depth = enq.saturating_sub(q.applied.load(Ordering::Acquire));
+                self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+                self.nudge_worker(shard);
+            }
+            BackpressurePolicy::DropOldest => {
+                for event in run {
+                    self.enqueue(shard, event);
+                }
+            }
+        }
+    }
+
+    /// Attributes each shard's not-yet-published drop count to its
+    /// synthetic `<dropped>` context. Run on snapshot paths (after the
+    /// drain barrier), so the profile itself shows where `DropOldest`
+    /// overload discarded events. Publication is serialized by a mutex so
+    /// that when any caller returns, every delta visible at its entry has
+    /// been *applied* — a claim-then-apply race would let a concurrent
+    /// snapshot fold the shards between the claim and the apply and
+    /// return a tree missing telemetry its own counters report.
+    fn publish_drops(&self) {
+        let _guard = self.drop_publish.lock().unwrap_or_else(|e| e.into_inner());
+        for (idx, q) in self.queues.iter().enumerate() {
+            let dropped = q.dropped.load(Ordering::Acquire);
+            let published = q.dropped_published.load(Ordering::Relaxed);
+            if dropped > published {
+                self.inner.apply_dropped(idx, dropped - published);
+                q.dropped_published.store(dropped, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Discards the correlation state an evicted message leaves behind:
@@ -344,6 +458,18 @@ impl Shared {
                 for activity in batch {
                     if !matches!(activity.kind, ActivityKind::PcSampling { .. }) {
                         self.inner.discard_correlation(activity.correlation_id.0);
+                    }
+                }
+            }
+            Event::Batch(events) => {
+                // A flushed producer batch carries launches whose routes
+                // were directory-bound at flush time — those bindings die
+                // with the eviction.
+                for event in events {
+                    if let ProducerEvent::Launch { origin, .. } = event {
+                        if let Some(corr) = origin.correlation {
+                            self.inner.discard_correlation(corr.0);
+                        }
                     }
                 }
             }
@@ -472,6 +598,13 @@ impl Shared {
                     self.worker_events.fetch_add(1, Ordering::Relaxed);
                     self.retire(idx, 1);
                 }
+                Event::Batch(batch) => {
+                    flush_run(&mut run, &mut run_records);
+                    self.inner.apply_producer_batch(idx, &batch);
+                    self.worker_events
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.retire(idx, 1);
+                }
                 Event::Epoch => {
                     flush_run(&mut run, &mut run_records);
                     self.inner.epoch_complete_shard(idx);
@@ -505,12 +638,46 @@ impl Shared {
     }
 }
 
+impl BatchDelivery for Shared {
+    fn sharded(&self) -> &ShardedSink {
+        &self.inner
+    }
+
+    fn deliver(&self, shard: usize, mut events: Vec<ProducerEvent>) {
+        self.producer_batches.record(events.len() as u64);
+        // One `Batch` message per `MESSAGE_GRAIN` events: the whole run
+        // goes through the channel's single-notify batch push, while
+        // keeping queue-message granularity bounded — `queue_capacity`
+        // and `DropOldest` eviction stay meaningful even when
+        // `launch_batch` is configured far above the grain.
+        if events.len() <= MESSAGE_GRAIN {
+            self.enqueue_run(shard, vec![Event::Batch(events)]);
+            return;
+        }
+        // Chunk from the tail so every element is moved exactly once
+        // (a head-first `split_off` would re-copy the remainder per
+        // chunk — quadratic in the batch size).
+        let mut run: Vec<Event> = Vec::with_capacity(events.len() / MESSAGE_GRAIN + 1);
+        while events.len() > MESSAGE_GRAIN {
+            let tail = events.split_off(events.len() - MESSAGE_GRAIN);
+            run.push(Event::Batch(tail));
+        }
+        run.push(Event::Batch(events));
+        run.reverse();
+        self.enqueue_run(shard, run);
+    }
+}
+
 /// The asynchronous [`EventSink`] (see the [module docs](self)): a
 /// producer-side router over per-shard bounded queues plus an owned
 /// attribution worker pool, wrapping the [`ShardedSink`] that holds the
 /// actual profile state.
 pub struct AsyncSink {
     shared: Arc<Shared>,
+    /// Thread-local producer batching (`None` when
+    /// [`PipelineConfig::launch_batch`] is 1: events enqueue as they
+    /// happen, the pre-batching behaviour).
+    batcher: Option<Batcher>,
     workers: usize,
     handles: Vec<JoinHandle<()>>,
 }
@@ -530,6 +697,8 @@ impl AsyncSink {
                         enqueued: AtomicU64::new(0),
                         applied: AtomicU64::new(0),
                         pending_epochs: AtomicU64::new(0),
+                        dropped: AtomicU64::new(0),
+                        dropped_published: AtomicU64::new(0),
                     }
                 })
                 .collect(),
@@ -541,13 +710,21 @@ impl AsyncSink {
             drain_mutex: Mutex::new(()),
             drain_cv: Condvar::new(),
             drain_waiters: AtomicUsize::new(0),
+            drop_publish: Mutex::new(()),
             enqueued_events: AtomicU64::new(0),
             dropped_events: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
             drain_waits: AtomicU64::new(0),
             worker_batches: AtomicU64::new(0),
             worker_events: AtomicU64::new(0),
+            producer_batches: BatchCounters::default(),
             inner,
+        });
+        let batcher = (config.launch_batch > 1).then(|| {
+            Batcher::new(
+                Arc::clone(&shared) as Arc<dyn BatchDelivery>,
+                config.launch_batch,
+            )
         });
         let handles = (0..workers)
             .map(|w| {
@@ -560,9 +737,18 @@ impl AsyncSink {
             .collect();
         Arc::new(AsyncSink {
             shared,
+            batcher,
             workers,
             handles,
         })
+    }
+
+    /// Flushes every thread's pending producer batch into the queues
+    /// (without waiting for attribution). No-op when batching is off.
+    fn flush_producers(&self) {
+        if let Some(batcher) = &self.batcher {
+            batcher.flush_all();
+        }
     }
 
     /// The wrapped synchronous sink holding the profile state.
@@ -575,10 +761,12 @@ impl AsyncSink {
         self.workers
     }
 
-    /// Blocks until every event enqueued before this call has been
-    /// attributed (or dropped). All snapshot paths call this implicitly;
-    /// it is public for tests and for explicit quiesce points.
+    /// Blocks until every event produced before this call has been
+    /// attributed (or dropped), flushing thread-local producer batches
+    /// first. All snapshot paths call this implicitly; it is public for
+    /// tests and for explicit quiesce points.
     pub fn drain(&self) {
+        self.flush_producers();
         self.shared.drain();
     }
 
@@ -615,6 +803,20 @@ impl EventSink for AsyncSink {
 
     fn gpu_launch_owned(&self, origin: &EventOrigin, path: CallPath, api: ApiKind) {
         let idx = self.shared.inner.route(origin);
+        if let Some(batcher) = &self.batcher {
+            // Batched fast path: append to this thread's buffer; the
+            // flush binds the whole batch's correlations in one striped
+            // pass and pushes one message run per shard.
+            batcher.push(
+                idx,
+                ProducerEvent::Launch {
+                    origin: *origin,
+                    path,
+                    api,
+                },
+            );
+            return;
+        }
         if let Some(corr) = origin.correlation {
             // Bind the route before the event is visible anywhere, so
             // activity records arriving while this launch is queued
@@ -639,30 +841,16 @@ impl EventSink for AsyncSink {
         if batch.is_empty() {
             return;
         }
+        if let Some(batcher) = &self.batcher {
+            // Activity records resolve through launches' correlations, so
+            // every buffered launch anywhere must be bound (and ahead in
+            // its shard's FIFO) before these records route.
+            batcher.flush_all();
+        }
         // Route every record once, then move records into buckets — no
         // activity (or PC-sample payload) is ever cloned on this path.
-        let routes: Vec<u32> = batch
-            .iter()
-            .map(|a| self.shared.inner.route_activity(a.correlation_id.0) as u32)
-            .collect();
-        let first = routes[0];
-        if routes.iter().all(|&r| r == first) {
-            // Fast path — the whole flush belongs to one shard (the
-            // common case for single-stream producers): the runtime's
-            // buffer becomes the queue message as-is.
-            self.shared
-                .enqueue(first as usize, Event::Activities(batch));
-            return;
-        }
-        let shards = self.shared.inner.shard_count();
-        let mut buckets: Vec<Vec<Activity>> = vec![Vec::new(); shards];
-        for (activity, idx) in batch.into_iter().zip(&routes) {
-            buckets[*idx as usize].push(activity);
-        }
-        for (idx, bucket) in buckets.into_iter().enumerate() {
-            if !bucket.is_empty() {
-                self.shared.enqueue(idx, Event::Activities(bucket));
-            }
+        for (idx, bucket) in self.shared.inner.partition_activities(batch) {
+            self.shared.enqueue(idx, Event::Activities(bucket));
         }
     }
 
@@ -678,6 +866,17 @@ impl EventSink for AsyncSink {
         value: f64,
     ) {
         let idx = self.shared.inner.route(origin);
+        if let Some(batcher) = &self.batcher {
+            batcher.push(
+                idx,
+                ProducerEvent::Sample {
+                    path,
+                    metric,
+                    value,
+                },
+            );
+            return;
+        }
         self.shared.enqueue(
             idx,
             Event::Sample {
@@ -689,11 +888,19 @@ impl EventSink for AsyncSink {
     }
 
     fn epoch_complete(&self) {
-        // First barrier: everything enqueued before this flush boundary
-        // is applied — and peak-samples its batch-boundary states —
-        // before any shard sees the boundary itself, exactly as in
-        // synchronous mode (where `activity_batch` returns before
-        // `epoch_complete` starts trimming).
+        // First barrier: everything produced before this flush boundary
+        // is flushed out of thread-local batches and applied — and
+        // peak-samples its batch-boundary states — before any shard sees
+        // the boundary itself, exactly as in synchronous mode (where
+        // `activity_batch` returns before `epoch_complete` starts
+        // trimming).
+        self.flush_producers();
+        if let Some(batcher) = &self.batcher {
+            // Epochs are quiescent points: shed the flush-window capacity
+            // thread-local buffers retain, like the shard/directory trims
+            // below.
+            batcher.trim();
+        }
         self.shared.drain();
         // Then propagate the boundary through every shard queue in event
         // order and wait for the trims to land.
@@ -705,23 +912,31 @@ impl EventSink for AsyncSink {
     }
 
     fn snapshot(&self) -> CallingContextTree {
+        self.flush_producers();
         self.shared.drain();
+        self.shared.publish_drops();
         self.shared.inner.snapshot()
     }
 
     fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        self.flush_producers();
         self.shared.drain();
+        self.shared.publish_drops();
         self.shared.inner.with_snapshot(f);
     }
 
     fn finish_snapshot(&self) -> CallingContextTree {
+        self.flush_producers();
         self.shared.drain();
+        self.shared.publish_drops();
         self.shared.inner.finish_snapshot()
     }
 
     fn counters(&self) -> SinkCounters {
-        // Drain first so counter reads are as deterministic as in
-        // synchronous mode (high-water marks are unaffected).
+        // Flush producer batches and drain first so counter reads are as
+        // deterministic as in synchronous mode (high-water marks are
+        // unaffected).
+        self.flush_producers();
         self.shared.drain();
         SinkCounters {
             enqueued_events: self.shared.enqueued_events.load(Ordering::Relaxed),
@@ -730,26 +945,46 @@ impl EventSink for AsyncSink {
             drain_waits: self.shared.drain_waits.load(Ordering::Relaxed),
             worker_batches: self.shared.worker_batches.load(Ordering::Relaxed),
             worker_events: self.shared.worker_events.load(Ordering::Relaxed),
+            producer_flushes: self.shared.producer_batches.flushes.load(Ordering::Relaxed),
+            batched_events: self.shared.producer_batches.events.load(Ordering::Relaxed),
             ..self.shared.inner.counters()
         }
     }
 
     fn approx_bytes(&self) -> usize {
-        let queued: u64 = (0..self.shared.queues.len())
-            .map(|idx| self.shared.depth(idx))
-            .sum();
-        // Queued messages are owned event copies awaiting attribution;
-        // estimate them at one cache line each plus the channel shells.
+        // Queued state is estimated in *events*, not messages — an
+        // `Event::Batch` or activity-bucket message carries up to
+        // `MESSAGE_GRAIN`/bucket-size owned events, so counting messages
+        // would under-report a batched backlog by that factor. Weight
+        // accounting: accepted − applied − dropped = still queued.
+        let enqueued = self.shared.enqueued_events.load(Ordering::Relaxed);
+        let applied = self.shared.worker_events.load(Ordering::Relaxed);
+        let dropped = self.shared.dropped_events.load(Ordering::Relaxed);
+        let queued = enqueued.saturating_sub(applied).saturating_sub(dropped);
+        // Each queued event is an owned copy awaiting attribution;
+        // estimate one cache line each plus the channel shells.
+        // Thread-local producer buffers are ingestion state too.
         self.shared.inner.approx_bytes()
             + queued as usize * (std::mem::size_of::<Event>() + 64)
             + self.shared.queues.len() * std::mem::size_of::<ShardQueue>()
+            + self.batcher.as_ref().map_or(0, Batcher::approx_bytes)
     }
 }
 
 impl Drop for AsyncSink {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        // Un-pause and wake the pool *before* flushing producers: a
+        // flush's Block-policy send on a full queue can only complete if
+        // workers are draining, so flushing first would deadlock a
+        // paused sink dropped with a full queue.
         self.shared.paused.store(false, Ordering::Release);
+        for parker in &self.shared.parkers {
+            parker.nudge();
+        }
+        // Hand any still-buffered producer events to the workers before
+        // asking them to wind down (they drain their queues on exit).
+        self.flush_producers();
+        self.shared.shutdown.store(true, Ordering::Release);
         for parker in &self.shared.parkers {
             // Unconditional wake: a worker may be between the parked-flag
             // store and the wait.
@@ -791,6 +1026,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 2,
                 backpressure: BackpressurePolicy::DropOldest,
+                launch_batch: 1,
             },
         );
         // Seed: a launch plus its terminal activity — after the bucket's
@@ -846,6 +1082,59 @@ mod tests {
     }
 
     #[test]
+    fn dropping_a_paused_sink_with_full_queue_and_buffered_batch_terminates() {
+        // Drop must un-pause and wake the pool *before* flushing
+        // thread-local batches: the flush's Block-policy send on a full
+        // queue can only complete once workers drain, so the old order
+        // (flush, then un-pause) deadlocked this exact shape.
+        let interner = Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 1);
+        let sink = AsyncSink::new(
+            Arc::clone(&inner),
+            PipelineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Block,
+                launch_batch: 64,
+            },
+        );
+        sink.pause();
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel("k", "m.so", 0x1, &interner));
+        // Fill the 1-slot queue (activity buckets enqueue directly)...
+        sink.activity_batch(&[Activity {
+            correlation_id: CorrelationId(1),
+            device: DeviceId(0),
+            kind: ActivityKind::Malloc {
+                bytes: 64,
+                at: TimeNs(1),
+            },
+        }]);
+        // ...and leave one sample buffered in the thread-local batch.
+        let origin = EventOrigin {
+            tid: Some(1),
+            ..EventOrigin::default()
+        };
+        sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 1.0);
+
+        let dropper = std::thread::spawn(move || drop(sink));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !dropper.is_finished() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            dropper.is_finished(),
+            "dropping a paused sink with a full queue deadlocked"
+        );
+        dropper.join().expect("drop panicked");
+        // Nothing was lost: the queued bucket and the buffered sample
+        // were both attributed during shutdown.
+        let cct = inner.snapshot();
+        assert_eq!(cct.total(MetricKind::CpuTime), 1.0);
+        assert_eq!(cct.total(MetricKind::GpuAllocBytes), 64.0);
+    }
+
+    #[test]
     fn drop_oldest_does_not_leak_correlation_state() {
         // Evicted launches must unbind their enqueue-time directory
         // entry, and evicted terminal activity records must discard
@@ -860,6 +1149,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 2,
                 backpressure: BackpressurePolicy::DropOldest,
+                launch_batch: 1,
             },
         );
         let mut path = CallPath::new();

@@ -1,0 +1,548 @@
+//! Thread-local producer-side event batching.
+//!
+//! PR 3's asynchronous pipeline made *attribution* cheap for producers,
+//! but left a fixed per-launch cost on the monitored workload's critical
+//! path: one correlation-directory bind, one bounded-channel push, one
+//! waiter check per event. On coarse kernel-only streams — where
+//! attribution itself is cheap — those fixed costs dominate. This module
+//! amortizes them: producers append events to a per-thread, per-shard
+//! [`LaunchBatch`] buffer, and a whole buffer is flushed at once —
+//! binding every batched correlation in **one** striped-directory pass
+//! ([`ShardedSink::bind_batch`]) and handing each shard's run to the
+//! sink in **one** delivery (one bounded-channel batch push in
+//! asynchronous mode, one shard-lock acquisition in synchronous mode).
+//!
+//! # Flush points
+//!
+//! A thread's buffer is flushed when:
+//!
+//! * it reaches [`PipelineConfig::launch_batch`] events (the capacity
+//!   trigger, tuned by `bench_pipeline` and overridable via the
+//!   `DEEPCONTEXT_LAUNCH_BATCH` environment variable);
+//! * **any** activity batch is delivered — activity records resolve
+//!   through launches' correlations, so every buffered launch anywhere
+//!   must be bound and delivered before a record routes
+//!   ([`Batcher::flush_all`] walks every thread's buffer, not just the
+//!   caller's);
+//! * an explicit barrier runs (flush / snapshot / finish / epoch /
+//!   counters) — so batched and unbatched profiles are indistinguishable
+//!   at every observation point;
+//! * the owning thread exits (thread quiesce: the thread-local
+//!   registration's destructor flushes the remainder).
+//!
+//! # Ordering
+//!
+//! Only the per-event collection paths (launches, CPU samples) are
+//! buffered; activity buckets arrive pre-batched from the GPU runtime
+//! and are delivered eagerly, right after the global flush that
+//! guarantees every launch they resolve through is already bound and
+//! ahead of them. Within one buffer, events keep arrival order per
+//! shard, so flushing preserves the per-shard event order the unbatched
+//! pipeline would have applied inline — the batched == unbatched
+//! equivalence the proptests assert — and the correlation two-phase
+//! prune runs at exactly the unbatched cadence (no extra live-state
+//! window, so peak profile memory is unchanged).
+//!
+//! [`PipelineConfig::launch_batch`]: crate::PipelineConfig::launch_batch
+
+use std::cell::RefCell;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ApiKind};
+
+use crate::sharded::ShardedSink;
+use crate::sink::{EventSink, SinkCounters};
+
+/// One producer-side event held in a [`LaunchBatch`] buffer, already
+/// routed to its home shard. Only the *per-event* collection paths —
+/// launches and CPU samples, where fixed costs dominate — are buffered;
+/// activity buckets arrive pre-batched from the GPU runtime and are
+/// delivered eagerly (after a global flush), so the correlation
+/// lifecycle keeps exactly the unbatched prune cadence.
+pub(crate) enum ProducerEvent {
+    /// A GPU API interception at its launch site.
+    Launch {
+        /// Routing identity; its correlation is directory-bound by the
+        /// flush's `bind_batch` pass, not per event.
+        origin: EventOrigin,
+        /// The unified call path bound at the launch site.
+        path: CallPath,
+        /// Which API was intercepted.
+        api: ApiKind,
+    },
+    /// A CPU sample on the buffering thread.
+    Sample {
+        /// The sampled thread's unified call path.
+        path: CallPath,
+        /// Metric attributed by the sample.
+        metric: MetricKind,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// Where a flushed batch goes: the asynchronous sink enqueues it as one
+/// bounded-channel message run, the synchronous wrapper applies it under
+/// one shard-lock acquisition.
+pub(crate) trait BatchDelivery: Send + Sync {
+    /// The sharded sink owning the routing directory flushes bind into.
+    fn sharded(&self) -> &ShardedSink;
+
+    /// Delivers one shard's flushed events in buffer order. The flush has
+    /// already directory-bound every launch correlation in the batch.
+    fn deliver(&self, shard: usize, events: Vec<ProducerEvent>);
+}
+
+/// One thread's pending events, bucketed per shard.
+pub(crate) struct LaunchBatch {
+    shards: Vec<Vec<ProducerEvent>>,
+    /// Total buffered event weight across all shards.
+    pending: u64,
+}
+
+impl LaunchBatch {
+    fn new(shards: usize) -> Self {
+        LaunchBatch {
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Flushes every non-empty shard bucket into `delivery`, binding each
+    /// bucket's launch correlations in one striped-directory pass first.
+    /// Returns the flushed event count.
+    fn flush(&mut self, delivery: &dyn BatchDelivery) -> u64 {
+        if self.pending == 0 {
+            return 0;
+        }
+        let flushed = self.pending;
+        let mut corrs: Vec<u64> = Vec::new();
+        for (idx, bucket) in self.shards.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // Hand the filled bucket over but leave equivalent capacity
+            // behind: one allocation per flush window instead of a
+            // geometric regrowth (and its memcpys) on every refill.
+            let events = std::mem::replace(bucket, Vec::with_capacity(bucket.len()));
+            corrs.clear();
+            corrs.extend(events.iter().filter_map(|e| match e {
+                ProducerEvent::Launch { origin, .. } => origin.correlation.map(|c| c.0),
+                ProducerEvent::Sample { .. } => None,
+            }));
+            // Publish the whole batch's routes before any of it becomes
+            // visible, so activity records arriving while the batch is in
+            // flight route to the same shard (the batched analogue of the
+            // unbatched pipeline's enqueue-time `bind_route`).
+            delivery.sharded().bind_batch(&corrs, idx);
+            delivery.deliver(idx, events);
+        }
+        self.pending = 0;
+        flushed
+    }
+
+    /// Approximate resident bytes of the buffered events.
+    fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<ProducerEvent>())
+            .sum::<usize>()
+            + self.pending as usize * 64
+    }
+}
+
+/// One thread's registered buffer: the owning thread appends under the
+/// mutex (uncontended in steady state); barrier threads lock it to flush
+/// on the thread's behalf.
+struct Slot {
+    buf: Mutex<LaunchBatch>,
+    /// Back-reference for the thread-quiesce flush; weak so a dead sink
+    /// cannot be kept alive (or resurrected) by idle thread-locals.
+    delivery: Weak<dyn BatchDelivery>,
+    /// The owning [`Batcher`]'s buffered-event total, decremented by
+    /// whoever flushes this slot.
+    pending_total: Arc<AtomicU64>,
+}
+
+/// The thread-local handle to a [`Slot`]; dropping it (thread exit)
+/// flushes whatever the dying thread still buffers.
+struct LocalSlot(Arc<Slot>);
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        if let Some(delivery) = self.0.delivery.upgrade() {
+            let flushed = self.0.buf.lock().flush(delivery.as_ref());
+            self.0.pending_total.fetch_sub(flushed, Ordering::AcqRel);
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's slots, one per live batching sink the thread has
+    /// produced into, most-recently-used first. A short vector beats a
+    /// hash map here: the common workload produces into one sink, so the
+    /// per-event lookup is a single id compare at index 0.
+    static LOCAL_SLOTS: RefCell<Vec<(u64, LocalSlot)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Unique id per [`Batcher`] instance, keying the thread-local registry.
+static NEXT_BATCHER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The producer-side batching engine shared by both ingestion modes: a
+/// registry of per-thread [`LaunchBatch`] buffers plus the flush policy.
+pub(crate) struct Batcher {
+    id: u64,
+    /// Flush threshold in events; `push` flushes the whole thread buffer
+    /// once this many events are pending.
+    capacity: u64,
+    shard_count: usize,
+    delivery: Arc<dyn BatchDelivery>,
+    /// Every live slot, so barriers can flush threads they do not own.
+    slots: Mutex<Vec<Arc<Slot>>>,
+    /// Events buffered across **all** slots right now, so the empty case
+    /// of [`flush_all`](Self::flush_all) — every activity delivery runs
+    /// one — is one atomic load instead of a registry sweep.
+    pending_total: Arc<AtomicU64>,
+}
+
+impl Batcher {
+    pub(crate) fn new(delivery: Arc<dyn BatchDelivery>, launch_batch: usize) -> Self {
+        let shard_count = delivery.sharded().shard_count();
+        Batcher {
+            id: NEXT_BATCHER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity: launch_batch.max(1) as u64,
+            shard_count,
+            delivery,
+            slots: Mutex::new(Vec::new()),
+            pending_total: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Registers a fresh slot for the calling thread (and prunes dead
+    /// sinks' local entries while at it — registration is rare).
+    fn register_slot(&self, slots: &mut Vec<(u64, LocalSlot)>) {
+        slots.retain(|(_, s)| s.0.delivery.strong_count() > 0);
+        let slot = Arc::new(Slot {
+            buf: Mutex::new(LaunchBatch::new(self.shard_count)),
+            delivery: Arc::downgrade(&self.delivery),
+            pending_total: Arc::clone(&self.pending_total),
+        });
+        self.slots.lock().push(Arc::clone(&slot));
+        slots.insert(0, (self.id, LocalSlot(slot)));
+    }
+
+    /// Appends one routed event to the calling thread's buffer, flushing
+    /// the buffer when it reaches the capacity trigger. The whole hot
+    /// path runs inside the thread-local borrow, so an event costs one id
+    /// compare, one uncontended slot lock and one `Vec` push — no
+    /// refcount traffic.
+    pub(crate) fn push(&self, shard: usize, event: ProducerEvent) {
+        LOCAL_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            let pos = slots.iter().position(|(id, _)| *id == self.id);
+            let pos = match pos {
+                Some(pos) => pos,
+                None => {
+                    self.register_slot(&mut slots);
+                    0
+                }
+            };
+            if pos != 0 {
+                // Keep the active sink's slot at index 0.
+                slots.swap(0, pos);
+            }
+            let mut buf = slots[0].1 .0.buf.lock();
+            buf.pending += 1;
+            // Published while the slot lock is held, so once this event's
+            // producer call has returned, any later `flush_all` observes
+            // a non-zero total (the runtime's own synchronization orders
+            // a launch's return before its activity's delivery).
+            self.pending_total.fetch_add(1, Ordering::AcqRel);
+            buf.shards[shard].push(event);
+            if buf.pending >= self.capacity {
+                let flushed = buf.flush(self.delivery.as_ref());
+                self.pending_total.fetch_sub(flushed, Ordering::AcqRel);
+            }
+        });
+    }
+
+    /// Flushes **every** thread's buffer — the barrier half of the
+    /// design: snapshots, epochs, counters and activity deliveries all
+    /// observe a world with no batched event left behind. Slots whose
+    /// thread has exited (their quiesce flush already ran) are pruned.
+    /// When nothing is buffered anywhere (the common case on
+    /// activity-heavy paths), this is a single atomic load.
+    pub(crate) fn flush_all(&self) {
+        if self.pending_total.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let slots: Vec<Arc<Slot>> = {
+            let mut registry = self.slots.lock();
+            registry.retain(|slot| Arc::strong_count(slot) > 1);
+            registry.clone()
+        };
+        for slot in slots {
+            let flushed = slot.buf.lock().flush(self.delivery.as_ref());
+            self.pending_total.fetch_sub(flushed, Ordering::AcqRel);
+        }
+    }
+
+    /// Sheds the flush-window capacity every thread's buffer retains
+    /// between flushes — the batching analogue of `CctShard::trim`, run
+    /// at epoch boundaries so resident memory between epochs tracks live
+    /// state, not the largest window ever buffered.
+    pub(crate) fn trim(&self) {
+        let slots: Vec<Arc<Slot>> = self.slots.lock().clone();
+        for slot in slots {
+            let mut buf = slot.buf.lock();
+            for bucket in &mut buf.shards {
+                if bucket.capacity() > 16 && bucket.capacity() / 4 > bucket.len() {
+                    bucket.shrink_to_fit();
+                }
+            }
+        }
+    }
+
+    /// Approximate resident bytes of all buffered events.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .map(|slot| slot.buf.lock().approx_bytes())
+            .sum()
+    }
+}
+
+/// Counters a delivery target maintains so batching effectiveness is
+/// observable ([`SinkCounters::producer_flushes`] /
+/// [`SinkCounters::batched_events`]).
+#[derive(Default)]
+pub(crate) struct BatchCounters {
+    /// Per-shard batch deliveries performed.
+    pub(crate) flushes: AtomicU64,
+    /// Events that travelled through thread-local batches.
+    pub(crate) events: AtomicU64,
+}
+
+impl BatchCounters {
+    pub(crate) fn record(&self, events: u64) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(events, Ordering::Relaxed);
+    }
+}
+
+/// Synchronous-mode delivery: apply the whole batch under one shard-lock
+/// acquisition.
+struct SyncDelivery {
+    inner: Arc<ShardedSink>,
+    counters: BatchCounters,
+}
+
+impl BatchDelivery for SyncDelivery {
+    fn sharded(&self) -> &ShardedSink {
+        &self.inner
+    }
+
+    fn deliver(&self, shard: usize, events: Vec<ProducerEvent>) {
+        self.counters.record(events.len() as u64);
+        self.inner.apply_producer_batch(shard, &events);
+    }
+}
+
+/// The synchronous pipeline with thread-local producer batching: wraps a
+/// [`ShardedSink`] so producers append launches and CPU samples to
+/// per-thread buffers and pay the routing/locking cost once per
+/// [`PipelineConfig::launch_batch`] events instead of per event. Every
+/// barrier (flush, snapshot, finish, counters) and every activity
+/// delivery flushes all buffers first, so observed profiles are
+/// indistinguishable from the unbatched sink's.
+///
+/// [`PipelineConfig::launch_batch`]: crate::PipelineConfig::launch_batch
+pub struct BatchingSink {
+    delivery: Arc<SyncDelivery>,
+    batcher: Batcher,
+}
+
+impl BatchingSink {
+    /// Wraps `inner`, flushing each thread's buffer every `launch_batch`
+    /// events (1 = deliver per event; prefer the bare [`ShardedSink`]
+    /// then).
+    pub fn new(inner: Arc<ShardedSink>, launch_batch: usize) -> Arc<Self> {
+        let delivery = Arc::new(SyncDelivery {
+            inner,
+            counters: BatchCounters::default(),
+        });
+        let batcher = Batcher::new(
+            Arc::clone(&delivery) as Arc<dyn BatchDelivery>,
+            launch_batch,
+        );
+        Arc::new(BatchingSink { delivery, batcher })
+    }
+
+    /// The wrapped sharded sink holding the profile state.
+    pub fn inner(&self) -> &Arc<ShardedSink> {
+        &self.delivery.inner
+    }
+
+    /// Flushes every thread's pending batch without taking a snapshot —
+    /// an explicit quiesce point for tests and embedders.
+    pub fn flush_batches(&self) {
+        self.batcher.flush_all();
+    }
+}
+
+impl EventSink for BatchingSink {
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        self.gpu_launch_owned(origin, path.clone(), api);
+    }
+
+    fn gpu_launch_owned(&self, origin: &EventOrigin, path: CallPath, api: ApiKind) {
+        let idx = self.delivery.inner.route(origin);
+        self.batcher.push(
+            idx,
+            ProducerEvent::Launch {
+                origin: *origin,
+                path,
+                api,
+            },
+        );
+    }
+
+    fn activity_batch(&self, batch: &[Activity]) {
+        if batch.is_empty() {
+            return;
+        }
+        // Every buffered launch anywhere must be bound and applied before
+        // these records route through the directory (module docs); the
+        // records themselves — already batched by the GPU runtime — are
+        // applied eagerly so correlation pruning keeps the unbatched
+        // cadence. Applied from the borrow either way: no record is ever
+        // cloned on this path.
+        self.batcher.flush_all();
+        self.delivery.inner.activity_batch(batch);
+    }
+
+    fn activity_batch_owned(&self, batch: Vec<Activity>) {
+        self.activity_batch(&batch);
+    }
+
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
+        self.cpu_sample_owned(origin, path.clone(), metric, value);
+    }
+
+    fn cpu_sample_owned(
+        &self,
+        origin: &EventOrigin,
+        path: CallPath,
+        metric: MetricKind,
+        value: f64,
+    ) {
+        let idx = self.delivery.inner.route(origin);
+        self.batcher.push(
+            idx,
+            ProducerEvent::Sample {
+                path,
+                metric,
+                value,
+            },
+        );
+    }
+
+    fn epoch_complete(&self) {
+        self.batcher.flush_all();
+        self.batcher.trim();
+        self.delivery.inner.epoch_complete();
+    }
+
+    fn snapshot(&self) -> CallingContextTree {
+        self.batcher.flush_all();
+        self.delivery.inner.snapshot()
+    }
+
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        self.batcher.flush_all();
+        self.delivery.inner.with_snapshot(f);
+    }
+
+    fn finish_snapshot(&self) -> CallingContextTree {
+        self.batcher.flush_all();
+        self.delivery.inner.finish_snapshot()
+    }
+
+    fn counters(&self) -> SinkCounters {
+        // Flush first so counter reads observe every produced event,
+        // exactly as the unbatched sink would.
+        self.batcher.flush_all();
+        SinkCounters {
+            producer_flushes: self.delivery.counters.flushes.load(Ordering::Relaxed),
+            batched_events: self.delivery.counters.events.load(Ordering::Relaxed),
+            ..self.delivery.inner.counters()
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.delivery.inner.approx_bytes() + self.batcher.approx_bytes()
+    }
+}
+
+impl Drop for BatchingSink {
+    fn drop(&mut self) {
+        // Deliver whatever producer threads still buffer into the wrapped
+        // sink — embedders holding `inner()` keep observing a complete
+        // profile, the same drop contract the asynchronous sink honours.
+        // (Thread-local destructors could not: the `SyncDelivery` weak
+        // reference dies with this wrapper.)
+        self.batcher.flush_all();
+    }
+}
+
+impl std::fmt::Debug for BatchingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchingSink")
+            .field("shards", &self.delivery.inner.shard_count())
+            .field("launch_batch", &self.batcher.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::Frame;
+
+    #[test]
+    fn dropping_the_wrapper_delivers_buffered_events_to_inner() {
+        // Embedders may keep `inner()` past the wrapper's lifetime; a
+        // partial batch buffered at drop time must still reach the
+        // wrapped sink (the sync analogue of AsyncSink's drop contract —
+        // thread-local destructors cannot do it, their weak delivery
+        // reference dies with the wrapper).
+        let interner = deepcontext_core::Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 4);
+        let sink = BatchingSink::new(Arc::clone(&inner), 64);
+        let origin = EventOrigin {
+            tid: Some(1),
+            ..EventOrigin::default()
+        };
+        let mut path = CallPath::new();
+        path.push(Frame::operator("aten::relu", &interner));
+        sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 2.0);
+        assert_eq!(
+            inner.snapshot().total(MetricKind::CpuTime),
+            0.0,
+            "still buffered"
+        );
+        drop(sink);
+        assert_eq!(
+            inner.snapshot().total(MetricKind::CpuTime),
+            2.0,
+            "drop delivered the partial batch"
+        );
+    }
+}

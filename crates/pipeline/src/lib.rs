@@ -13,23 +13,36 @@
 //!   [backpressure](BackpressurePolicy) and deterministic drain barriers
 //!   (see [`async_sink`]).
 //!
-//! The asynchronous mode drives the *same* per-shard entry points as the
-//! synchronous mode ([`ShardedSink::apply_launch`] et al.), so the two
-//! modes produce semantically identical profiles — an equivalence this
-//! crate's proptests assert tree-by-tree via
-//! `CallingContextTree::semantic_diff`.
+//! Both modes share **thread-local producer batching** ([`batch`]):
+//! producers append launches and CPU samples to a per-thread, per-shard
+//! `LaunchBatch` buffer; a flush — every
+//! [`PipelineConfig::launch_batch`] events, at every barrier, before any
+//! activity delivery, and on thread exit — binds the whole batch's
+//! correlations in one striped-directory pass and hands each shard's run
+//! over in one delivery, amortizing the per-launch fixed costs that
+//! dominate coarse kernel-only streams. The asynchronous mode drives the
+//! *same* per-shard entry points as the synchronous mode
+//! ([`ShardedSink::apply_launch`] et al.), so the modes produce
+//! semantically identical profiles — an equivalence this crate's
+//! proptests assert tree-by-tree via
+//! `CallingContextTree::semantic_diff` at `launch_batch` 1, 7 and 64.
 //!
 //! ```text
 //!  producers (launch cb / activity flush / CPU sampler)
-//!      │  route + bind corr→shard        (no shard lock)
+//!      │  route → per-thread LaunchBatch        (no locks shared)
+//!      ▼  flush: batch ≥ launch_batch │ barrier │ activity │ thread exit
+//!  bind_batch corr→shard (one striped directory pass)
+//!      │
+//!      ├── sync: apply batch under one shard-lock acquisition
 //!      ▼
 //!  per-shard bounded channels  ──ᴮˡᵒᶜᵏ/ᴰʳᵒᵖᴼˡᵈᵉˢᵗ──  backpressure
-//!      │  FIFO per shard
+//!      │  FIFO per shard, send_batch single-notify push
 //!      ▼
 //!  worker pool (shard i → worker i mod W)
-//!      │  apply_launch / apply_activities / apply_cpu_sample / epoch
+//!      │  apply_producer_batch / apply_activities / epoch
 //!      ▼
 //!  CctShards ──merge_incremental──▶ cached master CCT
+//!      └── per-shard DropOldest drops ──▶ synthetic `<dropped>` context
 //! ```
 //!
 //! [`CctShard`]: deepcontext_core::CctShard
@@ -38,12 +51,36 @@
 #![warn(missing_docs)]
 
 pub mod async_sink;
+pub mod batch;
 pub mod sharded;
 pub mod sink;
 
 pub use async_sink::{AsyncSink, BackpressurePolicy, PipelineConfig};
+pub use batch::BatchingSink;
 pub use sharded::ShardedSink;
 pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+/// The built-in producer-batching threshold
+/// ([`PipelineConfig::launch_batch`]) when no environment override is
+/// set — chosen by `bench_pipeline`'s batch-size sweep (see
+/// `BENCH_pipeline.json`): large enough to amortize the directory bind
+/// and channel push, small enough that a barrier flushing a partial
+/// batch wastes little work.
+pub const DEFAULT_LAUNCH_BATCH: usize = 64;
+
+/// The default producer-batching threshold, honouring the
+/// `DEEPCONTEXT_LAUNCH_BATCH` environment override CI uses to run the
+/// whole suite both unbatched (`=1`) and batched (`=64`). `0` is
+/// treated as `1` — both mean "off" — so the natural disable value
+/// never silently falls back to full batching; unset or unparsable
+/// values fall back to [`DEFAULT_LAUNCH_BATCH`].
+pub fn default_launch_batch() -> usize {
+    std::env::var("DEEPCONTEXT_LAUNCH_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(DEFAULT_LAUNCH_BATCH)
+}
 
 /// Whether attribution runs inline on producers or on the worker pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

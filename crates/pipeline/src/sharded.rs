@@ -59,6 +59,7 @@ use deepcontext_core::{CallPath, CallingContextTree, CctShard, FoldState, Intern
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
+use crate::batch::ProducerEvent;
 use crate::sink::{attribute_activity_metrics, EventSink, SinkCounters};
 
 /// Mixes a routing key so sequential tids/correlation ids spread across
@@ -263,6 +264,48 @@ impl ShardedSink {
         self.directory_bind(correlation, shard);
     }
 
+    /// [`bind_route`](Self::bind_route) for a whole launch batch in one
+    /// striped pass: each directory stripe holding any of `corrs` is
+    /// locked exactly once, so a flushed thread-local batch pays one lock
+    /// round-trip per *stripe touched* instead of one per launch.
+    pub fn bind_batch(&self, corrs: &[u64], shard: usize) {
+        // Allocation-free: each chunk's stripe indices live on the stack.
+        const CHUNK: usize = 256;
+        match corrs.len() {
+            0 => {}
+            1 => self.directory_bind(corrs[0], shard),
+            _ => {
+                for chunk in corrs.chunks(CHUNK) {
+                    let mut slots = [0u16; CHUNK];
+                    for (slot, corr) in slots.iter_mut().zip(chunk) {
+                        *slot = self.index_for(*corr) as u16;
+                    }
+                    let mut remaining = chunk.len();
+                    for stripe in 0..self.directory.len() {
+                        if remaining == 0 {
+                            break;
+                        }
+                        let mut map = None;
+                        let mut added = 0usize;
+                        for (corr, slot) in chunk.iter().zip(&slots) {
+                            if *slot as usize != stripe {
+                                continue;
+                            }
+                            let map = map.get_or_insert_with(|| self.directory[stripe].lock());
+                            if map.insert(*corr, shard as u32).is_none() {
+                                added += 1;
+                            }
+                            remaining -= 1;
+                        }
+                        if added > 0 {
+                            self.dir_entries.fetch_add(added, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Forgets every trace of `correlation`: its directory entry and, if
     /// the launch was already applied, the shard's binding — bypassing
     /// the two-phase prune. For drop policies discarding a correlation
@@ -382,6 +425,82 @@ impl ShardedSink {
         for corr in pruned {
             self.directory_remove(corr);
         }
+    }
+
+    /// Applies one flushed thread-local batch at shard `idx` under **one**
+    /// shard-lock acquisition, preserving buffer order: launches insert
+    /// and bind (their directory entries were published by the flush's
+    /// [`bind_batch`](Self::bind_batch) pass), samples attribute — so a
+    /// batched producer folds exactly the state an unbatched one would,
+    /// at a fraction of the locking cost.
+    pub(crate) fn apply_producer_batch(&self, idx: usize, events: &[ProducerEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut shard = self.shards[idx].lock();
+        for event in events {
+            match event {
+                ProducerEvent::Launch { origin, path, api } => {
+                    let node = shard.insert_call_path(path);
+                    if *api == ApiKind::LaunchKernel {
+                        shard
+                            .tree_mut()
+                            .attribute(node, MetricKind::KernelLaunches, 1.0);
+                    }
+                    if let Some(corr) = origin.correlation {
+                        shard.bind(corr.0, node);
+                    }
+                }
+                ProducerEvent::Sample {
+                    path,
+                    metric,
+                    value,
+                } => {
+                    let node = shard.insert_call_path(path);
+                    shard.tree_mut().attribute(node, *metric, *value);
+                }
+            }
+        }
+        // Deliberately no `shard_bytes` refresh: like `apply_launch` and
+        // `apply_cpu_sample`, launch/sample shards enter peak accounting
+        // at flush boundaries only, so the set of states a peak sample
+        // can observe is identical with and without producer batching.
+    }
+
+    /// Routes an owned activity buffer into per-shard buckets without
+    /// cloning a record (or PC-sampling payload): the whole buffer is
+    /// returned as-is when every record shares one home shard — the
+    /// common case for single-stream producers.
+    pub(crate) fn partition_activities(&self, batch: Vec<Activity>) -> Vec<(usize, Vec<Activity>)> {
+        let routes: Vec<u32> = batch
+            .iter()
+            .map(|a| self.route_activity(a.correlation_id.0) as u32)
+            .collect();
+        let first = routes[0];
+        if routes.iter().all(|&r| r == first) {
+            return vec![(first as usize, batch)];
+        }
+        let mut buckets: Vec<Vec<Activity>> = vec![Vec::new(); self.shards.len()];
+        for (activity, idx) in batch.into_iter().zip(&routes) {
+            buckets[*idx as usize].push(activity);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .collect()
+    }
+
+    /// Attributes `count` pipeline-dropped events to shard `idx`'s
+    /// synthetic `<dropped>` context, so `DropOldest` overload shows up
+    /// inside the profile (not just in side counters).
+    pub fn apply_dropped(&self, idx: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut shard = self.shards[idx].lock();
+        shard.attribute_dropped(count);
+        self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
     }
 
     fn apply_activity_refs<'a>(&self, idx: usize, bucket: impl Iterator<Item = &'a Activity>) {

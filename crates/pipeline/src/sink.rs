@@ -121,6 +121,14 @@ pub struct SinkCounters {
     pub worker_batches: u64,
     /// Events applied by pipeline workers.
     pub worker_events: u64,
+    /// Per-shard thread-local batch deliveries performed by producers
+    /// (zero when `launch_batch` is 1). With
+    /// [`batched_events`](Self::batched_events), measures producer-side
+    /// amortization: `batched_events / producer_flushes` is the mean
+    /// events per flushed batch.
+    pub producer_flushes: u64,
+    /// Events that travelled through thread-local producer batches.
+    pub batched_events: u64,
 }
 
 /// Where profiler collection paths deliver their events.

@@ -1,20 +1,29 @@
-//! Asynchronous-pipeline correctness.
+//! Pipeline correctness: batched and asynchronous modes against the
+//! unbatched synchronous oracle.
 //!
-//! * **`async == sync` equivalence**: for arbitrary interleavings of
-//!   launches, activity flushes, CPU samples, epoch boundaries and
-//!   snapshot requests, the [`AsyncSink`]'s profile must be semantically
-//!   identical (via `CallingContextTree::semantic_diff`) to a
-//!   [`ShardedSink`] fed the same events inline — under both the
-//!   single-shard and the 16-shard layout.
+//! * **`batched == unbatched` / `async == sync` equivalence**: for
+//!   arbitrary interleavings of launches, activity flushes, CPU samples,
+//!   epoch boundaries and snapshot requests, the [`AsyncSink`]'s and the
+//!   [`BatchingSink`]'s profiles must be semantically identical (via
+//!   `CallingContextTree::semantic_diff`) to a bare [`ShardedSink`] fed
+//!   the same events inline — at `launch_batch` 1, 7 and 64, under both
+//!   the single-shard and the 16-shard layout. Interleavings include
+//!   epoch barriers and snapshots landing mid-batch, so partial-batch
+//!   flushes are exercised constantly.
 //! * **Drain barriers**: every snapshot observes every event enqueued
-//!   before it, with no explicit flush.
+//!   (or still sitting in a thread-local batch) before it, with no
+//!   explicit flush.
 //! * **Backpressure**: `Block` never drops; `DropOldest` drops, counts
-//!   what it dropped, and attributes exactly the remainder.
+//!   what it dropped — including partially-flushed thread-local batches
+//!   evicted whole — discards the dropped correlations' bindings, and
+//!   surfaces the damage as the synthetic `<dropped>` CCT context.
 
 use std::sync::Arc;
 
-use deepcontext_core::{CallPath, Frame, Interner, MetricKind, TimeNs};
-use deepcontext_pipeline::{AsyncSink, BackpressurePolicy, EventSink, PipelineConfig, ShardedSink};
+use deepcontext_core::{CallPath, Frame, FrameKind, Interner, MetricKind, TimeNs};
+use deepcontext_pipeline::{
+    AsyncSink, BackpressurePolicy, BatchingSink, EventSink, PipelineConfig, ShardedSink,
+};
 use dlmonitor::EventOrigin;
 use proptest::prelude::*;
 use sim_gpu::{Activity, ActivityKind, ApiKind, CorrelationId, DeviceId, StreamId};
@@ -97,14 +106,36 @@ fn arb_step() -> impl Strategy<Value = Step> {
     ]
 }
 
-/// Drives one interleaving into a synchronous sink and an asynchronous
-/// wrapper over the same shard layout, checking `async == sync` at every
-/// snapshot point and once more at the end.
-fn check_interleaving(steps: &[Step], shards: usize) {
+/// Drives one interleaving into the unbatched synchronous oracle and a
+/// candidate sink — the asynchronous pipeline or the synchronous
+/// batching wrapper at a given `launch_batch` — over the same shard
+/// layout, checking `candidate == oracle` at every snapshot point and
+/// once more at the end.
+fn check_interleaving(steps: &[Step], shards: usize, async_mode: bool, launch_batch: usize) {
     let interner = Interner::new();
-    let sync = ShardedSink::new(Arc::clone(&interner), shards);
-    let async_inner = ShardedSink::new(Arc::clone(&interner), shards);
-    let async_sink = AsyncSink::new(async_inner, PipelineConfig::default());
+    let oracle = ShardedSink::new(Arc::clone(&interner), shards);
+    let candidate: Arc<dyn EventSink> = if async_mode {
+        AsyncSink::new(
+            ShardedSink::new(Arc::clone(&interner), shards),
+            PipelineConfig {
+                launch_batch,
+                ..PipelineConfig::default()
+            },
+        )
+    } else {
+        BatchingSink::new(
+            ShardedSink::new(Arc::clone(&interner), shards),
+            launch_batch,
+        )
+    };
+    let label = || {
+        format!(
+            "{} shards, {}, launch_batch {}",
+            shards,
+            if async_mode { "async" } else { "sync batched" },
+            launch_batch
+        )
+    };
 
     let mut next_corr = 1u64;
     let mut outstanding: Vec<(u64, u8)> = Vec::new();
@@ -117,8 +148,8 @@ fn check_interleaving(steps: &[Step], shards: usize) {
                 next_corr += 1;
                 let origin = launch_origin(*tid, *ctx, corr);
                 let path = context_path(&interner, *tid, *ctx);
-                sync.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
-                async_sink.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                oracle.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                candidate.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
                 outstanding.push((corr, *ctx));
             }
             Step::Flush => {
@@ -126,8 +157,8 @@ fn check_interleaving(steps: &[Step], shards: usize) {
                     .drain(..)
                     .map(|(corr, ctx)| kernel_activity(corr, ctx))
                     .collect();
-                sync.activity_batch(&batch);
-                async_sink.activity_batch(&batch);
+                oracle.activity_batch(&batch);
+                candidate.activity_batch(&batch);
             }
             Step::Sample { tid, ctx, value } => {
                 let origin = EventOrigin {
@@ -135,22 +166,22 @@ fn check_interleaving(steps: &[Step], shards: usize) {
                     ..EventOrigin::default()
                 };
                 let path = context_path(&interner, *tid, *ctx);
-                sync.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
-                async_sink.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+                oracle.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+                candidate.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
             }
             Step::Epoch => {
-                sync.epoch_complete();
-                async_sink.epoch_complete();
+                oracle.epoch_complete();
+                candidate.epoch_complete();
             }
             Step::Snapshot => {
                 snapshots += 1;
-                let s = sync.snapshot();
-                let a = async_sink.snapshot();
+                let s = oracle.snapshot();
+                let c = candidate.snapshot();
                 prop_assert_eq!(
-                    s.semantic_diff(&a),
+                    s.semantic_diff(&c),
                     None,
-                    "{} shards, snapshot #{}",
-                    shards,
+                    "{}, snapshot #{}",
+                    label(),
                     snapshots
                 );
             }
@@ -159,24 +190,36 @@ fn check_interleaving(steps: &[Step], shards: usize) {
 
     // Whatever the interleaving ended on: final folds agree, and the
     // Block policy lost nothing.
-    let s = sync.finish_snapshot();
-    let a = async_sink.finish_snapshot();
-    prop_assert_eq!(s.semantic_diff(&a), None, "{} shards, finish", shards);
-    let counters = async_sink.counters();
+    let s = oracle.finish_snapshot();
+    let c = candidate.finish_snapshot();
+    prop_assert_eq!(s.semantic_diff(&c), None, "{}, finish", label());
+    let counters = candidate.counters();
     prop_assert_eq!(counters.dropped_events, 0);
-    prop_assert_eq!(counters.worker_events, counters.enqueued_events);
-    prop_assert_eq!(counters.activities, sync.counters().activities);
+    if async_mode {
+        prop_assert_eq!(counters.worker_events, counters.enqueued_events);
+    }
+    prop_assert_eq!(counters.activities, oracle.counters().activities);
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn async_pipeline_equals_sync_pipeline(
+    fn batched_and_async_pipelines_equal_the_unbatched_sync_oracle(
         steps in prop::collection::vec(arb_step(), 1..80),
     ) {
-        for shards in [1usize, 16] {
-            check_interleaving(&steps, shards);
+        // launch_batch 1 is the unbatched degenerate case (async: the
+        // historical per-event enqueue path); 7 forces frequent
+        // partial-batch flushes at barriers; 64 exceeds most interleaving
+        // lengths so barriers and activity deliveries do all the
+        // flushing.
+        for async_mode in [false, true] {
+            for launch_batch in [1usize, 7, 64] {
+                // 16 shards (the default layout) and 1 shard (everything
+                // serializes through one shard queue/lock).
+                check_interleaving(&steps, 16, async_mode, launch_batch);
+                check_interleaving(&steps, 1, async_mode, launch_batch);
+            }
         }
     }
 }
@@ -271,6 +314,9 @@ fn drop_oldest_counts_drops_and_attributes_the_rest() {
             workers: 2,
             queue_capacity: CAPACITY,
             backpressure: BackpressurePolicy::DropOldest,
+            // Unbatched: each sample is one queue message, so eviction
+            // accounting below is exact per event.
+            launch_batch: 1,
         },
     );
 
@@ -309,8 +355,8 @@ fn drop_oldest_counts_drops_and_attributes_the_rest() {
         "some survive"
     );
     // Exact bookkeeping: survivors and drops partition the enqueued set.
-    let attributed = sink
-        .snapshot()
+    let cct = sink.snapshot();
+    let attributed = cct
         .root_metric(MetricKind::CpuTime)
         .map(|stat| stat.count)
         .unwrap_or(0);
@@ -318,11 +364,113 @@ fn drop_oldest_counts_drops_and_attributes_the_rest() {
         attributed + counters.dropped_events,
         counters.enqueued_events
     );
+    // Drop-policy attribution telemetry: the overload is visible in the
+    // profile itself, as a synthetic `<dropped>` context carrying every
+    // discarded event.
+    assert_eq!(
+        cct.total(MetricKind::DroppedEvents),
+        counters.dropped_events as f64,
+        "snapshot must carry the dropped-event telemetry"
+    );
+    assert!(cct.nodes_of_kind(FrameKind::Operator).iter().any(|n| cct
+        .node(*n)
+        .frame()
+        .label(&interner)
+        .contains("<dropped>")));
     // Depth high-water: the queues filled to capacity (the counter is
     // derived from racing enqueue/evict counters, so concurrent
     // producers on one shard can over-read by at most their number).
     assert!(counters.max_queue_depth >= CAPACITY as u64);
     assert!(counters.max_queue_depth <= (CAPACITY as u64) + PRODUCERS);
+}
+
+#[test]
+fn drop_oldest_evicts_partially_flushed_batches_without_leaks() {
+    // A thread-local batch flushed *before* reaching `launch_batch` (here
+    // by thread quiesce) travels as one queue message; when DropOldest
+    // evicts it, every contained launch must take its directory binding
+    // with it, its events must be counted, and the loss must surface as
+    // the synthetic `<dropped>` context.
+    const PARTIAL: u64 = 5;
+    let interner = Interner::new();
+    let inner = ShardedSink::new(Arc::clone(&interner), 1);
+    let sink = AsyncSink::new(
+        Arc::clone(&inner),
+        PipelineConfig {
+            workers: 1,
+            queue_capacity: 2,
+            backpressure: BackpressurePolicy::DropOldest,
+            launch_batch: 64,
+        },
+    );
+
+    // Paused workers make the overflow deterministic.
+    sink.pause();
+    // A producer thread buffers a partial batch (5 < 64 events) and
+    // exits: thread quiesce binds + flushes it as one batch message.
+    // Explicit spawn + join (not thread::scope): JoinHandle::join waits
+    // for full thread termination, which includes the thread-local
+    // destructor that performs the quiesce flush.
+    {
+        let sink = Arc::clone(&sink);
+        let interner = Arc::clone(&interner);
+        std::thread::spawn(move || {
+            for corr in 1..=PARTIAL {
+                sink.gpu_launch(
+                    &launch_origin(1, 0, corr),
+                    &context_path(&interner, 1, 0),
+                    ApiKind::LaunchKernel,
+                );
+            }
+        })
+        .join()
+        .expect("producer thread");
+    }
+    assert_eq!(
+        inner.directory_entries(),
+        PARTIAL as usize,
+        "quiesce flush must have bound the whole partial batch"
+    );
+
+    // Two full sample batches from this thread overflow the 2-slot queue:
+    // the second delivery evicts the partial launch batch.
+    let origin = EventOrigin {
+        tid: Some(1),
+        ..EventOrigin::default()
+    };
+    let path = context_path(&interner, 1, 0);
+    for _ in 0..128 {
+        sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 1.0);
+    }
+    sink.resume();
+
+    let counters = sink.counters();
+    assert_eq!(
+        counters.dropped_events, PARTIAL,
+        "exactly the partial batch was evicted"
+    );
+    assert_eq!(counters.enqueued_events, PARTIAL + 128);
+    assert!(counters.producer_flushes >= 3, "quiesce + two capacity");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while (inner.correlation_entries() != 0 || inner.directory_entries() != 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::yield_now();
+    }
+    assert_eq!(inner.directory_entries(), 0, "evicted batch leaked routes");
+    assert_eq!(inner.correlation_entries(), 0, "evicted batch leaked binds");
+    let cct = sink.snapshot();
+    assert_eq!(cct.total(MetricKind::DroppedEvents), PARTIAL as f64);
+    assert_eq!(
+        cct.root_metric(MetricKind::CpuTime).map(|s| s.count),
+        Some(128),
+        "both surviving sample batches were attributed"
+    );
+    assert_eq!(
+        cct.total(MetricKind::KernelLaunches),
+        0.0,
+        "the evicted launches never reached the tree"
+    );
 }
 
 #[test]

@@ -47,8 +47,9 @@ use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
 pub mod sink;
 
 pub use sink::{
-    attribute_activity_metrics, default_ingestion_mode, AsyncSink, BackpressurePolicy, EventSink,
-    IngestionMode, PipelineConfig, ShardedSink, SinkCounters,
+    attribute_activity_metrics, default_ingestion_mode, default_launch_batch, AsyncSink,
+    BackpressurePolicy, BatchingSink, EventSink, IngestionMode, PipelineConfig, ShardedSink,
+    SinkCounters, DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -93,8 +94,12 @@ pub struct ProfilerConfig {
     /// resolution, CCT mutation and metric folds off the monitored
     /// workload's critical path.
     pub ingestion_mode: IngestionMode,
-    /// Asynchronous-pipeline tuning (worker count, per-shard queue
-    /// capacity, backpressure policy). Ignored in synchronous mode.
+    /// Ingestion-pipeline tuning. `launch_batch` (thread-local producer
+    /// batching, `DEEPCONTEXT_LAUNCH_BATCH` env override) applies to
+    /// **both** ingestion modes — in synchronous mode the sharded sink is
+    /// wrapped in a [`BatchingSink`] when it is above 1; the worker
+    /// count, queue capacity and backpressure policy apply to
+    /// asynchronous mode only.
     pub pipeline: PipelineConfig,
     /// Whether snapshots are served from the incremental generation-
     /// tracked cache. Disabling trades warm `with_cct` latency for not
@@ -182,6 +187,12 @@ pub struct ProfilerStats {
     pub worker_batches: u64,
     /// Events applied by asynchronous pipeline workers.
     pub worker_events: u64,
+    /// Thread-local producer-batch flushes delivered (zero when
+    /// `launch_batch` is 1); `batched_events / producer_flushes` is the
+    /// mean amortization per flush.
+    pub producer_flushes: u64,
+    /// Events that travelled through thread-local producer batches.
+    pub batched_events: u64,
 }
 
 struct Inner {
@@ -221,6 +232,12 @@ impl Profiler {
             config.snapshot_cache,
         );
         let sink: Arc<dyn EventSink> = match config.ingestion_mode {
+            // Producer batching amortizes routing/locking in synchronous
+            // mode too; the bare sharded sink remains the launch_batch=1
+            // degenerate case.
+            IngestionMode::Sync if config.pipeline.launch_batch > 1 => {
+                BatchingSink::new(sharded, config.pipeline.launch_batch)
+            }
             IngestionMode::Sync => sharded,
             IngestionMode::Async => AsyncSink::new(sharded, config.pipeline),
         };
@@ -375,6 +392,8 @@ impl Profiler {
             drain_waits: counters.drain_waits,
             worker_batches: counters.worker_batches,
             worker_events: counters.worker_events,
+            producer_flushes: counters.producer_flushes,
+            batched_events: counters.batched_events,
         }
     }
 
@@ -699,6 +718,51 @@ mod tests {
             })
         };
         assert_eq!(totals(1), totals(16));
+    }
+
+    #[test]
+    fn producer_batching_amortizes_and_matches_unbatched() {
+        // Thread-local launch batching is a cost optimization, not a
+        // semantic one: profiles and event counts match the unbatched
+        // pipeline exactly, while the batching counters prove events
+        // actually travelled through per-thread batches.
+        let run = |launch_batch: usize| {
+            let rig = rig();
+            let config = ProfilerConfig {
+                pipeline: PipelineConfig {
+                    launch_batch,
+                    ..PipelineConfig::default()
+                },
+                ..ProfilerConfig::default()
+            };
+            let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+            run_relu(&rig, 6);
+            profiler.flush();
+            let stats = profiler.stats();
+            let totals = profiler.with_cct(|cct| {
+                (
+                    cct.node_count(),
+                    cct.total(MetricKind::GpuTime),
+                    cct.total(MetricKind::KernelLaunches),
+                )
+            });
+            (stats, totals)
+        };
+        let (unbatched, unbatched_totals) = run(1);
+        let (batched, batched_totals) = run(64);
+        assert_eq!(unbatched_totals, batched_totals);
+        assert_eq!(batched.activities, unbatched.activities);
+        assert_eq!(batched.launches, unbatched.launches);
+        assert_eq!(
+            unbatched.batched_events, 0,
+            "launch_batch=1 bypasses the batcher"
+        );
+        assert!(batched.batched_events > 0, "events flowed through batches");
+        assert!(batched.producer_flushes > 0);
+        assert!(
+            batched.batched_events >= batched.producer_flushes,
+            "flushes amortize at least one event each"
+        );
     }
 
     #[test]

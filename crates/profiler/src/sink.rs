@@ -8,6 +8,7 @@
 //! path.
 
 pub use deepcontext_pipeline::{
-    attribute_activity_metrics, default_ingestion_mode, AsyncSink, BackpressurePolicy, EventSink,
-    IngestionMode, PipelineConfig, ShardedSink, SinkCounters,
+    attribute_activity_metrics, default_ingestion_mode, default_launch_batch, AsyncSink,
+    BackpressurePolicy, BatchingSink, EventSink, IngestionMode, PipelineConfig, ShardedSink,
+    SinkCounters, DEFAULT_LAUNCH_BATCH,
 };
