@@ -16,6 +16,15 @@
 //! | 4 | [`StallRule`] | Fine-grained Stall Analysis |
 //! | 5 | [`CpuLatencyRule`] | CPU Latency Analysis |
 //!
+//! Two timeline-backed latency analyses join them when a recorded
+//! timeline is attached to the view
+//! ([`ProfileView::with_timeline`] / [`Analyzer::analyze_with_timeline`]):
+//!
+//! | # | Rule | Question |
+//! |---|------|----------|
+//! | 6 | [`GpuIdleRule`] | which contexts left the device idle between launches |
+//! | 7 | [`StreamSerializationRule`] | do multi-stream devices actually overlap |
+//!
 //! Custom rules implement the [`Rule`] trait and register on an
 //! [`Analyzer`].
 
@@ -24,6 +33,7 @@
 
 mod diff;
 mod issue;
+mod latency;
 mod query;
 mod report;
 mod rules;
@@ -31,12 +41,14 @@ mod view;
 
 pub use diff::{DiffEntry, ProfileDiff};
 pub use issue::{Issue, Severity};
+pub use latency::{GpuIdleRule, StreamSerializationRule};
 pub use query::{CallPathQuery, FrameMatcher, SemanticClass};
 pub use report::AnalysisReport;
 pub use rules::{CpuLatencyRule, FwdBwdRule, HotspotRule, KernelFusionRule, StallRule};
 pub use view::ProfileView;
 
 use deepcontext_core::{CallingContextTree, ProfileDb};
+use deepcontext_timeline::TimelineSnapshot;
 
 /// A performance-analysis rule.
 pub trait Rule: Send + Sync {
@@ -80,7 +92,9 @@ impl Analyzer {
     }
 
     /// An analyzer preloaded with the paper's five example analyses at
-    /// their default thresholds.
+    /// their default thresholds, plus the two timeline-backed latency
+    /// rules (which stay silent unless a timeline is attached to the
+    /// analyzed view).
     pub fn with_default_rules() -> Self {
         let mut a = Analyzer::new();
         a.add_rule(HotspotRule::default());
@@ -88,6 +102,8 @@ impl Analyzer {
         a.add_rule(FwdBwdRule::default());
         a.add_rule(StallRule::default());
         a.add_rule(CpuLatencyRule::default());
+        a.add_rule(GpuIdleRule::default());
+        a.add_rule(StreamSerializationRule::default());
         a
     }
 
@@ -113,6 +129,31 @@ impl Analyzer {
     /// analyzer.preview(cct))`), with no database round-trip.
     pub fn preview(&self, cct: &CallingContextTree) -> AnalysisReport {
         self.run(&ProfileView::live(cct))
+    }
+
+    /// [`analyze`](Self::analyze) with the profile's recorded timeline
+    /// attached, enabling the latency rules. `timeline` must have been
+    /// resolved against `db`'s tree (the snapshot `Profiler::finish`
+    /// consumed).
+    pub fn analyze_with_timeline(
+        &self,
+        db: &ProfileDb,
+        timeline: &TimelineSnapshot,
+    ) -> AnalysisReport {
+        self.run(&ProfileView::new(db).with_timeline(timeline))
+    }
+
+    /// [`preview`](Self::preview) with the running profiler's timeline
+    /// attached: `profiler.with_cct(|cct|
+    /// analyzer.preview_with_timeline(cct, &timeline))`, where
+    /// `timeline` came from the same profiler's `timeline()` at the same
+    /// quiesce point.
+    pub fn preview_with_timeline(
+        &self,
+        cct: &CallingContextTree,
+        timeline: &TimelineSnapshot,
+    ) -> AnalysisReport {
+        self.run(&ProfileView::live(cct).with_timeline(timeline))
     }
 
     fn run(&self, view: &ProfileView<'_>) -> AnalysisReport {

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use deepcontext_core::{
     CallingContextTree, Frame, FrameKind, Interner, MetricKind, NodeId, OpPhase, ProfileDb,
 };
+use deepcontext_timeline::TimelineSnapshot;
 
 /// A convenience view over a profile for rules: label rendering, semantic
 /// lookups, and common metric projections.
@@ -13,11 +14,15 @@ use deepcontext_core::{
 /// either a stored [`ProfileDb`] ([`new`](Self::new)) or a borrowed
 /// in-progress tree ([`live`](Self::live)) — the latter is how analysis
 /// previews run inside `Profiler::with_cct` against the profiler's
-/// cached snapshot, without serializing a database first.
+/// cached snapshot, without serializing a database first. Latency rules
+/// additionally need the recorded timeline; attach one with
+/// [`with_timeline`](Self::with_timeline) (views without one simply
+/// yield no timeline issues).
 #[derive(Debug, Clone, Copy)]
 pub struct ProfileView<'a> {
     cct: &'a CallingContextTree,
     db: Option<&'a ProfileDb>,
+    timeline: Option<&'a TimelineSnapshot>,
 }
 
 impl<'a> ProfileView<'a> {
@@ -26,13 +31,34 @@ impl<'a> ProfileView<'a> {
         ProfileView {
             cct: db.cct(),
             db: Some(db),
+            timeline: None,
         }
     }
 
     /// Wraps a live (in-progress) calling context tree, e.g. the cached
     /// snapshot a running profiler exposes through `with_cct`.
     pub fn live(cct: &'a CallingContextTree) -> Self {
-        ProfileView { cct, db: None }
+        ProfileView {
+            cct,
+            db: None,
+            timeline: None,
+        }
+    }
+
+    /// Attaches the timeline recorded alongside this profile, enabling
+    /// the latency rules ([`GpuIdleRule`](crate::GpuIdleRule),
+    /// [`StreamSerializationRule`](crate::StreamSerializationRule)).
+    /// The timeline's interval context ids must have been resolved
+    /// against this view's tree (`Profiler::timeline` paired with the
+    /// same profiler's `with_cct`/`finish` snapshot).
+    pub fn with_timeline(mut self, timeline: &'a TimelineSnapshot) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&'a TimelineSnapshot> {
+        self.timeline
     }
 
     /// The underlying stored profile, when this view wraps one (`None`

@@ -1,0 +1,102 @@
+//! Emits `BENCH_timeline.json`: producer-side cost of timeline
+//! recording (interval tap inside inline synchronous attribution — the
+//! worst case for the monitored workload) with recording off vs on,
+//! over a coarse single-stream and a multi-stream (2 devices × 3
+//! streams) kernel stream.
+//!
+//! Acceptance bar: `producer(on) / producer(off) ≤ 1.25` per shape, with
+//! zero ring overflows at the default capacity.
+//!
+//! Run from the repo root: `cargo run --release -p deepcontext-bench
+//! --bin bench_timeline`.
+
+use std::io::Write;
+
+use deepcontext_bench::timeline::{timeline_matrix, TimelinePoint, SHARDS};
+use deepcontext_timeline::DEFAULT_RING_CAPACITY;
+
+const OPS: usize = 30_000;
+const REPEATS: usize = 7;
+const TARGET_MAX_OVERHEAD: f64 = 1.25;
+
+fn point<'a>(points: &'a [TimelinePoint], scenario: &str) -> &'a TimelinePoint {
+    points
+        .iter()
+        .find(|p| p.scenario == scenario)
+        .unwrap_or_else(|| panic!("measured scenario {scenario}"))
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "measuring timeline recording overhead ({SHARDS} shards, {OPS} events, ring capacity \
+         {DEFAULT_RING_CAPACITY}, host parallelism {parallelism}, best of {REPEATS})..."
+    );
+    let points = timeline_matrix(OPS, REPEATS);
+    let overhead = |label: &str| {
+        point(&points, &format!("{label}_on")).producer_ns_per_event
+            / point(&points, &format!("{label}_off")).producer_ns_per_event
+    };
+    let coarse = overhead("coarse");
+    let multi = overhead("multi_stream");
+    let max_overhead = coarse.max(multi);
+    let total_dropped: u64 = points.iter().map(|p| p.counters.timeline_dropped).sum();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"timeline\",\n");
+    json.push_str("  \"unit\": \"ns_per_event\",\n");
+    json.push_str(
+        "  \"baseline\": \"inline synchronous attribution with timeline recording off\",\n",
+    );
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("  \"events\": {OPS},\n"));
+    json.push_str(&format!("  \"repeats\": {REPEATS},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {parallelism},\n"));
+    json.push_str(&format!(
+        "  \"ring_capacity_default\": {DEFAULT_RING_CAPACITY},\n"
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"producer_ns_per_event\": {:.0}, \
+             \"timeline_intervals\": {}, \"timeline_dropped\": {}}}{}\n",
+            p.scenario,
+            p.producer_ns_per_event,
+            p.counters.timeline_intervals,
+            p.counters.timeline_dropped,
+            sep
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"overhead_coarse\": {coarse:.3},\n"));
+    json.push_str(&format!("  \"overhead_multi_stream\": {multi:.3},\n"));
+    json.push_str(&format!("  \"max_overhead\": {max_overhead:.3},\n"));
+    json.push_str(&format!("  \"ring_overflows\": {total_dropped},\n"));
+    json.push_str(&format!(
+        "  \"target_max_overhead\": {TARGET_MAX_OVERHEAD}\n"
+    ));
+    json.push_str("}\n");
+
+    let mut file =
+        std::fs::File::create("BENCH_timeline.json").expect("create BENCH_timeline.json");
+    file.write_all(json.as_bytes()).expect("write bench json");
+    eprintln!("{json}");
+    eprintln!(
+        "timeline-on producer overhead: coarse {coarse:.3}x, multi-stream {multi:.3}x \
+         (target ≤ {TARGET_MAX_OVERHEAD}x), ring overflows: {total_dropped}"
+    );
+    assert!(
+        total_dropped == 0,
+        "default ring capacity must not overflow"
+    );
+    if max_overhead > TARGET_MAX_OVERHEAD {
+        eprintln!(
+            "WARNING: overhead {max_overhead:.3}x exceeds the {TARGET_MAX_OVERHEAD}x target \
+             on this host"
+        );
+    }
+}

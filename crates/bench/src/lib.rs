@@ -13,6 +13,7 @@
 pub mod ingestion;
 pub mod pipeline;
 pub mod snapshot;
+pub mod timeline;
 
 use std::time::{Duration, Instant};
 

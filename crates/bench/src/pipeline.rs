@@ -122,12 +122,12 @@ pub struct PipelinePoint {
 /// outside the timed region, exactly as the real collection paths
 /// receive them (the monitor builds each `CallPath` fresh, the GPU
 /// runtime owns the buffers it flushes).
-struct ProducerInputs {
+pub(crate) struct ProducerInputs {
     paths: Vec<CallPath>,
     batches: Vec<Vec<Activity>>,
 }
 
-fn prepare(events: &[PipelineEvent]) -> ProducerInputs {
+pub(crate) fn prepare(events: &[PipelineEvent]) -> ProducerInputs {
     ProducerInputs {
         paths: events.iter().map(|e| e.path.clone()).collect(),
         batches: events
@@ -145,7 +145,11 @@ fn prepare(events: &[PipelineEvent]) -> ProducerInputs {
 /// Drives one stream: launch bursts handing paths over by value, then
 /// the chunk's activity buffer by value — the shape the GPU runtime
 /// delivers them in.
-fn drive_producer(sink: &dyn EventSink, events: &[PipelineEvent], inputs: ProducerInputs) {
+pub(crate) fn drive_producer(
+    sink: &dyn EventSink,
+    events: &[PipelineEvent],
+    inputs: ProducerInputs,
+) {
     let mut paths = inputs.paths.into_iter();
     let mut batches = inputs.batches.into_iter();
     for chunk in events.chunks(BATCH) {

@@ -38,6 +38,7 @@ mod frame;
 mod interner;
 mod metrics;
 mod shard;
+mod timeline;
 
 pub use cct::{CallingContextTree, CctNode, FoldState, NodeId};
 pub use clock::{TimeNs, VirtualClock};
@@ -47,6 +48,7 @@ pub use frame::{CallPath, Frame, FrameKey, FrameKind, OpPhase, ThreadRole};
 pub use interner::{Interner, Sym};
 pub use metrics::{MetricKind, MetricStat, MetricStore, StallReason};
 pub use shard::CctShard;
+pub use timeline::{Interval, IntervalKind, TrackKey};
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {

@@ -1,0 +1,112 @@
+//! Timeline interval primitives.
+//!
+//! The calling context tree aggregates *how much* time each context
+//! consumed; a timeline records *when* — the `[start, end)` device
+//! intervals that aggregation would otherwise discard. [`Interval`] is
+//! the unit of that record: one kernel or memcpy execution on one
+//! `(device, stream)` placement, tagged with the CCT context it was
+//! attributed to, so latency analyses (utilization, cross-stream
+//! overlap, idle-gap attribution) can point back into the same tree the
+//! aggregate analyses run over. The bounded ring buffers, track
+//! assembly and analysis live in the `deepcontext-timeline` crate; the
+//! plain data types live here so every layer (ingestion pipeline,
+//! analyzer, exporters) shares one vocabulary without depending on the
+//! timeline machinery.
+
+use std::sync::Arc;
+
+use crate::cct::NodeId;
+use crate::clock::TimeNs;
+
+/// What kind of device work an [`Interval`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IntervalKind {
+    /// A kernel execution.
+    Kernel,
+    /// An asynchronous memcpy.
+    Memcpy,
+}
+
+impl IntervalKind {
+    /// Stable short name (Chrome-trace category, report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            IntervalKind::Kernel => "kernel",
+            IntervalKind::Memcpy => "memcpy",
+        }
+    }
+}
+
+/// The `(device, stream)` placement an interval executed on — one track
+/// of the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackKey {
+    /// Device index.
+    pub device: u32,
+    /// Stream index on that device.
+    pub stream: u32,
+}
+
+/// One recorded device interval: a kernel or memcpy execution with its
+/// placement, its `[start, end)` device-time window, and the CCT context
+/// it was attributed to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Where it ran.
+    pub track: TrackKey,
+    /// Device-side start time.
+    pub start: TimeNs,
+    /// Device-side end time.
+    pub end: TimeNs,
+    /// Kernel or memcpy.
+    pub kind: IntervalKind,
+    /// Display name (kernel name; `"memcpy"` for copies).
+    pub name: Arc<str>,
+    /// Correlation id linking back to the launching API call.
+    pub correlation: u64,
+    /// The CCT context the interval's metrics were attributed to.
+    ///
+    /// While buffered inside the ingestion pipeline this is a
+    /// *shard-local* node id; snapshots remap it into the folded master
+    /// tree (`None` when the context cannot be resolved — e.g. the
+    /// orphaned-record fallback of a pruned correlation).
+    pub context: Option<NodeId>,
+}
+
+impl Interval {
+    /// Interval duration (zero-width intervals are allowed but carry no
+    /// busy time).
+    pub fn duration(&self) -> TimeNs {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_saturates_and_names_are_stable() {
+        let iv = Interval {
+            track: TrackKey {
+                device: 0,
+                stream: 2,
+            },
+            start: TimeNs(100),
+            end: TimeNs(250),
+            kind: IntervalKind::Kernel,
+            name: Arc::from("sgemm"),
+            correlation: 7,
+            context: None,
+        };
+        assert_eq!(iv.duration(), TimeNs(150));
+        assert_eq!(IntervalKind::Kernel.name(), "kernel");
+        assert_eq!(IntervalKind::Memcpy.name(), "memcpy");
+        let backwards = Interval {
+            start: TimeNs(10),
+            end: TimeNs(5),
+            ..iv
+        };
+        assert_eq!(backwards.duration(), TimeNs::ZERO);
+    }
+}

@@ -932,6 +932,17 @@ impl EventSink for AsyncSink {
         self.shared.inner.finish_snapshot()
     }
 
+    fn timeline_snapshot(&self) -> Option<deepcontext_timeline::TimelineSnapshot> {
+        // The same drain barrier as every snapshot path: everything
+        // produced before this call is attributed — and its intervals
+        // recorded — before the rings are read, so asynchronous-mode
+        // timelines are deterministic at every flush.
+        self.flush_producers();
+        self.shared.drain();
+        self.shared.publish_drops();
+        self.shared.inner.timeline_snapshot()
+    }
+
     fn counters(&self) -> SinkCounters {
         // Flush producer batches and drain first so counter reads are as
         // deterministic as in synchronous mode (high-water marks are

@@ -102,6 +102,12 @@ pub(crate) trait BatchDelivery: Send + Sync {
 /// One thread's pending events, bucketed per shard.
 pub(crate) struct LaunchBatch {
     shards: Vec<Vec<ProducerEvent>>,
+    /// Shard indices with a non-empty bucket, in first-touch order —
+    /// a flush walks only these instead of scanning every bucket, so
+    /// single-stream producers (one occupied bucket) pay O(1) per flush
+    /// even under a many-hundred-shard layout (the ROADMAP's "batcher
+    /// flush fan-out" item).
+    occupied: Vec<u32>,
     /// Total buffered event weight across all shards.
     pending: u64,
 }
@@ -110,11 +116,23 @@ impl LaunchBatch {
     fn new(shards: usize) -> Self {
         LaunchBatch {
             shards: (0..shards).map(|_| Vec::new()).collect(),
+            occupied: Vec::new(),
             pending: 0,
         }
     }
 
-    /// Flushes every non-empty shard bucket into `delivery`, binding each
+    /// Appends one routed event to its shard bucket, tracking bucket
+    /// occupancy for O(occupied) flushes.
+    fn push(&mut self, shard: usize, event: ProducerEvent) {
+        let bucket = &mut self.shards[shard];
+        if bucket.is_empty() {
+            self.occupied.push(shard as u32);
+        }
+        bucket.push(event);
+        self.pending += 1;
+    }
+
+    /// Flushes every occupied shard bucket into `delivery`, binding each
     /// bucket's launch correlations in one striped-directory pass first.
     /// Returns the flushed event count.
     fn flush(&mut self, delivery: &dyn BatchDelivery) -> u64 {
@@ -123,10 +141,8 @@ impl LaunchBatch {
         }
         let flushed = self.pending;
         let mut corrs: Vec<u64> = Vec::new();
-        for (idx, bucket) in self.shards.iter_mut().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
+        for &idx in &self.occupied {
+            let bucket = &mut self.shards[idx as usize];
             // Hand the filled bucket over but leave equivalent capacity
             // behind: one allocation per flush window instead of a
             // geometric regrowth (and its memcpys) on every refill.
@@ -140,9 +156,10 @@ impl LaunchBatch {
             // visible, so activity records arriving while the batch is in
             // flight route to the same shard (the batched analogue of the
             // unbatched pipeline's enqueue-time `bind_route`).
-            delivery.sharded().bind_batch(&corrs, idx);
-            delivery.deliver(idx, events);
+            delivery.sharded().bind_batch(&corrs, idx as usize);
+            delivery.deliver(idx as usize, events);
         }
+        self.occupied.clear();
         self.pending = 0;
         flushed
     }
@@ -153,6 +170,7 @@ impl LaunchBatch {
             .iter()
             .map(|b| b.capacity() * std::mem::size_of::<ProducerEvent>())
             .sum::<usize>()
+            + self.occupied.capacity() * std::mem::size_of::<u32>()
             + self.pending as usize * 64
     }
 }
@@ -258,13 +276,12 @@ impl Batcher {
                 slots.swap(0, pos);
             }
             let mut buf = slots[0].1 .0.buf.lock();
-            buf.pending += 1;
             // Published while the slot lock is held, so once this event's
             // producer call has returned, any later `flush_all` observes
             // a non-zero total (the runtime's own synchronization orders
             // a launch's return before its activity's delivery).
             self.pending_total.fetch_add(1, Ordering::AcqRel);
-            buf.shards[shard].push(event);
+            buf.push(shard, event);
             if buf.pending >= self.capacity {
                 let flushed = buf.flush(self.delivery.as_ref());
                 self.pending_total.fetch_sub(flushed, Ordering::AcqRel);
@@ -475,6 +492,15 @@ impl EventSink for BatchingSink {
         self.delivery.inner.finish_snapshot()
     }
 
+    fn timeline_snapshot(&self) -> Option<deepcontext_timeline::TimelineSnapshot> {
+        // Flush buffered launches first so every context an interval
+        // could reference is inserted — the same barrier every snapshot
+        // path runs (activity records themselves are never buffered
+        // here, so the rings are already current).
+        self.batcher.flush_all();
+        self.delivery.inner.timeline_snapshot()
+    }
+
     fn counters(&self) -> SinkCounters {
         // Flush first so counter reads observe every produced event,
         // exactly as the unbatched sink would.
@@ -515,6 +541,51 @@ impl std::fmt::Debug for BatchingSink {
 mod tests {
     use super::*;
     use deepcontext_core::Frame;
+
+    #[test]
+    fn flush_walks_only_occupied_buckets() {
+        // A 64-shard layout with two occupied buckets must deliver
+        // exactly two batches, in first-touch order, and reset occupancy
+        // for the next window.
+        struct Capture {
+            inner: Arc<ShardedSink>,
+            delivered: Mutex<Vec<(usize, usize)>>,
+        }
+        impl BatchDelivery for Capture {
+            fn sharded(&self) -> &ShardedSink {
+                &self.inner
+            }
+            fn deliver(&self, shard: usize, events: Vec<ProducerEvent>) {
+                self.delivered.lock().push((shard, events.len()));
+            }
+        }
+        let interner = deepcontext_core::Interner::new();
+        let capture = Capture {
+            inner: ShardedSink::new(Arc::clone(&interner), 64),
+            delivered: Mutex::new(Vec::new()),
+        };
+        let mut path = CallPath::new();
+        path.push(Frame::operator("aten::relu", &interner));
+        let sample = || ProducerEvent::Sample {
+            path: path.clone(),
+            metric: MetricKind::CpuTime,
+            value: 1.0,
+        };
+        let mut batch = LaunchBatch::new(64);
+        batch.push(7, sample());
+        batch.push(7, sample());
+        batch.push(42, sample());
+        assert_eq!(batch.occupied, vec![7, 42]);
+        assert_eq!(batch.flush(&capture), 3);
+        assert_eq!(*capture.delivered.lock(), vec![(7, 2), (42, 1)]);
+        assert!(batch.occupied.is_empty());
+        assert_eq!(batch.pending, 0);
+        // An empty flush delivers nothing; the next window starts clean.
+        assert_eq!(batch.flush(&capture), 0);
+        batch.push(3, sample());
+        assert_eq!(batch.flush(&capture), 1);
+        assert_eq!(capture.delivered.lock().last(), Some(&(3, 1)));
+    }
 
     #[test]
     fn dropping_the_wrapper_delivers_buffered_events_to_inner() {

@@ -41,9 +41,19 @@
 //!  worker pool (shard i → worker i mod W)
 //!      │  apply_producer_batch / apply_activities / epoch
 //!      ▼
-//!  CctShards ──merge_incremental──▶ cached master CCT
+//!  CctShards ──merge_incremental──▶ cached master CCT (Arc-shared)
+//!      ├── kernel/memcpy records ──▶ timeline rings (per-shard, bounded)
 //!      └── per-shard DropOldest drops ──▶ synthetic `<dropped>` context
 //! ```
+//!
+//! When `ProfilerConfig::timeline` is on, the per-shard attribution
+//! entry points additionally record each kernel/memcpy record's
+//! `[start, end)` interval — tagged with its resolved CCT context — into
+//! bounded per-shard timeline rings (`deepcontext-timeline`). Both
+//! ingestion modes flow through the same tap, and
+//! [`EventSink::timeline_snapshot`] runs the same drain barriers as the
+//! profile snapshots, so async-mode timelines are deterministic at every
+//! flush.
 //!
 //! [`CctShard`]: deepcontext_core::CctShard
 
@@ -59,6 +69,14 @@ pub use async_sink::{AsyncSink, BackpressurePolicy, PipelineConfig};
 pub use batch::BatchingSink;
 pub use sharded::ShardedSink;
 pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+// The timeline types every sink speaks (see `EventSink::timeline_snapshot`
+// and `ShardedSink::with_timeline`), re-exported so embedders need no
+// direct `deepcontext-timeline` dependency.
+pub use deepcontext_timeline::{
+    default_timeline_config, default_timeline_enabled, TimelineConfig, TimelineSnapshot,
+    TimelineStats,
+};
 
 /// The built-in producer-batching threshold
 /// ([`PipelineConfig::launch_batch`]) when no environment override is

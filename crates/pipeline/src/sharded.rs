@@ -55,12 +55,61 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use deepcontext_core::{CallPath, CallingContextTree, CctShard, FoldState, Interner, MetricKind};
+use deepcontext_core::{
+    CallPath, CallingContextTree, CctShard, FoldState, Interner, Interval, IntervalKind,
+    MetricKind, NodeId, TrackKey,
+};
+use deepcontext_timeline::{TimelineConfig, TimelineSink, TimelineSnapshot};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
 use crate::batch::ProducerEvent;
 use crate::sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+/// The interval a kernel/memcpy activity record contributes to the
+/// timeline, tagged with the context `node` it was attributed to
+/// (shard-local; snapshots remap it into the master tree). Other record
+/// kinds carry no device-time window and record nothing.
+fn interval_of(activity: &Activity, node: NodeId) -> Option<Interval> {
+    static MEMCPY: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+    match &activity.kind {
+        ActivityKind::Kernel {
+            name,
+            stream,
+            start,
+            end,
+            ..
+        } => Some(Interval {
+            track: TrackKey {
+                device: activity.device.0,
+                stream: stream.0,
+            },
+            start: *start,
+            end: *end,
+            kind: IntervalKind::Kernel,
+            name: Arc::clone(name),
+            correlation: activity.correlation_id.0,
+            context: Some(node),
+        }),
+        ActivityKind::Memcpy {
+            stream, start, end, ..
+        } => Some(Interval {
+            track: TrackKey {
+                device: activity.device.0,
+                stream: stream.0,
+            },
+            start: *start,
+            end: *end,
+            kind: IntervalKind::Memcpy,
+            name: Arc::clone(MEMCPY.get_or_init(|| Arc::from("memcpy"))),
+            correlation: activity.correlation_id.0,
+            context: Some(node),
+        }),
+        ActivityKind::Malloc { .. }
+        | ActivityKind::Free { .. }
+        | ActivityKind::PcSampling { .. } => None,
+    }
+}
 
 /// Mixes a routing key so sequential tids/correlation ids spread across
 /// shards (splitmix64 finalizer).
@@ -115,8 +164,18 @@ type DirectoryStripe = HashMap<u64, u32, CorrHashBuilder>;
 /// generation advanced; the rest are skipped without touching their
 /// trees, turning repeated snapshots from O(shards × tree) into
 /// O(dirty shards).
+///
+/// The master lives behind an `Arc` so concurrent `with_snapshot`
+/// readers *share* the refreshed tree: each reader clones the handle
+/// under the cache mutex and runs its callback outside it, so many
+/// analysis readers proceed in parallel instead of queueing on one lock
+/// for the length of every callback. Refreshes mutate through
+/// [`Arc::make_mut`]: while no reader holds the previous snapshot this
+/// is in-place; a refresh racing a long-lived reader copies the tree
+/// once and leaves the reader's view untouched (readers are never
+/// blocked, and never observe a half-refreshed fold).
 struct SnapshotCache {
-    master: CallingContextTree,
+    master: Arc<CallingContextTree>,
     folds: Vec<FoldState>,
     /// Generation folded per shard; `u64::MAX` = never folded (shard
     /// generations start at 0, so the first refresh folds everything).
@@ -126,7 +185,7 @@ struct SnapshotCache {
 impl SnapshotCache {
     fn empty(interner: &Arc<Interner>, shards: usize) -> Self {
         SnapshotCache {
-            master: CallingContextTree::with_interner(Arc::clone(interner)),
+            master: Arc::new(CallingContextTree::with_interner(Arc::clone(interner))),
             folds: (0..shards).map(|_| FoldState::new()).collect(),
             generations: vec![u64::MAX; shards],
         }
@@ -144,6 +203,11 @@ pub struct ShardedSink {
     /// Cached incremental snapshot; `None` until the first snapshot is
     /// requested (and again after `finish_snapshot` consumes it).
     cache: Mutex<Option<SnapshotCache>>,
+    /// Per-shard bounded interval rings, recorded while kernel/memcpy
+    /// records are attributed (i.e. under the shard lock, in both
+    /// ingestion modes). `None` when timeline recording is off — the
+    /// aggregate-only pipeline then pays nothing for it.
+    timeline: Option<TimelineSink>,
     /// Correlation id -> index of the shard it was bound in. Striped by
     /// correlation hash so binding and resolving rarely contend.
     directory: Vec<Mutex<DirectoryStripe>>,
@@ -176,8 +240,27 @@ impl ShardedSink {
         shard_count: usize,
         snapshot_cache: bool,
     ) -> Arc<Self> {
+        ShardedSink::with_timeline(
+            interner,
+            shard_count,
+            snapshot_cache,
+            &TimelineConfig::default(),
+        )
+    }
+
+    /// [`with_options`](Self::with_options) plus timeline recording:
+    /// when `timeline.enabled`, every kernel/memcpy record attributed by
+    /// this sink also appends a context-tagged interval to a bounded
+    /// per-shard ring (see [`EventSink::timeline_snapshot`]).
+    pub fn with_timeline(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+        timeline: &TimelineConfig,
+    ) -> Arc<Self> {
         let n = shard_count.max(1);
         Arc::new(ShardedSink {
+            timeline: timeline.enabled.then(|| TimelineSink::new(n, timeline)),
             shards: (0..n)
                 .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
                 .collect(),
@@ -211,6 +294,12 @@ impl ShardedSink {
     /// Whether the incremental snapshot cache is enabled.
     pub fn snapshot_cache_enabled(&self) -> bool {
         self.cache_enabled
+    }
+
+    /// Whether kernel/memcpy intervals are being recorded into timeline
+    /// rings.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline.is_some()
     }
 
     /// Number of shards that have recorded anything — used by routing
@@ -346,13 +435,22 @@ impl ShardedSink {
         }
     }
 
-    /// Attributes one activity record inside its home shard.
-    fn attribute_activity(&self, shard: &mut CctShard, activity: &Activity) {
+    /// Attributes one activity record inside its home shard (`idx`),
+    /// recording the record's device interval into the shard's timeline
+    /// ring when recording is on — the single tap both ingestion modes
+    /// flow through, since the asynchronous workers and the batching
+    /// wrapper all drive this same entry point.
+    fn attribute_activity(&self, idx: usize, shard: &mut CctShard, activity: &Activity) {
         let corr = activity.correlation_id.0;
         self.activities.fetch_add(1, Ordering::Relaxed);
         let (node, orphaned) = shard.resolve_or_orphan(corr);
         if orphaned {
             self.orphans.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(timeline) = &self.timeline {
+            if let Some(interval) = interval_of(activity, node) {
+                timeline.record(idx, interval);
+            }
         }
         let samples = attribute_activity_metrics(shard.tree_mut(), node, activity);
         if matches!(activity.kind, ActivityKind::PcSampling { .. }) {
@@ -415,7 +513,7 @@ impl ShardedSink {
                     continue;
                 }
                 for activity in bucket {
-                    self.attribute_activity(&mut shard, activity);
+                    self.attribute_activity(idx, &mut shard, activity);
                 }
                 pruned.extend(shard.end_batch());
             }
@@ -511,7 +609,7 @@ impl ShardedSink {
         let pruned = {
             let mut shard = self.shards[idx].lock();
             for activity in bucket {
-                self.attribute_activity(&mut shard, activity);
+                self.attribute_activity(idx, &mut shard, activity);
             }
             // Two-phase pruning per shard: correlations attributed in
             // the shard's *previous* batch are dropped now, so
@@ -583,9 +681,10 @@ impl ShardedSink {
                 self.shards_skipped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            cache
-                .master
-                .merge_incremental(shard.tree(), &mut cache.folds[idx]);
+            // Copy-on-write only when a reader still holds the previous
+            // snapshot handle; clean refreshes never reach this line, so
+            // an idle profile costs nothing.
+            Arc::make_mut(&mut cache.master).merge_incremental(shard.tree(), &mut cache.folds[idx]);
             cache.generations[idx] = generation;
             self.snapshot_merges.fetch_add(1, Ordering::Relaxed);
         }
@@ -665,7 +764,7 @@ impl EventSink for ShardedSink {
         // refreshed incrementally: clean shards are skipped outright.
         let mut cache = self.cache.lock();
         self.refresh_cache(&mut cache);
-        cache.as_ref().expect("cache refreshed").master.clone()
+        CallingContextTree::clone(&cache.as_ref().expect("cache refreshed").master)
     }
 
     fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
@@ -673,9 +772,17 @@ impl EventSink for ShardedSink {
             f(&self.snapshot_uncached());
             return;
         }
-        let mut cache = self.cache.lock();
-        self.refresh_cache(&mut cache);
-        f(&cache.as_ref().expect("cache refreshed").master);
+        // Clone the refreshed master's *handle* under the cache mutex,
+        // then run the callback outside it: concurrent readers share one
+        // snapshot instead of queueing on the cache lock for the length
+        // of every callback, and a callback may safely re-enter this
+        // sink's snapshot APIs.
+        let master = {
+            let mut cache = self.cache.lock();
+            self.refresh_cache(&mut cache);
+            Arc::clone(&cache.as_ref().expect("cache refreshed").master)
+        };
+        f(&master);
     }
 
     fn finish_snapshot(&self) -> CallingContextTree {
@@ -684,10 +791,52 @@ impl EventSink for ShardedSink {
         }
         let mut cache = self.cache.lock();
         self.refresh_cache(&mut cache);
-        cache.take().expect("cache refreshed").master
+        let master = cache.take().expect("cache refreshed").master;
+        // Unwrap the handle without copying unless a reader still holds
+        // the final snapshot.
+        Arc::try_unwrap(master).unwrap_or_else(|shared| CallingContextTree::clone(&shared))
+    }
+
+    fn timeline_snapshot(&self) -> Option<TimelineSnapshot> {
+        let timeline = self.timeline.as_ref()?;
+        if self.cache_enabled {
+            // Refresh the cached master first: the fold is append-only,
+            // so every interval context recorded so far has a slot in
+            // the per-shard fold mappings, and the remapped ids index
+            // into exactly the tree `snapshot`/`with_snapshot` serve.
+            // The mappings are copied out so the cache mutex is released
+            // before the rings are cloned and remapped — assembling a
+            // full timeline must not stall concurrent `with_snapshot`
+            // readers (mappings are 4 bytes per folded node; the rings
+            // dominate).
+            let mappings: Vec<Vec<NodeId>> = {
+                let mut cache = self.cache.lock();
+                self.refresh_cache(&mut cache);
+                let cache = cache.as_ref().expect("cache refreshed");
+                cache.folds.iter().map(|f| f.mapping().to_vec()).collect()
+            };
+            Some(timeline.snapshot_with(|shard, node| mappings[shard].get(node.index()).copied()))
+        } else {
+            // No cache to borrow mappings from: run one deterministic
+            // fold (same shard order as `snapshot_uncached`, so the ids
+            // match an uncached snapshot taken at the same quiesce
+            // point) purely to learn the shard → master node mappings.
+            let mut master = CallingContextTree::with_interner(Arc::clone(&self.interner));
+            let mappings: Vec<Vec<NodeId>> = self
+                .shards
+                .iter()
+                .map(|shard| master.merge(shard.lock().tree()))
+                .collect();
+            Some(timeline.snapshot_with(|shard, node| mappings[shard].get(node.index()).copied()))
+        }
     }
 
     fn counters(&self) -> SinkCounters {
+        let timeline = self
+            .timeline
+            .as_ref()
+            .map(|t| t.counters())
+            .unwrap_or_default();
         SinkCounters {
             activities: self.activities.load(Ordering::Relaxed),
             instruction_samples: self.instruction_samples.load(Ordering::Relaxed),
@@ -695,6 +844,8 @@ impl EventSink for ShardedSink {
             peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
             snapshot_merges: self.snapshot_merges.load(Ordering::Relaxed),
             shards_skipped: self.shards_skipped.load(Ordering::Relaxed),
+            timeline_intervals: timeline.recorded,
+            timeline_dropped: timeline.dropped,
             ..SinkCounters::default()
         }
     }
@@ -719,7 +870,14 @@ impl EventSink for ShardedSink {
             .iter()
             .map(|d| d.lock().capacity() * dir_entry)
             .sum();
-        shard_bytes + dir_bytes + cache_bytes + self.interner.approx_bytes()
+        // Timeline rings are ingestion state too (bounded by
+        // ring_capacity × shards, allocated lazily).
+        let timeline_bytes = self
+            .timeline
+            .as_ref()
+            .map(TimelineSink::approx_bytes)
+            .unwrap_or(0);
+        shard_bytes + dir_bytes + cache_bytes + timeline_bytes + self.interner.approx_bytes()
     }
 }
 

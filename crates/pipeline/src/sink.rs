@@ -8,6 +8,7 @@
 //! (producers enqueue into bounded channels and a worker pool attributes).
 
 use deepcontext_core::{CallPath, CallingContextTree, Frame, MetricKind, NodeId};
+use deepcontext_timeline::TimelineSnapshot;
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
@@ -129,6 +130,13 @@ pub struct SinkCounters {
     pub producer_flushes: u64,
     /// Events that travelled through thread-local producer batches.
     pub batched_events: u64,
+    /// Kernel/memcpy intervals recorded into the timeline rings (zero
+    /// when `ProfilerConfig::timeline` is off).
+    pub timeline_intervals: u64,
+    /// Timeline intervals evicted by ring overflow — when non-zero, the
+    /// timeline is a trailing window of the run, not the whole run
+    /// (surfaced like the pipeline's `<dropped>` telemetry).
+    pub timeline_dropped: u64,
 }
 
 /// Where profiler collection paths deliver their events.
@@ -198,15 +206,12 @@ pub trait EventSink: Send + Sync {
 
     /// Runs `f` against a folded snapshot without handing out ownership.
     /// Sinks that cache their fold (see [`ShardedSink`](crate::ShardedSink))
-    /// serve this by borrowing the cached tree, so repeated analysis
-    /// previews skip both the re-fold *and* the clone that
-    /// [`snapshot`](Self::snapshot) pays.
-    ///
-    /// `f` may run while the sink's snapshot lock is held: it must not
-    /// call back into this sink's snapshot APIs (`snapshot`,
-    /// `with_snapshot`, `finish_snapshot`, `approx_bytes`) — on
-    /// [`ShardedSink`](crate::ShardedSink) that self-deadlocks. Ingestion
-    /// from *other* threads is unaffected.
+    /// serve this by sharing the cached tree behind an `Arc` refreshed
+    /// under the cache lock and *released* before `f` runs, so repeated
+    /// analysis previews skip both the re-fold and the clone that
+    /// [`snapshot`](Self::snapshot) pays — and concurrent readers
+    /// proceed in parallel on one shared snapshot instead of queueing
+    /// on the cache lock for the length of every callback.
     fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
         f(&self.snapshot());
     }
@@ -216,6 +221,23 @@ pub trait EventSink: Send + Sync {
     /// cloning, since no further snapshots will be requested.
     fn finish_snapshot(&self) -> CallingContextTree {
         self.snapshot()
+    }
+
+    /// The assembled timeline, when the sink records one (`None` when
+    /// timeline recording is off — the default — or the sink has no
+    /// timeline at all).
+    ///
+    /// Interval context ids are remapped into the master tree the
+    /// snapshot paths observe: with the snapshot cache enabled they
+    /// index into the cached master served by
+    /// [`with_snapshot`](Self::with_snapshot) (stable across refreshes —
+    /// the fold is append-only); with the cache disabled they index into
+    /// an uncached [`snapshot`](Self::snapshot) taken at the same
+    /// quiesce point with no interleaved ingestion. Asynchronous sinks
+    /// run their drain barrier first, so the timeline is exactly as
+    /// deterministic as the profile itself at every flush.
+    fn timeline_snapshot(&self) -> Option<TimelineSnapshot> {
+        None
     }
 
     /// Current ingestion counters.

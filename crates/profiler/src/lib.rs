@@ -47,9 +47,10 @@ use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
 pub mod sink;
 
 pub use sink::{
-    attribute_activity_metrics, default_ingestion_mode, default_launch_batch, AsyncSink,
-    BackpressurePolicy, BatchingSink, EventSink, IngestionMode, PipelineConfig, ShardedSink,
-    SinkCounters, DEFAULT_LAUNCH_BATCH,
+    attribute_activity_metrics, default_ingestion_mode, default_launch_batch,
+    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
+    EventSink, IngestionMode, PipelineConfig, ShardedSink, SinkCounters, TimelineConfig,
+    TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -106,6 +107,14 @@ pub struct ProfilerConfig {
     /// holding a merged second copy of the profile — for memory-tight
     /// deployments.
     pub snapshot_cache: bool,
+    /// Timeline recording: keep each kernel/memcpy record's
+    /// `[start, end)` interval — tagged with its resolved CCT context —
+    /// in bounded per-shard rings, for utilization / overlap / idle-gap
+    /// analysis and Chrome-trace export ([`Profiler::timeline`]).
+    /// Off by default (aggregate-only profiling pays nothing); the
+    /// `DEEPCONTEXT_TIMELINE` environment override CI uses flips the
+    /// default on.
+    pub timeline: TimelineConfig,
 }
 
 impl Default for ProfilerConfig {
@@ -123,6 +132,7 @@ impl Default for ProfilerConfig {
             ingestion_mode: default_ingestion_mode(),
             pipeline: PipelineConfig::default(),
             snapshot_cache: true,
+            timeline: default_timeline_config(),
         }
     }
 }
@@ -193,6 +203,12 @@ pub struct ProfilerStats {
     pub producer_flushes: u64,
     /// Events that travelled through thread-local producer batches.
     pub batched_events: u64,
+    /// Kernel/memcpy intervals recorded into timeline rings (zero when
+    /// [`ProfilerConfig::timeline`] is off).
+    pub timeline_intervals: u64,
+    /// Timeline intervals evicted by ring overflow — when non-zero the
+    /// timeline is a trailing window of the run, not the whole run.
+    pub timeline_dropped: u64,
 }
 
 struct Inner {
@@ -226,10 +242,11 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
-        let sharded = ShardedSink::with_options(
+        let sharded = ShardedSink::with_timeline(
             monitor.interner(),
             config.ingestion_shards,
             config.snapshot_cache,
+            &config.timeline,
         );
         let sink: Arc<dyn EventSink> = match config.ingestion_mode {
             // Producer batching amortizes routing/locking in synchronous
@@ -394,6 +411,8 @@ impl Profiler {
             worker_events: counters.worker_events,
             producer_flushes: counters.producer_flushes,
             batched_events: counters.batched_events,
+            timeline_intervals: counters.timeline_intervals,
+            timeline_dropped: counters.timeline_dropped,
         }
     }
 
@@ -401,15 +420,14 @@ impl Profiler {
     ///
     /// Served from the sink's incremental snapshot cache: only shards
     /// dirtied since the previous call are re-folded, and the merged tree
-    /// is borrowed to `f` rather than cloned — repeated preview queries
+    /// is shared with `f` rather than cloned — repeated preview queries
     /// on a large, mostly idle profile cost O(dirty shards), not
-    /// O(shards × tree). The per-shard trees stay live and keep
-    /// ingesting throughout.
-    ///
-    /// `f` runs while the snapshot cache lock is held: do not call
-    /// `with_cct`, `stats`, or `approx_bytes` on this profiler from
-    /// inside the closure (self-deadlock). Producers on other threads
-    /// are unaffected.
+    /// O(shards × tree). The cached master lives behind an `Arc` whose
+    /// handle is taken under the cache lock and released before `f`
+    /// runs, so concurrent `with_cct` readers proceed in parallel on one
+    /// shared snapshot (a refresh racing a long-lived reader
+    /// copies-on-write and never disturbs the reader's view). The
+    /// per-shard trees stay live and keep ingesting throughout.
     pub fn with_cct<R>(&self, f: impl FnOnce(&CallingContextTree) -> R) -> R {
         let mut f = Some(f);
         let mut out = None;
@@ -419,6 +437,28 @@ impl Profiler {
             }
         });
         out.expect("sink ran the snapshot closure")
+    }
+
+    /// The recorded timeline, assembled behind the same barriers as a
+    /// profile snapshot (`None` when [`ProfilerConfig::timeline`] is
+    /// off). Interval context ids index into the tree served by
+    /// [`with_cct`](Self::with_cct) at the same quiesce point — pair the
+    /// two for context-aware latency analysis:
+    ///
+    /// ```ignore
+    /// profiler.flush();
+    /// let timeline = profiler.timeline().expect("timeline enabled");
+    /// let report = profiler.with_cct(|cct| {
+    ///     analyzer.preview_with_timeline(cct, &timeline)
+    /// });
+    /// let trace = profiler.with_cct(|cct| timeline.to_chrome_trace(Some(cct)));
+    /// ```
+    ///
+    /// Call before [`finish`](Self::finish) (which consumes the sink's
+    /// state); typically right after a [`flush`](Self::flush), so the
+    /// timeline covers every completed activity.
+    pub fn timeline(&self) -> Option<TimelineSnapshot> {
+        self.inner.sink.timeline_snapshot()
     }
 
     /// Detaches all collection and returns the finished profile.

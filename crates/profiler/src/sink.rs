@@ -8,7 +8,8 @@
 //! path.
 
 pub use deepcontext_pipeline::{
-    attribute_activity_metrics, default_ingestion_mode, default_launch_batch, AsyncSink,
-    BackpressurePolicy, BatchingSink, EventSink, IngestionMode, PipelineConfig, ShardedSink,
-    SinkCounters, DEFAULT_LAUNCH_BATCH,
+    attribute_activity_metrics, default_ingestion_mode, default_launch_batch,
+    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
+    EventSink, IngestionMode, PipelineConfig, ShardedSink, SinkCounters, TimelineConfig,
+    TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
 };

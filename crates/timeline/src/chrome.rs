@@ -1,0 +1,186 @@
+//! Chrome Trace Format export.
+//!
+//! Produces the JSON object format consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one *process* per device, one
+//! *thread* per stream — so every `(device, stream)` track renders as
+//! its own swim-lane — with each interval emitted as a complete (`"X"`)
+//! event. Timestamps and durations are microseconds per the format, at
+//! nanosecond precision (fractional values are allowed and preserved).
+//! When the caller passes the CCT the snapshot was resolved against,
+//! every slice carries its full calling context as an argument, so
+//! clicking a kernel in the trace viewer shows the Python → operator →
+//! kernel path that launched it.
+
+use std::fmt::Write as _;
+
+use deepcontext_core::CallingContextTree;
+
+use crate::snapshot::TimelineSnapshot;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds rendered as a microsecond JSON number with full
+/// nanosecond precision and no float rounding (`1234` → `1.234`).
+fn us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+/// Renders `snapshot` as a Chrome Trace Format JSON object (see the
+/// [module docs](self)). The result is self-contained: load it directly
+/// in `chrome://tracing` or Perfetto.
+pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextTree>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |event: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&event);
+    };
+
+    // Metadata: name one process per device, one thread per stream, and
+    // keep lanes in stream order.
+    for device in snapshot.devices() {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{device},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"GPU {device}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for track in snapshot.tracks() {
+        let key = track.key();
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"stream {}\"}}}}",
+                key.device, key.stream, key.stream
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                key.device, key.stream, key.stream
+            ),
+            &mut out,
+        );
+    }
+
+    // One complete event per interval, in track order (already
+    // start-sorted within each track).
+    let interner = cct.map(|c| c.interner());
+    for track in snapshot.tracks() {
+        let key = track.key();
+        for interval in track.intervals() {
+            let mut event = String::new();
+            event.push_str("{\"ph\":\"X\",\"pid\":");
+            let _ = write!(event, "{}", key.device);
+            event.push_str(",\"tid\":");
+            let _ = write!(event, "{}", key.stream);
+            event.push_str(",\"name\":\"");
+            escape_into(&mut event, &interval.name);
+            event.push_str("\",\"cat\":\"");
+            event.push_str(interval.kind.name());
+            event.push_str("\",\"ts\":");
+            event.push_str(&us(interval.start.as_nanos()));
+            event.push_str(",\"dur\":");
+            event.push_str(&us(interval.duration().as_nanos()));
+            event.push_str(",\"args\":{\"correlation\":");
+            let _ = write!(event, "{}", interval.correlation);
+            if let (Some(cct), Some(interner), Some(node)) =
+                (cct, interner.as_ref(), interval.context)
+            {
+                if node.index() < cct.node_count() {
+                    let path = cct
+                        .frames_to_root(node)
+                        .frames()
+                        .iter()
+                        .map(|f| f.label(interner))
+                        .collect::<Vec<_>>()
+                        .join(" > ");
+                    event.push_str(",\"context\":\"");
+                    escape_into(&mut event, &path);
+                    event.push('"');
+                }
+            }
+            event.push_str("}}");
+            push(event, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TimelineCounters;
+    use deepcontext_core::{Interval, IntervalKind, TimeNs, TrackKey};
+    use std::sync::Arc;
+
+    #[test]
+    fn escapes_and_fractional_microseconds() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+        assert_eq!(us(0), "0");
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(42), "0.042");
+        assert_eq!(us(2_000), "2");
+    }
+
+    #[test]
+    fn trace_contains_metadata_and_slices() {
+        let snapshot = TimelineSnapshot::from_intervals(
+            vec![Interval {
+                track: TrackKey {
+                    device: 1,
+                    stream: 3,
+                },
+                start: TimeNs(1_000),
+                end: TimeNs(3_500),
+                kind: IntervalKind::Memcpy,
+                name: Arc::from("memcpy"),
+                correlation: 9,
+                context: None,
+            }],
+            TimelineCounters {
+                recorded: 1,
+                dropped: 0,
+            },
+        );
+        let json = to_chrome_trace(&snapshot, None);
+        assert!(json.contains("\"name\":\"GPU 1\""));
+        assert!(json.contains("\"name\":\"stream 3\""));
+        assert!(json.contains("\"cat\":\"memcpy\""));
+        assert!(json.contains("\"ts\":1,\"dur\":2.500"));
+        assert!(json.contains("\"correlation\":9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

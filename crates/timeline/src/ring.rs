@@ -1,0 +1,268 @@
+//! Bounded interval storage: per-shard ring buffers behind one
+//! recording facade.
+//!
+//! The ingestion pipeline records an interval at the moment the
+//! corresponding activity record is attributed inside its home shard —
+//! already serialized per shard — so the timeline mirrors that layout:
+//! one [`IntervalRing`] per shard, each behind its own mutex that is
+//! only ever contended by that shard's applier and by snapshots. A full
+//! ring evicts its oldest interval and counts it, so a long run's
+//! timeline degrades to a bounded trailing window instead of growing
+//! with the event count (the CCT keeps the lossless aggregate view
+//! either way).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use deepcontext_core::{Interval, NodeId};
+
+use crate::snapshot::TimelineSnapshot;
+use crate::TimelineConfig;
+
+/// A fixed-capacity interval buffer that evicts its oldest entry when
+/// full, counting every eviction.
+#[derive(Debug, Clone)]
+pub struct IntervalRing {
+    buf: Vec<Interval>,
+    /// Index of the oldest entry once the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl IntervalRing {
+    /// An empty ring holding at most `capacity` intervals (clamped to at
+    /// least one). Storage is allocated lazily as intervals arrive.
+    pub fn new(capacity: usize) -> Self {
+        IntervalRing {
+            buf: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends `interval`, evicting (and counting) the oldest entry when
+    /// the ring is full.
+    pub fn push(&mut self, interval: Interval) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(interval);
+        } else {
+            self.buf[self.head] = interval;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Live intervals, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Intervals evicted by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Approximate resident bytes (allocated storage, not capacity).
+    pub fn approx_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<Interval>()
+    }
+}
+
+/// Monotonic timeline-recording counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineCounters {
+    /// Intervals recorded (including any later evicted by overflow).
+    pub recorded: u64,
+    /// Intervals evicted by ring overflow — the timeline analogue of the
+    /// pipeline's dropped-event telemetry; surfaced through
+    /// `ProfilerStats` and on every [`TimelineSnapshot`].
+    pub dropped: u64,
+}
+
+/// The recording facade the ingestion pipeline writes into: one bounded
+/// ring per ingestion shard plus global counters.
+pub struct TimelineSink {
+    rings: Vec<Mutex<IntervalRing>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    ring_capacity: usize,
+}
+
+impl TimelineSink {
+    /// A sink with one ring (of `config.ring_capacity`) per shard.
+    pub fn new(shards: usize, config: &TimelineConfig) -> Self {
+        let capacity = config.ring_capacity.max(1);
+        TimelineSink {
+            rings: (0..shards.max(1))
+                .map(|_| Mutex::new(IntervalRing::new(capacity)))
+                .collect(),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring_capacity: capacity,
+        }
+    }
+
+    /// Number of shard rings.
+    pub fn shard_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Per-ring interval capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
+    }
+
+    /// Records one interval into shard `idx`'s ring. Callers serialize
+    /// per shard already (the pipeline records while holding the shard's
+    /// lock), so this lock is effectively uncontended outside snapshots.
+    pub fn record(&self, idx: usize, interval: Interval) {
+        let mut ring = self.rings[idx].lock();
+        let before = ring.dropped();
+        ring.push(interval);
+        let evicted = ring.dropped() - before;
+        drop(ring);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.dropped.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> TimelineCounters {
+        TimelineCounters {
+            recorded: self.recorded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Assembles the current ring contents into per-track sorted
+    /// intervals, remapping each interval's shard-local context id
+    /// through `remap(shard, node)` into the caller's master-tree id
+    /// space (return `None` to leave the context unresolved).
+    ///
+    /// Callers are responsible for quiescing ingestion first (the
+    /// pipeline's snapshot paths run this behind their drain barriers),
+    /// which is what makes asynchronous-mode timelines deterministic at
+    /// every flush.
+    pub fn snapshot_with(
+        &self,
+        mut remap: impl FnMut(usize, NodeId) -> Option<NodeId>,
+    ) -> TimelineSnapshot {
+        let mut intervals = Vec::new();
+        for (idx, ring) in self.rings.iter().enumerate() {
+            let ring = ring.lock();
+            intervals.extend(ring.iter().cloned().map(|mut interval| {
+                interval.context = interval.context.and_then(|node| remap(idx, node));
+                interval
+            }));
+        }
+        let counters = self.counters();
+        TimelineSnapshot::from_intervals(intervals, counters)
+    }
+
+    /// Approximate resident bytes of all rings.
+    pub fn approx_bytes(&self) -> usize {
+        self.rings
+            .iter()
+            .map(|r| std::mem::size_of::<Mutex<IntervalRing>>() + r.lock().approx_bytes())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for TimelineSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimelineSink")
+            .field("shards", &self.rings.len())
+            .field("ring_capacity", &self.ring_capacity)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{IntervalKind, TimeNs, TrackKey};
+    use std::sync::Arc;
+
+    fn interval(corr: u64, start: u64, end: u64) -> Interval {
+        Interval {
+            track: TrackKey {
+                device: 0,
+                stream: 0,
+            },
+            start: TimeNs(start),
+            end: TimeNs(end),
+            kind: IntervalKind::Kernel,
+            name: Arc::from("k"),
+            correlation: corr,
+            context: None,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_counts_evictions() {
+        let mut ring = IntervalRing::new(4);
+        for corr in 1..=10u64 {
+            ring.push(interval(corr, corr * 10, corr * 10 + 5));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let corrs: Vec<u64> = ring.iter().map(|iv| iv.correlation).collect();
+        assert_eq!(corrs, vec![7, 8, 9, 10], "oldest-first, newest kept");
+    }
+
+    #[test]
+    fn sink_counters_partition_recorded_into_kept_plus_dropped() {
+        let sink = TimelineSink::new(
+            2,
+            &TimelineConfig {
+                enabled: true,
+                ring_capacity: 3,
+            },
+        );
+        for corr in 1..=5u64 {
+            sink.record(0, interval(corr, corr, corr + 1));
+        }
+        sink.record(1, interval(99, 1, 2));
+        let counters = sink.counters();
+        assert_eq!(counters.recorded, 6);
+        assert_eq!(counters.dropped, 2);
+        let snap = sink.snapshot_with(|_, node| Some(node));
+        assert_eq!(
+            snap.interval_count() as u64 + counters.dropped,
+            counters.recorded,
+            "kept + dropped == recorded"
+        );
+        assert_eq!(snap.dropped(), counters.dropped);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = IntervalRing::new(0);
+        ring.push(interval(1, 0, 1));
+        ring.push(interval(2, 1, 2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

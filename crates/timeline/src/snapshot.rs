@@ -1,0 +1,388 @@
+//! Assembled timelines and the analyses over them.
+//!
+//! A [`TimelineSnapshot`] is the read-side view of the recorded rings:
+//! intervals grouped into per-`(device, stream)` [`Track`]s, each track
+//! sorted by start time, with context ids remapped into the folded
+//! master CCT. [`TimelineStats`] derives the latency metrics the
+//! aggregate profile cannot express: per-device utilization over the
+//! active span, the cross-stream overlap factor, and the idle gaps
+//! between device work — each gap attributed to the CCT contexts of its
+//! bounding launches, so an analyzer rule can point at the call path
+//! that left the device idle.
+
+use std::collections::BTreeMap;
+
+use deepcontext_core::{CallingContextTree, Interval, NodeId, TimeNs, TrackKey};
+
+use crate::ring::TimelineCounters;
+
+/// One `(device, stream)` swim-lane: its intervals sorted by
+/// `(start, end, correlation)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    key: TrackKey,
+    intervals: Vec<Interval>,
+}
+
+impl Track {
+    /// The `(device, stream)` placement.
+    pub fn key(&self) -> TrackKey {
+        self.key
+    }
+
+    /// Intervals, start-sorted.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Sum of interval durations on this track (no union: one stream
+    /// executes serially, so the sum *is* the track's busy time).
+    pub fn busy(&self) -> TimeNs {
+        TimeNs(self.intervals.iter().map(|iv| iv.duration().0).sum())
+    }
+}
+
+/// An assembled timeline: every track recorded, plus the recording
+/// counters at snapshot time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimelineSnapshot {
+    tracks: Vec<Track>,
+    counters: TimelineCounters,
+    /// Precomputed at assembly time: snapshots are immutable, and every
+    /// consumer of more than the raw tracks (both latency rules, the
+    /// reports) wants these — computing once here keeps repeated
+    /// [`stats`](Self::stats) calls free instead of re-sweeping the
+    /// whole interval set per rule.
+    stats: TimelineStats,
+}
+
+impl TimelineSnapshot {
+    /// Groups `intervals` into start-sorted tracks. Rings deliver
+    /// per-shard insertion order; tracks sort by `(start, end,
+    /// correlation)` so snapshots are deterministic regardless of which
+    /// shard an interval travelled through.
+    pub fn from_intervals(intervals: Vec<Interval>, counters: TimelineCounters) -> Self {
+        let mut by_track: BTreeMap<TrackKey, Vec<Interval>> = BTreeMap::new();
+        for interval in intervals {
+            by_track.entry(interval.track).or_default().push(interval);
+        }
+        let tracks = by_track
+            .into_iter()
+            .map(|(key, mut intervals)| {
+                intervals.sort_by_key(|iv| (iv.start, iv.end, iv.correlation));
+                Track { key, intervals }
+            })
+            .collect();
+        let mut snapshot = TimelineSnapshot {
+            tracks,
+            counters,
+            stats: TimelineStats::default(),
+        };
+        snapshot.stats = TimelineStats::compute(&snapshot);
+        snapshot
+    }
+
+    /// All tracks, ordered by `(device, stream)`.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// The track for one placement, if anything ran there.
+    pub fn track(&self, device: u32, stream: u32) -> Option<&Track> {
+        self.tracks
+            .iter()
+            .find(|t| t.key.device == device && t.key.stream == stream)
+    }
+
+    /// Devices with at least one recorded interval, ascending.
+    pub fn devices(&self) -> Vec<u32> {
+        let mut devices: Vec<u32> = self.tracks.iter().map(|t| t.key.device).collect();
+        devices.dedup();
+        devices
+    }
+
+    /// Total live intervals across all tracks.
+    pub fn interval_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.intervals.len()).sum()
+    }
+
+    /// Intervals recorded over the sink's lifetime (kept + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.counters.recorded
+    }
+
+    /// Intervals evicted by ring overflow — when non-zero, the timeline
+    /// is a trailing window of the run, not the whole run.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Per-device utilization / overlap / idle-gap statistics
+    /// (precomputed at assembly time; repeated calls are free).
+    pub fn stats(&self) -> &TimelineStats {
+        &self.stats
+    }
+
+    /// Renders the snapshot as Chrome Trace Format JSON (see
+    /// [`chrome`](crate::chrome)). Pass the CCT the snapshot's context
+    /// ids were resolved against to label every slice with its full call
+    /// path; `None` still emits valid, loadable JSON without the paths.
+    pub fn to_chrome_trace(&self, cct: Option<&CallingContextTree>) -> String {
+        crate::chrome::to_chrome_trace(self, cct)
+    }
+}
+
+/// One idle gap on a device: no stream of the device was executing in
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gap {
+    /// Gap start (the last prior interval's end).
+    pub start: TimeNs,
+    /// Gap end (the next interval's start).
+    pub end: TimeNs,
+    /// Context of the interval that finished last before the gap.
+    pub before: Option<NodeId>,
+    /// Context of the interval whose start closed the gap — the launch
+    /// that arrived late, which is where idle-gap analysis points.
+    pub after: Option<NodeId>,
+}
+
+impl Gap {
+    /// Gap length.
+    pub fn duration(&self) -> TimeNs {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Per-device timeline statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Device index.
+    pub device: u32,
+    /// Tracks (streams) with at least one interval.
+    pub streams: usize,
+    /// Earliest interval start on the device.
+    pub first_start: TimeNs,
+    /// Latest interval end on the device.
+    pub last_end: TimeNs,
+    /// Busy time: the union of all intervals across the device's
+    /// streams (overlapping work counts once).
+    pub busy: TimeNs,
+    /// Summed time: interval durations added up (overlapping work counts
+    /// per stream).
+    pub summed: TimeNs,
+    /// Idle gaps inside the active span, in time order.
+    pub gaps: Vec<Gap>,
+}
+
+impl DeviceStats {
+    /// The active span `[first_start, last_end)`.
+    pub fn span(&self) -> TimeNs {
+        self.last_end.saturating_sub(self.first_start)
+    }
+
+    /// Fraction of the active span the device was executing (0..=1).
+    pub fn utilization(&self) -> f64 {
+        let span = self.span().as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        self.busy.as_nanos() as f64 / span as f64
+    }
+
+    /// Cross-stream overlap factor: `summed / busy`. Exactly 1.0 when
+    /// the device's streams never execute concurrently (serialized);
+    /// approaches the stream count under perfect overlap.
+    pub fn overlap_factor(&self) -> f64 {
+        let busy = self.busy.as_nanos();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.summed.as_nanos() as f64 / busy as f64
+    }
+
+    /// Total idle time inside the active span (the sum of all gaps).
+    pub fn idle(&self) -> TimeNs {
+        TimeNs(self.gaps.iter().map(|g| g.duration().0).sum())
+    }
+}
+
+/// Per-device statistics over one snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimelineStats {
+    /// One entry per device with recorded work, ascending device order.
+    pub devices: Vec<DeviceStats>,
+}
+
+impl TimelineStats {
+    /// Computes statistics with a line sweep per device: intervals from
+    /// every stream of the device are merged start-sorted; maximal
+    /// covered segments accumulate `busy`, and the spaces between them
+    /// become [`Gap`]s bounded by the interval that finished last and
+    /// the one that started next.
+    pub fn compute(snapshot: &TimelineSnapshot) -> TimelineStats {
+        let mut devices = Vec::new();
+        for device in snapshot.devices() {
+            let mut intervals: Vec<&Interval> = snapshot
+                .tracks()
+                .iter()
+                .filter(|t| t.key().device == device)
+                .flat_map(|t| t.intervals().iter())
+                .collect();
+            intervals.sort_by_key(|iv| (iv.start, iv.end, iv.correlation));
+            let streams = snapshot
+                .tracks()
+                .iter()
+                .filter(|t| t.key().device == device && !t.intervals().is_empty())
+                .count();
+            let first_start = intervals.first().map(|iv| iv.start).unwrap_or_default();
+            let mut summed = 0u64;
+            let mut busy = 0u64;
+            let mut gaps = Vec::new();
+            // The running covered segment and the interval whose end
+            // currently bounds it (the "last to finish" before any gap).
+            let mut cover_end = first_start;
+            let mut closer: Option<&Interval> = None;
+            for iv in &intervals {
+                summed += iv.duration().0;
+                if iv.start > cover_end {
+                    gaps.push(Gap {
+                        start: cover_end,
+                        end: iv.start,
+                        before: closer.and_then(|c| c.context),
+                        after: iv.context,
+                    });
+                    busy += iv.duration().0;
+                    cover_end = iv.end.max(cover_end);
+                    closer = Some(iv);
+                } else if iv.end > cover_end {
+                    busy += (iv.end - cover_end).0;
+                    cover_end = iv.end;
+                    closer = Some(iv);
+                }
+            }
+            devices.push(DeviceStats {
+                device,
+                streams,
+                first_start,
+                last_end: cover_end,
+                busy: TimeNs(busy),
+                summed: TimeNs(summed),
+                gaps,
+            });
+        }
+        TimelineStats { devices }
+    }
+
+    /// The statistics for one device, if it recorded anything.
+    pub fn device(&self, device: u32) -> Option<&DeviceStats> {
+        self.devices.iter().find(|d| d.device == device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::IntervalKind;
+    use std::sync::Arc;
+
+    fn iv(device: u32, stream: u32, start: u64, end: u64, corr: u64) -> Interval {
+        Interval {
+            track: TrackKey { device, stream },
+            start: TimeNs(start),
+            end: TimeNs(end),
+            kind: IntervalKind::Kernel,
+            name: Arc::from(format!("k{corr}").as_str()),
+            correlation: corr,
+            context: Some(NodeId::ROOT),
+        }
+    }
+
+    fn snapshot(intervals: Vec<Interval>) -> TimelineSnapshot {
+        let counters = TimelineCounters {
+            recorded: intervals.len() as u64,
+            dropped: 0,
+        };
+        TimelineSnapshot::from_intervals(intervals, counters)
+    }
+
+    #[test]
+    fn tracks_are_grouped_and_start_sorted() {
+        let snap = snapshot(vec![
+            iv(0, 1, 50, 60, 3),
+            iv(0, 0, 0, 10, 1),
+            iv(0, 1, 5, 15, 2),
+            iv(1, 0, 0, 5, 4),
+        ]);
+        assert_eq!(snap.tracks().len(), 3);
+        assert_eq!(snap.devices(), vec![0, 1]);
+        let t01 = snap.track(0, 1).expect("track (0,1)");
+        let starts: Vec<u64> = t01.intervals().iter().map(|i| i.start.0).collect();
+        assert_eq!(starts, vec![5, 50]);
+        assert_eq!(t01.busy(), TimeNs(20));
+        assert_eq!(snap.interval_count(), 4);
+    }
+
+    #[test]
+    fn stats_union_overlap_and_gaps() {
+        // Device 0: stream 0 runs [0,10), stream 1 runs [5,15) — overlap
+        // [5,10) — then a gap [15,20) before stream 0 runs [20,30).
+        let snap = snapshot(vec![
+            iv(0, 0, 0, 10, 1),
+            iv(0, 1, 5, 15, 2),
+            iv(0, 0, 20, 30, 3),
+        ]);
+        let stats = snap.stats();
+        let d = stats.device(0).expect("device 0");
+        assert_eq!(d.streams, 2);
+        assert_eq!(d.span(), TimeNs(30));
+        assert_eq!(d.busy, TimeNs(25));
+        assert_eq!(d.summed, TimeNs(30));
+        assert!((d.utilization() - 25.0 / 30.0).abs() < 1e-12);
+        assert!((d.overlap_factor() - 30.0 / 25.0).abs() < 1e-12);
+        assert_eq!(d.gaps.len(), 1);
+        let gap = d.gaps[0];
+        assert_eq!((gap.start, gap.end), (TimeNs(15), TimeNs(20)));
+        assert_eq!(d.idle(), TimeNs(5));
+        // The gap is bounded by interval 2 (last to finish) and 3 (next
+        // to start).
+        assert_eq!(gap.before, Some(NodeId::ROOT));
+        assert_eq!(gap.after, Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn serialized_streams_have_overlap_factor_one() {
+        let snap = snapshot(vec![
+            iv(0, 0, 0, 10, 1),
+            iv(0, 1, 10, 20, 2),
+            iv(0, 0, 20, 30, 3),
+        ]);
+        let stats = snap.stats();
+        let d = stats.device(0).expect("device 0");
+        assert_eq!(d.overlap_factor(), 1.0);
+        assert_eq!(d.utilization(), 1.0);
+        assert!(d.gaps.is_empty());
+    }
+
+    #[test]
+    fn nested_interval_does_not_double_count_busy() {
+        // [0,100) fully contains [10,20): busy is 100, summed 110.
+        let snap = snapshot(vec![iv(0, 0, 0, 100, 1), iv(0, 1, 10, 20, 2)]);
+        let d = snap.stats().device(0).cloned().expect("device 0");
+        assert_eq!(d.busy, TimeNs(100));
+        assert_eq!(d.summed, TimeNs(110));
+        assert!(d.gaps.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_stats() {
+        let snap = snapshot(Vec::new());
+        assert!(snap.is_empty());
+        assert!(snap.stats().devices.is_empty());
+    }
+}
