@@ -240,11 +240,11 @@ impl Rule for StreamSerializationRule {
 mod tests {
     use super::*;
     use deepcontext_core::{
-        CallingContextTree, Frame, Interval, IntervalKind, MetricKind, ProfileDb, ProfileMeta,
-        TimeNs, TrackKey,
+        CallingContextTree, Frame, Interner, Interval, IntervalKind, MetricKind, ProfileDb,
+        ProfileMeta, TimeNs, TrackKey,
     };
     use deepcontext_timeline::{ring::TimelineCounters, TimelineSnapshot};
-    use std::sync::Arc;
+    use std::sync::{Arc, OnceLock};
 
     fn interval(
         device: u32,
@@ -254,12 +254,13 @@ mod tests {
         corr: u64,
         context: Option<NodeId>,
     ) -> Interval {
+        static INTERNER: OnceLock<Arc<Interner>> = OnceLock::new();
         Interval {
             track: TrackKey { device, stream },
             start: TimeNs(start),
             end: TimeNs(end),
             kind: IntervalKind::Kernel,
-            name: Arc::from("k"),
+            name: INTERNER.get_or_init(Interner::new).intern("k"),
             correlation: corr,
             context,
         }

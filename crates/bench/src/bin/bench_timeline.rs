@@ -4,7 +4,7 @@
 //! over a coarse single-stream and a multi-stream (2 devices × 3
 //! streams) kernel stream.
 //!
-//! Acceptance bar: `producer(on) / producer(off) ≤ 1.25` per shape, with
+//! Acceptance bar: `producer(on) / producer(off) ≤ 1.15` per shape, with
 //! zero ring overflows at the default capacity.
 //!
 //! Run from the repo root: `cargo run --release -p deepcontext-bench
@@ -17,7 +17,7 @@ use deepcontext_timeline::DEFAULT_RING_CAPACITY;
 
 const OPS: usize = 30_000;
 const REPEATS: usize = 7;
-const TARGET_MAX_OVERHEAD: f64 = 1.25;
+const TARGET_MAX_OVERHEAD: f64 = 1.15;
 
 fn point<'a>(points: &'a [TimelinePoint], scenario: &str) -> &'a TimelinePoint {
     points

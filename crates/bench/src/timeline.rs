@@ -15,7 +15,7 @@
 //!   the timeline's analyses consume them.
 //!
 //! The headline number is `overhead = on / off` per scenario; the
-//! acceptance bar is ≤ 1.25x with zero ring overflows at the default
+//! acceptance bar is ≤ 1.15x with zero ring overflows at the default
 //! capacity.
 
 use std::sync::Arc;

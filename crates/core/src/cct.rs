@@ -6,10 +6,10 @@
 //! a sample at the bottom of a call path propagates it along the entire
 //! path to the root, so every node always holds *inclusive* metrics.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::frame::{CallPath, Frame, FrameKey, FrameKind};
+use crate::fx::FxHashMap;
 use crate::interner::Interner;
 use crate::metrics::{MetricKind, MetricStat, MetricStore};
 
@@ -73,7 +73,9 @@ impl CctNode {
 pub struct CallingContextTree {
     interner: Arc<Interner>,
     nodes: Vec<CctNode>,
-    child_index: HashMap<(NodeId, FrameKey), NodeId>,
+    // Fx-hashed: probed once per frame of every inserted call path, on
+    // keys (node id + collapse key) that are small and attacker-free.
+    child_index: FxHashMap<(NodeId, FrameKey), NodeId>,
 }
 
 impl CallingContextTree {
@@ -93,7 +95,7 @@ impl CallingContextTree {
                 children: Vec::new(),
                 metrics: MetricStore::new(),
             }],
-            child_index: HashMap::new(),
+            child_index: FxHashMap::default(),
         }
     }
 
@@ -374,7 +376,7 @@ impl CallingContextTree {
                     nb.children.len()
                 ));
             }
-            let index: HashMap<FrameKey, NodeId> = nb
+            let index: FxHashMap<FrameKey, NodeId> = nb
                 .children
                 .iter()
                 .map(|&c| (b.node(c).frame.key(), c))

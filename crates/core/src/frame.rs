@@ -185,19 +185,25 @@ pub enum Frame {
 }
 
 impl Frame {
+    // The typed constructors intern through the caller's thread-local
+    // cache (`Interner::intern_cached`): producers (DLMonitor's event
+    // builders, the sim-GPU runtime) rebuild frames for the same hot
+    // names every training step, so the striped locks are skipped on
+    // everything but the first sighting per thread.
+
     /// Creates a Python frame.
     pub fn python(file: &str, line: u32, function: &str, interner: &Interner) -> Self {
         Frame::Python {
-            file: interner.intern(file),
+            file: interner.intern_cached(file),
             line,
-            function: interner.intern(function),
+            function: interner.intern_cached(function),
         }
     }
 
     /// Creates a forward operator frame.
     pub fn operator(name: &str, interner: &Interner) -> Self {
         Frame::Operator {
-            name: interner.intern(name),
+            name: interner.intern_cached(name),
             phase: OpPhase::Forward,
             seq_id: None,
         }
@@ -211,7 +217,7 @@ impl Frame {
         interner: &Interner,
     ) -> Self {
         Frame::Operator {
-            name: interner.intern(name),
+            name: interner.intern_cached(name),
             phase,
             seq_id,
         }
@@ -220,17 +226,17 @@ impl Frame {
     /// Creates a native frame.
     pub fn native(library: &str, pc: u64, symbol: &str, interner: &Interner) -> Self {
         Frame::Native {
-            library: interner.intern(library),
+            library: interner.intern_cached(library),
             pc,
-            symbol: interner.intern(symbol),
+            symbol: interner.intern_cached(symbol),
         }
     }
 
     /// Creates a GPU API frame.
     pub fn gpu_api(name: &str, library: &str, pc: u64, interner: &Interner) -> Self {
         Frame::GpuApi {
-            name: interner.intern(name),
-            library: interner.intern(library),
+            name: interner.intern_cached(name),
+            library: interner.intern_cached(library),
             pc,
         }
     }
@@ -238,8 +244,8 @@ impl Frame {
     /// Creates a GPU kernel frame.
     pub fn gpu_kernel(name: &str, module: &str, pc: u64, interner: &Interner) -> Self {
         Frame::GpuKernel {
-            name: interner.intern(name),
-            module: interner.intern(module),
+            name: interner.intern_cached(name),
+            module: interner.intern_cached(module),
             pc,
         }
     }
@@ -252,6 +258,17 @@ impl Frame {
     /// Creates a thread frame.
     pub fn thread(tid: u64, role: ThreadRole) -> Self {
         Frame::Thread { tid, role }
+    }
+
+    /// The interned kernel name when this is a device-kernel frame.
+    /// Attribution taps use this to reuse the `Sym` the launch path
+    /// already interned instead of re-interning the activity record's
+    /// name string.
+    pub fn gpu_kernel_name(&self) -> Option<Sym> {
+        match self {
+            Frame::GpuKernel { name, .. } => Some(*name),
+            _ => None,
+        }
     }
 
     /// The layer this frame belongs to.

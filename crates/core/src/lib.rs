@@ -35,6 +35,7 @@ mod clock;
 mod db;
 mod error;
 mod frame;
+mod fx;
 mod interner;
 mod metrics;
 mod shard;
@@ -45,6 +46,7 @@ pub use clock::{TimeNs, VirtualClock};
 pub use db::{ProfileDb, ProfileMeta};
 pub use error::CoreError;
 pub use frame::{CallPath, Frame, FrameKey, FrameKind, OpPhase, ThreadRole};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interner::{Interner, Sym};
 pub use metrics::{MetricKind, MetricStat, MetricStore, StallReason};
 pub use shard::CctShard;

@@ -24,11 +24,11 @@
 //!   catch-all context, created once per shard instead of re-interned per
 //!   orphaned record.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::cct::{CallingContextTree, NodeId};
 use crate::frame::{CallPath, Frame};
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::interner::Interner;
 use crate::metrics::MetricKind;
 
@@ -40,7 +40,8 @@ use crate::metrics::MetricKind;
 #[derive(Debug, Clone)]
 pub struct CctShard {
     tree: CallingContextTree,
-    corr: HashMap<u64, NodeId>,
+    // Fx-hashed: hit once per activity record on plain counter keys.
+    corr: FxHashMap<u64, NodeId>,
     orphan: Option<NodeId>,
     dropped: Option<NodeId>,
     prev_batch: Vec<u64>,
@@ -53,7 +54,7 @@ impl CctShard {
     pub fn new(interner: Arc<Interner>) -> Self {
         CctShard {
             tree: CallingContextTree::with_interner(interner),
-            corr: HashMap::new(),
+            corr: FxHashMap::default(),
             orphan: None,
             dropped: None,
             prev_batch: Vec::new(),
@@ -183,7 +184,7 @@ impl CctShard {
     /// and not re-attributed in this one are dropped from the correlation
     /// map. Returns the pruned ids so callers can clean up routing state.
     pub fn end_batch(&mut self) -> Vec<u64> {
-        let keep: HashSet<u64> = self.curr_batch.iter().copied().collect();
+        let keep: FxHashSet<u64> = self.curr_batch.iter().copied().collect();
         let mut pruned = Vec::new();
         for id in self.prev_batch.drain(..) {
             if !keep.contains(&id) && self.corr.remove(&id).is_some() {

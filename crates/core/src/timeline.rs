@@ -13,10 +13,9 @@
 //! analyzer, exporters) shares one vocabulary without depending on the
 //! timeline machinery.
 
-use std::sync::Arc;
-
 use crate::cct::NodeId;
 use crate::clock::TimeNs;
+use crate::interner::Sym;
 
 /// What kind of device work an [`Interval`] covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,7 +49,13 @@ pub struct TrackKey {
 /// One recorded device interval: a kernel or memcpy execution with its
 /// placement, its `[start, end)` device-time window, and the CCT context
 /// it was attributed to.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Interval` is plain `Copy` data: the display name is an interned
+/// [`Sym`], not a string — the ingestion tap records the handle and only
+/// export/analysis time resolves it (through the session interner or a
+/// snapshot's captured symbol table), so recording an interval performs
+/// zero heap allocation and zero refcount traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Where it ran.
     pub track: TrackKey,
@@ -60,8 +65,9 @@ pub struct Interval {
     pub end: TimeNs,
     /// Kernel or memcpy.
     pub kind: IntervalKind,
-    /// Display name (kernel name; `"memcpy"` for copies).
-    pub name: Arc<str>,
+    /// Interned display name (kernel name; `"memcpy"` for copies).
+    /// Resolve through the interner that ingested the interval.
+    pub name: Sym,
     /// Correlation id linking back to the launching API call.
     pub correlation: u64,
     /// The CCT context the interval's metrics were attributed to.
@@ -84,9 +90,11 @@ impl Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interner::Interner;
 
     #[test]
     fn duration_saturates_and_names_are_stable() {
+        let interner = Interner::new();
         let iv = Interval {
             track: TrackKey {
                 device: 0,
@@ -95,10 +103,11 @@ mod tests {
             start: TimeNs(100),
             end: TimeNs(250),
             kind: IntervalKind::Kernel,
-            name: Arc::from("sgemm"),
+            name: interner.intern("sgemm"),
             correlation: 7,
             context: None,
         };
+        assert_eq!(interner.resolve(iv.name).as_ref(), "sgemm");
         assert_eq!(iv.duration(), TimeNs(150));
         assert_eq!(IntervalKind::Kernel.name(), "kernel");
         assert_eq!(IntervalKind::Memcpy.name(), "memcpy");

@@ -110,6 +110,11 @@ pub struct PipelineConfig {
     /// [`ShardedSink`] in a [`BatchingSink`](crate::BatchingSink) when
     /// this is above 1.
     pub launch_batch: usize,
+    /// Which correlation-directory layout the sink uses (see
+    /// [`crate::directory`]). The default honours the
+    /// `DEEPCONTEXT_DIRECTORY_MAP` environment override
+    /// ([`default_directory_map`](crate::default_directory_map)).
+    pub directory_map: crate::DirectoryMapKind,
 }
 
 impl Default for PipelineConfig {
@@ -119,6 +124,7 @@ impl Default for PipelineConfig {
             queue_capacity: 256,
             backpressure: BackpressurePolicy::Block,
             launch_batch: crate::default_launch_batch(),
+            directory_map: crate::default_directory_map(),
         }
     }
 }
@@ -1038,6 +1044,7 @@ mod tests {
                 queue_capacity: 2,
                 backpressure: BackpressurePolicy::DropOldest,
                 launch_batch: 1,
+                ..PipelineConfig::default()
             },
         );
         // Seed: a launch plus its terminal activity — after the bucket's
@@ -1107,6 +1114,7 @@ mod tests {
                 queue_capacity: 1,
                 backpressure: BackpressurePolicy::Block,
                 launch_batch: 64,
+                ..PipelineConfig::default()
             },
         );
         sink.pause();
@@ -1161,6 +1169,7 @@ mod tests {
                 queue_capacity: 2,
                 backpressure: BackpressurePolicy::DropOldest,
                 launch_batch: 1,
+                ..PipelineConfig::default()
             },
         );
         let mut path = CallPath::new();

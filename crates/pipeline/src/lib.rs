@@ -62,11 +62,16 @@
 
 pub mod async_sink;
 pub mod batch;
+pub mod directory;
 pub mod sharded;
 pub mod sink;
 
 pub use async_sink::{AsyncSink, BackpressurePolicy, PipelineConfig};
 pub use batch::BatchingSink;
+pub use directory::{
+    default_directory_map, DirectoryMap, DirectoryMapKind, StripedFlatDirectory,
+    StripedHashDirectory,
+};
 pub use sharded::ShardedSink;
 pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
 

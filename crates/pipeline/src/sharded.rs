@@ -49,7 +49,6 @@
 //! [`epoch_complete_shard`]: ShardedSink::epoch_complete_shard
 //! [`EventOrigin::route_key`]: dlmonitor::EventOrigin::route_key
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -57,106 +56,15 @@ use parking_lot::Mutex;
 
 use deepcontext_core::{
     CallPath, CallingContextTree, CctShard, FoldState, Interner, Interval, IntervalKind,
-    MetricKind, NodeId, TrackKey,
+    MetricKind, NodeId, Sym, TrackKey,
 };
 use deepcontext_timeline::{TimelineConfig, TimelineSink, TimelineSnapshot};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
 use crate::batch::ProducerEvent;
+use crate::directory::{mix, DirectoryMap, DirectoryMapKind, DIR_ENTRY_BYTES};
 use crate::sink::{attribute_activity_metrics, EventSink, SinkCounters};
-
-/// The interval a kernel/memcpy activity record contributes to the
-/// timeline, tagged with the context `node` it was attributed to
-/// (shard-local; snapshots remap it into the master tree). Other record
-/// kinds carry no device-time window and record nothing.
-fn interval_of(activity: &Activity, node: NodeId) -> Option<Interval> {
-    static MEMCPY: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
-    match &activity.kind {
-        ActivityKind::Kernel {
-            name,
-            stream,
-            start,
-            end,
-            ..
-        } => Some(Interval {
-            track: TrackKey {
-                device: activity.device.0,
-                stream: stream.0,
-            },
-            start: *start,
-            end: *end,
-            kind: IntervalKind::Kernel,
-            name: Arc::clone(name),
-            correlation: activity.correlation_id.0,
-            context: Some(node),
-        }),
-        ActivityKind::Memcpy {
-            stream, start, end, ..
-        } => Some(Interval {
-            track: TrackKey {
-                device: activity.device.0,
-                stream: stream.0,
-            },
-            start: *start,
-            end: *end,
-            kind: IntervalKind::Memcpy,
-            name: Arc::clone(MEMCPY.get_or_init(|| Arc::from("memcpy"))),
-            correlation: activity.correlation_id.0,
-            context: Some(node),
-        }),
-        ActivityKind::Malloc { .. }
-        | ActivityKind::Free { .. }
-        | ActivityKind::PcSampling { .. } => None,
-    }
-}
-
-/// Mixes a routing key so sequential tids/correlation ids spread across
-/// shards (splitmix64 finalizer).
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Hasher for the correlation directory's `u64` keys: one splitmix64
-/// round instead of SipHash. The directory sits on the producer-side
-/// enqueue path of the asynchronous pipeline (bind on every launch,
-/// lookup on every activity record), where the default hasher's setup
-/// cost is measurable.
-#[derive(Default, Clone)]
-struct CorrHasher(u64);
-
-impl std::hash::Hasher for CorrHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused for u64 keys): fold bytes then mix.
-        for &b in bytes {
-            self.0 = self.0.rotate_left(8) ^ u64::from(b);
-        }
-        self.0 = mix(self.0);
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        self.0 = mix(n);
-    }
-}
-
-#[derive(Default, Clone)]
-struct CorrHashBuilder;
-
-impl std::hash::BuildHasher for CorrHashBuilder {
-    type Hasher = CorrHasher;
-    fn build_hasher(&self) -> CorrHasher {
-        CorrHasher::default()
-    }
-}
-
-type DirectoryStripe = HashMap<u64, u32, CorrHashBuilder>;
 
 /// The memoized fold of all shards: the merged master tree, the
 /// per-shard [`FoldState`] it was built through, and the shard dirty
@@ -208,15 +116,17 @@ pub struct ShardedSink {
     /// ingestion modes). `None` when timeline recording is off — the
     /// aggregate-only pipeline then pays nothing for it.
     timeline: Option<TimelineSink>,
-    /// Correlation id -> index of the shard it was bound in. Striped by
-    /// correlation hash so binding and resolving rarely contend.
-    directory: Vec<Mutex<DirectoryStripe>>,
+    /// Correlation id -> index of the shard it was bound in. Pluggable
+    /// ([`DirectoryMap`]): lock-striped by correlation hash in both
+    /// implementations, so binding and resolving rarely contend.
+    directory: Box<dyn DirectoryMap>,
+    /// The interned `"memcpy"` display name, so memcpy records skip even
+    /// the thread-local intern cache on the timeline tap.
+    memcpy_sym: Sym,
     /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
     /// shard lock is already held at batch boundaries, so peak tracking
     /// never sweeps every shard lock.
     shard_bytes: Vec<AtomicUsize>,
-    /// Live directory entries across all stripes.
-    dir_entries: AtomicUsize,
     activities: AtomicU64,
     instruction_samples: AtomicU64,
     orphans: AtomicU64,
@@ -251,12 +161,34 @@ impl ShardedSink {
     /// [`with_options`](Self::with_options) plus timeline recording:
     /// when `timeline.enabled`, every kernel/memcpy record attributed by
     /// this sink also appends a context-tagged interval to a bounded
-    /// per-shard ring (see [`EventSink::timeline_snapshot`]).
+    /// per-shard ring (see [`EventSink::timeline_snapshot`]). The
+    /// correlation directory defaults to
+    /// [`default_directory_map`](crate::default_directory_map) — use
+    /// [`with_directory_map`](Self::with_directory_map) to pin a layout.
     pub fn with_timeline(
         interner: Arc<Interner>,
         shard_count: usize,
         snapshot_cache: bool,
         timeline: &TimelineConfig,
+    ) -> Arc<Self> {
+        ShardedSink::with_directory_map(
+            interner,
+            shard_count,
+            snapshot_cache,
+            timeline,
+            crate::default_directory_map(),
+        )
+    }
+
+    /// The full constructor: [`with_timeline`](Self::with_timeline) plus
+    /// an explicit correlation-directory layout
+    /// ([`PipelineConfig::directory_map`](crate::PipelineConfig::directory_map)).
+    pub fn with_directory_map(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+        timeline: &TimelineConfig,
+        directory_map: DirectoryMapKind,
     ) -> Arc<Self> {
         let n = shard_count.max(1);
         Arc::new(ShardedSink {
@@ -264,13 +196,11 @@ impl ShardedSink {
             shards: (0..n)
                 .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
                 .collect(),
-            directory: (0..n)
-                .map(|_| Mutex::new(DirectoryStripe::default()))
-                .collect(),
+            directory: directory_map.build(n),
             shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            dir_entries: AtomicUsize::new(0),
             cache_enabled: snapshot_cache,
             cache: Mutex::new(None),
+            memcpy_sym: interner.intern("memcpy"),
             interner,
             activities: AtomicU64::new(0),
             instruction_samples: AtomicU64::new(0),
@@ -317,7 +247,7 @@ impl ShardedSink {
     /// Live correlation-directory entries — introspection for routing
     /// and leak diagnostics.
     pub fn directory_entries(&self) -> usize {
-        self.dir_entries.load(Ordering::Relaxed)
+        self.directory.len()
     }
 
     fn index_for(&self, key: u64) -> usize {
@@ -358,41 +288,7 @@ impl ShardedSink {
     /// locked exactly once, so a flushed thread-local batch pays one lock
     /// round-trip per *stripe touched* instead of one per launch.
     pub fn bind_batch(&self, corrs: &[u64], shard: usize) {
-        // Allocation-free: each chunk's stripe indices live on the stack.
-        const CHUNK: usize = 256;
-        match corrs.len() {
-            0 => {}
-            1 => self.directory_bind(corrs[0], shard),
-            _ => {
-                for chunk in corrs.chunks(CHUNK) {
-                    let mut slots = [0u16; CHUNK];
-                    for (slot, corr) in slots.iter_mut().zip(chunk) {
-                        *slot = self.index_for(*corr) as u16;
-                    }
-                    let mut remaining = chunk.len();
-                    for stripe in 0..self.directory.len() {
-                        if remaining == 0 {
-                            break;
-                        }
-                        let mut map = None;
-                        let mut added = 0usize;
-                        for (corr, slot) in chunk.iter().zip(&slots) {
-                            if *slot as usize != stripe {
-                                continue;
-                            }
-                            let map = map.get_or_insert_with(|| self.directory[stripe].lock());
-                            if map.insert(*corr, shard as u32).is_none() {
-                                added += 1;
-                            }
-                            remaining -= 1;
-                        }
-                        if added > 0 {
-                            self.dir_entries.fetch_add(added, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-        }
+        self.directory.bind_batch(corrs, shard as u32);
     }
 
     /// Forgets every trace of `correlation`: its directory entry and, if
@@ -413,25 +309,75 @@ impl ShardedSink {
     }
 
     fn directory_bind(&self, corr: u64, shard: usize) {
-        let slot = self.index_for(corr);
-        if self.directory[slot]
-            .lock()
-            .insert(corr, shard as u32)
-            .is_none()
-        {
-            self.dir_entries.fetch_add(1, Ordering::Relaxed);
-        }
+        self.directory.bind(corr, shard as u32);
     }
 
     fn directory_lookup(&self, corr: u64) -> Option<usize> {
-        let slot = self.index_for(corr);
-        self.directory[slot].lock().get(&corr).map(|s| *s as usize)
+        self.directory.lookup(corr).map(|s| s as usize)
     }
 
     fn directory_remove(&self, corr: u64) {
-        let slot = self.index_for(corr);
-        if self.directory[slot].lock().remove(&corr).is_some() {
-            self.dir_entries.fetch_sub(1, Ordering::Relaxed);
+        self.directory.remove(corr);
+    }
+
+    /// The interval a kernel/memcpy activity record contributes to the
+    /// timeline, tagged with the context `node` it was attributed to
+    /// (shard-local; snapshots remap it into the master tree). Other
+    /// record kinds carry no device-time window and record nothing.
+    ///
+    /// This is the recording tap's only contact with the kernel name,
+    /// and it avoids even a hash of it on the hot path: a resolved
+    /// launch's leaf frame is the `GpuKernel` frame whose name `Sym`
+    /// the launch path already interned, so the tap reuses that handle
+    /// — one node read, no lock, no clone, no allocation. (Kernel
+    /// frames collapse by `(module, pc)`, so the symbol is the code
+    /// location's first-seen name — the same convention every CCT view
+    /// renders.) Orphaned records, whose node is not a kernel frame,
+    /// fall back to interning the record's own name through the worker
+    /// thread's local cache ([`Interner::intern_cached`]); memcpys
+    /// reuse the pre-interned symbol outright.
+    fn interval_of(&self, shard: &CctShard, activity: &Activity, node: NodeId) -> Option<Interval> {
+        match &activity.kind {
+            ActivityKind::Kernel {
+                name,
+                stream,
+                start,
+                end,
+                ..
+            } => Some(Interval {
+                track: TrackKey {
+                    device: activity.device.0,
+                    stream: stream.0,
+                },
+                start: *start,
+                end: *end,
+                kind: IntervalKind::Kernel,
+                name: shard
+                    .tree()
+                    .node(node)
+                    .frame()
+                    .gpu_kernel_name()
+                    .unwrap_or_else(|| self.interner.intern_cached(name)),
+                correlation: activity.correlation_id.0,
+                context: Some(node),
+            }),
+            ActivityKind::Memcpy {
+                stream, start, end, ..
+            } => Some(Interval {
+                track: TrackKey {
+                    device: activity.device.0,
+                    stream: stream.0,
+                },
+                start: *start,
+                end: *end,
+                kind: IntervalKind::Memcpy,
+                name: self.memcpy_sym,
+                correlation: activity.correlation_id.0,
+                context: Some(node),
+            }),
+            ActivityKind::Malloc { .. }
+            | ActivityKind::Free { .. }
+            | ActivityKind::PcSampling { .. } => None,
         }
     }
 
@@ -448,7 +394,7 @@ impl ShardedSink {
             self.orphans.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(timeline) = &self.timeline {
-            if let Some(interval) = interval_of(activity, node) {
+            if let Some(interval) = self.interval_of(shard, activity, node) {
                 timeline.record(idx, interval);
             }
         }
@@ -658,12 +604,7 @@ impl ShardedSink {
     /// portion of a flush boundary, run after every shard's
     /// [`epoch_complete_shard`](Self::epoch_complete_shard).
     pub fn trim_directory(&self) {
-        for stripe in &self.directory {
-            let mut map = stripe.lock();
-            if map.capacity() > 64 && map.capacity() / 4 > map.len() {
-                map.shrink_to_fit();
-            }
-        }
+        self.directory.trim();
     }
 
     /// Brings the snapshot cache up to date: folds every shard whose
@@ -712,10 +653,8 @@ impl ShardedSink {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .sum();
-        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
-        let bytes = shard_bytes
-            + self.dir_entries.load(Ordering::Relaxed) * dir_entry
-            + self.interner.approx_bytes();
+        let bytes =
+            shard_bytes + self.directory.len() * DIR_ENTRY_BYTES + self.interner.approx_bytes();
         self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 }
@@ -815,7 +754,13 @@ impl EventSink for ShardedSink {
                 let cache = cache.as_ref().expect("cache refreshed");
                 cache.folds.iter().map(|f| f.mapping().to_vec()).collect()
             };
-            Some(timeline.snapshot_with(|shard, node| mappings[shard].get(node.index()).copied()))
+            Some(
+                timeline
+                    .snapshot_with(|shard, node| mappings[shard].get(node.index()).copied())
+                    // One symbol-table capture per snapshot (not per
+                    // interval): exporters resolve `Sym` names by index.
+                    .with_names(self.interner.snapshot()),
+            )
         } else {
             // No cache to borrow mappings from: run one deterministic
             // fold (same shard order as `snapshot_uncached`, so the ids
@@ -827,7 +772,11 @@ impl EventSink for ShardedSink {
                 .iter()
                 .map(|shard| master.merge(shard.lock().tree()))
                 .collect();
-            Some(timeline.snapshot_with(|shard, node| mappings[shard].get(node.index()).copied()))
+            Some(
+                timeline
+                    .snapshot_with(|shard, node| mappings[shard].get(node.index()).copied())
+                    .with_names(self.interner.snapshot()),
+            )
         }
     }
 
@@ -864,12 +813,7 @@ impl EventSink for ShardedSink {
             })
             .unwrap_or(0);
         let shard_bytes: usize = self.shards.iter().map(|s| s.lock().approx_bytes()).sum();
-        let dir_entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + 16;
-        let dir_bytes: usize = self
-            .directory
-            .iter()
-            .map(|d| d.lock().capacity() * dir_entry)
-            .sum();
+        let dir_bytes = self.directory.approx_bytes();
         // Timeline rings are ingestion state too (bounded by
         // ring_capacity × shards, allocated lazily).
         let timeline_bytes = self

@@ -227,6 +227,38 @@ fn check_interleaving(steps: &[Step], shards: usize, async_mode: bool, launch_ba
         intervals_delivered,
         "every kernel/memcpy record produced exactly one interval"
     );
+    // Interned names round-trip: each interval's `Sym` resolves through
+    // its own snapshot's captured symbol table back to the launched
+    // kernel's name. The comparison is over *resolved strings*, not raw
+    // `Sym` ids, so it pins the contract even where the two sinks
+    // interned in different orders.
+    for (ot, kt) in st.tracks().iter().zip(ct.tracks().iter()) {
+        for (oi, ki) in ot.intervals().iter().zip(kt.intervals().iter()) {
+            let name = st.name_of(oi.name);
+            prop_assert!(
+                name.is_some_and(|n| n.starts_with("kernel_") || n == "memcpy"),
+                "{}, oracle interval corr {} resolved to {:?}",
+                label(),
+                oi.correlation,
+                name
+            );
+            prop_assert_eq!(
+                name,
+                ct.name_of(ki.name),
+                "{}, resolved names at corr {}",
+                label(),
+                oi.correlation
+            );
+        }
+    }
+    // The Chrome exports resolve through those captured tables and must
+    // come out byte-identical.
+    prop_assert_eq!(
+        st.to_chrome_trace(None),
+        ct.to_chrome_trace(None),
+        "{}, chrome export",
+        label()
+    );
     let s = oracle.finish_snapshot();
     let c = candidate.finish_snapshot();
     prop_assert_eq!(s.semantic_diff(&c), None, "{}, finish", label());
@@ -354,6 +386,7 @@ fn drop_oldest_counts_drops_and_attributes_the_rest() {
             // Unbatched: each sample is one queue message, so eviction
             // accounting below is exact per event.
             launch_batch: 1,
+            ..PipelineConfig::default()
         },
     );
 
@@ -438,6 +471,7 @@ fn drop_oldest_evicts_partially_flushed_batches_without_leaks() {
             queue_capacity: 2,
             backpressure: BackpressurePolicy::DropOldest,
             launch_batch: 64,
+            ..PipelineConfig::default()
         },
     );
 

@@ -47,10 +47,11 @@ use sim_runtime::{RuntimeEnv, SampleKind, SamplerId};
 pub mod sink;
 
 pub use sink::{
-    attribute_activity_metrics, default_ingestion_mode, default_launch_batch,
-    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
-    EventSink, IngestionMode, PipelineConfig, ShardedSink, SinkCounters, TimelineConfig,
-    TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
+    attribute_activity_metrics, default_directory_map, default_ingestion_mode,
+    default_launch_batch, default_timeline_config, default_timeline_enabled, AsyncSink,
+    BackpressurePolicy, BatchingSink, DirectoryMap, DirectoryMapKind, EventSink, IngestionMode,
+    PipelineConfig, ShardedSink, SinkCounters, TimelineConfig, TimelineSnapshot, TimelineStats,
+    DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -242,11 +243,12 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
-        let sharded = ShardedSink::with_timeline(
+        let sharded = ShardedSink::with_directory_map(
             monitor.interner(),
             config.ingestion_shards,
             config.snapshot_cache,
             &config.timeline,
+            config.pipeline.directory_map,
         );
         let sink: Arc<dyn EventSink> = match config.ingestion_mode {
             // Producer batching amortizes routing/locking in synchronous

@@ -8,8 +8,9 @@
 //! path.
 
 pub use deepcontext_pipeline::{
-    attribute_activity_metrics, default_ingestion_mode, default_launch_batch,
-    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
-    EventSink, IngestionMode, PipelineConfig, ShardedSink, SinkCounters, TimelineConfig,
-    TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
+    attribute_activity_metrics, default_directory_map, default_ingestion_mode,
+    default_launch_batch, default_timeline_config, default_timeline_enabled, AsyncSink,
+    BackpressurePolicy, BatchingSink, DirectoryMap, DirectoryMapKind, EventSink, IngestionMode,
+    PipelineConfig, ShardedSink, SinkCounters, TimelineConfig, TimelineSnapshot, TimelineStats,
+    DEFAULT_LAUNCH_BATCH,
 };

@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use deepcontext_core::CallingContextTree;
+use deepcontext_core::{CallingContextTree, FxHashMap, Sym};
 
 use crate::snapshot::TimelineSnapshot;
 
@@ -93,18 +93,36 @@ pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextT
     }
 
     // One complete event per interval, in track order (already
-    // start-sorted within each track).
+    // start-sorted within each track). Interval names are interned
+    // `Sym`s: each distinct symbol is resolved and escaped once —
+    // against the snapshot's captured symbol table first, the CCT's
+    // interner as fallback, `sym#N` as the last resort — and every
+    // further interval carrying it reuses the memoized escape.
     let interner = cct.map(|c| c.interner());
+    let mut escaped_names: FxHashMap<Sym, String> = FxHashMap::default();
     for track in snapshot.tracks() {
         let key = track.key();
         for interval in track.intervals() {
+            let name = escaped_names.entry(interval.name).or_insert_with(|| {
+                let mut escaped = String::new();
+                match (snapshot.name_of(interval.name), &interner) {
+                    (Some(name), _) => escape_into(&mut escaped, name),
+                    (None, Some(interner)) if (interval.name.index() as usize) < interner.len() => {
+                        escape_into(&mut escaped, &interner.resolve(interval.name));
+                    }
+                    _ => {
+                        let _ = write!(escaped, "{}", interval.name);
+                    }
+                }
+                escaped
+            });
             let mut event = String::new();
             event.push_str("{\"ph\":\"X\",\"pid\":");
             let _ = write!(event, "{}", key.device);
             event.push_str(",\"tid\":");
             let _ = write!(event, "{}", key.stream);
             event.push_str(",\"name\":\"");
-            escape_into(&mut event, &interval.name);
+            event.push_str(name);
             event.push_str("\",\"cat\":\"");
             event.push_str(interval.kind.name());
             event.push_str("\",\"ts\":");
@@ -141,8 +159,7 @@ pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextT
 mod tests {
     use super::*;
     use crate::ring::TimelineCounters;
-    use deepcontext_core::{Interval, IntervalKind, TimeNs, TrackKey};
-    use std::sync::Arc;
+    use deepcontext_core::{Interner, Interval, IntervalKind, TimeNs, TrackKey};
 
     #[test]
     fn escapes_and_fractional_microseconds() {
@@ -155,8 +172,8 @@ mod tests {
         assert_eq!(us(2_000), "2");
     }
 
-    #[test]
-    fn trace_contains_metadata_and_slices() {
+    fn memcpy_snapshot() -> (std::sync::Arc<Interner>, TimelineSnapshot) {
+        let interner = Interner::new();
         let snapshot = TimelineSnapshot::from_intervals(
             vec![Interval {
                 track: TrackKey {
@@ -166,7 +183,7 @@ mod tests {
                 start: TimeNs(1_000),
                 end: TimeNs(3_500),
                 kind: IntervalKind::Memcpy,
-                name: Arc::from("memcpy"),
+                name: interner.intern("memcpy"),
                 correlation: 9,
                 context: None,
             }],
@@ -175,12 +192,30 @@ mod tests {
                 dropped: 0,
             },
         );
+        (interner, snapshot)
+    }
+
+    #[test]
+    fn trace_contains_metadata_and_slices() {
+        let (interner, snapshot) = memcpy_snapshot();
+        let snapshot = snapshot.with_names(interner.snapshot());
         let json = to_chrome_trace(&snapshot, None);
         assert!(json.contains("\"name\":\"GPU 1\""));
         assert!(json.contains("\"name\":\"stream 3\""));
+        assert!(json.contains("\"name\":\"memcpy\""));
         assert!(json.contains("\"cat\":\"memcpy\""));
         assert!(json.contains("\"ts\":1,\"dur\":2.500"));
         assert!(json.contains("\"correlation\":9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn unresolvable_names_render_as_symbol_ids() {
+        // No names table and no CCT: the trace stays valid, the name
+        // falls back to the symbol's display form.
+        let (_interner, snapshot) = memcpy_snapshot();
+        let json = to_chrome_trace(&snapshot, None);
+        assert!(json.contains("\"name\":\"sym#0\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

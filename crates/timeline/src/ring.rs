@@ -11,8 +11,6 @@
 //! with the event count (the CCT keeps the lossless aggregate view
 //! either way).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use parking_lot::Mutex;
 
 use deepcontext_core::{Interval, NodeId};
@@ -21,13 +19,21 @@ use crate::snapshot::TimelineSnapshot;
 use crate::TimelineConfig;
 
 /// A fixed-capacity interval buffer that evicts its oldest entry when
-/// full, counting every eviction.
+/// full, counting every push and every eviction.
+///
+/// The counters live here — plain integers updated under the ring's
+/// lock, which the recording path already holds — instead of as shared
+/// atomics: the tap sits inside inline attribution, and a per-interval
+/// atomic RMW is measurable against the ~tens-of-nanoseconds budget the
+/// recording overhead bar allows. Reads ([`TimelineSink::counters`])
+/// sum over the rings on the cold stats path.
 #[derive(Debug, Clone)]
 pub struct IntervalRing {
     buf: Vec<Interval>,
     /// Index of the oldest entry once the buffer has wrapped.
     head: usize,
     capacity: usize,
+    recorded: u64,
     dropped: u64,
 }
 
@@ -39,6 +45,7 @@ impl IntervalRing {
             buf: Vec::new(),
             head: 0,
             capacity: capacity.max(1),
+            recorded: 0,
             dropped: 0,
         }
     }
@@ -46,6 +53,7 @@ impl IntervalRing {
     /// Appends `interval`, evicting (and counting) the oldest entry when
     /// the ring is full.
     pub fn push(&mut self, interval: Interval) {
+        self.recorded += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(interval);
         } else {
@@ -70,6 +78,11 @@ impl IntervalRing {
     /// Whether the ring holds nothing.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Intervals ever pushed (including any later evicted by overflow).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Intervals evicted by overflow so far.
@@ -100,11 +113,10 @@ pub struct TimelineCounters {
 }
 
 /// The recording facade the ingestion pipeline writes into: one bounded
-/// ring per ingestion shard plus global counters.
+/// ring per ingestion shard; counters live inside the rings (see
+/// [`IntervalRing`]) and are summed on read.
 pub struct TimelineSink {
     rings: Vec<Mutex<IntervalRing>>,
-    recorded: AtomicU64,
-    dropped: AtomicU64,
     ring_capacity: usize,
 }
 
@@ -116,8 +128,6 @@ impl TimelineSink {
             rings: (0..shards.max(1))
                 .map(|_| Mutex::new(IntervalRing::new(capacity)))
                 .collect(),
-            recorded: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
             ring_capacity: capacity,
         }
     }
@@ -134,25 +144,22 @@ impl TimelineSink {
 
     /// Records one interval into shard `idx`'s ring. Callers serialize
     /// per shard already (the pipeline records while holding the shard's
-    /// lock), so this lock is effectively uncontended outside snapshots.
+    /// lock), so this lock is effectively uncontended outside snapshots
+    /// — and the ring's own counters make this one lock acquisition the
+    /// tap's entire bookkeeping (no shared atomics).
     pub fn record(&self, idx: usize, interval: Interval) {
-        let mut ring = self.rings[idx].lock();
-        let before = ring.dropped();
-        ring.push(interval);
-        let evicted = ring.dropped() - before;
-        drop(ring);
-        self.recorded.fetch_add(1, Ordering::Relaxed);
-        if evicted > 0 {
-            self.dropped.fetch_add(evicted, Ordering::Relaxed);
-        }
+        self.rings[idx].lock().push(interval);
     }
 
-    /// Current counters.
+    /// Current counters, summed over the rings.
     pub fn counters(&self) -> TimelineCounters {
-        TimelineCounters {
-            recorded: self.recorded.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+        let mut counters = TimelineCounters::default();
+        for ring in &self.rings {
+            let ring = ring.lock();
+            counters.recorded += ring.recorded();
+            counters.dropped += ring.dropped();
         }
+        counters
     }
 
     /// Assembles the current ring contents into per-track sorted
@@ -169,14 +176,16 @@ impl TimelineSink {
         mut remap: impl FnMut(usize, NodeId) -> Option<NodeId>,
     ) -> TimelineSnapshot {
         let mut intervals = Vec::new();
+        let mut counters = TimelineCounters::default();
         for (idx, ring) in self.rings.iter().enumerate() {
             let ring = ring.lock();
+            counters.recorded += ring.recorded();
+            counters.dropped += ring.dropped();
             intervals.extend(ring.iter().cloned().map(|mut interval| {
                 interval.context = interval.context.and_then(|node| remap(idx, node));
                 interval
             }));
         }
-        let counters = self.counters();
         TimelineSnapshot::from_intervals(intervals, counters)
     }
 
@@ -202,10 +211,11 @@ impl std::fmt::Debug for TimelineSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepcontext_core::{IntervalKind, TimeNs, TrackKey};
-    use std::sync::Arc;
+    use deepcontext_core::{Interner, IntervalKind, TimeNs, TrackKey};
+    use std::sync::{Arc, OnceLock};
 
     fn interval(corr: u64, start: u64, end: u64) -> Interval {
+        static INTERNER: OnceLock<Arc<Interner>> = OnceLock::new();
         Interval {
             track: TrackKey {
                 device: 0,
@@ -214,7 +224,7 @@ mod tests {
             start: TimeNs(start),
             end: TimeNs(end),
             kind: IntervalKind::Kernel,
-            name: Arc::from("k"),
+            name: INTERNER.get_or_init(Interner::new).intern("k"),
             correlation: corr,
             context: None,
         }

@@ -11,8 +11,9 @@
 //! that left the device idle.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use deepcontext_core::{CallingContextTree, Interval, NodeId, TimeNs, TrackKey};
+use deepcontext_core::{CallingContextTree, Interval, NodeId, Sym, TimeNs, TrackKey};
 
 use crate::ring::TimelineCounters;
 
@@ -54,6 +55,15 @@ pub struct TimelineSnapshot {
     /// [`stats`](Self::stats) calls free instead of re-sweeping the
     /// whole interval set per rule.
     stats: TimelineStats,
+    /// The captured symbol table ([`Interner::snapshot`] of the interner
+    /// the intervals were recorded through): interval names are interned
+    /// [`Sym`] handles, and a snapshot with its names attached resolves
+    /// them standalone — exporters index this table instead of holding
+    /// the live interner. Empty when the producer attached none (names
+    /// then resolve through the CCT's interner, or render as `sym#N`).
+    ///
+    /// [`Interner::snapshot`]: deepcontext_core::Interner::snapshot
+    names: Vec<Arc<str>>,
 }
 
 impl TimelineSnapshot {
@@ -77,9 +87,33 @@ impl TimelineSnapshot {
             tracks,
             counters,
             stats: TimelineStats::default(),
+            names: Vec::new(),
         };
         snapshot.stats = TimelineStats::compute(&snapshot);
         snapshot
+    }
+
+    /// Attaches the symbol table interval names resolve against —
+    /// [`Interner::snapshot`] of the recording session's interner, taken
+    /// once per timeline snapshot (not per interval).
+    ///
+    /// [`Interner::snapshot`]: deepcontext_core::Interner::snapshot
+    pub fn with_names(mut self, names: Vec<Arc<str>>) -> Self {
+        self.names = names;
+        self
+    }
+
+    /// The captured symbol table, in [`Sym`] index order (empty when none
+    /// was attached).
+    pub fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// Resolves an interval name against the captured symbol table.
+    /// `None` when no table was attached or the symbol is out of range
+    /// (a foreign interner's handle).
+    pub fn name_of(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index() as usize).map(|s| s.as_ref())
     }
 
     /// All tracks, ordered by `(device, stream)`.
@@ -288,16 +322,18 @@ impl TimelineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepcontext_core::IntervalKind;
-    use std::sync::Arc;
+    use deepcontext_core::{Interner, IntervalKind};
+    use std::sync::OnceLock;
 
     fn iv(device: u32, stream: u32, start: u64, end: u64, corr: u64) -> Interval {
+        static INTERNER: OnceLock<Arc<Interner>> = OnceLock::new();
+        let interner = INTERNER.get_or_init(Interner::new);
         Interval {
             track: TrackKey { device, stream },
             start: TimeNs(start),
             end: TimeNs(end),
             kind: IntervalKind::Kernel,
-            name: Arc::from(format!("k{corr}").as_str()),
+            name: interner.intern(&format!("k{corr}")),
             correlation: corr,
             context: Some(NodeId::ROOT),
         }

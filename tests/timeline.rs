@@ -325,6 +325,114 @@ fn sync_and_async_timelines_are_identical() {
         sync, asynchronous,
         "bounded-channel ingestion must record the identical timeline"
     );
+    // The two runs intern through separate interners, so raw `Sym` ids
+    // are incidental; the contract is that every interval *resolves* to
+    // the same name through its own snapshot's captured symbol table.
+    for (st, at) in sync.tracks().iter().zip(asynchronous.tracks().iter()) {
+        for (si, ai) in st.intervals().iter().zip(at.intervals().iter()) {
+            let name = sync
+                .name_of(si.name)
+                .expect("sync snapshot resolves every interval name");
+            assert_eq!(
+                Some(name),
+                asynchronous.name_of(ai.name),
+                "resolved names diverge on {:?} corr {}",
+                st.key(),
+                si.correlation
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_names_round_trip_through_snapshot_remap_and_chrome_export() {
+    // `Interval::name` is an interned `Sym`: the recording tap stores a
+    // handle, the snapshot captures the symbol table once, and the
+    // Chrome exporter resolves through it. This test closes the loop
+    // end-to-end: every interval's resolved name equals the name the
+    // producer launched with, both on the snapshot and in the exported
+    // trace.
+    let rig = rig();
+    let sink = Arc::new(CapturingSink {
+        inner: ShardedSink::with_timeline(
+            rig.monitor.interner(),
+            deepcontext::profiler::default_ingestion_shards(),
+            true,
+            &TimelineConfig::enabled(),
+        ),
+        captured: Mutex::new(Vec::new()),
+    });
+    let profiler = Profiler::attach_with_sink(
+        ProfilerConfig::deepcontext(),
+        rig.bed.env(),
+        &rig.monitor,
+        rig.bed.gpu(),
+        Arc::clone(&sink) as Arc<dyn EventSink>,
+    );
+    run_multi_stream(&rig, &profiler);
+
+    let timeline = sink.timeline_snapshot().expect("timeline enabled");
+    assert_eq!(timeline.dropped(), 0, "need the complete interval set");
+    assert!(
+        !timeline.names().is_empty(),
+        "snapshot captured its symbol table"
+    );
+    // The producer-side truth: correlation id → the name each activity
+    // record carried into the sink.
+    let captured = sink.captured.lock().unwrap();
+    let mut launched: BTreeMap<u64, String> = BTreeMap::new();
+    for activity in captured.iter() {
+        let name = match &activity.kind {
+            ActivityKind::Kernel { name, .. } => name.to_string(),
+            ActivityKind::Memcpy { .. } => "memcpy".to_string(),
+            _ => continue,
+        };
+        launched.insert(activity.correlation_id.0, name);
+    }
+    for track in timeline.tracks() {
+        for interval in track.intervals() {
+            let resolved = timeline
+                .name_of(interval.name)
+                .expect("every recorded Sym resolves in the captured table");
+            assert_eq!(
+                Some(resolved),
+                launched.get(&interval.correlation).map(String::as_str),
+                "interval corr {} on {:?}",
+                interval.correlation,
+                track.key()
+            );
+        }
+    }
+    // The exported trace prints the same resolved names — no `sym#N`
+    // fallbacks, no stale table.
+    let json = timeline.to_chrome_trace(None);
+    let root = Parser::parse(&json).expect("chrome trace must be valid JSON");
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    let mut slices = 0usize;
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        slices += 1;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("slice name");
+        let corr = event
+            .get("args")
+            .and_then(|a| a.get("correlation"))
+            .and_then(Json::as_num)
+            .expect("slice correlation") as u64;
+        assert_eq!(
+            Some(name),
+            launched.get(&corr).map(String::as_str),
+            "chrome slice for corr {corr}"
+        );
+    }
+    assert_eq!(slices, timeline.interval_count());
 }
 
 #[test]
