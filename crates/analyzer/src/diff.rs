@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use deepcontext_core::{MetricKind, ProfileDb};
+use deepcontext_core::{CallingContextTree, MetricKind, NodeId, ProfileDb};
 
 use crate::view::ProfileView;
 
@@ -96,6 +96,79 @@ impl ProfileDiff {
             })
             .collect();
         entries.sort_by(|a, b| b.delta().abs().total_cmp(&a.delta().abs()));
+        ProfileDiff {
+            metric,
+            entries,
+            baseline_total: baseline.cct().total(metric),
+            candidate_total: candidate.cct().total(metric),
+        }
+    }
+
+    /// Compares `metric` by structural identity instead of label-path
+    /// hashing: both trees are folded into a fresh union tree, reusing
+    /// [`CallingContextTree::merge`]'s node mapping to align contexts,
+    /// and values are compared per union node in O(1) each. The
+    /// expensive part of a diff — rendering ` > `-joined call paths —
+    /// runs **only for changed nodes**, making repeated cross-run
+    /// comparisons against a stored baseline O(changed subtree) in
+    /// string work rather than O(tree).
+    ///
+    /// Unlike [`compare`](Self::compare), unchanged contexts are
+    /// omitted entirely (no unit-ratio entries), and alignment uses
+    /// frame *collapse keys* (which distinguish e.g. same-named kernels
+    /// at different PCs) rather than short-label paths.
+    pub fn compare_mapped(
+        baseline: &ProfileDb,
+        candidate: &ProfileDb,
+        metric: MetricKind,
+    ) -> ProfileDiff {
+        let mut union = CallingContextTree::new();
+        let base_map = union.merge(baseline.cct());
+        let cand_map = union.merge(candidate.cct());
+
+        // Each input tree has unique (parent, collapse key) children, so
+        // its merge mapping is injective: plain assignment indexed by the
+        // union id captures every node's inclusive sum.
+        let mut base_vals = vec![0.0f64; union.node_count()];
+        let mut cand_vals = vec![0.0f64; union.node_count()];
+        let fill = |vals: &mut Vec<f64>, db: &ProfileDb, map: &[NodeId]| {
+            let view = ProfileView::new(db);
+            for node in db.cct().dfs() {
+                vals[map[node.index()].index()] = view.sum(node, metric);
+            }
+        };
+        fill(&mut base_vals, baseline, &base_map);
+        fill(&mut cand_vals, candidate, &cand_map);
+
+        let interner = union.interner();
+        let mut entries: Vec<DiffEntry> = Vec::new();
+        for node in union.dfs() {
+            if node == union.root() {
+                continue;
+            }
+            let (b, c) = (base_vals[node.index()], cand_vals[node.index()]);
+            if b == c {
+                continue;
+            }
+            let path = union
+                .frames_to_root(node)
+                .frames()
+                .iter()
+                .map(|f| f.short_label(&interner))
+                .collect::<Vec<_>>()
+                .join(" > ");
+            entries.push(DiffEntry {
+                path,
+                baseline: b,
+                candidate: c,
+            });
+        }
+        entries.sort_by(|a, b| {
+            b.delta()
+                .abs()
+                .total_cmp(&a.delta().abs())
+                .then_with(|| a.path.cmp(&b.path))
+        });
         ProfileDiff {
             metric,
             entries,
@@ -219,6 +292,69 @@ mod tests {
     }
 
     #[test]
+    fn mapped_diff_matches_path_diff_on_changed_contexts() {
+        let nv = profile(100.0, 40.0);
+        let amd = profile(80.0, 120.0);
+        let by_path = ProfileDiff::compare(&nv, &amd, MetricKind::GpuTime);
+        let mapped = ProfileDiff::compare_mapped(&nv, &amd, MetricKind::GpuTime);
+        assert_eq!(mapped.totals(), by_path.totals());
+        let changed: Vec<_> = by_path
+            .entries()
+            .iter()
+            .filter(|e| e.delta() != 0.0)
+            .collect();
+        assert_eq!(mapped.entries().len(), changed.len());
+        for (m, p) in mapped.entries().iter().zip(changed) {
+            assert_eq!(m.path, p.path);
+            assert_eq!(m.baseline, p.baseline);
+            assert_eq!(m.candidate, p.candidate);
+        }
+    }
+
+    #[test]
+    fn mapped_diff_omits_unchanged_contexts() {
+        let a = profile(10.0, 40.0);
+        let b = profile(10.0, 90.0);
+        let mapped = ProfileDiff::compare_mapped(&a, &b, MetricKind::GpuTime);
+        // The shared python parent changed (inclusive sums differ), and
+        // the batch_norm leaf changed; the conv leaf is identical.
+        assert!(mapped.entries().iter().all(|e| e.delta() != 0.0));
+        assert!(!mapped
+            .entries()
+            .iter()
+            .any(|e| e.path.ends_with("implicit_gemm")));
+        assert!(mapped
+            .entries()
+            .iter()
+            .any(|e| e.path.ends_with("batch_norm_template")));
+    }
+
+    #[test]
+    fn mapped_diff_reports_one_sided_contexts() {
+        let base = profile(100.0, 40.0);
+        let mut other_cct = CallingContextTree::new();
+        let i = other_cct.interner();
+        let only = other_cct.insert_path(&[Frame::gpu_kernel("new_kernel", "m.so", 0x30, &i)]);
+        other_cct.attribute(only, MetricKind::GpuTime, 7.0);
+        let other = ProfileDb::new(ProfileMeta::default(), other_cct);
+
+        let mapped = ProfileDiff::compare_mapped(&base, &other, MetricKind::GpuTime);
+        let new_entry = mapped
+            .entries()
+            .iter()
+            .find(|e| e.path.contains("new_kernel"))
+            .unwrap();
+        assert_eq!(new_entry.baseline, 0.0);
+        assert_eq!(new_entry.candidate, 7.0);
+        let gone = mapped
+            .entries()
+            .iter()
+            .find(|e| e.path.ends_with("implicit_gemm"))
+            .unwrap();
+        assert_eq!(gone.candidate, 0.0);
+    }
+
+    #[test]
     fn identical_profiles_have_unit_ratios() {
         let a = profile(10.0, 10.0);
         let b = profile(10.0, 10.0);
@@ -226,5 +362,7 @@ mod tests {
         assert!(diff.entries().iter().all(|e| e.ratio() == 1.0));
         let text = diff.render_top(3);
         assert!(text.contains("+0.0%"));
+        let mapped = ProfileDiff::compare_mapped(&a, &b, MetricKind::GpuTime);
+        assert!(mapped.entries().is_empty());
     }
 }

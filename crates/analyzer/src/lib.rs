@@ -25,6 +25,13 @@
 //! | 6 | [`GpuIdleRule`] | which contexts left the device idle between launches |
 //! | 7 | [`StreamSerializationRule`] | do multi-stream devices actually overlap |
 //!
+//! Cross-run analysis works against a persistent [`ProfileStore`] (a
+//! directory of saved runs): filter runs by metadata ([`RunFilter`]),
+//! follow a metric across runs ([`ProfileStore::trend`]), diff two
+//! stored runs in O(changed subtree)
+//! ([`ProfileDiff::compare_mapped`]), and flag a fresh run against the
+//! store's baseline with the [`RegressionRule`] rule.
+//!
 //! Custom rules implement the [`Rule`] trait and register on an
 //! [`Analyzer`].
 
@@ -37,6 +44,7 @@ mod latency;
 mod query;
 mod report;
 mod rules;
+mod store;
 mod view;
 
 pub use diff::{DiffEntry, ProfileDiff};
@@ -45,6 +53,7 @@ pub use latency::{GpuIdleRule, StreamSerializationRule};
 pub use query::{CallPathQuery, FrameMatcher, SemanticClass};
 pub use report::AnalysisReport;
 pub use rules::{CpuLatencyRule, FwdBwdRule, HotspotRule, KernelFusionRule, StallRule};
+pub use store::{ProfileStore, RegressionRule, RunFilter, RunRecord, TrendPoint};
 pub use view::ProfileView;
 
 use deepcontext_core::{CallingContextTree, ProfileDb};

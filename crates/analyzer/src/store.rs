@@ -1,0 +1,646 @@
+//! Persistent profile store: a directory of runs with cross-run queries.
+//!
+//! A [`ProfileStore`] is a plain directory of `.dcprof` files, one per
+//! run, written atomically (tmp + rename) so a crashed writer never
+//! leaves a half-visible run. Listings read only each file's metadata
+//! header ([`ProfileDb::load_meta`]), so browsing a store of large
+//! profiles stays cheap; [`load`](ProfileStore::load) materializes the
+//! full tree + timeline on demand.
+//!
+//! On top of the store sit the cross-run queries the fleet workflow
+//! needs: [`list_filtered`](ProfileStore::list_filtered) by metadata
+//! axes ([`RunFilter`]), [`trend`](ProfileStore::trend) of one metric
+//! across runs in wall-clock order, and [`RegressionRule`] — an
+//! analyzer [`Rule`](crate::Rule) whose baseline is the mean of stored
+//! runs, flagging both whole-run and per-context regressions.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use deepcontext_core::{CoreError, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs};
+
+use crate::issue::{Issue, Severity};
+use crate::view::ProfileView;
+use crate::Rule;
+
+/// File extension of stored runs.
+const EXT: &str = "dcprof";
+
+/// One run as seen in a store listing: its id plus the metadata header.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Store-unique run id (the file stem).
+    pub id: String,
+    /// The run's metadata header.
+    pub meta: ProfileMeta,
+}
+
+/// Metadata predicate for store queries. Empty (`default()`) matches
+/// every run; each set field must match exactly.
+#[derive(Debug, Clone, Default)]
+pub struct RunFilter {
+    /// Match this workload name.
+    pub workload: Option<String>,
+    /// Match this framework.
+    pub framework: Option<String>,
+    /// Match this platform.
+    pub platform: Option<String>,
+    /// Match this host.
+    pub host: Option<String>,
+    /// Match this model identity.
+    pub model: Option<String>,
+}
+
+impl RunFilter {
+    /// A filter matching every run.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Requires `workload` to match.
+    pub fn workload(mut self, workload: impl Into<String>) -> Self {
+        self.workload = Some(workload.into());
+        self
+    }
+
+    /// Requires `framework` to match.
+    pub fn framework(mut self, framework: impl Into<String>) -> Self {
+        self.framework = Some(framework.into());
+        self
+    }
+
+    /// Requires `platform` to match.
+    pub fn platform(mut self, platform: impl Into<String>) -> Self {
+        self.platform = Some(platform.into());
+        self
+    }
+
+    /// Requires `host` to match.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = Some(host.into());
+        self
+    }
+
+    /// Requires `model` to match.
+    pub fn model(mut self, model: impl Into<String>) -> Self {
+        self.model = Some(model.into());
+        self
+    }
+
+    /// Whether `meta` satisfies every set field.
+    pub fn matches(&self, meta: &ProfileMeta) -> bool {
+        let field = |want: &Option<String>, have: &str| want.as_deref().is_none_or(|w| w == have);
+        field(&self.workload, &meta.workload)
+            && field(&self.framework, &meta.framework)
+            && field(&self.platform, &meta.platform)
+            && field(&self.host, &meta.host)
+            && field(&self.model, &meta.model)
+    }
+}
+
+/// One sample of a metric trend across stored runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// The run's store id.
+    pub id: String,
+    /// The run's wall-clock start (trend x-axis).
+    pub started: TimeNs,
+    /// Whole-run inclusive total of the queried metric.
+    pub total: f64,
+}
+
+/// A directory of stored profile runs.
+#[derive(Debug, Clone)]
+pub struct ProfileStore {
+    dir: PathBuf,
+}
+
+impl ProfileStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ProfileStore, CoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ProfileStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.{EXT}"))
+    }
+
+    /// Saves `db` as a new run, returning its store id.
+    ///
+    /// Ids are derived from the run's start stamp and workload
+    /// (`run-<started>-<workload>`), uniquified with a numeric suffix on
+    /// collision. The file appears atomically: it is written to a
+    /// `.tmp` sibling and renamed into place.
+    pub fn save(&self, db: &ProfileDb) -> Result<String, CoreError> {
+        let base = format!(
+            "run-{:020}-{}",
+            db.meta().started.0,
+            sanitize(&db.meta().workload)
+        );
+        let mut id = base.clone();
+        let mut n = 1u32;
+        while self.path_of(&id).exists() {
+            n += 1;
+            id = format!("{base}-{n}");
+        }
+        let tmp = self.dir.join(format!("{id}.{EXT}.tmp"));
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            if let Err(e) = db.save(&mut w) {
+                drop(w);
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+        fs::rename(&tmp, self.path_of(&id))?;
+        Ok(id)
+    }
+
+    /// Whether a run with this id exists.
+    pub fn contains(&self, id: &str) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Loads the full profile (tree + timeline) of a stored run.
+    pub fn load(&self, id: &str) -> Result<ProfileDb, CoreError> {
+        ProfileDb::load(BufReader::new(File::open(self.path_of(id))?))
+    }
+
+    /// Loads only the metadata header of a stored run.
+    pub fn load_meta(&self, id: &str) -> Result<ProfileMeta, CoreError> {
+        ProfileDb::load_meta(BufReader::new(File::open(self.path_of(id))?))
+    }
+
+    /// Lists every run, sorted by (start stamp, id).
+    ///
+    /// Only each file's metadata header is read. Files that are not
+    /// valid stored profiles (foreign files, interrupted writes) are
+    /// skipped — [`load`](Self::load) on a known id is the place where
+    /// corruption surfaces as a [`CoreError`].
+    pub fn list(&self) -> Result<Vec<RunRecord>, CoreError> {
+        let mut runs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = ProfileDb::load_meta(BufReader::new(File::open(&path)?)) else {
+                continue;
+            };
+            runs.push(RunRecord {
+                id: id.to_string(),
+                meta,
+            });
+        }
+        runs.sort_by(|a, b| (a.meta.started, &a.id).cmp(&(b.meta.started, &b.id)));
+        Ok(runs)
+    }
+
+    /// Lists the runs matching `filter`, sorted by (start stamp, id).
+    pub fn list_filtered(&self, filter: &RunFilter) -> Result<Vec<RunRecord>, CoreError> {
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|r| filter.matches(&r.meta))
+            .collect())
+    }
+
+    /// The trend of `metric`'s whole-run total across the runs matching
+    /// `filter`, in wall-clock start order.
+    pub fn trend(
+        &self,
+        filter: &RunFilter,
+        metric: MetricKind,
+    ) -> Result<Vec<TrendPoint>, CoreError> {
+        let mut points = Vec::new();
+        for run in self.list_filtered(filter)? {
+            let db = self.load(&run.id)?;
+            points.push(TrendPoint {
+                id: run.id,
+                started: run.meta.started,
+                total: db.cct().total(metric),
+            });
+        }
+        Ok(points)
+    }
+}
+
+/// Lowercases `name` to `[a-z0-9-]`, for use inside a run id / filename.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    out.truncate(48);
+    if out.is_empty() {
+        out.push_str("run");
+    }
+    out
+}
+
+/// Flags a run that regresses against a stored baseline (paper-style
+/// cross-run analysis, rule name `store-regression`).
+///
+/// The baseline is the per-path mean of `metric` over a set of stored
+/// runs (typically [`from_store`](Self::from_store) with a
+/// [`RunFilter`] selecting the same workload/platform). Analysis flags:
+///
+/// - the **whole run** (Critical, at the root) when its total exceeds
+///   `ratio ×` the baseline mean total, and
+/// - each **outermost context** whose inclusive value exceeds `ratio ×`
+///   its baseline mean — descendants of a flagged context are not
+///   re-reported, so a regressed subtree yields one issue at its top.
+#[derive(Debug, Clone)]
+pub struct RegressionRule {
+    metric: MetricKind,
+    ratio: f64,
+    min_value: f64,
+    baseline_runs: usize,
+    baseline_total: f64,
+    baseline_paths: HashMap<String, f64>,
+}
+
+impl RegressionRule {
+    /// Builds the baseline from in-memory profiles. Returns `None` when
+    /// `baselines` is empty (no baseline — nothing can regress).
+    pub fn from_profiles(metric: MetricKind, baselines: &[ProfileDb]) -> Option<RegressionRule> {
+        if baselines.is_empty() {
+            return None;
+        }
+        let n = baselines.len() as f64;
+        let mut paths: HashMap<String, f64> = HashMap::new();
+        let mut total = 0.0;
+        for db in baselines {
+            total += db.cct().total(metric);
+            let view = ProfileView::new(db);
+            for node in db.cct().dfs() {
+                if node == db.cct().root() {
+                    continue;
+                }
+                let value = view.sum(node, metric);
+                if value > 0.0 {
+                    *paths.entry(short_path(&view, node)).or_insert(0.0) += value;
+                }
+            }
+        }
+        // Missing-in-a-run counts as zero, so means are over all runs.
+        for v in paths.values_mut() {
+            *v /= n;
+        }
+        Some(RegressionRule {
+            metric,
+            ratio: 1.25,
+            min_value: 0.0,
+            baseline_runs: baselines.len(),
+            baseline_total: total / n,
+            baseline_paths: paths,
+        })
+    }
+
+    /// Builds the baseline from the stored runs matching `filter`.
+    /// `Ok(None)` when the store has no matching runs.
+    pub fn from_store(
+        store: &ProfileStore,
+        filter: &RunFilter,
+        metric: MetricKind,
+    ) -> Result<Option<RegressionRule>, CoreError> {
+        let mut dbs = Vec::new();
+        for run in store.list_filtered(filter)? {
+            dbs.push(store.load(&run.id)?);
+        }
+        Ok(Self::from_profiles(metric, &dbs))
+    }
+
+    /// Sets the regression threshold (default 1.25 — flag anything 25%
+    /// over baseline).
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Ignores contexts below this absolute value (noise floor;
+    /// default 0).
+    pub fn with_min_value(mut self, min_value: f64) -> Self {
+        self.min_value = min_value;
+        self
+    }
+
+    /// Number of runs the baseline averages over.
+    pub fn baseline_runs(&self) -> usize {
+        self.baseline_runs
+    }
+
+    /// Baseline mean of the whole-run total.
+    pub fn baseline_total(&self) -> f64 {
+        self.baseline_total
+    }
+
+    fn regressed(&self, value: f64, base: f64) -> bool {
+        value >= self.min_value && value > base && value > self.ratio * base
+    }
+}
+
+fn short_path(view: &ProfileView<'_>, node: NodeId) -> String {
+    let interner = view.interner();
+    view.cct()
+        .frames_to_root(node)
+        .frames()
+        .iter()
+        .map(|f| f.short_label(&interner))
+        .collect::<Vec<_>>()
+        .join(" > ")
+}
+
+impl Rule for RegressionRule {
+    fn name(&self) -> &str {
+        "store-regression"
+    }
+
+    fn description(&self) -> &str {
+        "flags runs and contexts regressing against the profile store's baseline"
+    }
+
+    fn analyze(&self, view: &ProfileView<'_>) -> Vec<Issue> {
+        let mut issues = Vec::new();
+        let cct = view.cct();
+        let total = view.total(self.metric);
+        if self.baseline_total > 0.0 && self.regressed(total, self.baseline_total) {
+            issues.push(Issue {
+                rule: self.name().to_string(),
+                severity: Severity::Critical,
+                node: cct.root(),
+                call_path: "<whole run>".to_string(),
+                message: format!(
+                    "run total {} = {:.3e} is {:.2}x the baseline mean {:.3e} (over {} runs)",
+                    self.metric.name(),
+                    total,
+                    total / self.baseline_total,
+                    self.baseline_total,
+                    self.baseline_runs,
+                ),
+                suggestion: "bisect against the most recent non-regressed stored run \
+                             (ProfileDiff::compare_mapped pinpoints the changed contexts)"
+                    .to_string(),
+                metrics: vec![
+                    (self.metric.name().to_string(), total),
+                    ("baseline_mean".to_string(), self.baseline_total),
+                ],
+                weight: total - self.baseline_total,
+            });
+        }
+
+        // Top-down, flag-outermost: a flagged context swallows its
+        // descendants (their regression is already counted in the
+        // ancestor's inclusive sum).
+        let mut stack: Vec<NodeId> = cct.node(cct.root()).children().to_vec();
+        while let Some(node) = stack.pop() {
+            let value = view.sum(node, self.metric);
+            if value <= 0.0 {
+                continue;
+            }
+            let path = short_path(view, node);
+            let base = self.baseline_paths.get(&path).copied().unwrap_or(0.0);
+            if self.regressed(value, base) {
+                let severity = if base == 0.0 || value > 2.0 * self.ratio * base {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                let message = if base == 0.0 {
+                    format!(
+                        "new context: {} = {:.3e}, absent from all {} baseline runs",
+                        self.metric.name(),
+                        value,
+                        self.baseline_runs,
+                    )
+                } else {
+                    format!(
+                        "{} = {:.3e} is {:.2}x the baseline mean {:.3e}",
+                        self.metric.name(),
+                        value,
+                        value / base,
+                        base,
+                    )
+                };
+                issues.push(Issue {
+                    rule: self.name().to_string(),
+                    severity,
+                    node,
+                    call_path: view.path_string(node),
+                    message,
+                    suggestion: "diff this run against a stored baseline run to see which \
+                                 descendants moved"
+                        .to_string(),
+                    metrics: vec![
+                        (self.metric.name().to_string(), value),
+                        ("baseline_mean".to_string(), base),
+                    ],
+                    weight: value - base,
+                });
+                continue;
+            }
+            stack.extend_from_slice(cct.node(node).children());
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcontext_core::{CallingContextTree, Frame};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_store() -> (PathBuf, ProfileStore) {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "deepcontext-store-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = ProfileStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn profile(workload: &str, host: &str, started: u64, gpu_time: f64) -> ProfileDb {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let leaf = cct.insert_path(&[
+            Frame::operator("aten::conv2d", &i),
+            Frame::gpu_kernel("implicit_gemm", "m.so", 0x10, &i),
+        ]);
+        cct.attribute(leaf, MetricKind::GpuTime, gpu_time);
+        ProfileDb::new(
+            ProfileMeta {
+                workload: workload.to_string(),
+                framework: "eager".to_string(),
+                platform: "sim".to_string(),
+                host: host.to_string(),
+                started: TimeNs(started),
+                ended: TimeNs(started + 1_000),
+                ..Default::default()
+            },
+            cct,
+        )
+    }
+
+    #[test]
+    fn save_load_list_round_trip() {
+        let (dir, store) = temp_store();
+        let a = profile("unet", "host-a", 200, 10.0);
+        let b = profile("bert", "host-b", 100, 20.0);
+        let id_a = store.save(&a).unwrap();
+        let id_b = store.save(&b).unwrap();
+        assert!(store.contains(&id_a));
+        let back = store.load(&id_a).unwrap();
+        assert_eq!(back.meta(), a.meta());
+        assert_eq!(back.cct().node_count(), a.cct().node_count());
+        assert_eq!(
+            back.cct().total(MetricKind::GpuTime),
+            a.cct().total(MetricKind::GpuTime)
+        );
+        assert_eq!(back.timeline(), a.timeline());
+        assert_eq!(store.load_meta(&id_b).unwrap(), *b.meta());
+
+        let runs = store.list().unwrap();
+        assert_eq!(runs.len(), 2);
+        // Sorted by start stamp: b (100) before a (200).
+        assert_eq!(runs[0].id, id_b);
+        assert_eq!(runs[1].id, id_a);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_ids_are_uniquified() {
+        let (dir, store) = temp_store();
+        let p = profile("unet", "h", 7, 1.0);
+        let id1 = store.save(&p).unwrap();
+        let id2 = store.save(&p).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(store.list().unwrap().len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn filters_and_trend_select_by_metadata() {
+        let (dir, store) = temp_store();
+        store.save(&profile("unet", "host-a", 1, 10.0)).unwrap();
+        store.save(&profile("unet", "host-a", 2, 12.0)).unwrap();
+        store.save(&profile("bert", "host-b", 3, 99.0)).unwrap();
+
+        let unet = RunFilter::any().workload("unet");
+        assert_eq!(store.list_filtered(&unet).unwrap().len(), 2);
+        assert_eq!(
+            store
+                .list_filtered(&RunFilter::any().host("host-b"))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(store
+            .list_filtered(&RunFilter::any().workload("unet").host("host-b"))
+            .unwrap()
+            .is_empty());
+
+        let trend = store.trend(&unet, MetricKind::GpuTime).unwrap();
+        assert_eq!(trend.len(), 2);
+        assert_eq!(trend[0].total, 10.0);
+        assert_eq!(trend[1].total, 12.0);
+        assert!(trend[0].started < trend[1].started);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn listing_skips_foreign_and_truncated_files() {
+        let (dir, store) = temp_store();
+        store.save(&profile("unet", "h", 1, 1.0)).unwrap();
+        fs::write(dir.join("notes.txt"), "not a profile").unwrap();
+        fs::write(dir.join("bad.dcprof"), "garbage header").unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        assert!(store.load("bad").is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn regression_rule_flags_total_and_context() {
+        let baselines = vec![
+            profile("unet", "h", 1, 100.0),
+            profile("unet", "h", 2, 110.0),
+            profile("unet", "h", 3, 90.0),
+        ];
+        let rule = RegressionRule::from_profiles(MetricKind::GpuTime, &baselines)
+            .unwrap()
+            .with_ratio(1.25);
+        assert_eq!(rule.baseline_runs(), 3);
+        assert_eq!(rule.baseline_total(), 100.0);
+
+        let regressed = profile("unet", "h", 4, 200.0);
+        let issues = rule.analyze(&ProfileView::new(&regressed));
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Critical && i.call_path == "<whole run>"));
+        // Flag-outermost: one context issue at the conv operator, not
+        // also at the kernel below it.
+        let context_issues: Vec<_> = issues
+            .iter()
+            .filter(|i| i.call_path != "<whole run>")
+            .collect();
+        assert_eq!(context_issues.len(), 1);
+        assert!(context_issues[0].call_path.contains("aten::conv2d"));
+        assert!(!context_issues[0].call_path.contains("implicit_gemm"));
+
+        let healthy = profile("unet", "h", 5, 105.0);
+        assert!(rule.analyze(&ProfileView::new(&healthy)).is_empty());
+    }
+
+    #[test]
+    fn regression_rule_from_store_and_empty_store() {
+        let (dir, store) = temp_store();
+        assert!(
+            RegressionRule::from_store(&store, &RunFilter::any(), MetricKind::GpuTime)
+                .unwrap()
+                .is_none()
+        );
+
+        store.save(&profile("unet", "h", 1, 50.0)).unwrap();
+        store.save(&profile("unet", "h", 2, 50.0)).unwrap();
+        let rule = RegressionRule::from_store(
+            &store,
+            &RunFilter::any().workload("unet"),
+            MetricKind::GpuTime,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(rule.baseline_total(), 50.0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn min_value_floor_suppresses_noise() {
+        let baselines = vec![profile("unet", "h", 1, 1.0)];
+        let rule = RegressionRule::from_profiles(MetricKind::GpuTime, &baselines)
+            .unwrap()
+            .with_min_value(10.0);
+        let small = profile("unet", "h", 2, 2.0);
+        assert!(rule.analyze(&ProfileView::new(&small)).is_empty());
+    }
+}

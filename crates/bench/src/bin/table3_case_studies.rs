@@ -195,7 +195,7 @@ fn case_llama_stalls() {
             framework: "eager".into(),
             platform: "nvidia-a100".into(),
             iterations: 3,
-            extra: vec![],
+            ..Default::default()
         })
     };
     let report = Analyzer::with_default_rules().analyze(&run);

@@ -13,6 +13,7 @@
 pub mod ingestion;
 pub mod pipeline;
 pub mod snapshot;
+pub mod store;
 pub mod timeline;
 
 use std::time::{Duration, Instant};
@@ -164,6 +165,7 @@ pub fn measure(
                 platform: platform.platform_tag(),
                 iterations: u64::from(iterations),
                 extra: vec![("profiler".into(), profiler.label().into())],
+                ..Default::default()
             });
             MeasuredRun {
                 stats,

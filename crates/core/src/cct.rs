@@ -260,7 +260,14 @@ impl CallingContextTree {
     /// [`CctShard`](crate::CctShard), cached hot nodes — remap it through
     /// this table. Used to fold per-thread/per-stream shards into a master
     /// tree.
+    ///
+    /// `other` may use a different interner (e.g. a tree loaded from a
+    /// stored profile): its frames are re-interned into `self`'s
+    /// interner on the way in, so contexts still unify by the strings
+    /// they denote. Same-interner merges (the shard fold path) skip
+    /// that work entirely.
     pub fn merge(&mut self, other: &CallingContextTree) -> Vec<NodeId> {
+        let foreign = !Arc::ptr_eq(&self.interner, &other.interner);
         // Map other's node ids to ours, walking other's tree top-down
         // (parents always precede children in the node vector).
         let mut mapping: Vec<NodeId> = Vec::with_capacity(other.nodes.len());
@@ -269,7 +276,14 @@ impl CallingContextTree {
                 self.root()
             } else {
                 let my_parent = mapping[node.parent.expect("non-root has parent").index()];
-                self.insert_child(my_parent, &node.frame)
+                if foreign {
+                    self.insert_child(
+                        my_parent,
+                        &node.frame.reintern(&other.interner, &self.interner),
+                    )
+                } else {
+                    self.insert_child(my_parent, &node.frame)
+                }
             };
             mapping.push(my_id);
             self.nodes[my_id.index()].metrics.merge(&node.metrics);
@@ -292,6 +306,7 @@ impl CallingContextTree {
     /// and `other` must evolve append-only between calls (no node or
     /// sample removal); both are upheld by the profiler's snapshot cache.
     pub fn merge_incremental(&mut self, other: &CallingContextTree, state: &mut FoldState) {
+        let foreign = !Arc::ptr_eq(&self.interner, &other.interner);
         for (idx, node) in other.nodes.iter().enumerate() {
             let my_id = if idx < state.mapping.len() {
                 state.mapping[idx]
@@ -300,7 +315,14 @@ impl CallingContextTree {
                 self.root()
             } else {
                 let my_parent = state.mapping[node.parent.expect("non-root has parent").index()];
-                let id = self.insert_child(my_parent, &node.frame);
+                let id = if foreign {
+                    self.insert_child(
+                        my_parent,
+                        &node.frame.reintern(&other.interner, &self.interner),
+                    )
+                } else {
+                    self.insert_child(my_parent, &node.frame)
+                };
                 state.mapping.push(id);
                 id
             };
@@ -657,6 +679,29 @@ mod tests {
                 assert!(up >= here, "parent {up} < child {here}");
             }
         }
+    }
+
+    #[test]
+    fn merge_reinterns_frames_from_a_foreign_tree() {
+        // Two trees built independently (distinct interners), same
+        // logical contexts. A fresh union must unify them by string,
+        // not by raw Sym value.
+        let mut a = CallingContextTree::new();
+        let la = a.insert_path(&sample_path(&a, "aten::matmul", "sgemm"));
+        a.attribute(la, MetricKind::GpuTime, 10.0);
+        let mut b = CallingContextTree::new();
+        let lb = b.insert_path(&sample_path(&b, "aten::matmul", "sgemm"));
+        b.attribute(lb, MetricKind::GpuTime, 5.0);
+
+        let mut union = CallingContextTree::new();
+        let map_a = union.merge(&a);
+        let map_b = union.merge(&b);
+        assert_eq!(union.node_count(), a.node_count());
+        assert_eq!(map_a[la.index()], map_b[lb.index()]);
+        assert_eq!(union.total(MetricKind::GpuTime), 15.0);
+        let interner = union.interner();
+        let leaf = map_a[la.index()];
+        assert_eq!(union.node(leaf).frame().short_label(&interner), "sgemm");
     }
 
     #[test]

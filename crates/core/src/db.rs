@@ -4,17 +4,26 @@
 //! calling context tree rather than a trace. The format is a line-oriented
 //! text format (version-tagged) with an interned string table followed by
 //! nodes in topological order; it needs no external serialization crates.
+//!
+//! Version 2 extends the container beyond the tree: run metadata grows
+//! host / model / config identity plus the run's wall-clock window, and
+//! an optional timeline section persists the recorded intervals (with
+//! their own captured symbol table and the recording counters) so a
+//! run's timeline survives the profiler. Version 1 files still load.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::Arc;
 
 use crate::cct::{CallingContextTree, NodeId};
+use crate::clock::TimeNs;
 use crate::error::CoreError;
 use crate::frame::Frame;
-use crate::interner::Interner;
+use crate::interner::{Interner, Sym};
 use crate::metrics::{MetricKind, MetricStat, MetricStore};
+use crate::timeline::{Interval, IntervalKind, StoredTimeline, TrackKey};
 
-const MAGIC: &str = "deepcontext-profile v1";
+const MAGIC_V1: &str = "deepcontext-profile v1";
+const MAGIC_V2: &str = "deepcontext-profile v2";
 
 /// Metadata describing one profiling run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -27,6 +36,19 @@ pub struct ProfileMeta {
     pub platform: String,
     /// Number of profiled iterations.
     pub iterations: u64,
+    /// Host the run executed on (empty when unknown) — the fleet axis
+    /// cross-run queries group by.
+    pub host: String,
+    /// Model / model-version identity (empty when unknown).
+    pub model: String,
+    /// Free-form configuration fingerprint (flags, hyper-parameters;
+    /// empty when unknown).
+    pub config: String,
+    /// Wall-clock start of the run (profiler clock domain; zero when
+    /// unknown). `Profiler::finish` stamps this.
+    pub started: TimeNs,
+    /// Wall-clock end of the run (zero when unknown).
+    pub ended: TimeNs,
     /// Free-form extra key/value pairs.
     pub extra: Vec<(String, String)>,
 }
@@ -55,12 +77,23 @@ pub struct ProfileMeta {
 pub struct ProfileDb {
     meta: ProfileMeta,
     cct: CallingContextTree,
+    timeline: Option<StoredTimeline>,
 }
 
 impl ProfileDb {
     /// Bundles metadata with a finished tree.
     pub fn new(meta: ProfileMeta, cct: CallingContextTree) -> Self {
-        ProfileDb { meta, cct }
+        ProfileDb {
+            meta,
+            cct,
+            timeline: None,
+        }
+    }
+
+    /// Attaches a persisted timeline (builder form).
+    pub fn with_timeline(mut self, timeline: StoredTimeline) -> Self {
+        self.timeline = Some(timeline);
+        self
     }
 
     /// Run metadata.
@@ -78,6 +111,16 @@ impl ProfileDb {
         &mut self.cct
     }
 
+    /// The persisted timeline, when the run recorded one.
+    pub fn timeline(&self) -> Option<&StoredTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Sets or clears the persisted timeline.
+    pub fn set_timeline(&mut self, timeline: Option<StoredTimeline>) {
+        self.timeline = timeline;
+    }
+
     /// Consumes the database, returning its parts.
     pub fn into_parts(self) -> (ProfileMeta, CallingContextTree) {
         (self.meta, self.cct)
@@ -89,11 +132,16 @@ impl ProfileDb {
     ///
     /// Returns [`CoreError::Io`] if writing fails.
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), CoreError> {
-        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "{MAGIC_V2}")?;
         writeln!(w, "meta\tworkload\t{}", escape(&self.meta.workload))?;
         writeln!(w, "meta\tframework\t{}", escape(&self.meta.framework))?;
         writeln!(w, "meta\tplatform\t{}", escape(&self.meta.platform))?;
         writeln!(w, "meta\titerations\t{}", self.meta.iterations)?;
+        writeln!(w, "meta\thost\t{}", escape(&self.meta.host))?;
+        writeln!(w, "meta\tmodel\t{}", escape(&self.meta.model))?;
+        writeln!(w, "meta\tconfig\t{}", escape(&self.meta.config))?;
+        writeln!(w, "meta\tstarted\t{}", self.meta.started.0)?;
+        writeln!(w, "meta\tended\t{}", self.meta.ended.0)?;
         for (k, v) in &self.meta.extra {
             writeln!(w, "meta\textra.{}\t{}", escape(k), escape(v))?;
         }
@@ -116,6 +164,40 @@ impl ProfileDb {
             }
             writeln!(w)?;
         }
+        if let Some(tl) = &self.timeline {
+            let (wstart, wend) = match tl.window {
+                Some((s, e)) => (s.0.to_string(), e.0.to_string()),
+                None => ("-".to_owned(), "-".to_owned()),
+            };
+            writeln!(
+                w,
+                "timeline\t{}\t{}\t{}\t{wstart}\t{wend}",
+                tl.intervals.len(),
+                tl.recorded,
+                tl.dropped
+            )?;
+            writeln!(w, "tnames\t{}", tl.names.len())?;
+            for name in &tl.names {
+                writeln!(w, "{}", escape(name))?;
+            }
+            for iv in &tl.intervals {
+                let context = match iv.context {
+                    Some(n) => n.index().to_string(),
+                    None => "-".to_owned(),
+                };
+                writeln!(
+                    w,
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{context}",
+                    iv.track.device,
+                    iv.track.stream,
+                    iv.start.0,
+                    iv.end.0,
+                    interval_kind_tag(iv.kind),
+                    iv.name.index(),
+                    iv.correlation
+                )?;
+            }
+        }
         writeln!(w, "end")?;
         Ok(())
     }
@@ -135,31 +217,16 @@ impl ProfileDb {
                 .map_err(CoreError::from)
         };
 
-        if next_line()? != MAGIC {
-            return Err(CoreError::parse("bad magic header".into()));
+        match next_line()?.as_str() {
+            MAGIC_V1 | MAGIC_V2 => {}
+            _ => return Err(CoreError::parse("bad magic header".into())),
         }
 
         let mut meta = ProfileMeta::default();
         let line = loop {
             let line = next_line()?;
             if let Some(rest) = line.strip_prefix("meta\t") {
-                let (key, value) = rest
-                    .split_once('\t')
-                    .ok_or_else(|| CoreError::parse("malformed meta line".into()))?;
-                match key {
-                    "workload" => meta.workload = unescape(value)?,
-                    "framework" => meta.framework = unescape(value)?,
-                    "platform" => meta.platform = unescape(value)?,
-                    "iterations" => {
-                        meta.iterations = value
-                            .parse()
-                            .map_err(|e| CoreError::parse(format!("bad iterations: {e}")))?
-                    }
-                    other => {
-                        let k = other.strip_prefix("extra.").unwrap_or(other);
-                        meta.extra.push((unescape(k)?, unescape(value)?));
-                    }
-                }
+                parse_meta_line(rest, &mut meta)?;
             } else {
                 break line;
             }
@@ -188,13 +255,198 @@ impl ProfileDb {
             let line = next_line()?;
             raw.push(parse_node_line(&line)?);
         }
-        if next_line()? != "end" {
+
+        let line = next_line()?;
+        let (timeline, line) = if let Some(rest) = line.strip_prefix("timeline\t") {
+            let tl = parse_timeline_section(rest, &mut next_line)?;
+            (Some(tl), next_line()?)
+        } else {
+            (None, line)
+        };
+        if line != "end" {
             return Err(CoreError::parse("missing end marker".into()));
         }
 
         let cct = CallingContextTree::from_raw(Arc::clone(&interner), raw)?;
-        Ok(ProfileDb { meta, cct })
+        Ok(ProfileDb {
+            meta,
+            cct,
+            timeline,
+        })
     }
+
+    /// Reads only the header of a stored profile: magic plus the meta
+    /// lines, stopping before the string table. Used by store listings
+    /// to scan run metadata without paying for full deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Parse`] for malformed input and
+    /// [`CoreError::Io`] for read failures.
+    pub fn load_meta<R: Read>(r: R) -> Result<ProfileMeta, CoreError> {
+        let mut lines = BufReader::new(r).lines();
+        let mut next_line = move || -> Result<String, CoreError> {
+            lines
+                .next()
+                .ok_or_else(|| CoreError::parse("unexpected end of profile".into()))?
+                .map_err(CoreError::from)
+        };
+        match next_line()?.as_str() {
+            MAGIC_V1 | MAGIC_V2 => {}
+            _ => return Err(CoreError::parse("bad magic header".into())),
+        }
+        let mut meta = ProfileMeta::default();
+        loop {
+            let line = next_line()?;
+            if let Some(rest) = line.strip_prefix("meta\t") {
+                parse_meta_line(rest, &mut meta)?;
+            } else {
+                break;
+            }
+        }
+        Ok(meta)
+    }
+}
+
+fn parse_meta_line(rest: &str, meta: &mut ProfileMeta) -> Result<(), CoreError> {
+    let (key, value) = rest
+        .split_once('\t')
+        .ok_or_else(|| CoreError::parse("malformed meta line".into()))?;
+    match key {
+        "workload" => meta.workload = unescape(value)?,
+        "framework" => meta.framework = unescape(value)?,
+        "platform" => meta.platform = unescape(value)?,
+        "iterations" => {
+            meta.iterations = value
+                .parse()
+                .map_err(|e| CoreError::parse(format!("bad iterations: {e}")))?
+        }
+        "host" => meta.host = unescape(value)?,
+        "model" => meta.model = unescape(value)?,
+        "config" => meta.config = unescape(value)?,
+        "started" => {
+            meta.started = TimeNs(
+                value
+                    .parse()
+                    .map_err(|e| CoreError::parse(format!("bad started: {e}")))?,
+            )
+        }
+        "ended" => {
+            meta.ended = TimeNs(
+                value
+                    .parse()
+                    .map_err(|e| CoreError::parse(format!("bad ended: {e}")))?,
+            )
+        }
+        other => {
+            let k = other.strip_prefix("extra.").unwrap_or(other);
+            meta.extra.push((unescape(k)?, unescape(value)?));
+        }
+    }
+    Ok(())
+}
+
+fn interval_kind_tag(kind: IntervalKind) -> &'static str {
+    match kind {
+        IntervalKind::Kernel => "K",
+        IntervalKind::Memcpy => "M",
+    }
+}
+
+fn parse_timeline_section(
+    header_rest: &str,
+    next_line: &mut impl FnMut() -> Result<String, CoreError>,
+) -> Result<StoredTimeline, CoreError> {
+    let fields: Vec<&str> = header_rest.split('\t').collect();
+    if fields.len() != 5 {
+        return Err(CoreError::parse("malformed timeline header".into()));
+    }
+    let interval_count: usize = fields[0]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad interval count: {e}")))?;
+    let recorded: u64 = fields[1]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad recorded count: {e}")))?;
+    let dropped: u64 = fields[2]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad dropped count: {e}")))?;
+    let window = match (fields[3], fields[4]) {
+        ("-", "-") => None,
+        (s, e) => Some((
+            TimeNs(
+                s.parse()
+                    .map_err(|e| CoreError::parse(format!("bad window start: {e}")))?,
+            ),
+            TimeNs(
+                e.parse()
+                    .map_err(|e| CoreError::parse(format!("bad window end: {e}")))?,
+            ),
+        )),
+    };
+
+    let line = next_line()?;
+    let name_count: usize = line
+        .strip_prefix("tnames\t")
+        .ok_or_else(|| CoreError::parse("expected tnames section".into()))?
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad timeline name count: {e}")))?;
+    let mut names: Vec<Arc<str>> = Vec::with_capacity(name_count);
+    for _ in 0..name_count {
+        names.push(Arc::from(unescape(&next_line()?)?.as_str()));
+    }
+
+    let mut intervals = Vec::with_capacity(interval_count);
+    for _ in 0..interval_count {
+        let line = next_line()?;
+        intervals.push(parse_interval_line(&line, name_count)?);
+    }
+    Ok(StoredTimeline {
+        intervals,
+        names,
+        recorded,
+        dropped,
+        window,
+    })
+}
+
+fn parse_interval_line(line: &str, name_count: usize) -> Result<Interval, CoreError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 8 {
+        return Err(CoreError::parse("malformed interval line".into()));
+    }
+    let num = |s: &str, what: &str| -> Result<u64, CoreError> {
+        s.parse()
+            .map_err(|e| CoreError::parse(format!("bad interval {what}: {e}")))
+    };
+    let kind = match fields[4] {
+        "K" => IntervalKind::Kernel,
+        "M" => IntervalKind::Memcpy,
+        other => return Err(CoreError::parse(format!("unknown interval kind {other:?}"))),
+    };
+    let name_idx = num(fields[5], "name")? as u32;
+    if name_idx as usize >= name_count {
+        return Err(CoreError::parse(format!(
+            "interval name index {name_idx} out of range"
+        )));
+    }
+    let context = match fields[7] {
+        "-" => None,
+        idx => Some(NodeId(idx.parse::<u32>().map_err(|e| {
+            CoreError::parse(format!("bad interval context: {e}"))
+        })?)),
+    };
+    Ok(Interval {
+        track: TrackKey {
+            device: num(fields[0], "device")? as u32,
+            stream: num(fields[1], "stream")? as u32,
+        },
+        start: TimeNs(num(fields[2], "start")?),
+        end: TimeNs(num(fields[3], "end")?),
+        kind,
+        name: Sym(name_idx),
+        correlation: num(fields[6], "correlation")?,
+        context,
+    })
 }
 
 fn frame_field_count(tag: &str) -> Result<usize, CoreError> {
@@ -310,10 +562,57 @@ mod tests {
                 framework: "eager".into(),
                 platform: "nvidia-a100".into(),
                 iterations: 100,
+                host: "node-17".into(),
+                model: "dlrm-v2".into(),
+                config: "batch=64".into(),
+                started: TimeNs(1_000),
+                ended: TimeNs(9_000),
                 extra: vec![("note".into(), "tab\there".into())],
             },
             cct,
         )
+    }
+
+    fn sample_timeline() -> StoredTimeline {
+        let names: Vec<Arc<str>> = vec![Arc::from("sgemm"), Arc::from("memcpy")];
+        let iv = |device, stream, start, end, kind, name, correlation, context| Interval {
+            track: TrackKey { device, stream },
+            start: TimeNs(start),
+            end: TimeNs(end),
+            kind,
+            name: Sym(name),
+            correlation,
+            context,
+        };
+        StoredTimeline {
+            intervals: vec![
+                iv(
+                    0,
+                    0,
+                    1_100,
+                    1_400,
+                    IntervalKind::Kernel,
+                    0,
+                    1,
+                    Some(NodeId(2)),
+                ),
+                iv(0, 1, 1_200, 1_300, IntervalKind::Memcpy, 1, 2, None),
+                iv(
+                    1,
+                    0,
+                    2_000,
+                    2_500,
+                    IntervalKind::Kernel,
+                    0,
+                    3,
+                    Some(NodeId(3)),
+                ),
+            ],
+            names,
+            recorded: 5,
+            dropped: 2,
+            window: Some((TimeNs(1_000), TimeNs(9_000))),
+        }
     }
 
     #[test]
@@ -337,9 +636,83 @@ mod tests {
     }
 
     #[test]
+    fn timeline_section_round_trips() {
+        let db = sample_db().with_timeline(sample_timeline());
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+        let tl = back.timeline().expect("timeline survived");
+        assert_eq!(tl, &sample_timeline());
+        assert_eq!(tl.name_of(Sym(0)), Some("sgemm"));
+        assert_eq!(tl.name_of(Sym(5)), None);
+        assert_eq!(back.meta().started, TimeNs(1_000));
+        assert_eq!(back.meta().ended, TimeNs(9_000));
+        assert_eq!(back.meta().host, "node-17");
+    }
+
+    #[test]
+    fn profile_without_timeline_loads_as_none() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        assert!(ProfileDb::load(&buf[..]).unwrap().timeline().is_none());
+    }
+
+    #[test]
+    fn v1_magic_still_loads() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v1 = text.replacen(MAGIC_V2, MAGIC_V1, 1);
+        let back = ProfileDb::load(v1.as_bytes()).unwrap();
+        assert_eq!(back.meta(), db.meta());
+    }
+
+    #[test]
+    fn load_meta_reads_header_only() {
+        let db = sample_db().with_timeline(sample_timeline());
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let meta = ProfileDb::load_meta(&buf[..]).unwrap();
+        assert_eq!(&meta, db.meta());
+        // Header-only reads also work on inputs truncated after the meta
+        // lines, which is the point: listings never parse the body.
+        let text = String::from_utf8(buf).unwrap();
+        let header: String = text
+            .lines()
+            .take_while(|l| !l.starts_with("strings\t"))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let meta = ProfileDb::load_meta(format!("{header}strings\t0\n").as_bytes()).unwrap();
+        assert_eq!(&meta, db.meta());
+    }
+
+    #[test]
+    fn corrupt_timeline_section_errors_not_panics() {
+        let db = sample_db().with_timeline(sample_timeline());
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body_at = text.find("timeline\t").unwrap();
+        let (head, tail) = text.split_at(body_at);
+        // Interval referencing a name index past the captured table.
+        let bad = format!("{head}{}", tail.replacen("\tK\t0\t1\t", "\tK\t99\t1\t", 1));
+        assert!(ProfileDb::load(bad.as_bytes()).is_err());
+        // Unknown interval kind tag.
+        let bad = format!("{head}{}", tail.replacen("\tK\t0\t1\t", "\tQ\t0\t1\t", 1));
+        assert!(ProfileDb::load(bad.as_bytes()).is_err());
+        // Truncation inside the timeline body.
+        let cut = text.find("tnames\t").unwrap() + 3;
+        assert!(ProfileDb::load(&text.as_bytes()[..cut]).is_err());
+    }
+
+    #[test]
     fn load_rejects_bad_magic() {
         let err = ProfileDb::load(&b"not a profile\n"[..]).unwrap_err();
         assert!(err.to_string().contains("magic"));
+        assert!(ProfileDb::load(&b"deepcontext-profile v9\n"[..]).is_err());
+        assert!(ProfileDb::load_meta(&b"not a profile\n"[..]).is_err());
     }
 
     #[test]

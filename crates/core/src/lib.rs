@@ -50,7 +50,7 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interner::{Interner, Sym};
 pub use metrics::{MetricKind, MetricStat, MetricStore, StallReason};
 pub use shard::CctShard;
-pub use timeline::{Interval, IntervalKind, TrackKey};
+pub use timeline::{Interval, IntervalKind, StoredTimeline, TrackKey};
 
 /// Convenient re-exports for downstream crates.
 pub mod prelude {

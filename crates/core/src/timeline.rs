@@ -13,6 +13,8 @@
 //! analyzer, exporters) shares one vocabulary without depending on the
 //! timeline machinery.
 
+use std::sync::Arc;
+
 use crate::cct::NodeId;
 use crate::clock::TimeNs;
 use crate::interner::Sym;
@@ -84,6 +86,55 @@ impl Interval {
     /// busy time).
     pub fn duration(&self) -> TimeNs {
         self.end.saturating_sub(self.start)
+    }
+}
+
+/// A timeline in its persistent form: the flattened interval set of an
+/// assembled snapshot, the captured symbol table its interval names
+/// resolve against, the recording counters, and the run's wall-clock
+/// window.
+///
+/// This is the shape `ProfileDb` stores on disk so a run's timeline
+/// survives the profiler. It lives in core (next to [`Interval`]) rather
+/// than in the timeline crate so the database can hold one without a
+/// dependency cycle; the timeline crate converts to and from its
+/// assembled `TimelineSnapshot` view (`TimelineSnapshot::to_stored` /
+/// `TimelineSnapshot::from_stored`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoredTimeline {
+    /// Every live interval at snapshot time, in no particular order
+    /// (consumers re-group into per-track, start-sorted views).
+    /// `Interval::context` ids index into the profile's master tree.
+    pub intervals: Vec<Interval>,
+    /// The captured symbol table: `Interval::name` handles index into
+    /// this vector. Out-of-range handles simply fail to resolve.
+    pub names: Vec<Arc<str>>,
+    /// Intervals recorded over the run (kept + evicted).
+    pub recorded: u64,
+    /// Intervals evicted by ring overflow — when non-zero the stored
+    /// timeline is a trailing window of the run, not the whole run.
+    pub dropped: u64,
+    /// The run's wall-clock window `[start, end)`, when known. Bounds
+    /// idle-gap analysis at the run's edges: device idle before the
+    /// first launch and after the last completion is measurable instead
+    /// of invisible.
+    pub window: Option<(TimeNs, TimeNs)>,
+}
+
+impl StoredTimeline {
+    /// Resolves an interval name against the captured symbol table.
+    pub fn name_of(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index() as usize).map(|s| s.as_ref())
+    }
+
+    /// Total live intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
     }
 }
 

@@ -372,7 +372,7 @@ proptest! {
                 framework: "eager".into(),
                 platform: "nvidia-a100".into(),
                 iterations,
-                extra: vec![],
+                ..Default::default()
             },
             cct,
         );

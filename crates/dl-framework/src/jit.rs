@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use deepcontext_core::{OpPhase, TimeNs};
-use sim_gpu::{InstructionProfile, KernelDesc, LaunchConfig};
+use sim_gpu::{DeviceId, InstructionProfile, KernelDesc, LaunchConfig, StreamId};
 use sim_runtime::{CpuWork, NativeFrameGuard, NativeFrameInfo, PyFrameInfo};
 
 use crate::callbacks::{GraphEvent, OpEvent, Site};
@@ -165,6 +165,10 @@ struct CompiledItem {
     name: Arc<str>,
     phase: OpPhase,
     kernels: Vec<Arc<KernelDesc>>,
+    /// Placement from the traced op's attributes; `None` falls back to
+    /// the core's current device/stream at execution time.
+    device: Option<DeviceId>,
+    stream: Option<StreamId>,
 }
 
 /// A compiled, executable graph.
@@ -230,12 +234,12 @@ impl CompiledGraph {
             self.core
                 .env()
                 .do_cpu_work(&thread, CpuWork::compute(TimeNs(800)));
+            let device = item.device.unwrap_or_else(|| self.core.device());
+            let stream = item.stream.unwrap_or_else(|| self.core.stream());
             for kernel in &item.kernels {
-                self.core.gpu().launch_kernel(
-                    self.core.device(),
-                    self.core.stream(),
-                    Arc::clone(kernel),
-                )?;
+                self.core
+                    .gpu()
+                    .launch_kernel(device, stream, Arc::clone(kernel))?;
             }
             self.core.callbacks().fire_op(&OpEvent {
                 name: Arc::clone(&item.name),
@@ -346,13 +350,20 @@ impl JitEngine {
 
         // Pass 2: fuse maximal runs of same-shape elementwise ops, and
         // epilogue-fuse lone elementwise ops into their producer (the
-        // conv→norm→relu pattern), as XLA does.
+        // conv→norm→relu pattern), as XLA does. Fusion groups are
+        // partitioned by `(device, stream)` placement: a fused kernel is
+        // one launch on one stream, so ops bound for different placements
+        // must never share a group (they would silently serialize a
+        // multi-stream model onto one stream).
         struct Pending {
             name: Arc<str>,
             phase: OpPhase,
             kernels: Vec<KernelDesc>,
             out_numel: usize,
+            device: Option<DeviceId>,
+            stream: Option<StreamId>,
         }
+        let placement = |n: &GraphNode| (n.op.attrs.device, n.op.attrs.stream);
         let mut pending: Vec<Pending> = Vec::new();
         let mut mapping = FusionMapping::default();
         let mut fusion_idx = 0usize;
@@ -365,6 +376,7 @@ impl JitEngine {
                     && nodes[j + 1].op.kind.is_elementwise()
                     && nodes[j + 1].phase == node.phase
                     && nodes[j + 1].output.numel() == node.output.numel()
+                    && placement(nodes[j + 1]) == placement(node)
                 {
                     j += 1;
                 }
@@ -387,6 +399,8 @@ impl JitEngine {
                     phase: node.phase,
                     kernels: vec![kernel],
                     out_numel: node.output.numel(),
+                    device: node.op.attrs.device,
+                    stream: node.op.attrs.stream,
                 });
             } else if node.op.kind.is_elementwise()
                 && pending
@@ -394,6 +408,7 @@ impl JitEngine {
                     .map(|p| {
                         p.phase == node.phase
                             && p.out_numel == node.output.numel()
+                            && (p.device, p.stream) == placement(node)
                             && !p.kernels.is_empty()
                     })
                     .unwrap_or(false)
@@ -425,6 +440,8 @@ impl JitEngine {
                     phase: node.phase,
                     kernels,
                     out_numel: node.output.numel(),
+                    device: node.op.attrs.device,
+                    stream: node.op.attrs.stream,
                 });
             }
             i = j + 1;
@@ -435,6 +452,8 @@ impl JitEngine {
                 name: p.name,
                 phase: p.phase,
                 kernels: p.kernels.into_iter().map(Arc::new).collect(),
+                device: p.device,
+                stream: p.stream,
             })
             .collect();
 
@@ -650,6 +669,96 @@ mod tests {
             .find(|n| n.phase == OpPhase::Backward)
             .unwrap();
         assert_eq!(first_bwd.op.name(), "aten::relu");
+    }
+
+    #[test]
+    fn fusion_partitions_by_stream_placement() {
+        let (jit, env) = jit();
+        let t = env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&t);
+        // Four same-shape elementwise ops, alternating streams: without
+        // placement partitioning they would fuse into one kernel on one
+        // stream, serializing the model's parallelism.
+        let graph = jit
+            .trace("two_streams", |tr| {
+                let x = TensorMeta::new([1 << 16]);
+                for stream in [0u32, 1, 0, 1] {
+                    tr.op(
+                        Op::new(OpKind::Relu).on_stream(StreamId(stream)),
+                        std::slice::from_ref(&x),
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let compiled = jit.compile(&graph).unwrap();
+        assert_eq!(
+            compiled.compiled_op_count(),
+            4,
+            "alternating placements must not fuse"
+        );
+        // Same streams back to back still fuse within their partition.
+        let graph = jit
+            .trace("grouped", |tr| {
+                let x = TensorMeta::new([1 << 16]);
+                for stream in [0u32, 0, 1, 1] {
+                    tr.op(
+                        Op::new(OpKind::Relu).on_stream(StreamId(stream)),
+                        std::slice::from_ref(&x),
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let compiled = jit.compile(&graph).unwrap();
+        assert_eq!(compiled.compiled_op_count(), 2, "per-stream runs fuse");
+    }
+
+    #[test]
+    fn execute_honours_op_placement() {
+        let env = RuntimeEnv::new();
+        let gpu = GpuRuntime::new(
+            env.clock().clone(),
+            vec![DeviceSpec::a100_sxm(), DeviceSpec::a100_sxm()],
+        );
+        let core = FrameworkCore::new(
+            env.clone(),
+            gpu,
+            DeviceId(0),
+            "/lib/libjax.so",
+            "libxla.so",
+            TimeNs(1_000),
+        );
+        let jit = JitEngine::new(core);
+        jit.core().gpu().ensure_streams(DeviceId(1), 3).unwrap();
+        let t = env.threads().spawn(ThreadRole::Main);
+        let _bind = ThreadRegistry::bind_current(&t);
+        let graph = jit
+            .trace("cross_device", |tr| {
+                let x = TensorMeta::new([1 << 12]);
+                tr.op(Op::new(OpKind::Relu), std::slice::from_ref(&x))?;
+                tr.op(
+                    Op::new(OpKind::Add)
+                        .on_device(DeviceId(1))
+                        .on_stream(StreamId(2)),
+                    &[x.clone(), x],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let compiled = jit.compile(&graph).unwrap();
+        assert_eq!(
+            compiled.compiled_op_count(),
+            2,
+            "cross-device ops must not fuse"
+        );
+        compiled.execute().unwrap();
+        assert_eq!(jit.core().gpu().kernel_count(DeviceId(0)).unwrap(), 1);
+        assert_eq!(
+            jit.core().gpu().kernel_count(DeviceId(1)).unwrap(),
+            1,
+            "placed op launches on its own device"
+        );
     }
 
     #[test]

@@ -229,6 +229,9 @@ pub struct Profiler {
     gpu: Arc<GpuRuntime>,
     monitor_regs: Vec<RegistrationId>,
     sampler_ids: Vec<SamplerId>,
+    /// Wall-clock attach time: the start of the run's window. Timeline
+    /// snapshots and [`Profiler::finish`] bound idle analysis with it.
+    started: TimeNs,
 }
 
 impl Profiler {
@@ -373,7 +376,13 @@ impl Profiler {
             gpu: Arc::clone(gpu),
             monitor_regs,
             sampler_ids,
+            started: env.clock().now(),
         }
+    }
+
+    /// Wall-clock time the profiler attached (the run window's start).
+    pub fn started(&self) -> TimeNs {
+        self.started
     }
 
     /// Flushes completed GPU activities into the tree (call at
@@ -460,22 +469,41 @@ impl Profiler {
     /// state); typically right after a [`flush`](Self::flush), so the
     /// timeline covers every completed activity.
     pub fn timeline(&self) -> Option<TimelineSnapshot> {
-        self.inner.sink.timeline_snapshot()
+        self.inner
+            .sink
+            .timeline_snapshot()
+            .map(|snap| snap.with_window(self.started, self.env.clock().now()))
     }
 
     /// Detaches all collection and returns the finished profile.
     ///
     /// Consumes the sink's cached snapshot (after folding in any shards
-    /// still dirty) instead of performing a final full fold.
-    pub fn finish(mut self, meta: ProfileMeta) -> ProfileDb {
+    /// still dirty) instead of performing a final full fold. The run's
+    /// wall-clock window is stamped into `meta.started` / `meta.ended`,
+    /// and the recorded timeline (when enabled) is captured into the
+    /// database — so the profile that reaches disk carries everything
+    /// needed for postmortem latency analysis.
+    pub fn finish(mut self, mut meta: ProfileMeta) -> ProfileDb {
         // Drain anything still buffered.
         let batch = self.gpu.flush_all();
         if !batch.is_empty() {
             self.inner.sink.activity_batch_owned(batch);
         }
         self.inner.sink.epoch_complete();
+        let ended = self.env.clock().now();
+        // Capture the timeline before finish_snapshot consumes the
+        // sink's cached fold state (its context remap depends on it).
+        let timeline = self
+            .inner
+            .sink
+            .timeline_snapshot()
+            .map(|snap| snap.with_window(self.started, ended).to_stored());
         self.detach();
-        ProfileDb::new(meta, self.inner.sink.finish_snapshot())
+        meta.started = self.started;
+        meta.ended = ended;
+        let mut db = ProfileDb::new(meta, self.inner.sink.finish_snapshot());
+        db.set_timeline(timeline);
+        db
     }
 
     fn detach(&mut self) {
@@ -678,7 +706,7 @@ mod tests {
             framework: "eager".into(),
             platform: "nvidia-a100".into(),
             iterations: 4,
-            extra: vec![],
+            ..Default::default()
         });
         assert!(db.cct().total(MetricKind::GpuTime) > 0.0);
         let mut buf = Vec::new();
@@ -861,7 +889,7 @@ mod tests {
             framework: "eager".into(),
             platform: "nvidia-a100".into(),
             iterations: 5,
-            extra: vec![],
+            ..Default::default()
         });
         assert_eq!(
             db.cct()
@@ -968,7 +996,7 @@ mod tests {
             framework: "eager".into(),
             platform: "nvidia-a100".into(),
             iterations: 5,
-            extra: vec![],
+            ..Default::default()
         });
         // The consumed cache reflects everything, including activities
         // flushed by finish itself after the last with_cct.
@@ -986,6 +1014,53 @@ mod tests {
                 .count,
             5
         );
+    }
+
+    #[test]
+    fn finish_stamps_window_and_persists_the_timeline() {
+        let rig = rig();
+        let config = ProfilerConfig {
+            timeline: TimelineConfig {
+                enabled: true,
+                ring_capacity: 1024,
+            },
+            ..ProfilerConfig::default()
+        };
+        let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+        let started = profiler.started();
+        run_relu(&rig, 4);
+        profiler.flush();
+
+        // Live snapshots carry the run window, so leading idle between
+        // attach and the first launch is measurable.
+        let live = profiler.timeline().expect("timeline enabled");
+        let (ws, we) = live.window().expect("window attached");
+        assert_eq!(ws, started);
+        assert!(we >= ws);
+
+        let db = profiler.finish(ProfileMeta {
+            workload: "relu-timeline".into(),
+            ..Default::default()
+        });
+        assert_eq!(db.meta().started, started);
+        assert!(db.meta().ended >= db.meta().started);
+        let stored = db.timeline().expect("timeline persisted");
+        assert_eq!(stored.interval_count(), 4);
+        assert_eq!(stored.window, Some((db.meta().started, db.meta().ended)));
+        // Interval names resolve from the captured table, and contexts
+        // point into the master tree the db carries.
+        for iv in &stored.intervals {
+            assert!(stored.name_of(iv.name).is_some());
+            let ctx = iv.context.expect("context resolved");
+            assert!(ctx.index() < db.cct().node_count());
+        }
+
+        // The whole container round-trips through the on-disk format.
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let back = ProfileDb::load(&buf[..]).unwrap();
+        assert_eq!(back.timeline(), db.timeline());
+        assert_eq!(back.meta(), db.meta());
     }
 
     #[test]

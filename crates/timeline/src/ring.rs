@@ -6,20 +6,26 @@
 //! already serialized per shard — so the timeline mirrors that layout:
 //! one [`IntervalRing`] per shard, each behind its own mutex that is
 //! only ever contended by that shard's applier and by snapshots. A full
-//! ring evicts its oldest interval and counts it, so a long run's
-//! timeline degrades to a bounded trailing window instead of growing
-//! with the event count (the CCT keeps the lossless aggregate view
-//! either way).
+//! ring evicts under its global capacity from whichever *track* holds
+//! the largest retained share, so one hot stream degrades to a bounded
+//! trailing window of itself without erasing a quiet stream's history
+//! (the CCT keeps the lossless aggregate view either way).
+
+use std::collections::VecDeque;
 
 use parking_lot::Mutex;
 
-use deepcontext_core::{Interval, NodeId};
+use deepcontext_core::{Interval, NodeId, TrackKey};
 
 use crate::snapshot::TimelineSnapshot;
 use crate::TimelineConfig;
 
-/// A fixed-capacity interval buffer that evicts its oldest entry when
-/// full, counting every push and every eviction.
+/// A fixed-capacity interval buffer with per-track eviction fairness:
+/// intervals are retained per `(device, stream)` track under one global
+/// capacity, and overflow evicts the oldest entry of the *largest*
+/// track. A single hot stream therefore cannibalizes only its own
+/// history; a quiet stream's intervals survive as long as its share
+/// stays below the hot track's.
 ///
 /// The counters live here — plain integers updated under the ring's
 /// lock, which the recording path already holds — instead of as shared
@@ -29,12 +35,20 @@ use crate::TimelineConfig;
 /// sum over the rings on the cold stats path.
 #[derive(Debug, Clone)]
 pub struct IntervalRing {
-    buf: Vec<Interval>,
-    /// Index of the oldest entry once the buffer has wrapped.
-    head: usize,
+    /// Per-track buffers, sorted by [`TrackKey`]. Shards see a handful
+    /// of tracks (device × stream), so a sorted vec beats a map.
+    tracks: Vec<TrackRing>,
+    /// Total live intervals across all tracks.
+    len: usize,
     capacity: usize,
     recorded: u64,
     dropped: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TrackRing {
+    key: TrackKey,
+    buf: VecDeque<Interval>,
 }
 
 impl IntervalRing {
@@ -42,42 +56,83 @@ impl IntervalRing {
     /// least one). Storage is allocated lazily as intervals arrive.
     pub fn new(capacity: usize) -> Self {
         IntervalRing {
-            buf: Vec::new(),
-            head: 0,
+            tracks: Vec::new(),
+            len: 0,
             capacity: capacity.max(1),
             recorded: 0,
             dropped: 0,
         }
     }
 
-    /// Appends `interval`, evicting (and counting) the oldest entry when
-    /// the ring is full.
+    /// Appends `interval`, evicting (and counting) the oldest entry of
+    /// the largest track when the ring is at its global capacity.
     pub fn push(&mut self, interval: Interval) {
         self.recorded += 1;
-        if self.buf.len() < self.capacity {
-            self.buf.push(interval);
-        } else {
-            self.buf[self.head] = interval;
-            self.head = (self.head + 1) % self.capacity;
+        if self.len == self.capacity {
+            // Evict from the track holding the most intervals. Ties
+            // prefer the incoming interval's own track (so balanced
+            // loads self-evict and stay balanced), then the smallest
+            // key — deterministic either way. Another track only loses
+            // history once it holds a strictly larger share.
+            let victim = self
+                .tracks
+                .iter_mut()
+                .max_by_key(|t| {
+                    (
+                        t.buf.len(),
+                        t.key == interval.track,
+                        std::cmp::Reverse(t.key),
+                    )
+                })
+                .expect("capacity >= 1 and ring is full");
+            victim.buf.pop_front();
+            self.len -= 1;
             self.dropped += 1;
         }
+        let idx = match self.tracks.binary_search_by_key(&interval.track, |t| t.key) {
+            Ok(idx) => idx,
+            Err(idx) => {
+                self.tracks.insert(
+                    idx,
+                    TrackRing {
+                        key: interval.track,
+                        buf: VecDeque::new(),
+                    },
+                );
+                idx
+            }
+        };
+        self.tracks[idx].buf.push_back(interval);
+        self.len += 1;
     }
 
-    /// Live intervals, oldest first.
+    /// Live intervals: tracks in `(device, stream)` order, each track
+    /// oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Interval> {
-        self.buf[self.head..]
-            .iter()
-            .chain(self.buf[..self.head].iter())
+        self.tracks.iter().flat_map(|t| t.buf.iter())
     }
 
     /// Number of live intervals.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     /// Whether the ring holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
+    }
+
+    /// Number of distinct tracks seen (including any evicted empty).
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Live intervals retained for one track.
+    pub fn track_len(&self, key: TrackKey) -> usize {
+        self.tracks
+            .binary_search_by_key(&key, |t| t.key)
+            .map(|idx| self.tracks[idx].buf.len())
+            .unwrap_or(0)
     }
 
     /// Intervals ever pushed (including any later evicted by overflow).
@@ -97,7 +152,13 @@ impl IntervalRing {
 
     /// Approximate resident bytes (allocated storage, not capacity).
     pub fn approx_bytes(&self) -> usize {
-        self.buf.capacity() * std::mem::size_of::<Interval>()
+        self.tracks
+            .iter()
+            .map(|t| {
+                std::mem::size_of::<TrackRing>()
+                    + t.buf.capacity() * std::mem::size_of::<Interval>()
+            })
+            .sum()
     }
 }
 
@@ -215,12 +276,13 @@ mod tests {
     use std::sync::{Arc, OnceLock};
 
     fn interval(corr: u64, start: u64, end: u64) -> Interval {
+        on_track(0, 0, corr, start, end)
+    }
+
+    fn on_track(device: u32, stream: u32, corr: u64, start: u64, end: u64) -> Interval {
         static INTERNER: OnceLock<Arc<Interner>> = OnceLock::new();
         Interval {
-            track: TrackKey {
-                device: 0,
-                stream: 0,
-            },
+            track: TrackKey { device, stream },
             start: TimeNs(start),
             end: TimeNs(end),
             kind: IntervalKind::Kernel,
@@ -274,5 +336,58 @@ mod tests {
         ring.push(interval(2, 1, 2));
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn hot_track_cannot_evict_a_quiet_tracks_history() {
+        let mut ring = IntervalRing::new(8);
+        // A quiet stream records 3 intervals early...
+        for corr in 1..=3u64 {
+            ring.push(on_track(0, 1, corr, corr, corr + 1));
+        }
+        // ...then a hot stream floods the ring.
+        for corr in 100..200u64 {
+            ring.push(on_track(0, 0, corr, corr, corr + 1));
+        }
+        let quiet = TrackKey {
+            device: 0,
+            stream: 1,
+        };
+        let hot = TrackKey {
+            device: 0,
+            stream: 0,
+        };
+        // The quiet stream keeps its full history; the hot stream holds
+        // the remainder of the budget as a trailing window of itself.
+        assert_eq!(ring.track_len(quiet), 3);
+        assert_eq!(ring.track_len(hot), 5);
+        let quiet_corrs: Vec<u64> = ring
+            .iter()
+            .filter(|iv| iv.track == quiet)
+            .map(|iv| iv.correlation)
+            .collect();
+        assert_eq!(quiet_corrs, vec![1, 2, 3]);
+        let hot_corrs: Vec<u64> = ring
+            .iter()
+            .filter(|iv| iv.track == hot)
+            .map(|iv| iv.correlation)
+            .collect();
+        assert_eq!(hot_corrs, vec![195, 196, 197, 198, 199]);
+        // Exact accounting: kept + dropped == recorded.
+        assert_eq!(ring.len() as u64 + ring.dropped(), ring.recorded());
+        assert_eq!(ring.recorded(), 103);
+    }
+
+    #[test]
+    fn balanced_tracks_converge_to_equal_shares() {
+        let mut ring = IntervalRing::new(6);
+        // Interleaved pushes on three tracks, far past capacity.
+        for corr in 0..300u64 {
+            ring.push(on_track(0, (corr % 3) as u32, corr, corr, corr + 1));
+        }
+        for stream in 0..3 {
+            assert_eq!(ring.track_len(TrackKey { device: 0, stream }), 2);
+        }
+        assert_eq!(ring.len() as u64 + ring.dropped(), ring.recorded());
     }
 }

@@ -13,7 +13,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use deepcontext_core::{CallingContextTree, Interval, NodeId, Sym, TimeNs, TrackKey};
+use deepcontext_core::{
+    CallingContextTree, Interval, NodeId, StoredTimeline, Sym, TimeNs, TrackKey,
+};
 
 use crate::ring::TimelineCounters;
 
@@ -64,6 +66,12 @@ pub struct TimelineSnapshot {
     ///
     /// [`Interner::snapshot`]: deepcontext_core::Interner::snapshot
     names: Vec<Arc<str>>,
+    /// The run's wall-clock window `[start, end)`, when the producer
+    /// attached one. Without it, idle analysis sees only
+    /// `[first_start, last_end)` — device idle before the first launch
+    /// and after the last completion is invisible. With it, those edges
+    /// become measurable gaps.
+    window: Option<(TimeNs, TimeNs)>,
 }
 
 impl TimelineSnapshot {
@@ -88,9 +96,61 @@ impl TimelineSnapshot {
             counters,
             stats: TimelineStats::default(),
             names: Vec::new(),
+            window: None,
         };
         snapshot.stats = TimelineStats::compute(&snapshot);
         snapshot
+    }
+
+    /// Attaches the run's wall-clock window `[start, end)` and
+    /// recomputes statistics under it: leading device idle
+    /// (`[start, first launch)`) and trailing idle
+    /// (`[last completion, end)`) become explicit [`Gap`]s, and
+    /// [`DeviceStats::span`] extends to cover the window.
+    pub fn with_window(mut self, start: TimeNs, end: TimeNs) -> Self {
+        self.window = Some((start, end));
+        self.stats = TimelineStats::compute(&self);
+        self
+    }
+
+    /// The attached wall-clock window, if any.
+    pub fn window(&self) -> Option<(TimeNs, TimeNs)> {
+        self.window
+    }
+
+    /// Flattens the snapshot into its persistent form: the interval set,
+    /// the captured symbol table, the counters and the window — the
+    /// shape `ProfileDb` stores on disk.
+    pub fn to_stored(&self) -> StoredTimeline {
+        StoredTimeline {
+            intervals: self
+                .tracks
+                .iter()
+                .flat_map(|t| t.intervals.iter().copied())
+                .collect(),
+            names: self.names.clone(),
+            recorded: self.counters.recorded,
+            dropped: self.counters.dropped,
+            window: self.window,
+        }
+    }
+
+    /// Reassembles a snapshot from its persistent form: regroups the
+    /// intervals into sorted tracks, reattaches the symbol table, and
+    /// recomputes statistics (under the stored window, when present).
+    pub fn from_stored(stored: &StoredTimeline) -> Self {
+        let snapshot = TimelineSnapshot::from_intervals(
+            stored.intervals.clone(),
+            TimelineCounters {
+                recorded: stored.recorded,
+                dropped: stored.dropped,
+            },
+        )
+        .with_names(stored.names.clone());
+        match stored.window {
+            Some((start, end)) => snapshot.with_window(start, end),
+            None => snapshot,
+        }
     }
 
     /// Attaches the symbol table interval names resolve against —
@@ -210,14 +270,25 @@ pub struct DeviceStats {
     /// Summed time: interval durations added up (overlapping work counts
     /// per stream).
     pub summed: TimeNs,
-    /// Idle gaps inside the active span, in time order.
+    /// Idle gaps inside the active span, in time order. When a run
+    /// window is attached, leading idle (`before: None`) and trailing
+    /// idle (`after: None`) inside the window are included.
     pub gaps: Vec<Gap>,
+    /// The run's wall-clock window, when the snapshot carried one.
+    pub window: Option<(TimeNs, TimeNs)>,
 }
 
 impl DeviceStats {
-    /// The active span `[first_start, last_end)`.
+    /// The active span: `[first_start, last_end)` without a window, the
+    /// union of that and the run window with one — so utilization
+    /// accounts for device idle at the run's edges.
     pub fn span(&self) -> TimeNs {
-        self.last_end.saturating_sub(self.first_start)
+        match self.window {
+            Some((ws, we)) => we
+                .max(self.last_end)
+                .saturating_sub(ws.min(self.first_start)),
+            None => self.last_end.saturating_sub(self.first_start),
+        }
     }
 
     /// Fraction of the active span the device was executing (0..=1).
@@ -278,6 +349,20 @@ impl TimelineStats {
             let mut summed = 0u64;
             let mut busy = 0u64;
             let mut gaps = Vec::new();
+            // Leading idle: the device sat unused from the run's start
+            // until its first launch. `before: None` marks the run edge.
+            if let Some((ws, _)) = snapshot.window {
+                if let Some(first) = intervals.first() {
+                    if first.start > ws {
+                        gaps.push(Gap {
+                            start: ws,
+                            end: first.start,
+                            before: None,
+                            after: first.context,
+                        });
+                    }
+                }
+            }
             // The running covered segment and the interval whose end
             // currently bounds it (the "last to finish" before any gap).
             let mut cover_end = first_start;
@@ -300,6 +385,18 @@ impl TimelineStats {
                     closer = Some(iv);
                 }
             }
+            // Trailing idle: from the device's last completion to the
+            // run's end. `after: None` marks the run edge.
+            if let Some((_, we)) = snapshot.window {
+                if we > cover_end && !intervals.is_empty() {
+                    gaps.push(Gap {
+                        start: cover_end,
+                        end: we,
+                        before: closer.and_then(|c| c.context),
+                        after: None,
+                    });
+                }
+            }
             devices.push(DeviceStats {
                 device,
                 streams,
@@ -308,6 +405,7 @@ impl TimelineStats {
                 busy: TimeNs(busy),
                 summed: TimeNs(summed),
                 gaps,
+                window: snapshot.window,
             });
         }
         TimelineStats { devices }
@@ -420,5 +518,59 @@ mod tests {
         let snap = snapshot(Vec::new());
         assert!(snap.is_empty());
         assert!(snap.stats().devices.is_empty());
+    }
+
+    #[test]
+    fn window_exposes_leading_and_trailing_idle() {
+        // Without a window only the interior gap [15,20) is visible.
+        let intervals = vec![iv(0, 0, 10, 15, 1), iv(0, 0, 20, 30, 2)];
+        let bare = snapshot(intervals.clone());
+        assert_eq!(bare.stats().device(0).unwrap().gaps.len(), 1);
+        assert_eq!(bare.stats().device(0).unwrap().span(), TimeNs(20));
+
+        let snap = snapshot(intervals).with_window(TimeNs(0), TimeNs(50));
+        assert_eq!(snap.window(), Some((TimeNs(0), TimeNs(50))));
+        let d = snap.stats().device(0).unwrap();
+        assert_eq!(d.gaps.len(), 3);
+        let (lead, tail) = (d.gaps[0], d.gaps[2]);
+        assert_eq!((lead.start, lead.end), (TimeNs(0), TimeNs(10)));
+        assert_eq!(lead.before, None);
+        assert_eq!(lead.after, Some(NodeId::ROOT));
+        assert_eq!((tail.start, tail.end), (TimeNs(30), TimeNs(50)));
+        assert_eq!(tail.before, Some(NodeId::ROOT));
+        assert_eq!(tail.after, None);
+        // Span and utilization stretch over the run window.
+        assert_eq!(d.span(), TimeNs(50));
+        assert_eq!(d.idle(), TimeNs(35));
+        assert!((d.utilization() - 15.0 / 50.0).abs() < 1e-12);
+        // first_start/last_end still report the interval extremes.
+        assert_eq!((d.first_start, d.last_end), (TimeNs(10), TimeNs(30)));
+    }
+
+    #[test]
+    fn window_flush_with_run_edges_adds_no_gaps() {
+        let snap = snapshot(vec![iv(0, 0, 0, 10, 1)]).with_window(TimeNs(0), TimeNs(10));
+        let d = snap.stats().device(0).unwrap();
+        assert!(d.gaps.is_empty());
+        assert_eq!(d.utilization(), 1.0);
+    }
+
+    #[test]
+    fn stored_round_trip_preserves_tracks_names_and_window() {
+        let names: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b")];
+        let snap = TimelineSnapshot::from_intervals(
+            vec![iv(0, 0, 0, 10, 1), iv(1, 2, 5, 25, 2), iv(0, 1, 3, 7, 3)],
+            TimelineCounters {
+                recorded: 9,
+                dropped: 6,
+            },
+        )
+        .with_names(names)
+        .with_window(TimeNs(0), TimeNs(40));
+        let stored = snap.to_stored();
+        assert_eq!(stored.interval_count(), 3);
+        assert_eq!((stored.recorded, stored.dropped), (9, 6));
+        let back = TimelineSnapshot::from_stored(&stored);
+        assert_eq!(back, snap);
     }
 }

@@ -31,7 +31,7 @@ fn profile_unet(spec: DeviceSpec) -> Result<ProfileDb, Box<dyn std::error::Error
         framework: "eager".into(),
         platform,
         iterations: 2,
-        extra: vec![],
+        ..Default::default()
     }))
 }
 

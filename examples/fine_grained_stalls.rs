@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         framework: "eager".into(),
         platform: "nvidia-a100".into(),
         iterations: 3,
-        extra: vec![],
+        ..Default::default()
     });
 
     // Stall breakdown over the whole run.

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         framework: "eager".into(),
         platform: "nvidia-a100".into(),
         iterations: 3,
-        extra: vec![],
+        ..Default::default()
     });
     let report = Analyzer::with_default_rules().analyze(&db);
 

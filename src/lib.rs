@@ -67,7 +67,10 @@ pub use sim_runtime as runtime;
 
 /// Everything needed for typical profiling sessions.
 pub mod prelude {
-    pub use deepcontext_analyzer::{Analyzer, Issue, Rule, Severity};
+    pub use deepcontext_analyzer::{
+        Analyzer, Issue, ProfileDiff, ProfileStore, RegressionRule, Rule, RunFilter, Severity,
+        TrendPoint,
+    };
     pub use deepcontext_core::{
         CallPath, CallingContextTree, Frame, FrameKind, Interner, MetricKind, NodeId, OpPhase,
         ProfileDb, ProfileMeta, StallReason, TimeNs, VirtualClock,

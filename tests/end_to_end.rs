@@ -22,7 +22,7 @@ fn profile_dlrm(iterations: u32) -> ProfileDb {
         framework: "eager".into(),
         platform: "nvidia-a100".into(),
         iterations: u64::from(iterations),
-        extra: vec![],
+        ..Default::default()
     })
 }
 
@@ -341,7 +341,7 @@ fn analyzer_preview_runs_on_the_live_cached_snapshot() {
         framework: "eager".into(),
         platform: "nvidia-a100".into(),
         iterations: 2,
-        extra: vec![],
+        ..Default::default()
     });
     let post = analyzer.analyze(&db);
     assert_eq!(live.len(), post.len(), "live and postmortem reports agree");

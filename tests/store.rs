@@ -1,0 +1,272 @@
+//! End-to-end profile store tests: a finished profiler run persists to a
+//! store directory with its timeline intact, corrupt files surface as
+//! `CoreError`s instead of panics, cross-run trend queries follow the
+//! metric across stored runs, and the `store-regression` rule flags an
+//! injected regression against the stored baseline.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use deepcontext::prelude::*;
+use deepcontext::profiler::TimelineConfig;
+use proptest::prelude::*;
+
+fn temp_store() -> (PathBuf, ProfileStore) {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "deepcontext-store-e2e-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = ProfileStore::open(&dir).expect("store opens");
+    (dir, store)
+}
+
+/// A full profiler run over the multi-device multi-stream workload with
+/// the timeline recorder on, finished into a `ProfileDb`.
+fn profile_multi_stream(iterations: u32) -> ProfileDb {
+    let bed = TestBed::with_devices(vec![DeviceSpec::a100_sxm(), DeviceSpec::a100_sxm()]);
+    let monitor = DlMonitor::init(bed.env(), Interner::new());
+    monitor.attach_framework(bed.eager().core().callbacks());
+    monitor.attach_gpu(bed.gpu());
+    let profiler = Profiler::attach(
+        ProfilerConfig {
+            timeline: TimelineConfig::enabled(),
+            ..ProfilerConfig::deepcontext()
+        },
+        bed.env(),
+        &monitor,
+        bed.gpu(),
+    );
+    bed.run_eager(
+        &MultiStream::default(),
+        &WorkloadOptions::default(),
+        iterations,
+    )
+    .expect("workload run");
+    profiler.finish(ProfileMeta {
+        workload: "multi-stream".into(),
+        framework: "eager".into(),
+        platform: "nvidia-a100".into(),
+        host: "ci-host".into(),
+        model: "multi-stream-v1".into(),
+        config: "default".into(),
+        iterations: u64::from(iterations),
+        ..Default::default()
+    })
+}
+
+#[test]
+fn finished_run_reloads_from_the_store_with_timeline_intact() {
+    let db = profile_multi_stream(2);
+    let timeline = db.timeline().expect("finish persisted the timeline");
+    assert!(timeline.interval_count() > 0);
+
+    let (dir, store) = temp_store();
+    let id = store.save(&db).unwrap();
+    let back = store.load(&id).unwrap();
+
+    assert_eq!(back.meta(), db.meta());
+    assert_eq!(
+        back.cct().semantic_diff(db.cct()),
+        None,
+        "reloaded tree must be semantically identical"
+    );
+    let reloaded = back.timeline().expect("timeline survives the store");
+    assert_eq!(reloaded, timeline);
+    // The run's wall-clock window was stamped into both the meta and the
+    // timeline, so edge idle stays measurable after a reload.
+    assert_eq!(
+        reloaded.window,
+        Some((db.meta().started, db.meta().ended)),
+        "stored window matches the stamped run window"
+    );
+    assert!(db.meta().ended > db.meta().started);
+    // Every interval still resolves its name and its context.
+    for interval in &reloaded.intervals {
+        assert!(reloaded.name_of(interval.name).is_some());
+        let context = interval.context.expect("contexts resolved");
+        assert!(context.index() < back.cct().node_count());
+    }
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn corrupt_and_truncated_store_files_error_not_panic() {
+    let db = profile_multi_stream(1);
+    let mut buf = Vec::new();
+    db.save(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let (dir, store) = temp_store();
+
+    // Wrong container version.
+    fs::write(
+        dir.join("wrong-version.dcprof"),
+        text.replacen("deepcontext-profile v2", "deepcontext-profile v9", 1),
+    )
+    .unwrap();
+    assert!(store.load("wrong-version").is_err());
+
+    // Truncations at every section boundary and a few interior cuts.
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.last() == Some(&"end"), "container ends with end");
+    for keep in [1, lines.len() / 4, lines.len() / 2, lines.len() - 1] {
+        let name = format!("truncated-{keep}");
+        fs::write(dir.join(format!("{name}.dcprof")), lines[..keep].join("\n")).unwrap();
+        assert!(
+            store.load(&name).is_err(),
+            "truncation to {keep} lines must error, not panic"
+        );
+    }
+
+    // Garbage body after a valid magic.
+    fs::write(
+        dir.join("garbage.dcprof"),
+        "deepcontext-profile v2\nnot\ta\tvalid\tsection\n",
+    )
+    .unwrap();
+    assert!(store.load("garbage").is_err());
+
+    // The intact run still loads from the same directory.
+    let id = store.save(&db).unwrap();
+    assert!(store.load(&id).is_ok());
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn trend_and_regression_rule_flag_an_injected_regression() {
+    let (dir, store) = temp_store();
+    // Three healthy baseline runs (the sim is deterministic, so their
+    // totals agree exactly).
+    for _ in 0..3 {
+        store.save(&profile_multi_stream(2)).unwrap();
+    }
+    let filter = RunFilter::any().workload("multi-stream");
+    let trend = store.trend(&filter, MetricKind::GpuTime).unwrap();
+    assert_eq!(trend.len(), 3);
+    assert!(trend[0].total > 0.0);
+    assert_eq!(trend[0].total, trend[1].total);
+    assert_eq!(trend[1].total, trend[2].total);
+
+    let rule = RegressionRule::from_store(&store, &filter, MetricKind::GpuTime)
+        .unwrap()
+        .expect("store has baseline runs");
+    assert_eq!(rule.baseline_runs(), 3);
+    assert_eq!(rule.baseline_total(), trend[0].total);
+
+    // Injected regression: triple the iterations, ~3x the GPU time.
+    let regressed = profile_multi_stream(6);
+    let mut analyzer = Analyzer::new();
+    analyzer.add_rule(rule.clone());
+    let report = analyzer.analyze(&regressed);
+    let issues = report.by_rule("store-regression");
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.severity == Severity::Critical && i.call_path == "<whole run>"),
+        "whole-run regression must be flagged: {report}"
+    );
+    assert!(
+        issues.iter().any(|i| i.call_path != "<whole run>"),
+        "at least one regressed context is pinpointed"
+    );
+
+    // A healthy run of the same shape stays clean against the baseline.
+    let healthy = profile_multi_stream(2);
+    let mut clean_analyzer = Analyzer::new();
+    clean_analyzer.add_rule(rule);
+    assert!(clean_analyzer
+        .analyze(&healthy)
+        .by_rule("store-regression")
+        .is_empty());
+
+    // The mapped diff against a stored baseline run shows the growth.
+    let baseline_run = store.load(&trend[0].id).unwrap();
+    let diff = ProfileDiff::compare_mapped(&baseline_run, &regressed, MetricKind::GpuTime);
+    let (base_total, cand_total) = diff.totals();
+    assert!(cand_total > 2.0 * base_total);
+    assert!(!diff.entries().is_empty());
+    assert!(diff.entries().iter().all(|e| e.delta() != 0.0));
+    fs::remove_dir_all(dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Property: persisting two profiles through the store and diffing the
+// reloads gives exactly the in-memory diff — even though reloaded trees
+// use fresh interners.
+// ---------------------------------------------------------------------
+
+fn arb_frame(interner: Arc<Interner>) -> impl Strategy<Value = Frame> {
+    let i2 = Arc::clone(&interner);
+    let i3 = Arc::clone(&interner);
+    prop_oneof![
+        (0u8..4, 1u32..5, 0u8..3).prop_map(move |(f, line, func)| Frame::python(
+            &format!("file{f}.py"),
+            line,
+            &format!("fn{func}"),
+            &interner
+        )),
+        (0u8..5).prop_map(move |n| Frame::operator(&format!("aten::op{n}"), &i2)),
+        (0u8..4, 0u64..4).prop_map(move |(k, pc)| Frame::gpu_kernel(
+            &format!("kernel{k}"),
+            "module.so",
+            pc * 0x100,
+            &i3
+        )),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = ProfileDb> {
+    let interner = Interner::new();
+    let frames = arb_frame(Arc::clone(&interner));
+    let paths = prop::collection::vec(prop::collection::vec(frames, 1..6), 1..20);
+    let values = prop::collection::vec(0.0f64..1e6, 1..20);
+    (paths, values).prop_map(move |(paths, values)| {
+        let mut cct = CallingContextTree::with_interner(Arc::clone(&interner));
+        for (p, v) in paths.iter().zip(values.iter().cycle()) {
+            let leaf = cct.insert_path(p);
+            cct.attribute(leaf, MetricKind::GpuTime, *v);
+        }
+        ProfileDb::new(
+            ProfileMeta {
+                workload: "prop".into(),
+                framework: "eager".into(),
+                platform: "sim".into(),
+                ..Default::default()
+            },
+            cct,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_then_diff_equals_in_memory_diff(
+        base in arb_profile(),
+        cand in arb_profile(),
+    ) {
+        let in_memory = ProfileDiff::compare_mapped(&base, &cand, MetricKind::GpuTime);
+
+        let (dir, store) = temp_store();
+        let base_id = store.save(&base).unwrap();
+        let cand_id = store.save(&cand).unwrap();
+        let stored = ProfileDiff::compare_mapped(
+            &store.load(&base_id).unwrap(),
+            &store.load(&cand_id).unwrap(),
+            MetricKind::GpuTime,
+        );
+        fs::remove_dir_all(dir).unwrap();
+
+        prop_assert_eq!(stored.totals(), in_memory.totals());
+        prop_assert_eq!(stored.entries().len(), in_memory.entries().len());
+        for (s, m) in stored.entries().iter().zip(in_memory.entries()) {
+            prop_assert_eq!(&s.path, &m.path);
+            prop_assert_eq!(s.baseline, m.baseline);
+            prop_assert_eq!(s.candidate, m.candidate);
+        }
+    }
+}

@@ -131,6 +131,65 @@ fn multi_stream_produces_one_track_per_device_stream_with_overlap() {
     });
 }
 
+#[test]
+fn jit_multi_stream_keeps_placements_and_fills_every_track() {
+    // The fusion pass partitions groups by (device, stream) and the
+    // compiled executor launches each item on its recorded placement —
+    // so the multi-stream workload runs under JIT with the same
+    // device/stream spread as eager, instead of being forced onto the
+    // core's default stream.
+    let bed = TestBed::with_devices(vec![DeviceSpec::a100_sxm(), DeviceSpec::a100_sxm()]);
+    let monitor = DlMonitor::init(bed.env(), Interner::new());
+    monitor.attach_framework(bed.jit().core().callbacks());
+    monitor.attach_gpu(bed.gpu());
+    let profiler = Profiler::attach(
+        ProfilerConfig {
+            timeline: TimelineConfig::enabled(),
+            ..ProfilerConfig::deepcontext()
+        },
+        bed.env(),
+        &monitor,
+        bed.gpu(),
+    );
+    let workload = MultiStream::default();
+    let stats = bed
+        .run_jit(&workload, &WorkloadOptions::default(), ITERATIONS)
+        .expect("multi-stream workload must run under JIT");
+    profiler.flush();
+
+    // Each branch's two same-placement elementwise ops fuse into one
+    // kernel, but branches never fuse across placements — so exactly one
+    // kernel per (device, stream) branch per iteration.
+    let branches = (workload.devices() * workload.streams()) as u64;
+    assert_eq!(stats.kernels, u64::from(ITERATIONS) * branches);
+    let timeline = profiler.timeline().expect("timeline enabled");
+    assert_eq!(
+        timeline.tracks().len(),
+        workload.devices() * workload.streams(),
+        "JIT execution must populate every (device, stream) track"
+    );
+    for device in 0..workload.devices() as u32 {
+        for stream in 0..workload.streams() as u32 {
+            let track = timeline
+                .track(device, stream)
+                .unwrap_or_else(|| panic!("missing track ({device}, {stream})"));
+            assert!(
+                !track.intervals().is_empty(),
+                "no intervals on ({device}, {stream})"
+            );
+        }
+    }
+    // Streams still overlap on each device under the compiled executor.
+    for device in 0..workload.devices() as u32 {
+        let d = timeline.stats().device(device).expect("device stats");
+        assert_eq!(d.streams, workload.streams());
+        assert!(
+            d.overlap_factor() > 1.0,
+            "device {device} streams never overlapped under JIT"
+        );
+    }
+}
+
 /// The brute-force oracle: recompute per-device busy / summed / span /
 /// gaps from the complete, independently captured activity set with the
 /// simplest possible O(n log n) sweep, ignoring everything the timeline
