@@ -10,16 +10,27 @@
 //! On top of the store sit the cross-run queries the fleet workflow
 //! needs: [`list_filtered`](ProfileStore::list_filtered) by metadata
 //! axes ([`RunFilter`]), [`trend`](ProfileStore::trend) of one metric
-//! across runs in wall-clock order, and [`RegressionRule`] — an
-//! analyzer [`Rule`](crate::Rule) whose baseline is the mean of stored
-//! runs, flagging both whole-run and per-context regressions.
+//! across runs in wall-clock order,
+//! [`meta_trend`](ProfileStore::meta_trend) of a numeric metadata key
+//! (e.g. the `telemetry.*` self-telemetry embeds) across runs, and
+//! [`RegressionRule`] — an analyzer [`Rule`](crate::Rule) whose
+//! baseline is the mean of stored runs, flagging both whole-run and
+//! per-context regressions.
+//!
+//! A store can itself be instrumented: pass a self-telemetry handle to
+//! [`with_telemetry`](ProfileStore::with_telemetry) and every
+//! [`save`](ProfileStore::save) / [`load`](ProfileStore::load) records
+//! its latency into the shared registry's store histograms.
 
 use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use deepcontext_core::{CoreError, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs};
+use deepcontext_telemetry::{names, Histogram, Telemetry};
 
 use crate::issue::{Issue, Severity};
 use crate::view::ProfileView;
@@ -107,14 +118,25 @@ pub struct TrendPoint {
     pub id: String,
     /// The run's wall-clock start (trend x-axis).
     pub started: TimeNs,
-    /// Whole-run inclusive total of the queried metric.
+    /// The queried value: a metric's whole-run inclusive total
+    /// ([`trend`](ProfileStore::trend)) or a metadata key parsed as a
+    /// number ([`meta_trend`](ProfileStore::meta_trend)).
     pub total: f64,
+}
+
+/// The store's slice of the self-telemetry registry: save/load latency
+/// histograms, registered once when the handle is attached.
+#[derive(Debug, Clone)]
+struct StoreTelemetry {
+    save_latency: Arc<Histogram>,
+    load_latency: Arc<Histogram>,
 }
 
 /// A directory of stored profile runs.
 #[derive(Debug, Clone)]
 pub struct ProfileStore {
     dir: PathBuf,
+    telemetry: Option<StoreTelemetry>,
 }
 
 impl ProfileStore {
@@ -122,7 +144,24 @@ impl ProfileStore {
     pub fn open(dir: impl AsRef<Path>) -> Result<ProfileStore, CoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(ProfileStore { dir })
+        Ok(ProfileStore {
+            dir,
+            telemetry: None,
+        })
+    }
+
+    /// Attaches a self-telemetry handle: subsequent [`save`](Self::save)
+    /// and [`load`](Self::load) calls record their wall-clock latency
+    /// into the registry's `deepcontext_store_*_latency_ns` histograms.
+    /// Header-only reads ([`load_meta`](Self::load_meta) and listings)
+    /// stay unrecorded — they run per stored file and would drown the
+    /// full-materialization signal.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(StoreTelemetry {
+            save_latency: telemetry.histogram(names::STORE_SAVE_LATENCY_NS, &[]),
+            load_latency: telemetry.histogram(names::STORE_LOAD_LATENCY_NS, &[]),
+        });
+        self
     }
 
     /// The store's directory.
@@ -141,6 +180,7 @@ impl ProfileStore {
     /// collision. The file appears atomically: it is written to a
     /// `.tmp` sibling and renamed into place.
     pub fn save(&self, db: &ProfileDb) -> Result<String, CoreError> {
+        let start = self.telemetry.as_ref().map(|_| Instant::now());
         let base = format!(
             "run-{:020}-{}",
             db.meta().started.0,
@@ -162,6 +202,9 @@ impl ProfileStore {
             }
         }
         fs::rename(&tmp, self.path_of(&id))?;
+        if let (Some(t), Some(start)) = (&self.telemetry, start) {
+            t.save_latency.record(elapsed_ns(start));
+        }
         Ok(id)
     }
 
@@ -172,7 +215,12 @@ impl ProfileStore {
 
     /// Loads the full profile (tree + timeline) of a stored run.
     pub fn load(&self, id: &str) -> Result<ProfileDb, CoreError> {
-        ProfileDb::load(BufReader::new(File::open(self.path_of(id))?))
+        let start = self.telemetry.as_ref().map(|_| Instant::now());
+        let db = ProfileDb::load(BufReader::new(File::open(self.path_of(id))?))?;
+        if let (Some(t), Some(start)) = (&self.telemetry, start) {
+            t.load_latency.record(elapsed_ns(start));
+        }
+        Ok(db)
     }
 
     /// Loads only the metadata header of a stored run.
@@ -235,6 +283,42 @@ impl ProfileStore {
         }
         Ok(points)
     }
+
+    /// The trend of a numeric metadata key across the runs matching
+    /// `filter`, in wall-clock start order.
+    ///
+    /// This is how the self-telemetry embeds become trendable: the
+    /// profiler's `finish` stamps `telemetry.*` keys (drop rate, max
+    /// queue depth, flush p99, …) into each run's metadata, and
+    /// `meta_trend(&filter, "telemetry.flush_p99_ns")` charts that
+    /// overhead figure across stored runs. Only each file's metadata
+    /// header is read; runs without the key (or with a non-numeric
+    /// value) are skipped, so pre-telemetry runs simply don't plot.
+    pub fn meta_trend(&self, filter: &RunFilter, key: &str) -> Result<Vec<TrendPoint>, CoreError> {
+        let mut points = Vec::new();
+        for run in self.list_filtered(filter)? {
+            let Some(value) = run
+                .meta
+                .extra
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse::<f64>().ok())
+            else {
+                continue;
+            };
+            points.push(TrendPoint {
+                id: run.id,
+                started: run.meta.started,
+                total: value,
+            });
+        }
+        Ok(points)
+    }
+}
+
+/// Nanoseconds since `start`, saturating at `u64::MAX`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Lowercases `name` to `[a-z0-9-]`, for use inside a run id / filename.
@@ -566,6 +650,65 @@ mod tests {
         assert_eq!(trend[0].total, 10.0);
         assert_eq!(trend[1].total, 12.0);
         assert!(trend[0].started < trend[1].started);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn meta_trend_reads_embedded_telemetry_keys() {
+        let (dir, store) = temp_store();
+        let mut early = profile("unet", "h", 1, 10.0);
+        early
+            .meta_mut()
+            .extra
+            .push(("telemetry.flush_p99_ns".to_string(), "2048".to_string()));
+        let mut late = profile("unet", "h", 2, 10.0);
+        late.meta_mut()
+            .extra
+            .push(("telemetry.flush_p99_ns".to_string(), "4096".to_string()));
+        // No key at all: a pre-telemetry run that must not plot.
+        let plain = profile("unet", "h", 3, 10.0);
+        store.save(&early).unwrap();
+        store.save(&late).unwrap();
+        store.save(&plain).unwrap();
+
+        let trend = store
+            .meta_trend(&RunFilter::any().workload("unet"), "telemetry.flush_p99_ns")
+            .unwrap();
+        assert_eq!(trend.len(), 2);
+        assert_eq!(trend[0].total, 2048.0);
+        assert_eq!(trend[1].total, 4096.0);
+        assert!(trend[0].started < trend[1].started);
+        assert!(store
+            .meta_trend(&RunFilter::any(), "telemetry.absent")
+            .unwrap()
+            .is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_records_save_and_load_latency() {
+        use deepcontext_telemetry::TelemetryConfig;
+        let telemetry = Telemetry::from_config(&TelemetryConfig::enabled()).unwrap();
+        let (dir, store) = temp_store();
+        let store = store.with_telemetry(&telemetry);
+        let id = store.save(&profile("unet", "h", 1, 1.0)).unwrap();
+        store.load(&id).unwrap();
+        store.load_meta(&id).unwrap();
+
+        let snapshot = telemetry.snapshot();
+        assert_eq!(
+            snapshot
+                .histogram_merged(names::STORE_SAVE_LATENCY_NS)
+                .count,
+            1
+        );
+        // load_meta is header-only and intentionally unrecorded.
+        assert_eq!(
+            snapshot
+                .histogram_merged(names::STORE_LOAD_LATENCY_NS)
+                .count,
+            1
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -19,8 +19,10 @@
 use std::io::Write;
 
 use deepcontext_bench::pipeline::{
-    pipeline_matrix, PipelinePoint, BATCH_SWEEP, DIRECTORY_SWEEP, SHARDS,
+    fine_grained_stream, pipeline_matrix, telemetry_pass, PipelinePoint, BATCH_SWEEP,
+    DIRECTORY_SWEEP, SHARDS,
 };
+use deepcontext_core::Interner;
 use deepcontext_profiler::{DirectoryMapKind, DEFAULT_LAUNCH_BATCH};
 
 const OPS: usize = 30_000;
@@ -51,6 +53,15 @@ fn main() {
          {BATCH_SWEEP:?}, host parallelism {parallelism}, best of {REPEATS})..."
     );
     let points = pipeline_matrix(OPS, SAMPLES_PER_KERNEL, REPEATS);
+    // One extra untimed pass with self-telemetry on: the measured points
+    // above stay on the shipping default (telemetry off); this embed
+    // lets the scoreboard watch the profiler's own vitals per commit.
+    let telemetry = {
+        let interner = Interner::new();
+        let fine = fine_grained_stream(&interner, OPS, SAMPLES_PER_KERNEL);
+        let workers = parallelism.min(SHARDS);
+        telemetry_pass(&fine, &interner, workers)
+    };
     let default_suffix = format!("_b{DEFAULT_LAUNCH_BATCH}");
     let coarse_sync = point(&points, "coarse_sync_inline", "");
     let fine_sync = point(&points, "fine_sync_inline", "");
@@ -153,8 +164,22 @@ fn main() {
         "  \"events_per_producer_flush\": {amortization:.1},\n"
     ));
     json.push_str(&format!(
-        "  \"dropped_events\": {}\n",
+        "  \"dropped_events\": {},\n",
         fine_async.counters.dropped_events + coarse_async.counters.dropped_events
+    ));
+    // Self-telemetry embed (informational — never `target_`-prefixed, so
+    // bench-check reports it without gating on it).
+    json.push_str(&format!(
+        "  \"telemetry_max_queue_depth\": {},\n",
+        telemetry.max_queue_depth
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_dropped_events\": {},\n",
+        telemetry.dropped_events
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_flush_p99_ns\": {}\n",
+        telemetry.flush_p99_ns
     ));
     json.push_str("}\n");
 
@@ -182,5 +207,13 @@ fn main() {
         dir_flat.producer_ns_per_event,
         dir_flat_speedup,
         DirectoryMapKind::default().name()
+    );
+    eprintln!(
+        "self-telemetry (fine stream, telemetry on): max queue depth {}, dropped {}, \
+         flush p99 {} ns over {} flushes",
+        telemetry.max_queue_depth,
+        telemetry.dropped_events,
+        telemetry.flush_p99_ns,
+        telemetry.flushes
     );
 }

@@ -12,7 +12,9 @@
 
 use std::io::Write;
 
-use deepcontext_bench::timeline::{timeline_matrix, TimelinePoint, SHARDS};
+use deepcontext_bench::pipeline::telemetry_pass;
+use deepcontext_bench::timeline::{multi_stream_events, timeline_matrix, TimelinePoint, SHARDS};
+use deepcontext_core::Interner;
 use deepcontext_timeline::DEFAULT_RING_CAPACITY;
 
 const OPS: usize = 30_000;
@@ -43,6 +45,15 @@ fn main() {
     let multi = overhead("multi_stream");
     let max_overhead = coarse.max(multi);
     let total_dropped: u64 = points.iter().map(|p| p.counters.timeline_dropped).sum();
+    // One extra untimed pass of the multi-stream shape through the async
+    // pipeline with self-telemetry on: the measured points above stay
+    // telemetry-free; this embed tracks the profiler's own vitals.
+    let telemetry = {
+        let interner = Interner::new();
+        let multi_events = multi_stream_events(&interner, OPS, 2, 3);
+        let workers = parallelism.min(SHARDS);
+        telemetry_pass(&multi_events, &interner, workers)
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -76,6 +87,20 @@ fn main() {
     json.push_str(&format!("  \"overhead_multi_stream\": {multi:.3},\n"));
     json.push_str(&format!("  \"max_overhead\": {max_overhead:.3},\n"));
     json.push_str(&format!("  \"ring_overflows\": {total_dropped},\n"));
+    // Self-telemetry embed (informational — never `target_`-prefixed, so
+    // bench-check reports it without gating on it).
+    json.push_str(&format!(
+        "  \"telemetry_max_queue_depth\": {},\n",
+        telemetry.max_queue_depth
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_dropped_events\": {},\n",
+        telemetry.dropped_events
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_flush_p99_ns\": {},\n",
+        telemetry.flush_p99_ns
+    ));
     json.push_str(&format!(
         "  \"target_max_overhead\": {TARGET_MAX_OVERHEAD}\n"
     ));
@@ -88,6 +113,14 @@ fn main() {
     eprintln!(
         "timeline-on producer overhead: coarse {coarse:.3}x, multi-stream {multi:.3}x \
          (target ≤ {TARGET_MAX_OVERHEAD}x), ring overflows: {total_dropped}"
+    );
+    eprintln!(
+        "self-telemetry (multi-stream, telemetry on): max queue depth {}, dropped {}, \
+         flush p99 {} ns over {} flushes",
+        telemetry.max_queue_depth,
+        telemetry.dropped_events,
+        telemetry.flush_p99_ns,
+        telemetry.flushes
     );
     assert!(
         total_dropped == 0,

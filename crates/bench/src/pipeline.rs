@@ -29,8 +29,9 @@ use std::time::Instant;
 
 use deepcontext_core::{CallPath, Interner, StallReason};
 use deepcontext_profiler::{
-    AsyncSink, BackpressurePolicy, BatchingSink, DirectoryMapKind, EventSink, PipelineConfig,
-    ShardedSink, SinkCounters, TimelineConfig, DEFAULT_LAUNCH_BATCH,
+    AsyncSink, BackpressurePolicy, BatchingSink, DirectoryMapKind, EventSink, HealthReport,
+    PipelineConfig, ShardedSink, SinkCounters, TelemetryConfig, TimelineConfig,
+    DEFAULT_LAUNCH_BATCH,
 };
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind, PcSample};
@@ -389,10 +390,79 @@ pub fn pipeline_matrix(
     points
 }
 
+/// End-of-run figures from the self-telemetry pass, embedded verbatim
+/// into the bench JSONs (as `telemetry_*` fields — informational, never
+/// `target_`-prefixed, so `bench_check` does not gate on them).
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetrySummary {
+    /// High-water bounded-queue depth observed across the run.
+    pub max_queue_depth: u64,
+    /// Events dropped by backpressure (always 0 under `Block`).
+    pub dropped_events: u64,
+    /// Producer batch-flush latency p99, nanoseconds.
+    pub flush_p99_ns: u64,
+    /// Producer batch flushes observed.
+    pub flushes: u64,
+}
+
+/// One extra *untimed* pass of `events` through the asynchronous
+/// pipeline with self-telemetry enabled, rolled up into the figures the
+/// bench JSONs embed. Kept separate from every measured scenario so the
+/// measured numbers stay on the shipping default (telemetry compiled in
+/// but off) while the scoreboard still gets the profiler's own vitals
+/// at the same commit.
+pub fn telemetry_pass(
+    events: &[PipelineEvent],
+    interner: &Arc<Interner>,
+    workers: usize,
+) -> TelemetrySummary {
+    let inner = ShardedSink::with_telemetry(
+        Arc::clone(interner),
+        SHARDS,
+        true,
+        &TimelineConfig::default(),
+        DirectoryMapKind::default(),
+        &TelemetryConfig::enabled(),
+    );
+    let telemetry = Arc::clone(inner.telemetry().expect("telemetry enabled"));
+    let sink = AsyncSink::new(
+        inner,
+        PipelineConfig {
+            workers,
+            // Same headroom as the measured async scenarios: the embed
+            // reports the regime the pipeline is designed to run in.
+            queue_capacity: events.len() + events.len() / BATCH + SHARDS + 1,
+            backpressure: BackpressurePolicy::Block,
+            launch_batch: DEFAULT_LAUNCH_BATCH,
+            ..PipelineConfig::default()
+        },
+    );
+    drive_producer(sink.as_ref(), events, prepare(events));
+    sink.drain();
+    let report = HealthReport::from_snapshot(&telemetry.handle().snapshot(), telemetry.now_ns());
+    TelemetrySummary {
+        max_queue_depth: report.max_queue_depth,
+        dropped_events: report.events_dropped,
+        flush_p99_ns: report.flush_latency.p99,
+        flushes: report.flush_latency.count,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use deepcontext_core::MetricKind;
+
+    #[test]
+    fn telemetry_pass_reports_populated_figures_with_zero_drops() {
+        let interner = Interner::new();
+        let events = fine_grained_stream(&interner, 512, 4);
+        let summary = telemetry_pass(&events, &interner, 2);
+        assert_eq!(summary.dropped_events, 0, "Block policy never drops");
+        assert!(summary.max_queue_depth > 0, "queue depth observed");
+        assert!(summary.flushes > 0, "producer batching flushed");
+        assert!(summary.flush_p99_ns > 0, "flush latency recorded");
+    }
 
     #[test]
     fn matrix_produces_all_scenarios_with_zero_drops() {

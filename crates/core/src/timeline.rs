@@ -48,6 +48,44 @@ pub struct TrackKey {
     pub stream: u32,
 }
 
+impl TrackKey {
+    /// The device id reserved for the profiler's *self-timeline*: when
+    /// self-telemetry is on, worker batches, producer flushes, and
+    /// snapshot folds are recorded as intervals on this device so
+    /// exporters can render the profiler's own execution next to the
+    /// workload it profiled. No simulated GPU can claim it (real device
+    /// ids count up from zero), and because it sorts last the self
+    /// track always renders below the workload tracks.
+    ///
+    /// Self-interval timestamps are wall-clock nanoseconds since the
+    /// telemetry session's epoch — a different time domain from the
+    /// workload's virtual clock, which is acceptable precisely because
+    /// the tracks never interleave.
+    pub const SELF_DEVICE: u32 = u32::MAX;
+
+    /// Self-timeline stream carrying pipeline worker-batch intervals
+    /// (one stream per worker: `SELF_STREAM_WORKER + worker index`).
+    pub const SELF_STREAM_WORKER: u32 = 0;
+    /// Self-timeline stream carrying producer batch-flush intervals.
+    pub const SELF_STREAM_FLUSH: u32 = 1_000;
+    /// Self-timeline stream carrying incremental snapshot-fold
+    /// intervals.
+    pub const SELF_STREAM_FOLD: u32 = 1_001;
+
+    /// A track on the reserved self-telemetry device.
+    pub fn self_track(stream: u32) -> TrackKey {
+        TrackKey {
+            device: TrackKey::SELF_DEVICE,
+            stream,
+        }
+    }
+
+    /// Whether this track is the profiler's own (reserved device).
+    pub fn is_self(&self) -> bool {
+        self.device == TrackKey::SELF_DEVICE
+    }
+}
+
 /// One recorded device interval: a kernel or memcpy execution with its
 /// placement, its `[start, end)` device-time window, and the CCT context
 /// it was attributed to.

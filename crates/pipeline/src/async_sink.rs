@@ -63,11 +63,13 @@ use std::time::Duration;
 
 use crossbeam::channel::{self, TrySendError};
 
-use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
+use deepcontext_core::{CallPath, CallingContextTree, MetricKind, TrackKey};
+use deepcontext_telemetry::{names, Counter, Gauge, Histogram};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
 use crate::batch::{BatchCounters, BatchDelivery, Batcher, ProducerEvent};
+use crate::self_telemetry::PipelineTelemetry;
 use crate::sharded::ShardedSink;
 use crate::sink::{EventSink, SinkCounters};
 
@@ -248,6 +250,40 @@ const COALESCE_RECORDS: usize = 512;
 /// capacity.
 const MESSAGE_GRAIN: usize = 64;
 
+/// The asynchronous layer's pre-registered telemetry handles: per-shard
+/// queue-depth histograms plus the global enqueue/drop counters and
+/// queue gauges. Built once at [`AsyncSink::new`] from the wrapped
+/// sink's [`PipelineTelemetry`]; absent when telemetry is off.
+struct SharedTelemetry {
+    pipeline: Arc<PipelineTelemetry>,
+    enqueued: Arc<Counter>,
+    dropped: Arc<Counter>,
+    max_depth: Arc<Gauge>,
+    queue_depth: Vec<Arc<Histogram>>,
+}
+
+/// One worker's telemetry handles, registered (per `worker` label) when
+/// its loop starts.
+struct WorkerTelemetry {
+    pipeline: Arc<PipelineTelemetry>,
+    busy_ns: Arc<Counter>,
+    parked_ns: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+}
+
+impl WorkerTelemetry {
+    fn register(shared: &SharedTelemetry, worker: usize) -> WorkerTelemetry {
+        let handle = shared.pipeline.handle();
+        let label = worker.to_string();
+        WorkerTelemetry {
+            busy_ns: handle.counter(names::WORKER_BUSY_NS, &[("worker", label.as_str())]),
+            parked_ns: handle.counter(names::WORKER_PARKED_NS, &[("worker", label.as_str())]),
+            batch_size: handle.histogram(names::WORKER_BATCH_SIZE, &[("worker", label.as_str())]),
+            pipeline: Arc::clone(&shared.pipeline),
+        }
+    }
+}
+
 struct Shared {
     inner: Arc<ShardedSink>,
     queues: Vec<ShardQueue>,
@@ -271,6 +307,8 @@ struct Shared {
     worker_batches: AtomicU64,
     worker_events: AtomicU64,
     producer_batches: BatchCounters,
+    /// Self-telemetry handles (`None` = telemetry off).
+    telemetry: Option<SharedTelemetry>,
 }
 
 impl Shared {
@@ -285,6 +323,33 @@ impl Shared {
         q.enqueued
             .load(Ordering::Acquire)
             .saturating_sub(q.applied.load(Ordering::Acquire))
+    }
+
+    /// Counts `weight` events as accepted, mirroring into telemetry when
+    /// it is on.
+    fn note_enqueued(&self, weight: u64) {
+        self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.enqueued.add(weight);
+        }
+    }
+
+    /// Counts `weight` events as dropped, mirroring into telemetry when
+    /// it is on.
+    fn note_dropped(&self, weight: u64) {
+        self.dropped_events.fetch_add(weight, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.dropped.add(weight);
+        }
+    }
+
+    /// Records the queue depth observed by an enqueue at `shard`.
+    fn note_depth(&self, shard: usize, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.queue_depth[shard].record(depth);
+            t.max_depth.record_max(depth);
+        }
     }
 
     /// Marks `n` messages of shard `idx` retired and wakes any drain
@@ -307,8 +372,8 @@ impl Shared {
                 if q.tx.send(event).is_err() {
                     // Workers are gone (sink shutting down); account the
                     // message as retired so barriers never hang.
-                    self.dropped_events.fetch_add(weight, Ordering::Relaxed);
-                    self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                    self.note_dropped(weight);
+                    self.note_enqueued(weight);
                     q.enqueued.fetch_add(1, Ordering::AcqRel);
                     self.retire(shard, 1);
                     return;
@@ -346,7 +411,7 @@ impl Shared {
                                     // record would leak its
                                     // directory/shard binding forever.
                                     let weight = old.weight();
-                                    self.dropped_events.fetch_add(weight, Ordering::Relaxed);
+                                    self.note_dropped(weight);
                                     q.dropped.fetch_add(weight, Ordering::Relaxed);
                                     self.discard_bindings_of(&old);
                                     self.retire(shard, 1);
@@ -356,8 +421,8 @@ impl Shared {
                             event = back;
                         }
                         Err(TrySendError::Disconnected(_)) => {
-                            self.dropped_events.fetch_add(weight, Ordering::Relaxed);
-                            self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                            self.note_dropped(weight);
+                            self.note_enqueued(weight);
                             q.enqueued.fetch_add(1, Ordering::AcqRel);
                             self.retire(shard, 1);
                             return;
@@ -366,10 +431,10 @@ impl Shared {
                 }
             }
         }
-        self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+        self.note_enqueued(weight);
         let enq = q.enqueued.fetch_add(1, Ordering::AcqRel) + 1;
         let depth = enq.saturating_sub(q.applied.load(Ordering::Acquire));
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.note_depth(shard, depth);
         self.nudge_worker(shard);
     }
 
@@ -405,16 +470,15 @@ impl Shared {
                     // unsent remainder as dropped-and-retired so barriers
                     // never hang (mirrors `enqueue`'s disconnect path).
                     lost = rest.len() as u64;
-                    self.dropped_events
-                        .fetch_add(rest.iter().map(Event::weight).sum(), Ordering::Relaxed);
+                    self.note_dropped(rest.iter().map(Event::weight).sum());
                 }
-                self.enqueued_events.fetch_add(weight, Ordering::Relaxed);
+                self.note_enqueued(weight);
                 let enq = q.enqueued.fetch_add(messages, Ordering::AcqRel) + messages;
                 if lost > 0 {
                     self.retire(shard, lost);
                 }
                 let depth = enq.saturating_sub(q.applied.load(Ordering::Acquire));
-                self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+                self.note_depth(shard, depth);
                 self.nudge_worker(shard);
             }
             BackpressurePolicy::DropOldest => {
@@ -522,22 +586,40 @@ impl Shared {
         let owned: Vec<usize> = (0..self.queues.len())
             .filter(|idx| self.worker_for(*idx) == worker)
             .collect();
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .map(|t| WorkerTelemetry::register(t, worker));
         loop {
             if self.paused.load(Ordering::Acquire) && !self.shutdown.load(Ordering::Acquire) {
                 self.paused_workers.fetch_add(1, Ordering::AcqRel);
                 while self.paused.load(Ordering::Acquire) && !self.shutdown.load(Ordering::Acquire)
                 {
-                    self.park(worker, || false);
+                    self.park_timed(worker, || false, telemetry.as_ref());
                 }
                 self.paused_workers.fetch_sub(1, Ordering::AcqRel);
                 continue;
             }
+            let busy_start = telemetry.as_ref().map(|t| t.pipeline.now_ns());
             let mut applied = 0u64;
             for &idx in &owned {
                 applied += self.drain_shard(idx);
             }
             if applied > 0 {
                 self.worker_batches.fetch_add(1, Ordering::Relaxed);
+                if let (Some(t), Some(start)) = (&telemetry, busy_start) {
+                    let end = t.pipeline.now_ns();
+                    t.busy_ns.add(end.saturating_sub(start));
+                    t.batch_size.record(applied);
+                    // One self-interval per productive pass, on this
+                    // worker's own self-timeline stream.
+                    self.inner.record_self_interval(
+                        TrackKey::SELF_STREAM_WORKER + worker as u32,
+                        start,
+                        end,
+                        t.pipeline.worker_sym,
+                    );
+                }
                 continue;
             }
             if self.shutdown.load(Ordering::Acquire)
@@ -546,7 +628,22 @@ impl Shared {
                 return;
             }
             let has_work = || owned.iter().any(|&idx| self.depth(idx) > 0);
-            self.park(worker, has_work);
+            self.park_timed(worker, has_work, telemetry.as_ref());
+        }
+    }
+
+    /// [`park`](Self::park), charging the wait to the worker's
+    /// parked-time counter when telemetry is on.
+    fn park_timed(
+        &self,
+        worker: usize,
+        has_work: impl Fn() -> bool,
+        telemetry: Option<&WorkerTelemetry>,
+    ) {
+        let start = telemetry.map(|t| t.pipeline.now_ns());
+        self.park(worker, has_work);
+        if let (Some(t), Some(start)) = (telemetry, start) {
+            t.parked_ns.add(t.pipeline.now_ns().saturating_sub(start));
         }
     }
 
@@ -693,7 +790,26 @@ impl AsyncSink {
     pub fn new(inner: Arc<ShardedSink>, config: PipelineConfig) -> Arc<Self> {
         let shards = inner.shard_count();
         let workers = config.resolved_workers(shards);
+        let telemetry = inner.telemetry().map(|pipeline| {
+            let handle = pipeline.handle();
+            handle
+                .gauge(names::QUEUE_CAPACITY, &[])
+                .set(config.queue_capacity as u64);
+            SharedTelemetry {
+                enqueued: handle.counter(names::EVENTS_ENQUEUED, &[]),
+                dropped: handle.counter(names::EVENTS_DROPPED, &[]),
+                max_depth: handle.gauge(names::MAX_QUEUE_DEPTH, &[]),
+                queue_depth: (0..shards)
+                    .map(|idx| {
+                        let label = idx.to_string();
+                        handle.histogram(names::QUEUE_DEPTH, &[("shard", label.as_str())])
+                    })
+                    .collect(),
+                pipeline: Arc::clone(pipeline),
+            }
+        });
         let shared = Arc::new(Shared {
+            telemetry,
             queues: (0..shards)
                 .map(|_| {
                     let (tx, rx) = channel::bounded(config.queue_capacity);

@@ -30,6 +30,13 @@
 //! * the owning thread exits (thread quiesce: the thread-local
 //!   registration's destructor flushes the remainder).
 //!
+//! One timing subtlety of the thread-quiesce path: TLS destructors run
+//! *after* `std::thread::scope`'s implicit join returns, so a
+//! scope-joined producer's tail batch may land a beat after the scope
+//! body — any barrier still collects it, but tests (or embedders)
+//! asserting quiesce *timing* must join producers with an explicit
+//! `JoinHandle::join` rather than rely on scope exit.
+//!
 //! # Ordering
 //!
 //! Only the per-event collection paths (launches, CPU samples) are
@@ -52,7 +59,7 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
-use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
+use deepcontext_core::{CallPath, CallingContextTree, MetricKind, TrackKey};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ApiKind};
 
@@ -140,6 +147,8 @@ impl LaunchBatch {
             return 0;
         }
         let flushed = self.pending;
+        let sharded = delivery.sharded();
+        let flush_start = sharded.telemetry().map(|t| t.now_ns());
         let mut corrs: Vec<u64> = Vec::new();
         for &idx in &self.occupied {
             let bucket = &mut self.shards[idx as usize];
@@ -161,6 +170,16 @@ impl LaunchBatch {
         }
         self.occupied.clear();
         self.pending = 0;
+        if let (Some(t), Some(start)) = (sharded.telemetry(), flush_start) {
+            // In async mode `deliver` enqueues (and may block on
+            // backpressure), so flush latency is the producer-visible
+            // cost of handing the batch off — exactly the number the
+            // overhead bars care about.
+            let end = t.now_ns();
+            t.flush_size.record(flushed);
+            t.flush_latency.record(end.saturating_sub(start));
+            sharded.record_self_interval(TrackKey::SELF_STREAM_FLUSH, start, end, t.flush_sym);
+        }
         flushed
     }
 

@@ -63,6 +63,7 @@
 pub mod async_sink;
 pub mod batch;
 pub mod directory;
+pub mod self_telemetry;
 pub mod sharded;
 pub mod sink;
 
@@ -72,8 +73,16 @@ pub use directory::{
     default_directory_map, DirectoryMap, DirectoryMapKind, StripedFlatDirectory,
     StripedHashDirectory,
 };
+pub use self_telemetry::PipelineTelemetry;
 pub use sharded::ShardedSink;
 pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
+
+// The self-telemetry types the profiler speaks (see
+// `ShardedSink::with_telemetry`), re-exported for the same reason.
+pub use deepcontext_telemetry::{
+    default_telemetry_config, default_telemetry_enabled, HealthReport, Telemetry, TelemetryConfig,
+    TelemetrySnapshot,
+};
 
 // The timeline types every sink speaks (see `EventSink::timeline_snapshot`
 // and `ShardedSink::with_timeline`), re-exported so embedders need no

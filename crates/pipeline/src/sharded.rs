@@ -56,14 +56,16 @@ use parking_lot::Mutex;
 
 use deepcontext_core::{
     CallPath, CallingContextTree, CctShard, FoldState, Interner, Interval, IntervalKind,
-    MetricKind, NodeId, Sym, TrackKey,
+    MetricKind, NodeId, Sym, TimeNs, TrackKey,
 };
+use deepcontext_telemetry::TelemetryConfig;
 use deepcontext_timeline::{TimelineConfig, TimelineSink, TimelineSnapshot};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
 use crate::batch::ProducerEvent;
 use crate::directory::{mix, DirectoryMap, DirectoryMapKind, DIR_ENTRY_BYTES};
+use crate::self_telemetry::PipelineTelemetry;
 use crate::sink::{attribute_activity_metrics, EventSink, SinkCounters};
 
 /// The memoized fold of all shards: the merged master tree, the
@@ -123,6 +125,9 @@ pub struct ShardedSink {
     /// The interned `"memcpy"` display name, so memcpy records skip even
     /// the thread-local intern cache on the timeline tap.
     memcpy_sym: Sym,
+    /// Self-telemetry instruments (`None` = telemetry off, the default;
+    /// every instrumentation site is then a single `Option` branch).
+    telemetry: Option<Arc<PipelineTelemetry>>,
     /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
     /// shard lock is already held at batch boundaries, so peak tracking
     /// never sweeps every shard lock.
@@ -180,9 +185,11 @@ impl ShardedSink {
         )
     }
 
-    /// The full constructor: [`with_timeline`](Self::with_timeline) plus
-    /// an explicit correlation-directory layout
+    /// [`with_timeline`](Self::with_timeline) plus an explicit
+    /// correlation-directory layout
     /// ([`PipelineConfig::directory_map`](crate::PipelineConfig::directory_map)).
+    /// Self-telemetry stays off on this path — use
+    /// [`with_telemetry`](Self::with_telemetry) to opt in.
     pub fn with_directory_map(
         interner: Arc<Interner>,
         shard_count: usize,
@@ -190,8 +197,35 @@ impl ShardedSink {
         timeline: &TimelineConfig,
         directory_map: DirectoryMapKind,
     ) -> Arc<Self> {
+        ShardedSink::with_telemetry(
+            interner,
+            shard_count,
+            snapshot_cache,
+            timeline,
+            directory_map,
+            &TelemetryConfig::default(),
+        )
+    }
+
+    /// The full constructor: [`with_directory_map`](Self::with_directory_map)
+    /// plus self-telemetry. When `telemetry.enabled`, the sink registers
+    /// its instruments once and records shard-lock hold times, producer
+    /// flush sizes/latencies, snapshot fold latencies, and interner/ring
+    /// occupancy as it runs; when additionally `telemetry.self_timeline`
+    /// and the timeline are on, flushes and folds are recorded as
+    /// intervals on the reserved [`TrackKey::SELF_DEVICE`] tracks so the
+    /// exported trace shows the profiler's own execution.
+    pub fn with_telemetry(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+        timeline: &TimelineConfig,
+        directory_map: DirectoryMapKind,
+        telemetry: &TelemetryConfig,
+    ) -> Arc<Self> {
         let n = shard_count.max(1);
         Arc::new(ShardedSink {
+            telemetry: PipelineTelemetry::from_config(telemetry, &interner),
             timeline: timeline.enabled.then(|| TimelineSink::new(n, timeline)),
             shards: (0..n)
                 .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
@@ -230,6 +264,71 @@ impl ShardedSink {
     /// rings.
     pub fn timeline_enabled(&self) -> bool {
         self.timeline.is_some()
+    }
+
+    /// The self-telemetry instruments, when telemetry is enabled. The
+    /// profiler snapshots [`PipelineTelemetry::handle`] for health
+    /// reports and exports.
+    pub fn telemetry(&self) -> Option<&Arc<PipelineTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Records one self-timeline interval (`[start_ns, end_ns)` in the
+    /// telemetry clock domain) onto the reserved self track `stream`.
+    /// A no-op unless telemetry, its self-timeline switch, *and* the
+    /// timeline rings are all on.
+    pub(crate) fn record_self_interval(&self, stream: u32, start_ns: u64, end_ns: u64, name: Sym) {
+        let (Some(telemetry), Some(timeline)) = (&self.telemetry, &self.timeline) else {
+            return;
+        };
+        if !telemetry.self_timeline_enabled() {
+            return;
+        }
+        // Self intervals ride the ring of the shard the stream hashes
+        // to, spreading the (tiny) self-traffic across rings instead of
+        // hot-spotting shard 0.
+        let idx = stream as usize % self.shards.len();
+        timeline.record(
+            idx,
+            Interval {
+                track: TrackKey::self_track(stream),
+                start: TimeNs(start_ns),
+                end: TimeNs(end_ns),
+                kind: IntervalKind::Kernel,
+                name,
+                correlation: 0,
+                context: None,
+            },
+        );
+    }
+
+    /// Starts a shard-lock hold-time measurement (`None` when telemetry
+    /// is off). Pair with [`note_lock_hold`](Self::note_lock_hold)
+    /// before the guard drops.
+    fn lock_hold_start(&self) -> Option<u64> {
+        self.telemetry.as_ref().map(|t| t.now_ns())
+    }
+
+    /// Completes a shard-lock hold-time measurement.
+    fn note_lock_hold(&self, start: Option<u64>) {
+        if let (Some(t), Some(start)) = (&self.telemetry, start) {
+            t.shard_lock_hold.record(t.now_ns().saturating_sub(start));
+        }
+    }
+
+    /// Refreshes the interner / timeline-ring occupancy gauges. Called
+    /// from epoch boundaries (cold path — sizing the rings takes their
+    /// locks).
+    fn note_occupancy(&self) {
+        if let Some(t) = &self.telemetry {
+            t.interner_bytes.set(self.interner.approx_bytes() as u64);
+            t.ring_bytes.set(
+                self.timeline
+                    .as_ref()
+                    .map(TimelineSink::approx_bytes)
+                    .unwrap_or(0) as u64,
+            );
+        }
     }
 
     /// Number of shards that have recorded anything — used by routing
@@ -453,6 +552,7 @@ impl ShardedSink {
         }
         let pruned = {
             let mut shard = self.shards[idx].lock();
+            let hold = self.lock_hold_start();
             let mut pruned = Vec::new();
             for bucket in buckets {
                 if bucket.is_empty() {
@@ -464,6 +564,7 @@ impl ShardedSink {
                 pruned.extend(shard.end_batch());
             }
             self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+            self.note_lock_hold(hold);
             pruned
         };
         for corr in pruned {
@@ -482,6 +583,7 @@ impl ShardedSink {
             return;
         }
         let mut shard = self.shards[idx].lock();
+        let hold = self.lock_hold_start();
         for event in events {
             match event {
                 ProducerEvent::Launch { origin, path, api } => {
@@ -509,6 +611,7 @@ impl ShardedSink {
         // `apply_cpu_sample`, launch/sample shards enter peak accounting
         // at flush boundaries only, so the set of states a peak sample
         // can observe is identical with and without producer batching.
+        self.note_lock_hold(hold);
     }
 
     /// Routes an owned activity buffer into per-shard buckets without
@@ -554,6 +657,7 @@ impl ShardedSink {
         }
         let pruned = {
             let mut shard = self.shards[idx].lock();
+            let hold = self.lock_hold_start();
             for activity in bucket {
                 self.attribute_activity(idx, &mut shard, activity);
             }
@@ -562,6 +666,7 @@ impl ShardedSink {
             // sampling records straddling a buffer boundary resolve.
             let pruned = shard.end_batch();
             self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+            self.note_lock_hold(hold);
             pruned
         };
         for corr in pruned {
@@ -602,9 +707,12 @@ impl ShardedSink {
 
     /// Sheds the directory stripes' high-water capacity — the cross-shard
     /// portion of a flush boundary, run after every shard's
-    /// [`epoch_complete_shard`](Self::epoch_complete_shard).
+    /// [`epoch_complete_shard`](Self::epoch_complete_shard). Both
+    /// ingestion modes pass through here at every epoch, which makes it
+    /// the natural cadence for the occupancy gauges too.
     pub fn trim_directory(&self) {
         self.directory.trim();
+        self.note_occupancy();
     }
 
     /// Brings the snapshot cache up to date: folds every shard whose
@@ -615,6 +723,8 @@ impl ShardedSink {
     fn refresh_cache(&self, cache: &mut Option<SnapshotCache>) {
         let cache =
             cache.get_or_insert_with(|| SnapshotCache::empty(&self.interner, self.shards.len()));
+        let fold_start = self.telemetry.as_ref().map(|t| t.now_ns());
+        let mut folded = 0u32;
         for (idx, slot) in self.shards.iter().enumerate() {
             let shard = slot.lock();
             let generation = shard.generation();
@@ -628,6 +738,16 @@ impl ShardedSink {
             Arc::make_mut(&mut cache.master).merge_incremental(shard.tree(), &mut cache.folds[idx]);
             cache.generations[idx] = generation;
             self.snapshot_merges.fetch_add(1, Ordering::Relaxed);
+            folded += 1;
+        }
+        if let (Some(t), Some(start)) = (&self.telemetry, fold_start) {
+            // Clean refreshes (every shard skipped) stay out of the fold
+            // histogram — they would drown the signal in near-zeros.
+            if folded > 0 {
+                let end = t.now_ns();
+                t.fold_latency.record(end.saturating_sub(start));
+                self.record_self_interval(TrackKey::SELF_STREAM_FOLD, start, end, t.fold_sym);
+            }
         }
     }
 

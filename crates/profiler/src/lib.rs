@@ -48,10 +48,11 @@ pub mod sink;
 
 pub use sink::{
     attribute_activity_metrics, default_directory_map, default_ingestion_mode,
-    default_launch_batch, default_timeline_config, default_timeline_enabled, AsyncSink,
-    BackpressurePolicy, BatchingSink, DirectoryMap, DirectoryMapKind, EventSink, IngestionMode,
-    PipelineConfig, ShardedSink, SinkCounters, TimelineConfig, TimelineSnapshot, TimelineStats,
-    DEFAULT_LAUNCH_BATCH,
+    default_launch_batch, default_telemetry_config, default_telemetry_enabled,
+    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
+    DirectoryMap, DirectoryMapKind, EventSink, HealthReport, IngestionMode, PipelineConfig,
+    PipelineTelemetry, ShardedSink, SinkCounters, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -116,6 +117,13 @@ pub struct ProfilerConfig {
     /// `DEEPCONTEXT_TIMELINE` environment override CI uses flips the
     /// default on.
     pub timeline: TimelineConfig,
+    /// Self-telemetry: the profiler recording metrics about its own
+    /// pipeline (queue depths, flush/fold latencies, drops, worker
+    /// utilization — see [`Profiler::health_report`]) and, when the
+    /// timeline is also on, its own execution as intervals on a reserved
+    /// self-timeline track. Off by default; the `DEEPCONTEXT_TELEMETRY`
+    /// environment override flips the default on.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ProfilerConfig {
@@ -134,6 +142,7 @@ impl Default for ProfilerConfig {
             pipeline: PipelineConfig::default(),
             snapshot_cache: true,
             timeline: default_timeline_config(),
+            telemetry: default_telemetry_config(),
         }
     }
 }
@@ -232,6 +241,12 @@ pub struct Profiler {
     /// Wall-clock attach time: the start of the run's window. Timeline
     /// snapshots and [`Profiler::finish`] bound idle analysis with it.
     started: TimeNs,
+    /// The pipeline's self-telemetry instruments — set by
+    /// [`Profiler::attach`] when `config.telemetry` is enabled (a
+    /// caller-provided sink carries its own, so
+    /// [`attach_with_sink`](Profiler::attach_with_sink) leaves this
+    /// `None`).
+    telemetry: Option<Arc<PipelineTelemetry>>,
 }
 
 impl Profiler {
@@ -246,13 +261,15 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
-        let sharded = ShardedSink::with_directory_map(
+        let sharded = ShardedSink::with_telemetry(
             monitor.interner(),
             config.ingestion_shards,
             config.snapshot_cache,
             &config.timeline,
             config.pipeline.directory_map,
+            &config.telemetry,
         );
+        let telemetry = sharded.telemetry().cloned();
         let sink: Arc<dyn EventSink> = match config.ingestion_mode {
             // Producer batching amortizes routing/locking in synchronous
             // mode too; the bare sharded sink remains the launch_batch=1
@@ -263,7 +280,9 @@ impl Profiler {
             IngestionMode::Sync => sharded,
             IngestionMode::Async => AsyncSink::new(sharded, config.pipeline),
         };
-        Profiler::attach_with_sink(config, env, monitor, gpu, sink)
+        let mut profiler = Profiler::attach_with_sink(config, env, monitor, gpu, sink);
+        profiler.telemetry = telemetry;
+        profiler
     }
 
     /// Attaches a profiler delivering events to a caller-provided sink
@@ -377,6 +396,7 @@ impl Profiler {
             monitor_regs,
             sampler_ids,
             started: env.clock().now(),
+            telemetry: None,
         }
     }
 
@@ -400,6 +420,32 @@ impl Profiler {
     /// Current approximate profile memory (shards + correlation state).
     pub fn approx_bytes(&self) -> usize {
         self.inner.sink.approx_bytes()
+    }
+
+    /// The self-telemetry handle (`None` when
+    /// [`ProfilerConfig::telemetry`] is off or the sink was
+    /// caller-provided). Exposes the registry for exports:
+    /// `profiler.telemetry().map(|t| t.handle().snapshot().to_prometheus())`.
+    pub fn telemetry(&self) -> Option<&Arc<PipelineTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// A point-in-time copy of every self-telemetry metric (`None` when
+    /// telemetry is off). Feed it to
+    /// [`TelemetrySnapshot::to_prometheus`] /
+    /// [`TelemetrySnapshot::to_json`] for scraping, or to
+    /// [`HealthReport::from_snapshot`] for programmatic decisions.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.handle().snapshot())
+    }
+
+    /// The profiler's own vital signs — drop rate, queue saturation,
+    /// worker utilization, flush/fold latency summaries — over the
+    /// window from attach to now (`None` when telemetry is off).
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.telemetry
+            .as_ref()
+            .map(|t| HealthReport::from_snapshot(&t.handle().snapshot(), t.now_ns()))
     }
 
     /// Activity counters.
@@ -501,6 +547,45 @@ impl Profiler {
         self.detach();
         meta.started = self.started;
         meta.ended = ended;
+        // Embed the run's self-telemetry roll-up into the metadata's
+        // free-form pairs: the on-disk format is untouched, header-only
+        // `ProfileStore` listings still see the values, and trend queries
+        // can track profiler overhead across runs.
+        if let Some(telemetry) = &self.telemetry {
+            let report =
+                HealthReport::from_snapshot(&telemetry.handle().snapshot(), telemetry.now_ns());
+            for (key, value) in [
+                ("telemetry.window_ns", report.window_ns.to_string()),
+                (
+                    "telemetry.enqueued_events",
+                    report.events_enqueued.to_string(),
+                ),
+                (
+                    "telemetry.dropped_events",
+                    report.events_dropped.to_string(),
+                ),
+                ("telemetry.drop_rate", format!("{:.6}", report.drop_rate)),
+                (
+                    "telemetry.max_queue_depth",
+                    report.max_queue_depth.to_string(),
+                ),
+                (
+                    "telemetry.queue_saturation",
+                    format!("{:.6}", report.queue_saturation),
+                ),
+                (
+                    "telemetry.worker_utilization",
+                    format!("{:.6}", report.worker_utilization),
+                ),
+                (
+                    "telemetry.flush_p99_ns",
+                    report.flush_latency.p99.to_string(),
+                ),
+                ("telemetry.fold_p99_ns", report.fold_latency.p99.to_string()),
+            ] {
+                meta.extra.push((key.to_string(), value));
+            }
+        }
         let mut db = ProfileDb::new(meta, self.inner.sink.finish_snapshot());
         db.set_timeline(timeline);
         db
@@ -1024,6 +1109,10 @@ mod tests {
                 enabled: true,
                 ring_capacity: 1024,
             },
+            // Pinned off regardless of the DEEPCONTEXT_TELEMETRY matrix:
+            // this test counts exact workload intervals, which the
+            // self-timeline tracks would add to.
+            telemetry: TelemetryConfig::default(),
             ..ProfilerConfig::default()
         };
         let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);

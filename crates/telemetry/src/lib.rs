@@ -1,0 +1,161 @@
+//! Self-telemetry: the profiler watching its own pipeline.
+//!
+//! DeepContext's pitch is low-overhead always-on profiling, but the
+//! profiler's own behavior — queue-depth dynamics, flush latencies,
+//! drop bursts, worker utilization — is invisible in end-of-run
+//! aggregates. This crate is the introspection layer the rest of the
+//! workspace instruments itself with:
+//!
+//! * [`Telemetry`] / [`Registry`] — a lock-striped registry of atomic
+//!   [`Counter`]s, [`Gauge`]s, and log₂-bucketed [`Histogram`]s.
+//!   Instrumented code registers once (taking a stripe lock) and holds
+//!   `Arc` handles; per-event observations are a single relaxed atomic
+//!   add. Disabled telemetry is the absence of the handle — an
+//!   `Option<Telemetry>` branch is the entire cost.
+//! * [`TelemetrySnapshot`] — a sorted, immutable copy of every metric,
+//!   with [Prometheus text exposition](TelemetrySnapshot::to_prometheus)
+//!   and [JSON](TelemetrySnapshot::to_json) exporters.
+//! * [`HealthReport`] — the snapshot rolled into windowed rates (drop
+//!   rate, queue saturation, worker utilization, flush/fold latency
+//!   summaries) for programmatic overload decisions.
+//! * [`names`] — the well-known metric names shared between the
+//!   instrumentation sites and the report.
+//!
+//! Recording is wired behind `ProfilerConfig::telemetry` (default off;
+//! the `DEEPCONTEXT_TELEMETRY` environment variable flips the default —
+//! see [`default_telemetry_config`]). The *self-timeline* — worker
+//! batches, producer flushes, and snapshot folds as intervals on a
+//! reserved timeline track — rides on the same config's
+//! [`self_timeline`](TelemetryConfig::self_timeline) switch and the
+//! existing `crates/timeline` ring machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod health;
+pub mod metrics;
+pub mod registry;
+
+pub use export::{escape_label_value, sanitize_label_name, sanitize_metric_name};
+pub use health::{DistributionSummary, HealthReport};
+pub use metrics::{
+    bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use registry::{MetricSample, MetricValue, Registry, Telemetry, TelemetrySnapshot};
+
+/// Well-known metric names: the vocabulary shared by the pipeline /
+/// profiler / analyzer instrumentation sites, [`HealthReport`], and the
+/// bench snapshot embeds. All names use the `deepcontext_` prefix so a
+/// Prometheus scrape of a co-hosted process stays collision-free.
+pub mod names {
+    /// Counter: events accepted into the async pipeline.
+    pub const EVENTS_ENQUEUED: &str = "deepcontext_pipeline_events_enqueued_total";
+    /// Counter: events dropped (evicted by `DropOldest`, or lost to a
+    /// shutdown race).
+    pub const EVENTS_DROPPED: &str = "deepcontext_pipeline_events_dropped_total";
+    /// Histogram, label `shard`: queue depth observed at enqueue time.
+    pub const QUEUE_DEPTH: &str = "deepcontext_pipeline_queue_depth";
+    /// Gauge: high-water queue depth across shards.
+    pub const MAX_QUEUE_DEPTH: &str = "deepcontext_pipeline_max_queue_depth";
+    /// Gauge: configured per-shard queue capacity (absent in sync mode).
+    pub const QUEUE_CAPACITY: &str = "deepcontext_pipeline_queue_capacity";
+    /// Histogram: events per producer batch flush.
+    pub const FLUSH_SIZE: &str = "deepcontext_pipeline_flush_size";
+    /// Histogram: producer batch-flush latency, nanoseconds.
+    pub const FLUSH_LATENCY_NS: &str = "deepcontext_pipeline_flush_latency_ns";
+    /// Histogram: shard-lock hold time on the attribution paths,
+    /// nanoseconds.
+    pub const SHARD_LOCK_HOLD_NS: &str = "deepcontext_pipeline_shard_lock_hold_ns";
+    /// Counter, label `worker`: nanoseconds spent draining shards.
+    pub const WORKER_BUSY_NS: &str = "deepcontext_pipeline_worker_busy_ns_total";
+    /// Counter, label `worker`: nanoseconds spent parked.
+    pub const WORKER_PARKED_NS: &str = "deepcontext_pipeline_worker_parked_ns_total";
+    /// Histogram, label `worker`: events applied per worker wake.
+    pub const WORKER_BATCH_SIZE: &str = "deepcontext_pipeline_worker_batch_size";
+    /// Histogram: incremental snapshot fold latency, nanoseconds.
+    pub const FOLD_LATENCY_NS: &str = "deepcontext_snapshot_fold_latency_ns";
+    /// Gauge: approximate interner footprint, bytes.
+    pub const INTERNER_BYTES: &str = "deepcontext_interner_bytes";
+    /// Gauge: approximate timeline ring footprint, bytes.
+    pub const TIMELINE_RING_BYTES: &str = "deepcontext_timeline_ring_bytes";
+    /// Histogram: `ProfileStore::save` latency, nanoseconds.
+    pub const STORE_SAVE_LATENCY_NS: &str = "deepcontext_store_save_latency_ns";
+    /// Histogram: `ProfileStore::load` latency, nanoseconds.
+    pub const STORE_LOAD_LATENCY_NS: &str = "deepcontext_store_load_latency_ns";
+}
+
+/// Self-telemetry knobs (the `ProfilerConfig::telemetry` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Whether the profiler records metrics about itself at all. Off by
+    /// default: the disabled path is an `Option` branch per
+    /// instrumentation site.
+    pub enabled: bool,
+    /// Whether worker batches, producer flushes, and snapshot folds are
+    /// additionally recorded as intervals on the reserved self-timeline
+    /// track (requires the timeline itself to be enabled; on by default
+    /// *when* telemetry is on).
+    pub self_timeline: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            self_timeline: true,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled configuration with the self-timeline on.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// Whether the `DEEPCONTEXT_TELEMETRY` environment override asks for
+/// self-telemetry (`1` / `true` / `on`, case-insensitive). Unset or
+/// anything else means off — telemetry is strictly opt-in.
+pub fn default_telemetry_enabled() -> bool {
+    std::env::var("DEEPCONTEXT_TELEMETRY")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+        })
+        .unwrap_or(false)
+}
+
+/// The default telemetry configuration, honouring the
+/// `DEEPCONTEXT_TELEMETRY` environment override CI uses to run the
+/// whole suite with self-telemetry off (unset, the default) and on
+/// (`=1`).
+pub fn default_telemetry_config() -> TelemetryConfig {
+    TelemetryConfig {
+        enabled: default_telemetry_enabled(),
+        ..TelemetryConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_off_with_self_timeline_armed() {
+        let config = TelemetryConfig::default();
+        assert!(!config.enabled);
+        assert!(config.self_timeline);
+        assert!(TelemetryConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn from_config_gates_construction() {
+        assert!(Telemetry::from_config(&TelemetryConfig::default()).is_none());
+        assert!(Telemetry::from_config(&TelemetryConfig::enabled()).is_some());
+    }
+}

@@ -1,0 +1,274 @@
+//! Atomic metric primitives: counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! Every primitive is a plain `AtomicU64` (or a fixed array of them)
+//! updated with relaxed ordering: the hot paths these instrument —
+//! producer enqueues, worker drains, shard-lock sections — must pay one
+//! uncontended atomic add per observation and nothing more. Consistency
+//! across metrics is only needed at snapshot time, where small races
+//! (a `count` incremented before its `sum`) are acceptable by design.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge with a running-maximum helper.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two over the `u64`
+/// range, plus a dedicated zero bucket at index 0.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The upper bound (inclusive) of bucket `i`: `0` for the zero bucket,
+/// `2^i - 1` for `1 ≤ i < 64`, `u64::MAX` for the last.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// A log₂-bucketed histogram: values land in the bucket whose upper
+/// bound is the next power of two minus one. One relaxed atomic add per
+/// observation (plus `count`/`sum` bookkeeping), no locks, fixed memory.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s distribution, the unit the
+/// exporters and [`HealthReport`](crate::HealthReport) consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries;
+    /// bucket `i` spans `(bucket_upper_bound(i-1), bucket_upper_bound(i)]`).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Folds another snapshot into this one bucket-by-bucket (used to
+    /// aggregate per-shard or per-worker label sets into one
+    /// distribution).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` (0..=1), resolved to the upper bound of
+    /// the bucket containing it — an over-estimate by at most 2x, which
+    /// is the precision log₂ bucketing buys. Zero when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Exact arithmetic mean (`sum / count`); zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles_resolve_to_bucket_bounds() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        let snap = h.snapshot();
+        // p50 → 3rd of 6 observations → value 2 → bucket (1,3] → bound 3.
+        assert_eq!(snap.p50(), 3);
+        // p99 → 6th observation → 1000 → bucket (511,1023] → bound 1023.
+        assert_eq!(snap.p99(), 1023);
+        assert!((snap.mean() - 1106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_everywhere() {
+        let snap = Histogram::default().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_buckets() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(5);
+        b.record(5);
+        b.record(600);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 610);
+        assert_eq!(merged.percentile(1.0), 1023);
+    }
+}

@@ -1,0 +1,140 @@
+//! Prometheus exposition contract tests: deterministic ordering (the
+//! property goldens and scrape diffing rely on), metric-name/label
+//! sanitization and value escaping, and a byte-for-byte golden-file
+//! round-trip for both exporters.
+//!
+//! The goldens live in `tests/goldens/`. After an intentional format
+//! change, regenerate them with:
+//!
+//! ```text
+//! cargo test -p deepcontext-telemetry --test exposition -- --ignored regenerate
+//! ```
+
+use deepcontext_telemetry::{escape_label_value, Telemetry};
+
+const PROM_GOLDEN: &str = include_str!("goldens/exposition.prom");
+const JSON_GOLDEN: &str = include_str!("goldens/exposition.json");
+
+/// A fixed registry exercising every metric kind, multi-series labels,
+/// and every sanitization/escaping path. Values are constants, so the
+/// renderings are fully reproducible.
+fn golden_registry() -> Telemetry {
+    let t = Telemetry::new();
+    t.counter("deepcontext_events_enqueued", &[("shard", "0")])
+        .add(10);
+    t.counter("deepcontext_events_enqueued", &[("shard", "1")])
+        .add(32);
+    // Illegal metric-name characters and a digit-leading label name.
+    t.counter("weird.events-seen", &[("9lives", "cat")]).add(1);
+    t.gauge("deepcontext_queue_capacity", &[]).set(4096);
+    // Label values carrying every escaped character.
+    t.gauge(
+        "deepcontext_max_queue_depth",
+        &[("note", "quote\" back\\slash\nnewline")],
+    )
+    .set(7);
+    // Labels registered out of key order: the series must come out
+    // sorted regardless.
+    let h = t.histogram(
+        "deepcontext_flush_latency_ns",
+        &[("mode", "async"), ("kind", "fine")],
+    );
+    for v in [1, 2, 3, 5, 8, 13, 100, 1000] {
+        h.record(v);
+    }
+    t
+}
+
+#[test]
+fn exposition_matches_the_committed_golden() {
+    assert_eq!(
+        golden_registry().snapshot().to_prometheus(),
+        PROM_GOLDEN,
+        "Prometheus exposition drifted from tests/goldens/exposition.prom; \
+         if the change is intentional, regenerate with \
+         `cargo test -p deepcontext-telemetry --test exposition -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn json_matches_the_committed_golden() {
+    assert_eq!(
+        golden_registry().snapshot().to_json(),
+        JSON_GOLDEN,
+        "JSON export drifted from tests/goldens/exposition.json; \
+         if the change is intentional, regenerate with \
+         `cargo test -p deepcontext-telemetry --test exposition -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn exposition_is_deterministic_and_label_order_invariant() {
+    // Two snapshots of the same idle registry render identically.
+    let t = golden_registry();
+    assert_eq!(t.snapshot().to_prometheus(), t.snapshot().to_prometheus());
+    assert_eq!(t.snapshot().to_json(), t.snapshot().to_json());
+
+    // Registering the same labels in a different order neither splits
+    // the series nor changes the rendering.
+    let a = Telemetry::new();
+    a.counter("m_total", &[("x", "1"), ("y", "2")]).add(3);
+    let b = Telemetry::new();
+    b.counter("m_total", &[("y", "2"), ("x", "1")]).add(3);
+    let text = a.snapshot().to_prometheus();
+    assert_eq!(text, b.snapshot().to_prometheus());
+    assert!(text.contains("m_total{x=\"1\",y=\"2\"} 3\n"));
+}
+
+#[test]
+fn names_are_sanitized_and_values_escape_round_trip() {
+    let text = golden_registry().snapshot().to_prometheus();
+    // Illegal metric/label-name characters are rewritten, digit-leading
+    // names gain a `_` prefix.
+    assert!(text.contains("# TYPE weird_events_seen counter\n"));
+    assert!(text.contains("weird_events_seen{_9lives=\"cat\"} 1\n"));
+    // Every emitted metric name stays inside the Prometheus alphabet.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("sample line has a name");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "illegal metric name in exposition: {name:?}"
+        );
+        assert!(
+            !name.starts_with(|c: char| c.is_ascii_digit()),
+            "digit-leading metric name in exposition: {name:?}"
+        );
+    }
+    // The escaped label value unescapes back to the original.
+    let raw = "quote\" back\\slash\nnewline";
+    let escaped = escape_label_value(raw);
+    assert!(text.contains(&format!("note=\"{escaped}\"")));
+    let unescaped = escaped
+        .replace("\\n", "\n")
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\");
+    assert_eq!(unescaped, raw, "escaping must round-trip");
+    // And the exposition itself stays one-sample-per-line: no raw
+    // newline survives inside a label value.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        assert!(
+            line.ends_with(|c: char| c.is_ascii_digit() || c == 'f'), // "+Inf" buckets end in f
+            "sample line split by an unescaped newline: {line:?}"
+        );
+    }
+}
+
+/// Rewrites the goldens from the current exporters. Ignored by default;
+/// run explicitly after an intentional format change.
+#[test]
+#[ignore = "golden regeneration helper, run explicitly"]
+fn regenerate() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    std::fs::create_dir_all(&dir).expect("goldens dir");
+    let snapshot = golden_registry().snapshot();
+    std::fs::write(dir.join("exposition.prom"), snapshot.to_prometheus()).expect("write prom");
+    std::fs::write(dir.join("exposition.json"), snapshot.to_json()).expect("write json");
+}

@@ -13,9 +13,19 @@
 
 use std::fmt::Write as _;
 
-use deepcontext_core::{CallingContextTree, FxHashMap, Sym};
+use deepcontext_core::{CallingContextTree, FxHashMap, Sym, TrackKey};
 
 use crate::snapshot::TimelineSnapshot;
+
+/// Human-readable lane name of a self-timeline stream (the profiler's
+/// reserved [`TrackKey::SELF_DEVICE`] tracks).
+fn self_stream_name(stream: u32) -> String {
+    match stream {
+        TrackKey::SELF_STREAM_FLUSH => "producer flush".to_string(),
+        TrackKey::SELF_STREAM_FOLD => "snapshot fold".to_string(),
+        worker => format!("worker {worker}"),
+    }
+}
 
 /// Escapes a string for inclusion in a JSON string literal.
 fn escape_into(out: &mut String, s: &str) {
@@ -62,23 +72,35 @@ pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextT
     };
 
     // Metadata: name one process per device, one thread per stream, and
-    // keep lanes in stream order.
+    // keep lanes in stream order. The reserved self-telemetry device
+    // renders as the profiler's own process (it sorts last — after every
+    // real GPU — because it is `u32::MAX`).
     for device in snapshot.devices() {
+        let name = if device == TrackKey::SELF_DEVICE {
+            "profiler (self)".to_string()
+        } else {
+            format!("GPU {device}")
+        };
         push(
             format!(
                 "{{\"ph\":\"M\",\"pid\":{device},\"tid\":0,\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"GPU {device}\"}}}}"
+                 \"args\":{{\"name\":\"{name}\"}}}}"
             ),
             &mut out,
         );
     }
     for track in snapshot.tracks() {
         let key = track.key();
+        let lane = if key.is_self() {
+            self_stream_name(key.stream)
+        } else {
+            format!("stream {}", key.stream)
+        };
         push(
             format!(
                 "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"stream {}\"}}}}",
-                key.device, key.stream, key.stream
+                 \"args\":{{\"name\":\"{lane}\"}}}}",
+                key.device, key.stream
             ),
             &mut out,
         );

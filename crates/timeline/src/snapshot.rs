@@ -330,9 +330,19 @@ impl TimelineStats {
     /// covered segments accumulate `busy`, and the spaces between them
     /// become [`Gap`]s bounded by the interval that finished last and
     /// the one that started next.
+    ///
+    /// The reserved self-telemetry device ([`TrackKey::SELF_DEVICE`]) is
+    /// excluded: its intervals are timestamped on the telemetry clock,
+    /// not the workload clock, so utilization/idle figures computed over
+    /// them would be meaningless — and the latency rules must not flag
+    /// the profiler's own bookkeeping lanes as an underutilized GPU.
+    /// Chrome export still renders the self tracks.
     pub fn compute(snapshot: &TimelineSnapshot) -> TimelineStats {
         let mut devices = Vec::new();
         for device in snapshot.devices() {
+            if device == TrackKey::SELF_DEVICE {
+                continue;
+            }
             let mut intervals: Vec<&Interval> = snapshot
                 .tracks()
                 .iter()

@@ -3,8 +3,9 @@
 //! Nvidia hotspot is `aten::conv2d`; on the MI250 the shared 512-thread
 //! norm template makes `aten::instance_norm` the abnormal hotspot.
 //!
-//! Writes `flame_nvidia.svg` and `flame_amd.svg` next to the working
-//! directory.
+//! Writes `artifacts/flame_nvidia.svg` and `artifacts/flame_amd.svg`
+//! under the working directory (the `artifacts/` convention keeps
+//! generated renderings out of the repo root).
 //!
 //! ```text
 //! cargo run --release --example amd_vs_nvidia
@@ -74,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..Default::default()
             })
         );
-        let svg_path = format!("flame_{}.svg", tag.split('-').next().unwrap_or("gpu"));
+        std::fs::create_dir_all("artifacts")?;
+        let svg_path = format!(
+            "artifacts/flame_{}.svg",
+            tag.split('-').next().unwrap_or("gpu")
+        );
         std::fs::write(&svg_path, flame.to_svg(&SvgOptions::default()))?;
         println!("wrote {svg_path}\n");
     }

@@ -8,9 +8,12 @@
 //! Runs the multi-stream workload (2 devices × 3 streams) with timeline
 //! recording on, prints per-device utilization / overlap / idle-gap
 //! statistics and the timeline-backed analyzer findings, and writes
-//! `timeline_trace.json` — load it in `chrome://tracing` or
+//! `artifacts/timeline_trace.json` — load it in `chrome://tracing` or
 //! <https://ui.perfetto.dev> to see one swim-lane per stream, each
-//! slice carrying its full calling context.
+//! slice carrying its full calling context. Run with
+//! `DEEPCONTEXT_TELEMETRY=1` to additionally get the `profiler (self)`
+//! process: the profiler's own worker batches, producer flushes, and
+//! snapshot folds as slices next to the workload they serve.
 
 use deepcontext::prelude::*;
 
@@ -89,9 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export the Chrome trace with full calling contexts on each slice.
     let trace = profiler.with_cct(|cct| timeline.to_chrome_trace(Some(cct)));
-    std::fs::write("timeline_trace.json", &trace)?;
+    std::fs::create_dir_all("artifacts")?;
+    std::fs::write("artifacts/timeline_trace.json", &trace)?;
     println!(
-        "\nwrote timeline_trace.json ({} bytes) — load it in chrome://tracing or ui.perfetto.dev",
+        "\nwrote artifacts/timeline_trace.json ({} bytes) — load it in chrome://tracing \
+         or ui.perfetto.dev",
         trace.len()
     );
     Ok(())
