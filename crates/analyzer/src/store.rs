@@ -24,11 +24,12 @@
 
 use std::collections::HashMap;
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use deepcontext_core::failpoint::{sites as fp_sites, Failpoints};
 use deepcontext_core::{CoreError, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs};
 use deepcontext_telemetry::{names, Histogram, Telemetry};
 
@@ -38,6 +39,31 @@ use crate::Rule;
 
 /// File extension of stored runs.
 const EXT: &str = "dcprof";
+
+/// Total attempts a store I/O operation makes before a transient error
+/// is treated as persistent.
+const IO_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `attempt` (1-based): 1ms, then 2ms — long
+/// enough to outlive a signal storm or a momentarily contended file,
+/// short enough that a save barely notices.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << attempt.saturating_sub(1).min(4))
+}
+
+/// Whether this error is worth retrying: the kinds the OS hands back
+/// for interruptions that resolve by themselves. Anything else (missing
+/// directory, permissions, full disk, corrupt record) is persistent.
+fn is_transient(err: &CoreError) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        err,
+        CoreError::Io(e) if matches!(
+            e.kind(),
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+        )
+    )
+}
 
 /// One run as seen in a store listing: its id plus the metadata header.
 #[derive(Debug, Clone)]
@@ -137,6 +163,7 @@ struct StoreTelemetry {
 pub struct ProfileStore {
     dir: PathBuf,
     telemetry: Option<StoreTelemetry>,
+    failpoints: Failpoints,
 }
 
 impl ProfileStore {
@@ -147,7 +174,17 @@ impl ProfileStore {
         Ok(ProfileStore {
             dir,
             telemetry: None,
+            failpoints: Failpoints::from_env(),
         })
+    }
+
+    /// Replaces the store's fault-injection registry (tests; production
+    /// stores inherit the `DEEPCONTEXT_FAILPOINTS` environment spec).
+    /// The `store_io_err` point fires on the save path, `store_read_err`
+    /// on the load path.
+    pub fn with_failpoints(mut self, failpoints: Failpoints) -> Self {
+        self.failpoints = failpoints;
+        self
     }
 
     /// Attaches a self-telemetry handle: subsequent [`save`](Self::save)
@@ -179,6 +216,13 @@ impl ProfileStore {
     /// (`run-<started>-<workload>`), uniquified with a numeric suffix on
     /// collision. The file appears atomically: it is written to a
     /// `.tmp` sibling and renamed into place.
+    ///
+    /// Transient I/O errors (`Interrupted` / `WouldBlock` / `TimedOut`)
+    /// are retried up to two times with a short backoff. A persistent
+    /// error is returned as-is — with whatever bytes were written left
+    /// in the `.tmp` sibling, so a run that cost hours to collect is
+    /// never silently deleted on a flaky disk (listings skip `.tmp`
+    /// files; re-saving the id overwrites it).
     pub fn save(&self, db: &ProfileDb) -> Result<String, CoreError> {
         let start = self.telemetry.as_ref().map(|_| Instant::now());
         let base = format!(
@@ -193,19 +237,38 @@ impl ProfileStore {
             id = format!("{base}-{n}");
         }
         let tmp = self.dir.join(format!("{id}.{EXT}.tmp"));
-        {
-            let mut w = BufWriter::new(File::create(&tmp)?);
-            if let Err(e) = db.save(&mut w) {
-                drop(w);
-                let _ = fs::remove_file(&tmp);
-                return Err(e);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_save(db, &tmp, &id) {
+                Ok(()) => break,
+                Err(e) if is_transient(&e) && attempt < IO_ATTEMPTS => {
+                    std::thread::sleep(backoff(attempt));
+                }
+                Err(e) => return Err(e),
             }
         }
-        fs::rename(&tmp, self.path_of(&id))?;
         if let (Some(t), Some(start)) = (&self.telemetry, start) {
             t.save_latency.record(elapsed_ns(start));
         }
         Ok(id)
+    }
+
+    /// One write-and-rename attempt. A fresh attempt re-creates the tmp
+    /// sibling from scratch (truncating any partial previous attempt).
+    fn try_save(&self, db: &ProfileDb, tmp: &Path, id: &str) -> Result<(), CoreError> {
+        let mut w = BufWriter::new(File::create(tmp)?);
+        db.save(&mut w)?;
+        w.flush()?;
+        drop(w);
+        // Injected between write and publish: the failure mode where the
+        // bytes are on disk but the run never became visible — exactly
+        // what the preserved tmp sibling exists for.
+        if let Some(e) = self.failpoints.io_error(fp_sites::STORE_IO_ERR) {
+            return Err(CoreError::Io(e));
+        }
+        fs::rename(tmp, self.path_of(id))?;
+        Ok(())
     }
 
     /// Whether a run with this id exists.
@@ -214,13 +277,32 @@ impl ProfileStore {
     }
 
     /// Loads the full profile (tree + timeline) of a stored run.
+    /// Transient I/O errors are retried like [`save`](Self::save)'s.
     pub fn load(&self, id: &str) -> Result<ProfileDb, CoreError> {
         let start = self.telemetry.as_ref().map(|_| Instant::now());
-        let db = ProfileDb::load(BufReader::new(File::open(self.path_of(id))?))?;
+        let mut attempt = 0u32;
+        let db = loop {
+            attempt += 1;
+            match self.try_load(id) {
+                Ok(db) => break db,
+                Err(e) if is_transient(&e) && attempt < IO_ATTEMPTS => {
+                    std::thread::sleep(backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        };
         if let (Some(t), Some(start)) = (&self.telemetry, start) {
             t.load_latency.record(elapsed_ns(start));
         }
         Ok(db)
+    }
+
+    /// One full-materialization read attempt.
+    fn try_load(&self, id: &str) -> Result<ProfileDb, CoreError> {
+        if let Some(e) = self.failpoints.io_error(fp_sites::STORE_READ_ERR) {
+            return Err(CoreError::Io(e));
+        }
+        ProfileDb::load(BufReader::new(File::open(self.path_of(id))?))
     }
 
     /// Loads only the metadata header of a stored run.
@@ -548,6 +630,119 @@ impl Rule for RegressionRule {
     }
 }
 
+/// Flags profiles collected under supervisor degradation (rule name
+/// `degraded-run`).
+///
+/// The profiler stamps `supervisor.*` keys into [`ProfileMeta::extra`]
+/// when the pipeline's `SupervisorSink` guarded ingestion. This rule
+/// reads them back at analysis time so nobody mistakes a sampled or
+/// bypassed profile for a complete one:
+///
+/// - **Bypass** evidence (`supervisor.bypassed_events > 0`, or the run
+///   finished in state 2) is Critical — events were discarded outright
+///   and the profile is a partial record;
+/// - **Degraded** evidence (sampled/rejected events, or finishing in
+///   state 1) is a Warning — estimates are unbiased once multiplied by
+///   the recorded `supervisor.sample_rate`;
+/// - transitions that round-tripped without touching any event are
+///   Info.
+///
+/// Profiles without `supervisor.*` metadata (unsupervised runs, older
+/// stores) produce no issues, so the rule is safe in every default rule
+/// set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradedRunRule;
+
+impl DegradedRunRule {
+    fn meta_u64(meta: &ProfileMeta, key: &str) -> Option<u64> {
+        meta.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+    }
+}
+
+impl Rule for DegradedRunRule {
+    fn name(&self) -> &str {
+        "degraded-run"
+    }
+
+    fn description(&self) -> &str {
+        "flags profiles whose ingestion was sampled or bypassed by the pipeline supervisor"
+    }
+
+    fn analyze(&self, view: &ProfileView<'_>) -> Vec<Issue> {
+        let Some(meta) = view.db().map(|db| db.meta()) else {
+            return Vec::new();
+        };
+        let Some(state) = Self::meta_u64(meta, "supervisor.state") else {
+            return Vec::new();
+        };
+        let transitions = Self::meta_u64(meta, "supervisor.transitions").unwrap_or(0);
+        let windows = Self::meta_u64(meta, "supervisor.degraded_windows").unwrap_or(0);
+        let sample_rate = Self::meta_u64(meta, "supervisor.sample_rate").unwrap_or(1);
+        let sampled = Self::meta_u64(meta, "supervisor.sampled_events").unwrap_or(0);
+        let rejected = Self::meta_u64(meta, "supervisor.rejected_events").unwrap_or(0);
+        let bypassed = Self::meta_u64(meta, "supervisor.bypassed_events").unwrap_or(0);
+        if state == 0 && transitions == 0 && sampled == 0 && rejected == 0 && bypassed == 0 {
+            // Supervised, but the run never left Healthy: nothing to say.
+            return Vec::new();
+        }
+        let (severity, message, suggestion) = if bypassed > 0 || state == 2 {
+            (
+                Severity::Critical,
+                format!(
+                    "ingestion was bypassed under overload: {bypassed} events were discarded \
+                     outright (plus {rejected} rejected while sampling); this profile is a \
+                     partial record of the run"
+                ),
+                "treat totals as lower bounds; raise queue capacity / worker count or relax \
+                 the supervisor's bypass edge, then re-profile"
+                    .to_string(),
+            )
+        } else if sampled > 0 || rejected > 0 || state == 1 {
+            (
+                Severity::Warning,
+                format!(
+                    "ingestion degraded to 1-in-{sample_rate} sampled admission for {windows} \
+                     health window(s): {sampled} events admitted, {rejected} rejected; \
+                     per-context estimates are unbiased after multiplying by \
+                     supervisor.sample_rate = {sample_rate}"
+                ),
+                "multiply sampled-window metric estimates by the recorded sample rate; if \
+                 full fidelity is needed, raise queue capacity or worker count"
+                    .to_string(),
+            )
+        } else {
+            (
+                Severity::Info,
+                format!(
+                    "the supervisor transitioned {transitions} time(s) but no event was \
+                     sampled or discarded; the profile is complete"
+                ),
+                "no action needed; the pipeline brushed against its overload edges".to_string(),
+            )
+        };
+        let cct = view.cct();
+        vec![Issue {
+            rule: self.name().to_string(),
+            severity,
+            node: cct.root(),
+            call_path: "<whole run>".to_string(),
+            message,
+            suggestion,
+            metrics: vec![
+                ("supervisor_state".to_string(), state as f64),
+                ("sample_rate".to_string(), sample_rate as f64),
+                ("sampled_events".to_string(), sampled as f64),
+                ("rejected_events".to_string(), rejected as f64),
+                ("bypassed_events".to_string(), bypassed as f64),
+            ],
+            weight: (rejected + bypassed) as f64,
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +970,110 @@ mod tests {
         .unwrap();
         assert_eq!(rule.baseline_total(), 50.0);
         fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_retries_transient_io_errors_and_succeeds() {
+        let (dir, store) = temp_store();
+        let store = store.with_failpoints(Failpoints::parse("store_io_err@first").unwrap());
+        let id = store.save(&profile("unet", "h", 1, 1.0)).unwrap();
+        assert!(store.contains(&id));
+        assert_eq!(store.failpoints.fired(fp_sites::STORE_IO_ERR), 1);
+        assert!(
+            store.failpoints.hits(fp_sites::STORE_IO_ERR) >= 2,
+            "a retry must have re-checked the site"
+        );
+        // The successful retry renamed the tmp sibling away.
+        assert!(!dir.join(format!("{id}.{EXT}.tmp")).exists());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_the_run_preserved_in_tmp() {
+        let (dir, store) = temp_store();
+        let store = store.with_failpoints(Failpoints::parse("store_io_err@always").unwrap());
+        let err = store.save(&profile("unet", "h", 1, 1.0)).unwrap_err();
+        assert!(matches!(err, CoreError::Io(_)), "got {err:?}");
+        assert_eq!(store.failpoints.fired(fp_sites::STORE_IO_ERR), 3);
+        // Nothing became visible, but the written bytes were kept: the
+        // tmp sibling holds a complete, loadable profile.
+        assert!(store.list().unwrap().is_empty());
+        let tmp: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tmp"))
+            .collect();
+        assert_eq!(tmp.len(), 1, "the tmp sibling must survive the failure");
+        let back = ProfileDb::load(BufReader::new(File::open(&tmp[0]).unwrap())).unwrap();
+        assert_eq!(back.meta().workload, "unet");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn load_retries_transient_read_errors() {
+        let (dir, store) = temp_store();
+        let id = store.save(&profile("unet", "h", 1, 1.0)).unwrap();
+        let store = store.with_failpoints(Failpoints::parse("store_read_err@first").unwrap());
+        let back = store.load(&id).unwrap();
+        assert_eq!(back.meta().workload, "unet");
+        assert_eq!(store.failpoints.fired(fp_sites::STORE_READ_ERR), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_run_rule_reads_supervisor_stamps() {
+        let rule = DegradedRunRule;
+        // Unsupervised profile: silent.
+        let plain = profile("unet", "h", 1, 1.0);
+        assert!(rule.analyze(&ProfileView::new(&plain)).is_empty());
+
+        // Supervised but never degraded: still silent.
+        let mut healthy = profile("unet", "h", 2, 1.0);
+        for (k, v) in [("supervisor.state", "0"), ("supervisor.transitions", "0")] {
+            healthy
+                .meta_mut()
+                .extra
+                .push((k.to_string(), v.to_string()));
+        }
+        assert!(rule.analyze(&ProfileView::new(&healthy)).is_empty());
+
+        // Sampled ingestion: a warning naming the scale factor.
+        let mut sampled = profile("unet", "h", 3, 1.0);
+        for (k, v) in [
+            ("supervisor.state", "0"),
+            ("supervisor.transitions", "2"),
+            ("supervisor.degraded_windows", "3"),
+            ("supervisor.sample_rate", "8"),
+            ("supervisor.sampled_events", "100"),
+            ("supervisor.rejected_events", "700"),
+            ("supervisor.bypassed_events", "0"),
+        ] {
+            sampled
+                .meta_mut()
+                .extra
+                .push((k.to_string(), v.to_string()));
+        }
+        let issues = rule.analyze(&ProfileView::new(&sampled));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+        assert!(issues[0].message.contains("1-in-8"));
+
+        // Bypassed ingestion: critical — the profile is partial.
+        let mut bypassed = profile("unet", "h", 4, 1.0);
+        for (k, v) in [
+            ("supervisor.state", "2"),
+            ("supervisor.sample_rate", "8"),
+            ("supervisor.bypassed_events", "5000"),
+        ] {
+            bypassed
+                .meta_mut()
+                .extra
+                .push((k.to_string(), v.to_string()));
+        }
+        let issues = rule.analyze(&ProfileView::new(&bypassed));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Critical);
+        assert!(issues[0].weight >= 5000.0);
     }
 
     #[test]

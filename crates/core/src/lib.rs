@@ -34,6 +34,7 @@ mod cct;
 mod clock;
 mod db;
 mod error;
+pub mod failpoint;
 mod frame;
 mod fx;
 mod interner;
@@ -45,6 +46,7 @@ pub use cct::{CallingContextTree, CctNode, FoldState, NodeId};
 pub use clock::{TimeNs, VirtualClock};
 pub use db::{ProfileDb, ProfileMeta};
 pub use error::CoreError;
+pub use failpoint::Failpoints;
 pub use frame::{CallPath, Frame, FrameKey, FrameKind, OpPhase, ThreadRole};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interner::{Interner, Sym};

@@ -138,6 +138,10 @@ pub enum MetricKind {
     /// (the `DropOldest` backpressure policy), attributed to a synthetic
     /// `<dropped>` context so overload is visible in the profile itself.
     DroppedEvents,
+    /// Profiler events discarded because their shard was quarantined
+    /// after a worker panic, attributed to a synthetic `<poisoned>`
+    /// context so fault isolation is visible in the profile itself.
+    PoisonedEvents,
     /// GPU instruction samples stalled for a specific reason (count).
     Stall(StallReason),
     /// A user-defined metric named by an interned symbol.
@@ -176,6 +180,7 @@ impl MetricKind {
             MetricKind::HwBranchMisses => "hw_branch_misses".into(),
             MetricKind::InstructionSamples => "instruction_samples".into(),
             MetricKind::DroppedEvents => "dropped_events".into(),
+            MetricKind::PoisonedEvents => "poisoned_events".into(),
             MetricKind::Stall(r) => format!("stall.{r}"),
             MetricKind::Custom(sym) => format!("custom.{}", sym.index()),
         }
@@ -224,6 +229,7 @@ impl MetricKind {
             MetricKind::HwBranchMisses => 14,
             MetricKind::InstructionSamples => 15,
             MetricKind::DroppedEvents => 16,
+            MetricKind::PoisonedEvents => 17,
             MetricKind::Stall(_) | MetricKind::Custom(_) => unreachable!("encoded separately"),
         }
     }
@@ -247,6 +253,7 @@ impl MetricKind {
             14 => MetricKind::HwBranchMisses,
             15 => MetricKind::InstructionSamples,
             16 => MetricKind::DroppedEvents,
+            17 => MetricKind::PoisonedEvents,
             _ => return None,
         })
     }
@@ -752,6 +759,7 @@ mod tests {
             MetricKind::HwBranchMisses,
             MetricKind::InstructionSamples,
             MetricKind::DroppedEvents,
+            MetricKind::PoisonedEvents,
             MetricKind::Stall(StallReason::MathDependency),
             custom,
         ];

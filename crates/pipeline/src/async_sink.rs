@@ -56,6 +56,7 @@
 //! generation semantics happen in event order on the owning worker, then
 //! trims the routing directory once the barrier completes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -63,7 +64,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{self, TrySendError};
 
-use deepcontext_core::{CallPath, CallingContextTree, MetricKind, TrackKey};
+use deepcontext_core::failpoint::sites as fp_sites;
+use deepcontext_core::{CallPath, CallingContextTree, Failpoints, MetricKind, TrackKey};
 use deepcontext_telemetry::{names, Counter, Gauge, Histogram};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
@@ -87,7 +89,7 @@ pub enum BackpressurePolicy {
 }
 
 /// Asynchronous-pipeline tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Attribution worker threads. `0` = auto: one per shard, capped at
     /// the host's available parallelism.
@@ -117,6 +119,11 @@ pub struct PipelineConfig {
     /// `DEEPCONTEXT_DIRECTORY_MAP` environment override
     /// ([`default_directory_map`](crate::default_directory_map)).
     pub directory_map: crate::DirectoryMapKind,
+    /// Deterministic fault-injection registry for the pipeline's sites
+    /// (see [`crate::failpoint`]). The default honours the
+    /// `DEEPCONTEXT_FAILPOINTS` environment spec; when no spec is set
+    /// every site check is one branch on an empty registry.
+    pub failpoints: Failpoints,
 }
 
 impl Default for PipelineConfig {
@@ -127,6 +134,7 @@ impl Default for PipelineConfig {
             backpressure: BackpressurePolicy::Block,
             launch_batch: crate::default_launch_batch(),
             directory_map: crate::default_directory_map(),
+            failpoints: Failpoints::from_env(),
         }
     }
 }
@@ -179,6 +187,21 @@ impl Event {
     }
 }
 
+/// The context a dropped message would have attributed to, when it
+/// carries one: launches and samples carry their call path, flushed
+/// producer batches yield their first event's path. Activity buckets
+/// carry only correlations (their context lives in the shard) and epochs
+/// carry nothing — neither contributes a victim sample.
+fn victim_path(event: &Event) -> Option<&CallPath> {
+    match event {
+        Event::Launch { path, .. } | Event::Sample { path, .. } => Some(path),
+        Event::Batch(events) => events.first().map(|e| match e {
+            ProducerEvent::Launch { path, .. } | ProducerEvent::Sample { path, .. } => path,
+        }),
+        Event::Activities(_) | Event::Epoch => None,
+    }
+}
+
 /// One shard's bounded queue plus the sequence counters the drain
 /// barrier is built on: `enqueued` counts messages accepted, `applied`
 /// counts messages retired (attributed by a worker or evicted by
@@ -203,6 +226,20 @@ struct ShardQueue {
     /// to the shard's `<dropped>` context (snapshot paths publish the
     /// delta).
     dropped_published: AtomicU64,
+    /// Events this shard lost to caught worker panics — the per-shard
+    /// half of the global `poisoned_events` counter, feeding the
+    /// synthetic `<poisoned>` CCT context the same way `dropped` feeds
+    /// `<dropped>`.
+    poisoned: AtomicU64,
+    /// How much of [`poisoned`](Self::poisoned) has been attributed.
+    poisoned_published: AtomicU64,
+    /// Running count of events evicted by `DropOldest`, driving the
+    /// 1-in-[`DROP_SAMPLE_STRIDE`] victim sampler.
+    evicted_seen: AtomicU64,
+    /// Sampled victim contexts awaiting publication — a bounded ring
+    /// (oldest overwritten at [`DROP_SAMPLE_RING`]) drained by snapshot
+    /// paths into `<dropped>`-child estimates.
+    victims: Mutex<Vec<CallPath>>,
 }
 
 /// Parking slot for one worker: producers nudge it only when it is (or
@@ -249,6 +286,15 @@ const COALESCE_RECORDS: usize = 512;
 /// run), so a message never represents an unbounded slice of the queue's
 /// capacity.
 const MESSAGE_GRAIN: usize = 64;
+/// Per-context drop-sampling stride: under `DropOldest`, every
+/// `DROP_SAMPLE_STRIDE`-th evicted event contributes its message's
+/// already-bound context to the shard's victim ring, so each published
+/// victim stands for this many dropped events (an unbiased per-context
+/// estimate of where the overload fell).
+const DROP_SAMPLE_STRIDE: u64 = 16;
+/// Capacity of each shard's victim ring — bounds sampler memory under
+/// sustained overload; the ring keeps the *most recent* victims.
+const DROP_SAMPLE_RING: usize = 32;
 
 /// The asynchronous layer's pre-registered telemetry handles: per-shard
 /// queue-depth histograms plus the global enqueue/drop counters and
@@ -258,6 +304,8 @@ struct SharedTelemetry {
     pipeline: Arc<PipelineTelemetry>,
     enqueued: Arc<Counter>,
     dropped: Arc<Counter>,
+    poisoned: Arc<Counter>,
+    worker_panics: Arc<Counter>,
     max_depth: Arc<Gauge>,
     queue_depth: Vec<Arc<Histogram>>,
 }
@@ -292,6 +340,14 @@ struct Shared {
     shutdown: AtomicBool,
     paused: AtomicBool,
     paused_workers: AtomicUsize,
+    /// Per-shard quarantine flags: set when an apply against the shard
+    /// panicked (caught). A quarantined shard's queue keeps draining —
+    /// its data events are accounted as poisoned, its flush boundaries
+    /// still retire correlation state — so drain barriers, `pause`,
+    /// `resume` and `finish` all complete as if the shard were healthy.
+    quarantined: Vec<AtomicBool>,
+    /// Fault-injection registry ([`PipelineConfig::failpoints`]).
+    failpoints: Failpoints,
     // Drain-barrier rendezvous.
     drain_mutex: Mutex<()>,
     drain_cv: Condvar,
@@ -302,6 +358,8 @@ struct Shared {
     // Pipeline counters.
     enqueued_events: AtomicU64,
     dropped_events: AtomicU64,
+    poisoned_events: AtomicU64,
+    worker_panics: AtomicU64,
     max_queue_depth: AtomicU64,
     drain_waits: AtomicU64,
     worker_batches: AtomicU64,
@@ -343,6 +401,123 @@ impl Shared {
         }
     }
 
+    /// Counts `weight` events of shard `shard` as poisoned (lost to a
+    /// caught worker panic), mirroring into telemetry when it is on.
+    /// Snapshot paths publish the per-shard tally into the shard's
+    /// synthetic `<poisoned>` context.
+    fn note_poisoned(&self, shard: usize, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.poisoned_events.fetch_add(weight, Ordering::Relaxed);
+        self.queues[shard]
+            .poisoned
+            .fetch_add(weight, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.poisoned.add(weight);
+        }
+    }
+
+    fn is_quarantined(&self, shard: usize) -> bool {
+        self.quarantined[shard].load(Ordering::Acquire)
+    }
+
+    /// Records one caught worker panic and quarantines the shard whose
+    /// apply unwound.
+    fn record_worker_panic(&self, shard: usize) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.quarantined[shard].store(true, Ordering::Release);
+        if let Some(t) = &self.telemetry {
+            t.worker_panics.add(1);
+        }
+    }
+
+    /// Runs one attribution `apply` against shard `idx` behind the fault
+    /// boundary: the `worker_panic` failpoint fires first (so injected
+    /// panics unwind before any state mutates and event conservation
+    /// stays exact), and any unwind is caught and converted into a
+    /// shard quarantine. Returns whether the apply completed, so the
+    /// caller can account the message's events as attributed or
+    /// poisoned.
+    fn apply_isolated(&self, idx: usize, apply: impl FnOnce()) -> bool {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if self
+                .failpoints
+                .should_fire_at(fp_sites::WORKER_PANIC, idx as u64)
+            {
+                panic!("injected worker_panic at shard {idx}");
+            }
+            apply();
+        }));
+        if outcome.is_err() {
+            self.record_worker_panic(idx);
+        }
+        outcome.is_ok()
+    }
+
+    /// Accounts one message arriving at a quarantined shard: data events
+    /// join the `<poisoned>` tally and release the correlation state
+    /// nothing will ever retire; flush boundaries are control flow and
+    /// still retire the shard's deferred correlations (caught if the
+    /// shard's state is broken enough to panic again).
+    fn poison_message(&self, idx: usize, event: &Event) {
+        match event {
+            Event::Epoch => {
+                let _ = catch_unwind(AssertUnwindSafe(|| self.inner.epoch_complete_shard(idx)));
+            }
+            _ => {
+                self.note_poisoned(idx, event.weight());
+                self.discard_bindings_of(event);
+            }
+        }
+    }
+
+    /// The quarantined-shard drain loop: messages keep retiring (so
+    /// drain barriers and shutdown never hang on a poisoned shard) but
+    /// nothing touches the shard's tree except flush boundaries.
+    fn drain_quarantined_shard(&self, idx: usize) -> u64 {
+        let q = &self.queues[idx];
+        let mut messages = 0u64;
+        let mut events = 0u64;
+        while messages < COALESCE as u64 {
+            let Ok(event) = q.rx.try_recv() else { break };
+            messages += 1;
+            events += event.weight();
+            self.poison_message(idx, &event);
+            self.retire(idx, 1);
+        }
+        if q.pending_epochs.swap(0, Ordering::Acquire) > 0 {
+            let _ = catch_unwind(AssertUnwindSafe(|| self.inner.epoch_complete_shard(idx)));
+        }
+        events
+    }
+
+    /// 1-in-K victim sampling at `DropOldest` eviction time: when the
+    /// shard's evicted-event count crosses a [`DROP_SAMPLE_STRIDE`]
+    /// boundary, the evicted message's already-bound context joins the
+    /// shard's bounded victim ring. Published victims attribute
+    /// `DROP_SAMPLE_STRIDE` events each under `<dropped>`, so the
+    /// profile reports *which* contexts the overload fell on, not just
+    /// how much was lost.
+    fn sample_victim(&self, shard: usize, event: &Event, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let q = &self.queues[shard];
+        let seen = q.evicted_seen.fetch_add(weight, Ordering::Relaxed);
+        if seen / DROP_SAMPLE_STRIDE == (seen + weight) / DROP_SAMPLE_STRIDE {
+            return;
+        }
+        let Some(path) = victim_path(event) else {
+            return;
+        };
+        let mut ring = q.victims.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= DROP_SAMPLE_RING {
+            ring.remove(0);
+        }
+        ring.push(path.clone());
+    }
+
     /// Records the queue depth observed by an enqueue at `shard`.
     fn note_depth(&self, shard: usize, depth: u64) {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
@@ -365,6 +540,8 @@ impl Shared {
     /// Enqueues one message to `shard`, honouring the backpressure
     /// policy, and nudges the owning worker.
     fn enqueue(&self, shard: usize, event: Event) {
+        self.failpoints
+            .stall_at(fp_sites::QUEUE_STALL, shard as u64);
         let weight = event.weight();
         let q = &self.queues[shard];
         match self.policy {
@@ -413,6 +590,7 @@ impl Shared {
                                     let weight = old.weight();
                                     self.note_dropped(weight);
                                     q.dropped.fetch_add(weight, Ordering::Relaxed);
+                                    self.sample_victim(shard, &old, weight);
                                     self.discard_bindings_of(&old);
                                     self.retire(shard, 1);
                                 }
@@ -505,6 +683,20 @@ impl Shared {
             if dropped > published {
                 self.inner.apply_dropped(idx, dropped - published);
                 q.dropped_published.store(dropped, Ordering::Relaxed);
+            }
+            let victims: Vec<CallPath> = {
+                let mut ring = q.victims.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *ring)
+            };
+            if !victims.is_empty() {
+                self.inner
+                    .apply_dropped_samples(idx, &victims, DROP_SAMPLE_STRIDE);
+            }
+            let poisoned = q.poisoned.load(Ordering::Acquire);
+            let published = q.poisoned_published.load(Ordering::Relaxed);
+            if poisoned > published {
+                self.inner.apply_poisoned(idx, poisoned - published);
+                q.poisoned_published.store(poisoned, Ordering::Relaxed);
             }
         }
     }
@@ -655,6 +847,9 @@ impl Shared {
     /// one two-phase-prune batch per original bucket (so resident
     /// correlation state never grows with the worker's backlog).
     fn drain_shard(&self, idx: usize) -> u64 {
+        if self.is_quarantined(idx) {
+            return self.drain_quarantined_shard(idx);
+        }
         let q = &self.queues[idx];
         let mut messages = 0u64;
         let mut events = 0u64;
@@ -662,12 +857,29 @@ impl Shared {
         let mut run_records = 0usize;
         // Event counts are published *before* each retirement so counter
         // reads behind a drain barrier are exact, not lagging the pass.
+        // Every apply below runs behind `apply_isolated`'s fault
+        // boundary: a panicking apply quarantines the shard, its
+        // message's events join the `<poisoned>` tally, and the pass
+        // keeps retiring — so barriers never hang on a poisoned shard.
         let flush_run = |run: &mut Vec<Vec<Activity>>, run_records: &mut usize| {
             if !run.is_empty() {
-                self.inner.apply_activity_buckets(idx, run);
-                self.inner.note_peak();
-                self.worker_events
-                    .fetch_add(*run_records as u64, Ordering::Relaxed);
+                if self.apply_isolated(idx, || self.inner.apply_activity_buckets(idx, run)) {
+                    self.inner.note_peak();
+                    self.worker_events
+                        .fetch_add(*run_records as u64, Ordering::Relaxed);
+                } else {
+                    // The whole coalesced run is poisoned; its terminal
+                    // records' correlation state dies with it (nothing
+                    // will ever retire it).
+                    self.note_poisoned(idx, *run_records as u64);
+                    for bucket in run.iter() {
+                        for activity in bucket {
+                            if !matches!(activity.kind, ActivityKind::PcSampling { .. }) {
+                                self.inner.discard_correlation(activity.correlation_id.0);
+                            }
+                        }
+                    }
+                }
                 self.retire(idx, run.len() as u64);
                 run.clear();
                 *run_records = 0;
@@ -677,11 +889,30 @@ impl Shared {
             let Ok(event) = q.rx.try_recv() else { break };
             messages += 1;
             events += event.weight();
+            // A coalesced activity run is flushed before any non-activity
+            // message, preserving per-shard event order.
+            if !matches!(event, Event::Activities(_)) {
+                flush_run(&mut run, &mut run_records);
+            }
+            if self.is_quarantined(idx) {
+                // The flush above (or an earlier message) quarantined the
+                // shard mid-pass: everything still in hand is poisoned.
+                self.poison_message(idx, &event);
+                self.retire(idx, 1);
+                continue;
+            }
             match event {
                 Event::Launch { origin, path, api } => {
-                    flush_run(&mut run, &mut run_records);
-                    self.inner.apply_launch(idx, &origin, &path, api);
-                    self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    if self
+                        .apply_isolated(idx, || self.inner.apply_launch(idx, &origin, &path, api))
+                    {
+                        self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.note_poisoned(idx, 1);
+                        if let Some(corr) = origin.correlation {
+                            self.inner.discard_correlation(corr.0);
+                        }
+                    }
                     self.retire(idx, 1);
                 }
                 Event::Activities(batch) => {
@@ -696,21 +927,33 @@ impl Shared {
                     metric,
                     value,
                 } => {
-                    flush_run(&mut run, &mut run_records);
-                    self.inner.apply_cpu_sample(idx, &path, metric, value);
-                    self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    if self.apply_isolated(idx, || {
+                        self.inner.apply_cpu_sample(idx, &path, metric, value)
+                    }) {
+                        self.worker_events.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.note_poisoned(idx, 1);
+                    }
                     self.retire(idx, 1);
                 }
                 Event::Batch(batch) => {
-                    flush_run(&mut run, &mut run_records);
-                    self.inner.apply_producer_batch(idx, &batch);
-                    self.worker_events
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    if self.apply_isolated(idx, || self.inner.apply_producer_batch(idx, &batch)) {
+                        self.worker_events
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    } else {
+                        self.note_poisoned(idx, batch.len() as u64);
+                        for event in &batch {
+                            if let ProducerEvent::Launch { origin, .. } = event {
+                                if let Some(corr) = origin.correlation {
+                                    self.inner.discard_correlation(corr.0);
+                                }
+                            }
+                        }
+                    }
                     self.retire(idx, 1);
                 }
                 Event::Epoch => {
-                    flush_run(&mut run, &mut run_records);
-                    self.inner.epoch_complete_shard(idx);
+                    let _ = self.apply_isolated(idx, || self.inner.epoch_complete_shard(idx));
                     self.retire(idx, 1);
                 }
             }
@@ -720,7 +963,7 @@ impl Shared {
         // eviction (see `enqueue`): one application covers any number of
         // them, since back-to-back epochs are a no-op after the first.
         if q.pending_epochs.swap(0, Ordering::Acquire) > 0 {
-            self.inner.epoch_complete_shard(idx);
+            let _ = self.apply_isolated(idx, || self.inner.epoch_complete_shard(idx));
         }
         events
     }
@@ -798,6 +1041,8 @@ impl AsyncSink {
             SharedTelemetry {
                 enqueued: handle.counter(names::EVENTS_ENQUEUED, &[]),
                 dropped: handle.counter(names::EVENTS_DROPPED, &[]),
+                poisoned: handle.counter(names::EVENTS_POISONED, &[]),
+                worker_panics: handle.counter(names::WORKER_PANICS, &[]),
                 max_depth: handle.gauge(names::MAX_QUEUE_DEPTH, &[]),
                 queue_depth: (0..shards)
                     .map(|idx| {
@@ -821,10 +1066,16 @@ impl AsyncSink {
                         pending_epochs: AtomicU64::new(0),
                         dropped: AtomicU64::new(0),
                         dropped_published: AtomicU64::new(0),
+                        poisoned: AtomicU64::new(0),
+                        poisoned_published: AtomicU64::new(0),
+                        evicted_seen: AtomicU64::new(0),
+                        victims: Mutex::new(Vec::new()),
                     }
                 })
                 .collect(),
             parkers: (0..workers).map(|_| Parker::new()).collect(),
+            quarantined: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            failpoints: config.failpoints.clone(),
             policy: config.backpressure,
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
@@ -835,6 +1086,8 @@ impl AsyncSink {
             drop_publish: Mutex::new(()),
             enqueued_events: AtomicU64::new(0),
             dropped_events: AtomicU64::new(0),
+            poisoned_events: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
             drain_waits: AtomicU64::new(0),
             worker_batches: AtomicU64::new(0),
@@ -853,7 +1106,28 @@ impl AsyncSink {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dc-pipeline-{w}"))
-                    .spawn(move || shared.worker_loop(w))
+                    .spawn(move || {
+                        // Outer fault boundary: a panic that escapes the
+                        // per-message catch inside the loop (a bug in the
+                        // loop itself, a poisoned std lock) must not
+                        // strand this worker's shards — drain barriers
+                        // and `pause` count on every worker making
+                        // progress. Restart until an orderly shutdown.
+                        loop {
+                            match catch_unwind(AssertUnwindSafe(|| shared.worker_loop(w))) {
+                                Ok(()) => break,
+                                Err(_) => {
+                                    shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(t) = &shared.telemetry {
+                                        t.worker_panics.add(1);
+                                    }
+                                    // Pace restarts so a deterministic
+                                    // loop-entry panic cannot busy-spin.
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                            }
+                        }
+                    })
                     .expect("spawn pipeline worker")
             })
             .collect();
@@ -915,6 +1189,19 @@ impl AsyncSink {
         for parker in &self.shared.parkers {
             parker.nudge();
         }
+    }
+
+    /// Indices of shards quarantined by caught worker panics. A
+    /// quarantined shard's events flow to the synthetic `<poisoned>`
+    /// context for the rest of the run; every other shard is unaffected.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shared
+            .quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, flag)| flag.load(Ordering::Acquire))
+            .map(|(idx, _)| idx)
+            .collect()
     }
 }
 
@@ -1074,6 +1361,8 @@ impl EventSink for AsyncSink {
         SinkCounters {
             enqueued_events: self.shared.enqueued_events.load(Ordering::Relaxed),
             dropped_events: self.shared.dropped_events.load(Ordering::Relaxed),
+            poisoned_events: self.shared.poisoned_events.load(Ordering::Relaxed),
+            worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
             max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
             drain_waits: self.shared.drain_waits.load(Ordering::Relaxed),
             worker_batches: self.shared.worker_batches.load(Ordering::Relaxed),
@@ -1145,6 +1434,19 @@ mod tests {
     use super::*;
     use deepcontext_core::{Frame, Interner, TimeNs};
     use sim_gpu::{ActivityKind, CorrelationId, DeviceId, StreamId};
+
+    /// Joins a test thread, surfacing the panic payload in the failure
+    /// message instead of double-panicking on an opaque `Box<dyn Any>`.
+    fn join_reporting<T>(handle: std::thread::JoinHandle<T>, what: &str) -> T {
+        handle.join().unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("{what} panicked: {msg}");
+        })
+    }
 
     #[test]
     fn drop_oldest_defers_displaced_epoch_markers() {
@@ -1261,7 +1563,7 @@ mod tests {
             dropper.is_finished(),
             "dropping a paused sink with a full queue deadlocked"
         );
-        dropper.join().expect("drop panicked");
+        join_reporting(dropper, "dropper");
         // Nothing was lost: the queued bucket and the buffered sample
         // were both attributed during shutdown.
         let cct = inner.snapshot();
@@ -1336,5 +1638,131 @@ mod tests {
         assert_eq!(inner.correlation_entries(), 0, "shard bindings leaked");
         assert_eq!(inner.directory_entries(), 0, "directory entries leaked");
         assert!(sink.counters().dropped_events > 0);
+    }
+
+    /// A thread id whose CPU-sample origin routes to `shard` on `inner`.
+    fn tid_routing_to(inner: &ShardedSink, shard: usize) -> u64 {
+        (1..10_000u64)
+            .find(|t| {
+                inner.route(&EventOrigin {
+                    tid: Some(*t),
+                    ..EventOrigin::default()
+                }) == shard
+            })
+            .expect("some tid routes to every shard")
+    }
+
+    #[test]
+    fn worker_panic_quarantines_the_shard_and_barriers_still_complete() {
+        // An injected panic in the apply path must quarantine only the
+        // offending shard: drain / pause / resume / epoch / snapshot all
+        // return, the healthy shard's metrics are intact, and every
+        // event is accounted (attributed + <poisoned> + dropped ==
+        // enqueued).
+        let interner = Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 2);
+        let sink = AsyncSink::new(
+            Arc::clone(&inner),
+            PipelineConfig {
+                workers: 1,
+                launch_batch: 1,
+                failpoints: Failpoints::parse("worker_panic@shard0").expect("valid spec"),
+                ..PipelineConfig::default()
+            },
+        );
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel("k", "m.so", 0x1, &interner));
+        let poisoned_tid = tid_routing_to(&inner, 0);
+        let healthy_tid = tid_routing_to(&inner, 1);
+        for _ in 0..10 {
+            for tid in [poisoned_tid, healthy_tid] {
+                let origin = EventOrigin {
+                    tid: Some(tid),
+                    ..EventOrigin::default()
+                };
+                sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 1.0);
+            }
+        }
+        // Every barrier completes despite the quarantined shard.
+        sink.drain();
+        sink.pause();
+        sink.resume();
+        sink.epoch_complete();
+        let cct = sink.snapshot();
+        let counters = sink.counters();
+        assert_eq!(sink.quarantined_shards(), vec![0]);
+        assert!(counters.worker_panics >= 1);
+        assert_eq!(
+            counters.worker_events + counters.poisoned_events + counters.dropped_events,
+            counters.enqueued_events,
+            "event conservation: {counters:?}"
+        );
+        // The healthy shard attributed normally; the quarantined shard's
+        // events surface at the synthetic <poisoned> context.
+        assert_eq!(cct.total(MetricKind::CpuTime), 10.0);
+        assert_eq!(
+            cct.total(MetricKind::PoisonedEvents),
+            counters.poisoned_events as f64
+        );
+        assert_eq!(counters.poisoned_events, 10);
+    }
+
+    #[test]
+    fn drop_oldest_samples_victim_contexts_under_dropped() {
+        // Beyond the exact <dropped> total, eviction samples every K-th
+        // victim's context into a ring so the profile reports *which*
+        // contexts the overload fell on, scaled by the stride.
+        let interner = Interner::new();
+        let inner = ShardedSink::new(Arc::clone(&interner), 1);
+        let sink = AsyncSink::new(
+            Arc::clone(&inner),
+            PipelineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                backpressure: BackpressurePolicy::DropOldest,
+                launch_batch: 1,
+                ..PipelineConfig::default()
+            },
+        );
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel("hot", "m.so", 0x1, &interner));
+        let origin = EventOrigin {
+            tid: Some(1),
+            ..EventOrigin::default()
+        };
+        sink.pause();
+        for _ in 0..200 {
+            sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 1.0);
+        }
+        sink.resume();
+        sink.drain();
+        let cct = sink.snapshot();
+        let counters = sink.counters();
+        assert!(counters.dropped_events >= 100, "flood must overflow");
+        // The root-ward total stays exact: victim estimates attribute
+        // exclusively and never double-count it.
+        assert_eq!(
+            cct.total(MetricKind::DroppedEvents),
+            counters.dropped_events as f64
+        );
+        // The sampled victim context sits under <dropped> with a
+        // stride-scaled estimate.
+        let dropped_frame = Frame::operator("<dropped>", &interner);
+        let dropped_node = cct
+            .dfs()
+            .find(|&n| cct.node(n).frame() == &dropped_frame)
+            .expect("<dropped> context exists");
+        let victim = cct
+            .node(dropped_node)
+            .children()
+            .iter()
+            .copied()
+            .find(|&child| cct.metric(child, MetricKind::DroppedEvents).is_some())
+            .expect("sampled victim context under <dropped>");
+        let estimate = cct.metric(victim, MetricKind::DroppedEvents).unwrap().sum;
+        assert!(
+            estimate >= DROP_SAMPLE_STRIDE as f64,
+            "victim estimate is stride-scaled, got {estimate}"
+        );
     }
 }

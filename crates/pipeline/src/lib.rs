@@ -63,9 +63,11 @@
 pub mod async_sink;
 pub mod batch;
 pub mod directory;
+pub mod failpoint;
 pub mod self_telemetry;
 pub mod sharded;
 pub mod sink;
+pub mod supervisor;
 
 pub use async_sink::{AsyncSink, BackpressurePolicy, PipelineConfig};
 pub use batch::BatchingSink;
@@ -73,15 +75,17 @@ pub use directory::{
     default_directory_map, DirectoryMap, DirectoryMapKind, StripedFlatDirectory,
     StripedHashDirectory,
 };
+pub use failpoint::Failpoints;
 pub use self_telemetry::PipelineTelemetry;
 pub use sharded::ShardedSink;
 pub use sink::{attribute_activity_metrics, EventSink, SinkCounters};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorSink, SupervisorState};
 
 // The self-telemetry types the profiler speaks (see
 // `ShardedSink::with_telemetry`), re-exported for the same reason.
 pub use deepcontext_telemetry::{
-    default_telemetry_config, default_telemetry_enabled, HealthReport, Telemetry, TelemetryConfig,
-    TelemetrySnapshot,
+    default_telemetry_config, default_telemetry_enabled, HealthReport, HealthThresholds, Telemetry,
+    TelemetryConfig, TelemetrySnapshot,
 };
 
 // The timeline types every sink speaks (see `EventSink::timeline_snapshot`

@@ -54,9 +54,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use deepcontext_core::failpoint::sites as fp_sites;
 use deepcontext_core::{
-    CallPath, CallingContextTree, CctShard, FoldState, Interner, Interval, IntervalKind,
-    MetricKind, NodeId, Sym, TimeNs, TrackKey,
+    CallPath, CallingContextTree, CctShard, Failpoints, FoldState, Interner, Interval,
+    IntervalKind, MetricKind, NodeId, Sym, TimeNs, TrackKey,
 };
 use deepcontext_telemetry::TelemetryConfig;
 use deepcontext_timeline::{TimelineConfig, TimelineSink, TimelineSnapshot};
@@ -128,6 +129,11 @@ pub struct ShardedSink {
     /// Self-telemetry instruments (`None` = telemetry off, the default;
     /// every instrumentation site is then a single `Option` branch).
     telemetry: Option<Arc<PipelineTelemetry>>,
+    /// Deterministic fault-injection registry (directory-bind and
+    /// snapshot-fold stall sites live in this sink). Disabled unless the
+    /// `DEEPCONTEXT_FAILPOINTS` spec names one of them; every check is
+    /// then one branch on an empty list.
+    failpoints: Failpoints,
     /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
     /// shard lock is already held at batch boundaries, so peak tracking
     /// never sweeps every shard lock.
@@ -223,9 +229,36 @@ impl ShardedSink {
         directory_map: DirectoryMapKind,
         telemetry: &TelemetryConfig,
     ) -> Arc<Self> {
+        ShardedSink::with_failpoints(
+            interner,
+            shard_count,
+            snapshot_cache,
+            timeline,
+            directory_map,
+            telemetry,
+            Failpoints::from_env(),
+        )
+    }
+
+    /// [`with_telemetry`](Self::with_telemetry) with an explicit
+    /// fault-injection registry instead of the `DEEPCONTEXT_FAILPOINTS`
+    /// environment spec — how tests inject directory-bind / fold stalls
+    /// without leaking state across tests through the process
+    /// environment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_failpoints(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+        timeline: &TimelineConfig,
+        directory_map: DirectoryMapKind,
+        telemetry: &TelemetryConfig,
+        failpoints: Failpoints,
+    ) -> Arc<Self> {
         let n = shard_count.max(1);
         Arc::new(ShardedSink {
             telemetry: PipelineTelemetry::from_config(telemetry, &interner),
+            failpoints,
             timeline: timeline.enabled.then(|| TimelineSink::new(n, timeline)),
             shards: (0..n)
                 .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
@@ -408,6 +441,8 @@ impl ShardedSink {
     }
 
     fn directory_bind(&self, corr: u64, shard: usize) {
+        self.failpoints
+            .stall_at(fp_sites::DIR_BIND_STALL, shard as u64);
         self.directory.bind(corr, shard as u32);
     }
 
@@ -650,6 +685,36 @@ impl ShardedSink {
         self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
     }
 
+    /// Attributes sampled eviction-victim contexts as children of shard
+    /// `idx`'s `<dropped>` node, `stride` events each (the sampler keeps
+    /// one victim per `stride` evicted events, so the per-context counts
+    /// are unbiased estimates). Victims attribute *exclusively*: the
+    /// exact root-ward total [`apply_dropped`](Self::apply_dropped) puts
+    /// at `<dropped>` is never double-counted.
+    pub fn apply_dropped_samples(&self, idx: usize, paths: &[CallPath], stride: u64) {
+        if paths.is_empty() {
+            return;
+        }
+        let mut shard = self.shards[idx].lock();
+        for path in paths {
+            shard.attribute_dropped_sample(path, stride as f64);
+        }
+        self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+    }
+
+    /// Attributes `count` events lost to a quarantined worker to shard
+    /// `idx`'s synthetic `<poisoned>` context, so fault isolation shows
+    /// up inside the profile (not just in side counters) — the
+    /// `<dropped>` convention, applied to panics.
+    pub fn apply_poisoned(&self, idx: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut shard = self.shards[idx].lock();
+        shard.attribute_poisoned(count);
+        self.shard_bytes[idx].store(shard.approx_bytes(), Ordering::Relaxed);
+    }
+
     fn apply_activity_refs<'a>(&self, idx: usize, bucket: impl Iterator<Item = &'a Activity>) {
         let mut bucket = bucket.peekable();
         if bucket.peek().is_none() {
@@ -721,6 +786,7 @@ impl ShardedSink {
     /// inspected/folded (cache → shard is the only lock order involving
     /// the cache, so ingestion never deadlocks against refreshes).
     fn refresh_cache(&self, cache: &mut Option<SnapshotCache>) {
+        self.failpoints.stall_at(fp_sites::FOLD_STALL, 0);
         let cache =
             cache.get_or_insert_with(|| SnapshotCache::empty(&self.interner, self.shards.len()));
         let fold_start = self.telemetry.as_ref().map(|t| t.now_ns());

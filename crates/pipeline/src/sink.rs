@@ -137,6 +137,14 @@ pub struct SinkCounters {
     /// timeline is a trailing window of the run, not the whole run
     /// (surfaced like the pipeline's `<dropped>` telemetry).
     pub timeline_dropped: u64,
+    /// Worker panics caught by the asynchronous pipeline's fault
+    /// isolation. Each one quarantines the shard whose apply panicked;
+    /// an orderly run keeps this at zero.
+    pub worker_panics: u64,
+    /// Events that arrived at a quarantined shard and were accounted to
+    /// the synthetic `<poisoned>` context instead of being attributed.
+    /// Always zero on synchronous sinks.
+    pub poisoned_events: u64,
 }
 
 /// Where profiler collection paths deliver their events.

@@ -1,0 +1,708 @@
+//! Health-driven graceful degradation: the [`Supervisor`] state machine
+//! and the [`SupervisorSink`] admission wrapper.
+//!
+//! The pipeline's `DropOldest` backpressure keeps producers unblocked,
+//! but blind eviction biases the profile: whichever contexts happen to
+//! be enqueued when a queue fills lose events, and nothing records how
+//! many. The supervisor replaces that failure mode with *deterministic
+//! sampled ingestion*: when the [`HealthReport`] window shows the
+//! pipeline falling behind, the sink stops admitting every event and
+//! admits exactly one in [`SupervisorConfig::sample_stride`], recording
+//! the stride so consumers can rescale (an unbiased estimate, unlike
+//! eviction); when the pipeline is drowning outright it turns the tap
+//! off entirely and lets the workload run untouched.
+//!
+//! ```text
+//!            degrade edge breached          bypass edge breached
+//!            trip_streak windows            trip_streak windows
+//!   Healthy ────────────────────▶ Degraded ────────────────────▶ Bypass
+//!      ▲                             │  ▲                           │
+//!      └─────────────────────────────┘  └───────────────────────────┘
+//!        calm (signals < recover_fraction × edge)
+//!        for recover_streak windows
+//! ```
+//!
+//! Both directions have hysteresis: escalation needs
+//! [`trip_streak`](SupervisorConfig::trip_streak) *consecutive* breached
+//! windows, and recovery needs
+//! [`recover_streak`](SupervisorConfig::recover_streak) consecutive
+//! windows with every signal below
+//! [`recover_fraction`](SupervisorConfig::recover_fraction) of the edge
+//! it tripped on — a window hovering at the threshold flaps neither way.
+//!
+//! # Sampling coherence
+//!
+//! Degraded-mode admission is keyed on the GPU correlation id:
+//! a launch is admitted iff `correlation % sample_stride == 0`, and
+//! activity records are filtered by the *same* predicate — so every
+//! admitted activity's correlation was bound by an admitted launch and
+//! the sampled profile contains no sampling-induced orphans. Events
+//! without a correlation (CPU samples) are sampled 1-in-N off a shared
+//! counter. Admitted events are **not** scaled inline; the profiler
+//! stamps the stride into `ProfileMeta::extra` (`supervisor.sample_rate`)
+//! and estimate consumers multiply by it.
+//!
+//! Barriers are never sampled: `epoch_complete`, snapshots, timelines
+//! and counters pass straight through in every state, so drain semantics
+//! and determinism are untouched by degradation.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
+use deepcontext_telemetry::{names, Counter, Gauge, HealthReport, HealthThresholds, Telemetry};
+use deepcontext_timeline::TimelineSnapshot;
+use dlmonitor::EventOrigin;
+use sim_gpu::{Activity, ApiKind};
+
+use crate::sink::{EventSink, SinkCounters};
+
+/// The supervisor's ingestion posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SupervisorState {
+    /// Every event is admitted; the fast path is one relaxed atomic
+    /// load.
+    Healthy = 0,
+    /// Deterministic 1-in-N admission with the stride recorded for
+    /// rescaling.
+    Degraded = 1,
+    /// Data events are discarded outright; barriers still flow.
+    Bypass = 2,
+}
+
+impl SupervisorState {
+    fn from_u8(v: u8) -> SupervisorState {
+        match v {
+            1 => SupervisorState::Degraded,
+            2 => SupervisorState::Bypass,
+            _ => SupervisorState::Healthy,
+        }
+    }
+}
+
+/// Knobs of the [`Supervisor`] state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// The `Healthy → Degraded` edge, judged against each health window.
+    pub degrade: HealthThresholds,
+    /// The `Degraded → Bypass` edge. The default judges drop rate alone
+    /// (its `queue_saturation` is `+∞` — a saturated queue that is *not*
+    /// dropping much is what `Degraded` is for).
+    pub bypass: HealthThresholds,
+    /// Consecutive breached windows required to escalate one state.
+    pub trip_streak: u32,
+    /// Consecutive calm windows required to recover one state.
+    pub recover_streak: u32,
+    /// Recovery demands every signal below this fraction of the edge it
+    /// tripped on, so a run hovering at the threshold cannot flap.
+    pub recover_fraction: f64,
+    /// Degraded-mode admission stride: one event in `sample_stride` is
+    /// ingested (clamped to at least 1; 1 admits everything).
+    pub sample_stride: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            degrade: HealthThresholds::default(),
+            bypass: HealthThresholds {
+                drop_rate: 0.25,
+                queue_saturation: f64::INFINITY,
+            },
+            trip_streak: 2,
+            recover_streak: 3,
+            recover_fraction: 0.5,
+            sample_stride: 8,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Whether every signal of `report` sits below `fraction` of this
+    /// edge — the calm test recovery requires.
+    fn calm(edge: &HealthThresholds, fraction: f64, report: &HealthReport) -> bool {
+        report.drop_rate < edge.drop_rate * fraction
+            && report.queue_saturation < edge.queue_saturation * fraction
+    }
+}
+
+/// Telemetry handles the supervisor publishes through when the profiler
+/// runs with self-telemetry on.
+struct SupervisorTelemetry {
+    transitions: Arc<Counter>,
+    state: Arc<Gauge>,
+    sampled: Arc<Counter>,
+    rejected: Arc<Counter>,
+    bypassed: Arc<Counter>,
+}
+
+/// A point-in-time copy of the supervisor's counters, for stats
+/// surfaces and the profiler's `ProfileMeta::extra` stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorStatus {
+    /// Current state as its `u8` code (0 = Healthy, 1 = Degraded,
+    /// 2 = Bypass).
+    pub state: u8,
+    /// State transitions taken (every edge counts, both directions).
+    pub transitions: u64,
+    /// Health windows observed while not `Healthy`.
+    pub degraded_windows: u64,
+    /// The configured degraded-mode admission stride.
+    pub sample_stride: u64,
+    /// Events admitted by the 1-in-N sampler while `Degraded`.
+    pub sampled_events: u64,
+    /// Events rejected by the sampler while `Degraded`.
+    pub rejected_events: u64,
+    /// Events discarded while `Bypass`.
+    pub bypassed_events: u64,
+}
+
+/// The `Healthy → Degraded → Bypass` state machine. Feed it one
+/// [`HealthReport`] per telemetry window via [`observe`](Self::observe);
+/// read the posture with [`state`](Self::state). All methods take
+/// `&self` — the machine is shared between the profiler (observing) and
+/// the [`SupervisorSink`] (admitting) as an `Arc`.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    state: AtomicU8,
+    /// Consecutive breached windows toward the next escalation.
+    trip_run: AtomicU32,
+    /// Consecutive calm windows toward the next recovery.
+    recover_run: AtomicU32,
+    transitions: AtomicU64,
+    degraded_windows: AtomicU64,
+    sampled: AtomicU64,
+    rejected: AtomicU64,
+    bypassed: AtomicU64,
+    /// Round-robin counter sampling correlation-less events.
+    uncorrelated: AtomicU64,
+    telemetry: Option<SupervisorTelemetry>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("config", &self.config)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with no telemetry sink.
+    pub fn new(config: SupervisorConfig) -> Arc<Supervisor> {
+        Supervisor::with_telemetry(config, None)
+    }
+
+    /// A supervisor that mirrors its transitions and admission counters
+    /// into `telemetry` when provided.
+    pub fn with_telemetry(
+        config: SupervisorConfig,
+        telemetry: Option<&Telemetry>,
+    ) -> Arc<Supervisor> {
+        let config = SupervisorConfig {
+            sample_stride: config.sample_stride.max(1),
+            trip_streak: config.trip_streak.max(1),
+            recover_streak: config.recover_streak.max(1),
+            ..config
+        };
+        let telemetry = telemetry.map(|t| {
+            let state = t.gauge(names::SUPERVISOR_STATE, &[]);
+            state.set(SupervisorState::Healthy as u8 as u64);
+            SupervisorTelemetry {
+                transitions: t.counter(names::SUPERVISOR_TRANSITIONS, &[]),
+                state,
+                sampled: t.counter(names::SUPERVISOR_SAMPLED_EVENTS, &[]),
+                rejected: t.counter(names::SUPERVISOR_REJECTED_EVENTS, &[]),
+                bypassed: t.counter(names::SUPERVISOR_BYPASSED_EVENTS, &[]),
+            }
+        });
+        Arc::new(Supervisor {
+            config,
+            state: AtomicU8::new(SupervisorState::Healthy as u8),
+            trip_run: AtomicU32::new(0),
+            recover_run: AtomicU32::new(0),
+            transitions: AtomicU64::new(0),
+            degraded_windows: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
+            uncorrelated: AtomicU64::new(0),
+            telemetry,
+        })
+    }
+
+    /// The configuration the supervisor was built with (strides and
+    /// streaks clamped to at least 1).
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Current posture. One relaxed load — this is the admission fast
+    /// path.
+    pub fn state(&self) -> SupervisorState {
+        SupervisorState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Counter snapshot.
+    pub fn status(&self) -> SupervisorStatus {
+        SupervisorStatus {
+            state: self.state.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
+            sample_stride: self.config.sample_stride,
+            sampled_events: self.sampled.load(Ordering::Relaxed),
+            rejected_events: self.rejected.load(Ordering::Relaxed),
+            bypassed_events: self.bypassed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Feeds one health window into the state machine, escalating or
+    /// recovering at most one state per call. Returns the state after
+    /// the observation.
+    pub fn observe(&self, report: &HealthReport) -> SupervisorState {
+        let state = self.state();
+        if state != SupervisorState::Healthy {
+            self.degraded_windows.fetch_add(1, Ordering::Relaxed);
+        }
+        let (trip_edge, next_up) = match state {
+            SupervisorState::Healthy => (Some(&self.config.degrade), SupervisorState::Degraded),
+            SupervisorState::Degraded => (Some(&self.config.bypass), SupervisorState::Bypass),
+            SupervisorState::Bypass => (None, SupervisorState::Bypass),
+        };
+        // The edge a state recovers across is the edge it escalated
+        // over, scaled by recover_fraction.
+        let (recover_edge, next_down) = match state {
+            SupervisorState::Healthy => (None, SupervisorState::Healthy),
+            SupervisorState::Degraded => (Some(&self.config.degrade), SupervisorState::Healthy),
+            SupervisorState::Bypass => (Some(&self.config.bypass), SupervisorState::Degraded),
+        };
+        if let Some(edge) = trip_edge {
+            if edge.breached(report) {
+                let run = self.trip_run.fetch_add(1, Ordering::Relaxed) + 1;
+                if run >= self.config.trip_streak {
+                    self.transition_to(next_up);
+                    return next_up;
+                }
+            } else {
+                self.trip_run.store(0, Ordering::Relaxed);
+            }
+        }
+        if let Some(edge) = recover_edge {
+            if SupervisorConfig::calm(edge, self.config.recover_fraction, report) {
+                let run = self.recover_run.fetch_add(1, Ordering::Relaxed) + 1;
+                if run >= self.config.recover_streak {
+                    self.transition_to(next_down);
+                    return next_down;
+                }
+            } else {
+                self.recover_run.store(0, Ordering::Relaxed);
+            }
+        }
+        state
+    }
+
+    /// Jams the machine into `state` (tests, benches, operator
+    /// overrides). Counts as a transition when the state changes.
+    pub fn force_state(&self, state: SupervisorState) {
+        if self.state() != state {
+            self.transition_to(state);
+        }
+    }
+
+    fn transition_to(&self, state: SupervisorState) {
+        self.state.store(state as u8, Ordering::Relaxed);
+        self.trip_run.store(0, Ordering::Relaxed);
+        self.recover_run.store(0, Ordering::Relaxed);
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.transitions.add(1);
+            t.state.set(state as u8 as u64);
+        }
+    }
+
+    /// Whether an event carrying `correlation` is admitted in the
+    /// current state. Also maintains the admission counters.
+    fn admit_correlated(&self, correlation: u64) -> bool {
+        match self.state() {
+            SupervisorState::Healthy => true,
+            SupervisorState::Degraded => {
+                self.note_sampled(correlation.is_multiple_of(self.config.sample_stride), 1)
+            }
+            SupervisorState::Bypass => self.note_bypassed(1),
+        }
+    }
+
+    /// Whether a correlation-less event is admitted, sampling off the
+    /// shared round-robin counter.
+    fn admit_uncorrelated(&self) -> bool {
+        match self.state() {
+            SupervisorState::Healthy => true,
+            SupervisorState::Degraded => {
+                let n = self.uncorrelated.fetch_add(1, Ordering::Relaxed);
+                self.note_sampled(n.is_multiple_of(self.config.sample_stride), 1)
+            }
+            SupervisorState::Bypass => self.note_bypassed(1),
+        }
+    }
+
+    fn note_sampled(&self, admitted: bool, weight: u64) -> bool {
+        if admitted {
+            self.sampled.fetch_add(weight, Ordering::Relaxed);
+            if let Some(t) = &self.telemetry {
+                t.sampled.add(weight);
+            }
+        } else {
+            self.rejected.fetch_add(weight, Ordering::Relaxed);
+            if let Some(t) = &self.telemetry {
+                t.rejected.add(weight);
+            }
+        }
+        admitted
+    }
+
+    fn note_bypassed(&self, weight: u64) -> bool {
+        self.bypassed.fetch_add(weight, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.bypassed.add(weight);
+        }
+        false
+    }
+}
+
+/// An [`EventSink`] decorator that enforces the supervisor's posture in
+/// front of any inner sink. Data events are admitted per the state
+/// machine; barriers, snapshots, timelines and counters always delegate.
+pub struct SupervisorSink {
+    inner: Arc<dyn EventSink>,
+    supervisor: Arc<Supervisor>,
+}
+
+impl SupervisorSink {
+    /// Wraps `inner` under `supervisor`'s admission control.
+    pub fn new(inner: Arc<dyn EventSink>, supervisor: Arc<Supervisor>) -> Arc<SupervisorSink> {
+        Arc::new(SupervisorSink { inner, supervisor })
+    }
+
+    /// The shared state machine (feed it health windows, read its
+    /// status).
+    pub fn supervisor(&self) -> &Arc<Supervisor> {
+        &self.supervisor
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &Arc<dyn EventSink> {
+        &self.inner
+    }
+
+    fn admit_origin(&self, origin: &EventOrigin) -> bool {
+        match origin.correlation {
+            Some(corr) => self.supervisor.admit_correlated(corr.0),
+            None => self.supervisor.admit_uncorrelated(),
+        }
+    }
+
+    /// Filters an activity batch by the same correlation predicate the
+    /// launch path used, so sampled batches resolve against sampled
+    /// bindings with zero sampling-induced orphans. Returns `None` when
+    /// the whole batch is admitted unchanged (the Healthy fast path —
+    /// no copy).
+    fn filter_batch(&self, batch: &[Activity]) -> Option<Vec<Activity>> {
+        match self.supervisor.state() {
+            SupervisorState::Healthy => None,
+            SupervisorState::Degraded => {
+                let stride = self.supervisor.config.sample_stride;
+                let kept: Vec<Activity> = batch
+                    .iter()
+                    .filter(|a| a.correlation_id.0 % stride == 0)
+                    .cloned()
+                    .collect();
+                self.supervisor.note_sampled(true, kept.len() as u64);
+                self.supervisor
+                    .note_sampled(false, (batch.len() - kept.len()) as u64);
+                Some(kept)
+            }
+            SupervisorState::Bypass => {
+                self.supervisor.note_bypassed(batch.len() as u64);
+                Some(Vec::new())
+            }
+        }
+    }
+}
+
+impl EventSink for SupervisorSink {
+    fn gpu_launch(&self, origin: &EventOrigin, path: &CallPath, api: ApiKind) {
+        if self.admit_origin(origin) {
+            self.inner.gpu_launch(origin, path, api);
+        }
+    }
+
+    fn gpu_launch_owned(&self, origin: &EventOrigin, path: CallPath, api: ApiKind) {
+        if self.admit_origin(origin) {
+            self.inner.gpu_launch_owned(origin, path, api);
+        }
+    }
+
+    fn activity_batch(&self, batch: &[Activity]) {
+        match self.filter_batch(batch) {
+            None => self.inner.activity_batch(batch),
+            Some(kept) if kept.is_empty() => {}
+            Some(kept) => self.inner.activity_batch_owned(kept),
+        }
+    }
+
+    fn activity_batch_owned(&self, batch: Vec<Activity>) {
+        match self.filter_batch(&batch) {
+            None => self.inner.activity_batch_owned(batch),
+            Some(kept) if kept.is_empty() => {}
+            Some(kept) => self.inner.activity_batch_owned(kept),
+        }
+    }
+
+    fn epoch_complete(&self) {
+        self.inner.epoch_complete();
+    }
+
+    fn cpu_sample(&self, origin: &EventOrigin, path: &CallPath, metric: MetricKind, value: f64) {
+        if self.supervisor.admit_uncorrelated() {
+            self.inner.cpu_sample(origin, path, metric, value);
+        }
+    }
+
+    fn cpu_sample_owned(
+        &self,
+        origin: &EventOrigin,
+        path: CallPath,
+        metric: MetricKind,
+        value: f64,
+    ) {
+        if self.supervisor.admit_uncorrelated() {
+            self.inner.cpu_sample_owned(origin, path, metric, value);
+        }
+    }
+
+    fn snapshot(&self) -> CallingContextTree {
+        self.inner.snapshot()
+    }
+
+    fn with_snapshot(&self, f: &mut dyn FnMut(&CallingContextTree)) {
+        self.inner.with_snapshot(f);
+    }
+
+    fn finish_snapshot(&self) -> CallingContextTree {
+        self.inner.finish_snapshot()
+    }
+
+    fn timeline_snapshot(&self) -> Option<TimelineSnapshot> {
+        self.inner.timeline_snapshot()
+    }
+
+    fn counters(&self) -> SinkCounters {
+        self.inner.counters()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedSink;
+    use deepcontext_core::{Frame, Interner, TimeNs};
+    use sim_gpu::{ActivityKind, CorrelationId, DeviceId, StreamId};
+
+    fn breached_report() -> HealthReport {
+        HealthReport {
+            drop_rate: 0.5,
+            queue_saturation: 1.0,
+            ..HealthReport::default()
+        }
+    }
+
+    fn calm_report() -> HealthReport {
+        HealthReport::default()
+    }
+
+    #[test]
+    fn escalation_and_recovery_both_require_streaks() {
+        let sup = Supervisor::new(SupervisorConfig {
+            trip_streak: 2,
+            recover_streak: 2,
+            ..SupervisorConfig::default()
+        });
+        assert_eq!(sup.state(), SupervisorState::Healthy);
+        // One breached window is not enough...
+        sup.observe(&breached_report());
+        assert_eq!(sup.state(), SupervisorState::Healthy);
+        // ...and a calm window resets the streak.
+        sup.observe(&calm_report());
+        sup.observe(&breached_report());
+        assert_eq!(sup.state(), SupervisorState::Healthy);
+        // Two consecutive breaches trip the edge.
+        sup.observe(&breached_report());
+        assert_eq!(sup.state(), SupervisorState::Degraded);
+        // Recovery needs its own streak of calm windows.
+        sup.observe(&calm_report());
+        assert_eq!(sup.state(), SupervisorState::Degraded);
+        sup.observe(&calm_report());
+        assert_eq!(sup.state(), SupervisorState::Healthy);
+        assert_eq!(sup.status().transitions, 2);
+        assert_eq!(sup.status().degraded_windows, 2);
+    }
+
+    #[test]
+    fn bypass_trips_on_the_stricter_edge_and_recovers_one_state() {
+        let sup = Supervisor::new(SupervisorConfig {
+            trip_streak: 1,
+            recover_streak: 1,
+            ..SupervisorConfig::default()
+        });
+        // Heavy drops escalate twice: Healthy → Degraded → Bypass.
+        sup.observe(&breached_report());
+        assert_eq!(sup.state(), SupervisorState::Degraded);
+        sup.observe(&breached_report());
+        assert_eq!(sup.state(), SupervisorState::Bypass);
+        // Recovery is stepwise, never Bypass → Healthy directly.
+        sup.observe(&calm_report());
+        assert_eq!(sup.state(), SupervisorState::Degraded);
+        sup.observe(&calm_report());
+        assert_eq!(sup.state(), SupervisorState::Healthy);
+    }
+
+    #[test]
+    fn hovering_below_the_trip_edge_but_above_recovery_flaps_neither_way() {
+        let sup = Supervisor::new(SupervisorConfig {
+            trip_streak: 1,
+            recover_streak: 1,
+            ..SupervisorConfig::default()
+        });
+        sup.force_state(SupervisorState::Degraded);
+        // drop_rate 0.008 is below the 0.01 degrade edge but above the
+        // 0.005 recovery edge (fraction 0.5): the state must hold.
+        let hover = HealthReport {
+            drop_rate: 0.008,
+            ..HealthReport::default()
+        };
+        for _ in 0..5 {
+            sup.observe(&hover);
+        }
+        assert_eq!(sup.state(), SupervisorState::Degraded);
+    }
+
+    fn kernel_launch(sink: &dyn EventSink, interner: &Arc<Interner>, corr: u64, name: &str) {
+        let origin = EventOrigin {
+            tid: Some(1),
+            stream: Some(StreamId(0)),
+            correlation: Some(CorrelationId(corr)),
+        };
+        let mut path = CallPath::new();
+        path.push(Frame::gpu_kernel(name, "m.so", 0x1, interner));
+        sink.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+    }
+
+    fn kernel_activity(corr: u64) -> Activity {
+        Activity {
+            correlation_id: CorrelationId(corr),
+            device: DeviceId(0),
+            kind: ActivityKind::Kernel {
+                name: "k".into(),
+                module: "m.so".into(),
+                entry_pc: 0x1,
+                start: TimeNs(0),
+                end: TimeNs(100),
+                stream: StreamId(0),
+                blocks: 1,
+                warps: 1,
+                occupancy: 1.0,
+                shared_mem_per_block: 0,
+                registers_per_thread: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn degraded_admission_is_correlation_coherent_with_zero_orphans() {
+        let interner = Interner::new();
+        let inner = ShardedSink::new(interner.clone(), 2);
+        let sup = Supervisor::new(SupervisorConfig {
+            sample_stride: 4,
+            ..SupervisorConfig::default()
+        });
+        let sink = SupervisorSink::new(inner.clone(), sup.clone());
+        sup.force_state(SupervisorState::Degraded);
+
+        for corr in 0..40u64 {
+            kernel_launch(sink.as_ref(), &interner, corr, "k");
+        }
+        let batch: Vec<Activity> = (0..40u64).map(kernel_activity).collect();
+        sink.activity_batch(&batch);
+        sink.epoch_complete();
+
+        let counters = sink.counters();
+        // Exactly the corr % 4 == 0 records survive, every one resolved
+        // against a binding the launch path also admitted.
+        assert_eq!(counters.activities, 10);
+        assert_eq!(counters.orphans, 0);
+        let status = sup.status();
+        // 10 launches + 10 activities admitted; 30 + 30 rejected.
+        assert_eq!(status.sampled_events, 20);
+        assert_eq!(status.rejected_events, 60);
+        // The estimate consumers rescale by is the configured stride.
+        assert_eq!(status.sample_stride, 4);
+    }
+
+    #[test]
+    fn bypass_discards_data_but_barriers_and_snapshots_still_flow() {
+        let interner = Interner::new();
+        let inner = ShardedSink::new(interner.clone(), 2);
+        let sup = Supervisor::new(SupervisorConfig::default());
+        let sink = SupervisorSink::new(inner, sup.clone());
+
+        kernel_launch(sink.as_ref(), &interner, 0, "before");
+        sink.activity_batch(&[kernel_activity(0)]);
+        sup.force_state(SupervisorState::Bypass);
+        kernel_launch(sink.as_ref(), &interner, 4, "during");
+        sink.activity_batch(&[kernel_activity(4)]);
+        sink.epoch_complete();
+
+        let counters = sink.counters();
+        assert_eq!(counters.activities, 1, "bypassed activity was ingested");
+        assert_eq!(sup.status().bypassed_events, 2);
+        let cct = sink.snapshot();
+        let has = |name: &str| {
+            cct.dfs()
+                .any(|n| cct.node(n).frame() == &Frame::gpu_kernel(name, "m.so", 0x1, &interner))
+        };
+        assert!(has("before"), "pre-bypass context missing from snapshot");
+        assert!(!has("during"), "bypassed launch leaked into the profile");
+    }
+
+    #[test]
+    fn healthy_passes_everything_through() {
+        let interner = Interner::new();
+        let inner = ShardedSink::new(interner.clone(), 2);
+        let sup = Supervisor::new(SupervisorConfig::default());
+        let sink = SupervisorSink::new(inner, sup.clone());
+        for corr in 0..10u64 {
+            kernel_launch(sink.as_ref(), &interner, corr, "k");
+        }
+        sink.activity_batch_owned((0..10u64).map(kernel_activity).collect());
+        let origin = EventOrigin {
+            tid: Some(1),
+            ..EventOrigin::default()
+        };
+        let mut path = CallPath::new();
+        path.push(Frame::operator("cpu", &interner));
+        sink.cpu_sample(&origin, &path, MetricKind::CpuTime, 1.0);
+        let counters = sink.counters();
+        assert_eq!(counters.activities, 10);
+        let status = sup.status();
+        assert_eq!(status.sampled_events, 0);
+        assert_eq!(status.rejected_events, 0);
+        assert_eq!(status.bypassed_events, 0);
+        assert_eq!(sink.snapshot().total(MetricKind::CpuTime), 1.0);
+    }
+}

@@ -22,12 +22,25 @@ use std::sync::Arc;
 
 use deepcontext_core::{CallPath, Frame, FrameKind, Interner, MetricKind, TimeNs};
 use deepcontext_pipeline::{
-    AsyncSink, BackpressurePolicy, BatchingSink, EventSink, PipelineConfig, ShardedSink,
-    TimelineConfig,
+    AsyncSink, BackpressurePolicy, BatchingSink, EventSink, Failpoints, PipelineConfig,
+    ShardedSink, TimelineConfig,
 };
 use dlmonitor::EventOrigin;
 use proptest::prelude::*;
 use sim_gpu::{Activity, ActivityKind, ApiKind, CorrelationId, DeviceId, StreamId};
+
+/// Joins a thread and, on panic, surfaces the panic payload text in the
+/// failure message instead of the opaque `Any` a bare `expect` prints.
+fn join_reporting<T>(handle: std::thread::JoinHandle<T>, what: &str) -> T {
+    handle.join().unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("{what} panicked: {msg}");
+    })
+}
 
 fn context_path(interner: &Arc<Interner>, tid: u64, ctx: u8) -> CallPath {
     let mut path = CallPath::new();
@@ -270,6 +283,160 @@ fn check_interleaving(steps: &[Step], shards: usize, async_mode: bool, launch_ba
     prop_assert_eq!(counters.activities, oracle.counters().activities);
 }
 
+/// Drives one interleaving into the asynchronous pipeline with a
+/// `worker_panic` failpoint pinned to one shard, against a synchronous
+/// oracle fed only the events routing to the *other* shards. The
+/// failpoint fires on every apply at the pinned shard, so the poisoned
+/// set is exactly the quarantined shard's traffic and fully
+/// deterministic; after injecting that tally into the oracle (the same
+/// synthetic `<poisoned>` merge the quarantine drain performs), the two
+/// profiles must be semantically identical at every snapshot barrier.
+/// Quarantine is thereby proven perfectly contained: healthy shards
+/// attribute exactly as if the poisoned shard never existed, and every
+/// produced event is accounted as attributed, `<poisoned>` or dropped.
+fn check_panic_interleaving(steps: &[Step], shards: usize, quarantined: usize) {
+    let interner = Interner::new();
+    let oracle = ShardedSink::new(Arc::clone(&interner), shards);
+    let inner = ShardedSink::new(Arc::clone(&interner), shards);
+    let candidate = AsyncSink::new(
+        Arc::clone(&inner),
+        PipelineConfig {
+            // Unbatched: each launch is one queue message, so the
+            // poisoned tally below is exact per event.
+            launch_batch: 1,
+            failpoints: Failpoints::parse(&format!("worker_panic@shard{quarantined}"))
+                .expect("valid failpoint spec"),
+            ..PipelineConfig::default()
+        },
+    );
+
+    let mut next_corr = 1u64;
+    // (correlation, ctx, launch survived — i.e. routed off the
+    // quarantined shard).
+    let mut outstanding: Vec<(u64, u8, bool)> = Vec::new();
+    let mut expected_poisoned = 0u64;
+    let mut injected = 0u64;
+    let mut snapshots = 0u32;
+
+    for step in steps {
+        match step {
+            Step::Launch { tid, ctx } => {
+                let corr = next_corr;
+                next_corr += 1;
+                let origin = launch_origin(*tid, *ctx, corr);
+                let path = context_path(&interner, *tid, *ctx);
+                let healthy = inner.route(&origin) != quarantined;
+                candidate.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                if healthy {
+                    oracle.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                } else {
+                    expected_poisoned += 1;
+                }
+                outstanding.push((corr, *ctx, healthy));
+            }
+            Step::Flush => {
+                // Retire all pending launch messages first, so poisoned
+                // launches have discarded their directory bindings and
+                // every activity's route below is deterministic.
+                candidate.drain();
+                let mut batch = Vec::new();
+                let mut kept = Vec::new();
+                for (corr, ctx, _healthy) in outstanding.drain(..) {
+                    let activity = kernel_activity(corr, ctx);
+                    if inner.route_activity(corr) == quarantined {
+                        // Routes into the quarantined queue: poisoned.
+                        expected_poisoned += 1;
+                    } else {
+                        // Routes to a healthy shard. A poisoned
+                        // launch's record arrives with its binding
+                        // discarded and orphans there; feeding the
+                        // oracle the same record (whose launch it never
+                        // saw) orphans identically, so `<orphan>`
+                        // attribution stays equivalent too.
+                        kept.push(activity.clone());
+                    }
+                    batch.push(activity);
+                }
+                candidate.activity_batch(&batch);
+                oracle.activity_batch(&kept);
+            }
+            Step::Sample { tid, ctx, value } => {
+                let origin = EventOrigin {
+                    tid: Some(*tid),
+                    ..EventOrigin::default()
+                };
+                let path = context_path(&interner, *tid, *ctx);
+                candidate.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+                if inner.route(&origin) == quarantined {
+                    expected_poisoned += 1;
+                } else {
+                    oracle.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+                }
+            }
+            Step::Epoch => {
+                // Flush boundaries are control flow: the quarantine
+                // drain still retires them on the poisoned shard.
+                oracle.epoch_complete();
+                candidate.epoch_complete();
+            }
+            Step::Snapshot => {
+                snapshots += 1;
+                if expected_poisoned > injected {
+                    oracle.apply_poisoned(0, expected_poisoned - injected);
+                    injected = expected_poisoned;
+                }
+                let s = oracle.snapshot();
+                let c = candidate.snapshot();
+                prop_assert_eq!(
+                    s.semantic_diff(&c),
+                    None,
+                    "shard {} quarantined, snapshot #{}",
+                    quarantined,
+                    snapshots
+                );
+            }
+        }
+    }
+
+    if expected_poisoned > injected {
+        oracle.apply_poisoned(0, expected_poisoned - injected);
+    }
+    let s = oracle.finish_snapshot();
+    let c = candidate.finish_snapshot();
+    prop_assert_eq!(
+        s.semantic_diff(&c),
+        None,
+        "shard {} quarantined, finish",
+        quarantined
+    );
+
+    let counters = candidate.counters();
+    // Epoch markers broadcast to every shard and apply behind the same
+    // fault boundary, so any data *or* epoch reaching the failpointed
+    // shard trips its quarantine.
+    let tripped = expected_poisoned > 0 || steps.iter().any(|step| matches!(step, Step::Epoch));
+    if tripped {
+        prop_assert!(
+            counters.worker_panics >= 1,
+            "traffic reached the failpointed shard, so a worker unwound"
+        );
+        prop_assert_eq!(candidate.quarantined_shards(), vec![quarantined]);
+    } else {
+        prop_assert_eq!(counters.worker_panics, 0);
+        prop_assert!(candidate.quarantined_shards().is_empty());
+    }
+    prop_assert_eq!(counters.poisoned_events, expected_poisoned);
+    prop_assert_eq!(counters.dropped_events, 0, "Block policy never drops");
+    prop_assert_eq!(
+        counters.worker_events + counters.poisoned_events + counters.dropped_events,
+        counters.enqueued_events,
+        "event conservation: attributed + <poisoned> + dropped == produced"
+    );
+    // Orphaned records (bindings discarded by the quarantine, or retired
+    // by epochs) attribute under `<orphan>` on both sides identically.
+    prop_assert_eq!(counters.orphans, oracle.counters().orphans);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -290,6 +457,14 @@ proptest! {
                 check_interleaving(&steps, 1, async_mode, launch_batch);
             }
         }
+    }
+
+    #[test]
+    fn worker_panics_leave_healthy_shards_equivalent_to_the_sync_oracle(
+        steps in prop::collection::vec(arb_step(), 1..60),
+        quarantined in 0usize..4,
+    ) {
+        check_panic_interleaving(&steps, 4, quarantined);
     }
 }
 
@@ -485,7 +660,7 @@ fn drop_oldest_evicts_partially_flushed_batches_without_leaks() {
     {
         let sink = Arc::clone(&sink);
         let interner = Arc::clone(&interner);
-        std::thread::spawn(move || {
+        let producer = std::thread::spawn(move || {
             for corr in 1..=PARTIAL {
                 sink.gpu_launch(
                     &launch_origin(1, 0, corr),
@@ -493,9 +668,8 @@ fn drop_oldest_evicts_partially_flushed_batches_without_leaks() {
                     ApiKind::LaunchKernel,
                 );
             }
-        })
-        .join()
-        .expect("producer thread");
+        });
+        join_reporting(producer, "partial-batch producer");
     }
     assert_eq!(
         inner.directory_entries(),
@@ -584,7 +758,7 @@ fn snapshot_readers_share_the_cached_master_without_queueing() {
         "concurrent with_snapshot readers deadlocked on the cache lock"
     );
     for reader in readers {
-        assert_eq!(reader.join().expect("reader"), 5.0);
+        assert_eq!(join_reporting(reader, "snapshot reader"), 5.0);
     }
 
     // A long-lived reader must keep observing its own consistent

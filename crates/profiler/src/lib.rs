@@ -50,9 +50,10 @@ pub use sink::{
     attribute_activity_metrics, default_directory_map, default_ingestion_mode,
     default_launch_batch, default_telemetry_config, default_telemetry_enabled,
     default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
-    DirectoryMap, DirectoryMapKind, EventSink, HealthReport, IngestionMode, PipelineConfig,
-    PipelineTelemetry, ShardedSink, SinkCounters, Telemetry, TelemetryConfig, TelemetrySnapshot,
-    TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
+    DirectoryMap, DirectoryMapKind, EventSink, Failpoints, HealthReport, HealthThresholds,
+    IngestionMode, PipelineConfig, PipelineTelemetry, ShardedSink, SinkCounters, Supervisor,
+    SupervisorConfig, SupervisorSink, SupervisorState, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -124,6 +125,18 @@ pub struct ProfilerConfig {
     /// self-timeline track. Off by default; the `DEEPCONTEXT_TELEMETRY`
     /// environment override flips the default on.
     pub telemetry: TelemetryConfig,
+    /// Health-driven graceful degradation: wrap the sink in a
+    /// [`SupervisorSink`] whose `Healthy → Degraded → Bypass` state
+    /// machine is fed one [`HealthReport`] window per
+    /// [`Profiler::flush`]. `Degraded` switches ingestion to
+    /// deterministic 1-in-N sampling (the stride is stamped into
+    /// `ProfileMeta::extra` as `supervisor.sample_rate` for rescaling);
+    /// `Bypass` turns the tap off while the workload runs untouched.
+    /// `None` (the default) admits everything unconditionally. Observing
+    /// health requires [`telemetry`](Self::telemetry) to be enabled —
+    /// with telemetry off a supervised profiler simply never leaves
+    /// `Healthy` on its own.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for ProfilerConfig {
@@ -143,6 +156,7 @@ impl Default for ProfilerConfig {
             snapshot_cache: true,
             timeline: default_timeline_config(),
             telemetry: default_telemetry_config(),
+            supervisor: None,
         }
     }
 }
@@ -219,6 +233,13 @@ pub struct ProfilerStats {
     /// Timeline intervals evicted by ring overflow — when non-zero the
     /// timeline is a trailing window of the run, not the whole run.
     pub timeline_dropped: u64,
+    /// Worker panics caught by the asynchronous pipeline's fault
+    /// isolation (each one quarantined a shard). Zero on healthy runs
+    /// and in synchronous mode.
+    pub worker_panics: u64,
+    /// Events accounted to the synthetic `<poisoned>` context after
+    /// arriving at a quarantined shard.
+    pub poisoned_events: u64,
 }
 
 struct Inner {
@@ -247,6 +268,10 @@ pub struct Profiler {
     /// [`attach_with_sink`](Profiler::attach_with_sink) leaves this
     /// `None`).
     telemetry: Option<Arc<PipelineTelemetry>>,
+    /// The degradation state machine — set by [`Profiler::attach`] when
+    /// [`ProfilerConfig::supervisor`] is configured. [`Profiler::flush`]
+    /// and [`Profiler::finish`] feed it health windows.
+    supervisor: Option<Arc<Supervisor>>,
 }
 
 impl Profiler {
@@ -270,7 +295,7 @@ impl Profiler {
             &config.telemetry,
         );
         let telemetry = sharded.telemetry().cloned();
-        let sink: Arc<dyn EventSink> = match config.ingestion_mode {
+        let mut sink: Arc<dyn EventSink> = match config.ingestion_mode {
             // Producer batching amortizes routing/locking in synchronous
             // mode too; the bare sharded sink remains the launch_batch=1
             // degenerate case.
@@ -278,10 +303,19 @@ impl Profiler {
                 BatchingSink::new(sharded, config.pipeline.launch_batch)
             }
             IngestionMode::Sync => sharded,
-            IngestionMode::Async => AsyncSink::new(sharded, config.pipeline),
+            IngestionMode::Async => AsyncSink::new(sharded, config.pipeline.clone()),
         };
+        // Admission control goes outermost so degraded-mode sampling is
+        // decided before any batching or queueing effort is spent.
+        let supervisor = config.supervisor.map(|sup_config| {
+            let supervisor =
+                Supervisor::with_telemetry(sup_config, telemetry.as_deref().map(|t| t.handle()));
+            sink = SupervisorSink::new(Arc::clone(&sink), Arc::clone(&supervisor));
+            supervisor
+        });
         let mut profiler = Profiler::attach_with_sink(config, env, monitor, gpu, sink);
         profiler.telemetry = telemetry;
+        profiler.supervisor = supervisor;
         profiler
     }
 
@@ -397,6 +431,7 @@ impl Profiler {
             sampler_ids,
             started: env.clock().now(),
             telemetry: None,
+            supervisor: None,
         }
     }
 
@@ -415,6 +450,23 @@ impl Profiler {
             self.inner.sink.activity_batch_owned(batch);
         }
         self.inner.sink.epoch_complete();
+        self.observe_health();
+    }
+
+    /// Feeds the current health window into the supervisor (no-op when
+    /// either the supervisor or telemetry is off). Runs at every flush
+    /// boundary; long-running embedders can also call it directly on
+    /// their own cadence.
+    pub fn observe_health(&self) {
+        if let (Some(supervisor), Some(report)) = (&self.supervisor, self.health_report()) {
+            supervisor.observe(&report);
+        }
+    }
+
+    /// The degradation state machine (`None` unless
+    /// [`ProfilerConfig::supervisor`] was configured at attach).
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
     }
 
     /// Current approximate profile memory (shards + correlation state).
@@ -470,6 +522,8 @@ impl Profiler {
             batched_events: counters.batched_events,
             timeline_intervals: counters.timeline_intervals,
             timeline_dropped: counters.timeline_dropped,
+            worker_panics: counters.worker_panics,
+            poisoned_events: counters.poisoned_events,
         }
     }
 
@@ -536,6 +590,7 @@ impl Profiler {
             self.inner.sink.activity_batch_owned(batch);
         }
         self.inner.sink.epoch_complete();
+        self.observe_health();
         let ended = self.env.clock().now();
         // Capture the timeline before finish_snapshot consumes the
         // sink's cached fold state (its context remap depends on it).
@@ -582,6 +637,35 @@ impl Profiler {
                     report.flush_latency.p99.to_string(),
                 ),
                 ("telemetry.fold_p99_ns", report.fold_latency.p99.to_string()),
+            ] {
+                meta.extra.push((key.to_string(), value));
+            }
+        }
+        // Stamp the degradation record: a profile taken under sampled or
+        // bypassed ingestion must say so (the analyzer's DegradedRunRule
+        // reads these, and estimate consumers rescale by sample_rate).
+        if let Some(supervisor) = &self.supervisor {
+            let status = supervisor.status();
+            for (key, value) in [
+                ("supervisor.state", status.state.to_string()),
+                ("supervisor.transitions", status.transitions.to_string()),
+                (
+                    "supervisor.degraded_windows",
+                    status.degraded_windows.to_string(),
+                ),
+                ("supervisor.sample_rate", status.sample_stride.to_string()),
+                (
+                    "supervisor.sampled_events",
+                    status.sampled_events.to_string(),
+                ),
+                (
+                    "supervisor.rejected_events",
+                    status.rejected_events.to_string(),
+                ),
+                (
+                    "supervisor.bypassed_events",
+                    status.bypassed_events.to_string(),
+                ),
             ] {
                 meta.extra.push((key.to_string(), value));
             }
@@ -1150,6 +1234,61 @@ mod tests {
         let back = ProfileDb::load(&buf[..]).unwrap();
         assert_eq!(back.timeline(), db.timeline());
         assert_eq!(back.meta(), db.meta());
+    }
+
+    #[test]
+    fn supervised_degraded_run_samples_and_stamps_meta() {
+        let rig = rig();
+        let config = ProfilerConfig {
+            telemetry: TelemetryConfig::enabled(),
+            supervisor: Some(SupervisorConfig {
+                sample_stride: 4,
+                ..SupervisorConfig::default()
+            }),
+            ..ProfilerConfig::default()
+        };
+        let profiler = Profiler::attach(config, &rig.env, &rig.monitor, &rig.gpu);
+        let supervisor = Arc::clone(profiler.supervisor().expect("supervisor configured"));
+        // A healthy supervised run admits everything.
+        run_relu(&rig, 8);
+        profiler.flush();
+        assert_eq!(profiler.stats().launches, 8);
+        assert_eq!(profiler.stats().activities, 8);
+        assert_eq!(supervisor.state(), SupervisorState::Healthy);
+
+        // Degrade and run again: only sampled correlations are ingested,
+        // coherently (no sampling-induced orphans), and the stamps in
+        // the finished profile record exactly how to rescale.
+        supervisor.force_state(SupervisorState::Degraded);
+        run_relu(&rig, 8);
+        let db = profiler.finish(ProfileMeta {
+            workload: "relu-degraded".into(),
+            ..Default::default()
+        });
+        let extra = |key: &str| {
+            db.meta()
+                .extra
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("meta key {key} missing"))
+        };
+        assert_eq!(extra("supervisor.state"), "1");
+        assert_eq!(extra("supervisor.sample_rate"), "4");
+        assert!(extra("supervisor.transitions").parse::<u64>().unwrap() >= 1);
+        let sampled = extra("supervisor.sampled_events").parse::<u64>().unwrap();
+        let rejected = extra("supervisor.rejected_events").parse::<u64>().unwrap();
+        assert!(sampled > 0, "some events must pass the 1-in-4 sampler");
+        assert!(rejected > sampled, "a stride of 4 rejects most events");
+        // The full first phase plus the sampled second phase landed; no
+        // record resolved against a missing binding.
+        let launches = db
+            .cct()
+            .root_metric(MetricKind::KernelLaunches)
+            .unwrap()
+            .sum;
+        assert!((8.0..16.0).contains(&launches), "got {launches}");
+        assert!(db.cct().total(MetricKind::GpuTime) > 0.0);
     }
 
     #[test]

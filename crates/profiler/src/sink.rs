@@ -11,7 +11,8 @@ pub use deepcontext_pipeline::{
     attribute_activity_metrics, default_directory_map, default_ingestion_mode,
     default_launch_batch, default_telemetry_config, default_telemetry_enabled,
     default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
-    DirectoryMap, DirectoryMapKind, EventSink, HealthReport, IngestionMode, PipelineConfig,
-    PipelineTelemetry, ShardedSink, SinkCounters, Telemetry, TelemetryConfig, TelemetrySnapshot,
-    TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
+    DirectoryMap, DirectoryMapKind, EventSink, Failpoints, HealthReport, HealthThresholds,
+    IngestionMode, PipelineConfig, PipelineTelemetry, ShardedSink, SinkCounters, Supervisor,
+    SupervisorConfig, SupervisorSink, SupervisorState, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
 };

@@ -46,6 +46,38 @@ impl DistributionSummary {
     }
 }
 
+/// One overload edge a [`HealthReport`] is judged against: the report
+/// breaches the edge when *either* signal crosses its threshold. A
+/// supervisor pairs a trip edge with a stricter recovery edge to get
+/// hysteresis on both sides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthThresholds {
+    /// Window drop rate (`events_dropped / events_enqueued`) at or above
+    /// which the edge trips.
+    pub drop_rate: f64,
+    /// Queue saturation (`max_queue_depth / queue_capacity`) at or above
+    /// which the edge trips.
+    pub queue_saturation: f64,
+}
+
+impl HealthThresholds {
+    /// Whether `report` crosses either threshold.
+    pub fn breached(&self, report: &HealthReport) -> bool {
+        report.drop_rate >= self.drop_rate || report.queue_saturation >= self.queue_saturation
+    }
+}
+
+impl Default for HealthThresholds {
+    /// The degrade edge the pipeline supervisor ships with: any drops at
+    /// all above 1% of the window, or a shard queue that filled to 90%.
+    fn default() -> Self {
+        HealthThresholds {
+            drop_rate: 0.01,
+            queue_saturation: 0.9,
+        }
+    }
+}
+
 /// The profiler's own vital signs over one telemetry window.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HealthReport {
@@ -162,6 +194,21 @@ mod tests {
         assert_eq!(report.drop_rate, 0.0);
         assert_eq!(report.worker_utilization, 0.0);
         assert_eq!(report.enqueue_rate(), 0.0);
+    }
+
+    #[test]
+    fn thresholds_trip_on_either_signal() {
+        let edge = HealthThresholds {
+            drop_rate: 0.1,
+            queue_saturation: 0.5,
+        };
+        let mut report = HealthReport::default();
+        assert!(!edge.breached(&report));
+        report.drop_rate = 0.2;
+        assert!(edge.breached(&report));
+        report.drop_rate = 0.0;
+        report.queue_saturation = 0.5;
+        assert!(edge.breached(&report));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod registry;
 
 pub use export::{escape_label_value, sanitize_label_name, sanitize_metric_name};
-pub use health::{DistributionSummary, HealthReport};
+pub use health::{DistributionSummary, HealthReport, HealthThresholds};
 pub use metrics::{
     bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
 };
@@ -83,6 +83,25 @@ pub mod names {
     pub const STORE_SAVE_LATENCY_NS: &str = "deepcontext_store_save_latency_ns";
     /// Histogram: `ProfileStore::load` latency, nanoseconds.
     pub const STORE_LOAD_LATENCY_NS: &str = "deepcontext_store_load_latency_ns";
+    /// Counter: worker panics caught by the pipeline's fault isolation
+    /// (each quarantines the shard whose apply unwound).
+    pub const WORKER_PANICS: &str = "deepcontext_pipeline_worker_panics_total";
+    /// Counter: events accounted to the synthetic `<poisoned>` context
+    /// after arriving at a quarantined shard.
+    pub const EVENTS_POISONED: &str = "deepcontext_pipeline_events_poisoned_total";
+    /// Counter: supervisor state transitions (every edge of
+    /// `Healthy ⇄ Degraded ⇄ Bypass`).
+    pub const SUPERVISOR_TRANSITIONS: &str = "deepcontext_supervisor_transitions_total";
+    /// Gauge: current supervisor state (0 = Healthy, 1 = Degraded,
+    /// 2 = Bypass).
+    pub const SUPERVISOR_STATE: &str = "deepcontext_supervisor_state";
+    /// Counter: events admitted by the supervisor's 1-in-N sampler while
+    /// `Degraded` (rescale by the recorded sample rate for estimates).
+    pub const SUPERVISOR_SAMPLED_EVENTS: &str = "deepcontext_supervisor_sampled_events_total";
+    /// Counter: events rejected by the sampler while `Degraded`.
+    pub const SUPERVISOR_REJECTED_EVENTS: &str = "deepcontext_supervisor_rejected_events_total";
+    /// Counter: events discarded outright while `Bypass`.
+    pub const SUPERVISOR_BYPASSED_EVENTS: &str = "deepcontext_supervisor_bypassed_events_total";
 }
 
 /// Self-telemetry knobs (the `ProfilerConfig::telemetry` field).
