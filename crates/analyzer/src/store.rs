@@ -30,8 +30,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use deepcontext_core::failpoint::{sites as fp_sites, Failpoints};
-use deepcontext_core::{CoreError, MetricKind, NodeId, ProfileDb, ProfileMeta, TimeNs};
-use deepcontext_telemetry::{names, Histogram, Telemetry};
+use deepcontext_core::{
+    CoreError, MetricKind, NodeId, ProfileDb, ProfileMeta, StoredJournalEvent, TimeNs,
+};
+use deepcontext_telemetry::{journal_sites, names, Histogram, Journal, JournalSeverity, Telemetry};
 
 use crate::issue::{Issue, Severity};
 use crate::view::ProfileView;
@@ -88,6 +90,9 @@ pub struct RunFilter {
     pub host: Option<String>,
     /// Match this model identity.
     pub model: Option<String>,
+    /// Match runs whose journal recorded an event at this site (the
+    /// `journal.sites` metadata stamp, e.g. `shard.quarantine`).
+    pub incident: Option<String>,
 }
 
 impl RunFilter {
@@ -126,6 +131,16 @@ impl RunFilter {
         self
     }
 
+    /// Requires the run's journal to have recorded an event at `site`
+    /// (e.g. [`journal_sites::SHARD_QUARANTINE`]). Matching reads only
+    /// the `journal.sites` metadata stamp the profiler embeds at
+    /// `finish`, so incident filtering stays header-only; runs without a
+    /// journal never match.
+    pub fn incident(mut self, site: impl Into<String>) -> Self {
+        self.incident = Some(site.into());
+        self
+    }
+
     /// Whether `meta` satisfies every set field.
     pub fn matches(&self, meta: &ProfileMeta) -> bool {
         let field = |want: &Option<String>, have: &str| want.as_deref().is_none_or(|w| w == have);
@@ -134,6 +149,12 @@ impl RunFilter {
             && field(&self.platform, &meta.platform)
             && field(&self.host, &meta.host)
             && field(&self.model, &meta.model)
+            && self.incident.as_deref().is_none_or(|want| {
+                meta.extra
+                    .iter()
+                    .find(|(k, _)| k == "journal.sites")
+                    .is_some_and(|(_, v)| v.split(',').any(|site| site == want))
+            })
     }
 }
 
@@ -164,6 +185,7 @@ pub struct ProfileStore {
     dir: PathBuf,
     telemetry: Option<StoreTelemetry>,
     failpoints: Failpoints,
+    journal: Option<Arc<Journal>>,
 }
 
 impl ProfileStore {
@@ -175,6 +197,7 @@ impl ProfileStore {
             dir,
             telemetry: None,
             failpoints: Failpoints::from_env(),
+            journal: None,
         })
     }
 
@@ -199,6 +222,31 @@ impl ProfileStore {
             load_latency: telemetry.histogram(names::STORE_LOAD_LATENCY_NS, &[]),
         });
         self
+    }
+
+    /// Attaches the incident journal: every transient I/O error a
+    /// [`save`](Self::save) or [`load`](Self::load) retries past is then
+    /// recorded as a `store.retry` event (fields: `op`, `attempt`,
+    /// `error`), so a flaky disk shows up in the run's causal record and
+    /// not just as latency.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Journals one retried transient error (no-op without a journal).
+    fn journal_retry(&self, op: &str, attempt: u32, err: &CoreError) {
+        if let Some(journal) = &self.journal {
+            journal.record(
+                JournalSeverity::Warn,
+                journal_sites::STORE_RETRY,
+                &[
+                    ("op", op),
+                    ("attempt", &attempt.to_string()),
+                    ("error", &err.to_string()),
+                ],
+            );
+        }
     }
 
     /// The store's directory.
@@ -243,6 +291,7 @@ impl ProfileStore {
             match self.try_save(db, &tmp, &id) {
                 Ok(()) => break,
                 Err(e) if is_transient(&e) && attempt < IO_ATTEMPTS => {
+                    self.journal_retry("save", attempt, &e);
                     std::thread::sleep(backoff(attempt));
                 }
                 Err(e) => return Err(e),
@@ -286,6 +335,7 @@ impl ProfileStore {
             match self.try_load(id) {
                 Ok(db) => break db,
                 Err(e) if is_transient(&e) && attempt < IO_ATTEMPTS => {
+                    self.journal_retry("load", attempt, &e);
                     std::thread::sleep(backoff(attempt));
                 }
                 Err(e) => return Err(e),
@@ -678,6 +728,7 @@ impl Rule for DegradedRunRule {
         let Some(state) = Self::meta_u64(meta, "supervisor.state") else {
             return Vec::new();
         };
+        let journal = view.journal();
         let transitions = Self::meta_u64(meta, "supervisor.transitions").unwrap_or(0);
         let windows = Self::meta_u64(meta, "supervisor.degraded_windows").unwrap_or(0);
         let sample_rate = Self::meta_u64(meta, "supervisor.sample_rate").unwrap_or(1);
@@ -688,7 +739,7 @@ impl Rule for DegradedRunRule {
             // Supervised, but the run never left Healthy: nothing to say.
             return Vec::new();
         }
-        let (severity, message, suggestion) = if bypassed > 0 || state == 2 {
+        let (severity, mut message, suggestion) = if bypassed > 0 || state == 2 {
             (
                 Severity::Critical,
                 format!(
@@ -723,6 +774,24 @@ impl Rule for DegradedRunRule {
                 "no action needed; the pipeline brushed against its overload edges".to_string(),
             )
         };
+        // When the run carries its journal, cite the actual transition
+        // times: metadata says the run degraded, the journal says when.
+        if let Some(journal) = journal {
+            let cited: Vec<String> = journal
+                .events_at(journal_sites::SUPERVISOR_TRANSITION)
+                .map(|e| {
+                    format!(
+                        "{}\u{2192}{} at {}",
+                        event_field(e, "from").unwrap_or("?"),
+                        event_field(e, "to").unwrap_or("?"),
+                        format_ts(e.ts_ns),
+                    )
+                })
+                .collect();
+            if !cited.is_empty() {
+                message.push_str(&format!("; journaled transitions: {}", cited.join(", ")));
+            }
+        }
         let cct = view.cct();
         vec![Issue {
             rule: self.name().to_string(),
@@ -743,10 +812,253 @@ impl Rule for DegradedRunRule {
     }
 }
 
+/// Renders a journal timestamp as milliseconds since the run's epoch
+/// (the shared telemetry clock when both were on).
+fn format_ts(ts_ns: u64) -> String {
+    format!("t=+{:.3}ms", ts_ns as f64 / 1e6)
+}
+
+/// One structured field of a journaled event, by key.
+fn event_field<'a>(event: &'a StoredJournalEvent, key: &str) -> Option<&'a str> {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Correlates the run's incident journal with the profile's artifacts
+/// (rule name `incident`).
+///
+/// Where [`DegradedRunRule`] reads the supervisor's aggregate metadata
+/// stamps, this rule reads the journal itself — the causal flight
+/// record [`ProfileDb`] persists with the run — and ties each incident
+/// kind to the artifact it left in the tree:
+///
+/// - **Quarantines** (`shard.quarantine` / `worker.restart` events) are
+///   tied to the `<poisoned>` synthetic context's event mass: Critical
+///   when in-flight events were actually poisoned, Warning when every
+///   worker recovered without losing work;
+/// - **Drop storms** (`drop.storm.start` / `drop.storm.end`) are tied
+///   to the `<dropped>` synthetic context's mass: Critical when the
+///   last storm was still open at snapshot time (its losses have no end
+///   marker), Warning otherwise;
+/// - **Store retries** (`store.retry`) warn that persistence rode out
+///   transient I/O errors, citing the attempts;
+/// - **Failpoint fires** (`failpoint.fire`) are Info — faults were
+///   injected, so the incidents above are at least partly synthetic.
+///
+/// Profiles without a journal (journaling off, pre-v3 stores, live
+/// previews) produce no issues, so the rule is safe in every default
+/// rule set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncidentRule;
+
+impl Rule for IncidentRule {
+    fn name(&self) -> &str {
+        "incident"
+    }
+
+    fn description(&self) -> &str {
+        "correlates journaled lifecycle incidents with the profile artifacts they produced"
+    }
+
+    fn analyze(&self, view: &ProfileView<'_>) -> Vec<Issue> {
+        let Some(journal) = view.journal() else {
+            return Vec::new();
+        };
+        if journal.is_empty() {
+            return Vec::new();
+        }
+        let mut issues = Vec::new();
+        let cct = view.cct();
+        // Anchor an incident at its synthetic context when the tree has
+        // one (`<poisoned>`, `<dropped>`), at the root otherwise.
+        let synthetic = |name: &str| {
+            view.operators()
+                .into_iter()
+                .find(|&n| view.operator_name(n).as_deref() == Some(name))
+        };
+
+        let quarantines: Vec<&StoredJournalEvent> =
+            journal.events_at(journal_sites::SHARD_QUARANTINE).collect();
+        let restarts = journal.events_at(journal_sites::WORKER_RESTART).count();
+        if !quarantines.is_empty() || restarts > 0 {
+            let poisoned = view.total(MetricKind::PoisonedEvents);
+            let first_ts = quarantines
+                .iter()
+                .map(|e| e.ts_ns)
+                .chain(
+                    journal
+                        .events_at(journal_sites::WORKER_RESTART)
+                        .map(|e| e.ts_ns),
+                )
+                .min()
+                .unwrap_or(0);
+            let shards: Vec<&str> = quarantines
+                .iter()
+                .filter_map(|e| event_field(e, "shard"))
+                .collect();
+            let (severity, message) = if poisoned > 0.0 {
+                (
+                    Severity::Critical,
+                    format!(
+                        "worker panic(s) quarantined shard(s) [{}] (first incident at {}, \
+                         {restarts} worker restart(s)); {poisoned} in-flight events were \
+                         poisoned and attributed under <poisoned>",
+                        shards.join(", "),
+                        format_ts(first_ts),
+                    ),
+                )
+            } else {
+                (
+                    Severity::Warning,
+                    format!(
+                        "{} shard quarantine(s) and {restarts} worker restart(s) (first \
+                         incident at {}); no in-flight events were poisoned",
+                        quarantines.len(),
+                        format_ts(first_ts),
+                    ),
+                )
+            };
+            let node = synthetic("<poisoned>");
+            issues.push(Issue {
+                rule: self.name().to_string(),
+                severity,
+                node: node.unwrap_or_else(|| cct.root()),
+                call_path: node
+                    .map(|n| view.path_string(n))
+                    .unwrap_or_else(|| "<whole run>".to_string()),
+                message,
+                suggestion: "the journal cites each quarantine's shard and time; exclude the \
+                             <poisoned> subtree from totals and fix the panicking \
+                             instrumentation path before trusting this run"
+                    .to_string(),
+                metrics: vec![
+                    ("quarantined_shards".to_string(), quarantines.len() as f64),
+                    ("worker_restarts".to_string(), restarts as f64),
+                    ("poisoned_events".to_string(), poisoned),
+                ],
+                weight: poisoned + (quarantines.len() + restarts) as f64,
+            });
+        }
+
+        let storms = journal.events_at(journal_sites::DROP_STORM_START).count();
+        if storms > 0 {
+            let ends = journal.events_at(journal_sites::DROP_STORM_END).count();
+            let open = storms > ends;
+            let dropped_mass = view.total(MetricKind::DroppedEvents);
+            let journal_dropped: u64 = journal
+                .events_at(journal_sites::DROP_STORM_END)
+                .filter_map(|e| event_field(e, "dropped").and_then(|v| v.parse::<u64>().ok()))
+                .sum();
+            let first_ts = journal
+                .events_at(journal_sites::DROP_STORM_START)
+                .map(|e| e.ts_ns)
+                .min()
+                .unwrap_or(0);
+            let mut message = format!(
+                "{storms} drop storm(s) (first onset at {}) evicted {journal_dropped} \
+                 event(s) at their end barriers; {dropped_mass} of dropped mass is \
+                 attributed under <dropped>",
+                format_ts(first_ts),
+            );
+            if open {
+                message.push_str(
+                    " — the last storm was still open at snapshot time, so its losses \
+                     have no journaled end marker",
+                );
+            }
+            let node = synthetic("<dropped>");
+            issues.push(Issue {
+                rule: self.name().to_string(),
+                severity: if open {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                },
+                node: node.unwrap_or_else(|| cct.root()),
+                call_path: node
+                    .map(|n| view.path_string(n))
+                    .unwrap_or_else(|| "<whole run>".to_string()),
+                message,
+                suggestion: "treat totals as lower bounds over the journaled storm windows; \
+                             raise queue capacity or switch the backpressure policy, then \
+                             re-profile"
+                    .to_string(),
+                metrics: vec![
+                    ("drop_storms".to_string(), storms as f64),
+                    ("journal_dropped".to_string(), journal_dropped as f64),
+                    ("dropped_mass".to_string(), dropped_mass),
+                ],
+                weight: dropped_mass.max(journal_dropped as f64),
+            });
+        }
+
+        let retries: Vec<&StoredJournalEvent> =
+            journal.events_at(journal_sites::STORE_RETRY).collect();
+        if !retries.is_empty() {
+            let mut ops: Vec<&str> = retries
+                .iter()
+                .filter_map(|e| event_field(e, "op"))
+                .collect();
+            ops.sort_unstable();
+            ops.dedup();
+            issues.push(Issue {
+                rule: self.name().to_string(),
+                severity: Severity::Warning,
+                node: cct.root(),
+                call_path: "<whole run>".to_string(),
+                message: format!(
+                    "the profile store retried transient I/O {} time(s) (op(s): {}, first \
+                     at {}) before succeeding",
+                    retries.len(),
+                    ops.join(", "),
+                    format_ts(retries[0].ts_ns),
+                ),
+                suggestion: "no data was lost, but check the store volume's health if \
+                             retries recur across runs"
+                    .to_string(),
+                metrics: vec![("store_retries".to_string(), retries.len() as f64)],
+                weight: retries.len() as f64,
+            });
+        }
+
+        let fires: Vec<&StoredJournalEvent> =
+            journal.events_at(journal_sites::FAILPOINT_FIRE).collect();
+        if !fires.is_empty() {
+            let mut names: Vec<&str> = fires
+                .iter()
+                .filter_map(|e| event_field(e, "name"))
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            issues.push(Issue {
+                rule: self.name().to_string(),
+                severity: Severity::Info,
+                node: cct.root(),
+                call_path: "<whole run>".to_string(),
+                message: format!(
+                    "{} injected fault(s) fired ({}); incidents in this run are at least \
+                     partly synthetic",
+                    fires.len(),
+                    names.join(", "),
+                ),
+                suggestion: "expected under fault injection; unset DEEPCONTEXT_FAILPOINTS \
+                             for production profiling"
+                    .to_string(),
+                metrics: vec![("failpoint_fires".to_string(), fires.len() as f64)],
+                weight: fires.len() as f64,
+            });
+        }
+        issues
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepcontext_core::{CallingContextTree, Frame};
+    use deepcontext_core::{CallingContextTree, Frame, StoredJournal};
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn temp_store() -> (PathBuf, ProfileStore) {
@@ -1084,5 +1396,244 @@ mod tests {
             .with_min_value(10.0);
         let small = profile("unet", "h", 2, 2.0);
         assert!(rule.analyze(&ProfileView::new(&small)).is_empty());
+    }
+
+    /// A journal-event fixture: `(site, severity, ts_ns, fields)`.
+    type EventSpec<'a> = (&'a str, u8, u64, &'a [(&'a str, &'a str)]);
+
+    /// Builds a stored journal from [`EventSpec`] tuples, assigning
+    /// ascending seqs and a compact name table.
+    fn stored_journal(events: &[EventSpec<'_>]) -> StoredJournal {
+        let mut names: Vec<Arc<str>> = Vec::new();
+        let mut out = Vec::new();
+        for (i, (site, severity, ts_ns, fields)) in events.iter().enumerate() {
+            let idx = match names.iter().position(|n| n.as_ref() == *site) {
+                Some(idx) => idx,
+                None => {
+                    names.push(Arc::from(*site));
+                    names.len() - 1
+                }
+            };
+            out.push(StoredJournalEvent {
+                seq: (i + 1) as u64,
+                ts_ns: *ts_ns,
+                severity: *severity,
+                site: idx as u32,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+        let recorded = out.len() as u64;
+        StoredJournal {
+            events: out,
+            names,
+            recorded,
+            evicted: 0,
+        }
+    }
+
+    #[test]
+    fn run_filter_incident_reads_the_journal_sites_stamp() {
+        let mut incident = profile("unet", "h", 1, 1.0);
+        incident.meta_mut().extra.push((
+            "journal.sites".to_string(),
+            "pipeline.epoch,shard.quarantine".to_string(),
+        ));
+        let plain = profile("unet", "h", 2, 1.0);
+        let want = RunFilter::any().incident(journal_sites::SHARD_QUARANTINE);
+        assert!(want.matches(incident.meta()));
+        assert!(!want.matches(plain.meta()));
+        assert!(!RunFilter::any()
+            .incident(journal_sites::DROP_STORM_START)
+            .matches(incident.meta()));
+        // Composes with the other axes.
+        assert!(!RunFilter::any()
+            .workload("bert")
+            .incident(journal_sites::SHARD_QUARANTINE)
+            .matches(incident.meta()));
+
+        // Header-only store listings filter the same way.
+        let (dir, store) = temp_store();
+        store.save(&incident).unwrap();
+        store.save(&plain).unwrap();
+        let hits = store.list_filtered(&want).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(store
+            .list_filtered(&RunFilter::any().incident("drop.storm.start"))
+            .unwrap()
+            .is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn store_journal_records_retry_attempts() {
+        use deepcontext_core::Interner;
+        use deepcontext_telemetry::JournalConfig;
+        let journal = Journal::from_config(&JournalConfig::enabled(), &Interner::new(), None)
+            .expect("enabled config builds");
+        let (dir, store) = temp_store();
+        let store = store
+            .with_failpoints(Failpoints::parse("store_io_err@first;store_read_err@first").unwrap())
+            .with_journal(Arc::clone(&journal));
+        let id = store.save(&profile("unet", "h", 1, 1.0)).unwrap();
+        store.load(&id).unwrap();
+        let snap = journal.snapshot();
+        let retries: Vec<_> = snap.events_at(journal_sites::STORE_RETRY).collect();
+        assert_eq!(retries.len(), 2, "one retried save, one retried load");
+        assert_eq!(retries[0].fields[0], ("op".to_string(), "save".to_string()));
+        assert_eq!(retries[1].fields[0], ("op".to_string(), "load".to_string()));
+        assert!(retries
+            .iter()
+            .all(|e| e.fields.iter().any(|(k, v)| k == "attempt" && v == "1")));
+        assert!(retries.iter().all(|e| e.severity == 1), "retries warn");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn incident_rule_is_silent_without_a_journal() {
+        let db = profile("unet", "h", 1, 1.0);
+        assert!(IncidentRule.analyze(&ProfileView::new(&db)).is_empty());
+        // An attached-but-empty journal is equally silent.
+        let mut empty = profile("unet", "h", 2, 1.0);
+        empty.set_journal(Some(StoredJournal::default()));
+        assert!(IncidentRule.analyze(&ProfileView::new(&empty)).is_empty());
+    }
+
+    #[test]
+    fn incident_rule_ties_quarantine_to_poisoned_mass() {
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let node = cct.insert_path(&[Frame::operator("<poisoned>", &i)]);
+        cct.attribute(node, MetricKind::PoisonedEvents, 5.0);
+        let mut db = ProfileDb::new(ProfileMeta::default(), cct);
+        db.set_journal(Some(stored_journal(&[
+            ("shard.quarantine", 2, 1_500_000, &[("shard", "3")]),
+            ("worker.restart", 2, 1_600_000, &[("worker", "1")]),
+        ])));
+        let issues = IncidentRule.analyze(&ProfileView::new(&db));
+        assert_eq!(issues.len(), 1);
+        let q = &issues[0];
+        assert_eq!(q.severity, Severity::Critical);
+        assert!(q.call_path.contains("<poisoned>"), "got {}", q.call_path);
+        assert!(q.message.contains("shard(s) [3]"), "got {}", q.message);
+        assert!(q.message.contains("t=+1.500ms"), "cites the journaled time");
+        assert!(q.message.contains("5 in-flight events were poisoned"));
+        assert!(q
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "poisoned_events" && *v == 5.0));
+    }
+
+    #[test]
+    fn incident_rule_flags_drop_storms_and_open_storms_escalate() {
+        // A storm bracketed by its end barrier: Warning at <dropped>.
+        let mut cct = CallingContextTree::new();
+        let i = cct.interner();
+        let node = cct.insert_path(&[Frame::operator("<dropped>", &i)]);
+        cct.attribute(node, MetricKind::DroppedEvents, 7.0);
+        let mut db = ProfileDb::new(ProfileMeta::default(), cct);
+        db.set_journal(Some(stored_journal(&[
+            ("drop.storm.start", 1, 2_000_000, &[("weight", "1")]),
+            ("drop.storm.end", 1, 3_000_000, &[("dropped", "7")]),
+        ])));
+        let issues = IncidentRule.analyze(&ProfileView::new(&db));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+        assert!(issues[0].call_path.contains("<dropped>"));
+        assert!(issues[0].message.contains("evicted 7"));
+        assert!(issues[0].message.contains("t=+2.000ms"));
+
+        // A storm with no end marker: Critical, anchored at the root
+        // when the tree has no <dropped> context.
+        let mut open = profile("unet", "h", 1, 1.0);
+        open.set_journal(Some(stored_journal(&[(
+            "drop.storm.start",
+            1,
+            2_000_000,
+            &[("weight", "1")],
+        )])));
+        let issues = IncidentRule.analyze(&ProfileView::new(&open));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Critical);
+        assert_eq!(issues[0].call_path, "<whole run>");
+        assert!(issues[0].message.contains("still open"));
+    }
+
+    #[test]
+    fn incident_rule_reports_store_retries_and_failpoint_fires() {
+        let mut db = profile("unet", "h", 1, 1.0);
+        db.set_journal(Some(stored_journal(&[
+            (
+                "failpoint.fire",
+                2,
+                90_000,
+                &[("name", "store_io_err"), ("at", "1")],
+            ),
+            (
+                "store.retry",
+                1,
+                100_000,
+                &[("op", "save"), ("attempt", "1"), ("error", "interrupted")],
+            ),
+        ])));
+        let issues = IncidentRule.analyze(&ProfileView::new(&db));
+        assert_eq!(issues.len(), 2);
+        let retry = issues
+            .iter()
+            .find(|i| i.message.contains("retried transient I/O"))
+            .unwrap();
+        assert_eq!(retry.severity, Severity::Warning);
+        assert!(retry.message.contains("op(s): save"));
+        let fire = issues
+            .iter()
+            .find(|i| i.message.contains("injected fault"))
+            .unwrap();
+        assert_eq!(fire.severity, Severity::Info);
+        assert!(fire.message.contains("store_io_err"));
+    }
+
+    #[test]
+    fn degraded_run_rule_cites_journaled_transition_times() {
+        let mut db = profile("unet", "h", 1, 1.0);
+        for (k, v) in [
+            ("supervisor.state", "1"),
+            ("supervisor.sample_rate", "8"),
+            ("supervisor.sampled_events", "10"),
+        ] {
+            db.meta_mut().extra.push((k.to_string(), v.to_string()));
+        }
+        db.set_journal(Some(stored_journal(&[
+            (
+                "supervisor.transition",
+                1,
+                4_200_000,
+                &[
+                    ("from", "Healthy"),
+                    ("to", "Degraded"),
+                    ("drop_rate", "0.5"),
+                    ("queue_saturation", "0.9"),
+                ],
+            ),
+            (
+                "supervisor.transition",
+                0,
+                9_000_000,
+                &[("from", "Degraded"), ("to", "Healthy"), ("forced", "true")],
+            ),
+        ])));
+        let issues = DegradedRunRule.analyze(&ProfileView::new(&db));
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0]
+                .message
+                .contains("journaled transitions: Healthy\u{2192}Degraded at t=+4.200ms"),
+            "got {}",
+            issues[0].message
+        );
+        assert!(issues[0]
+            .message
+            .contains("Degraded\u{2192}Healthy at t=+9.000ms"));
     }
 }

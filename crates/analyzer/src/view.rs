@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use deepcontext_core::{
     CallingContextTree, Frame, FrameKind, Interner, MetricKind, NodeId, OpPhase, ProfileDb,
+    StoredJournal,
 };
 use deepcontext_timeline::TimelineSnapshot;
 
@@ -65,6 +66,14 @@ impl<'a> ProfileView<'a> {
     /// for live previews).
     pub fn db(&self) -> Option<&'a ProfileDb> {
         self.db
+    }
+
+    /// The incident journal persisted with this profile (`None` for
+    /// live previews and for runs collected without journaling). The
+    /// [`IncidentRule`](crate::IncidentRule) correlates its events with
+    /// the profile's artifacts.
+    pub fn journal(&self) -> Option<&'a StoredJournal> {
+        self.db.and_then(|db| db.journal())
     }
 
     /// The calling context tree.

@@ -30,8 +30,9 @@ use std::time::Instant;
 
 use deepcontext_core::{CallPath, CallingContextTree, Frame, FrameKind, Interner, MetricKind};
 use deepcontext_profiler::{
-    AsyncSink, BackpressurePolicy, EventSink, PipelineConfig, ShardedSink, Supervisor,
-    SupervisorConfig, SupervisorSink, SupervisorState,
+    default_directory_map, AsyncSink, BackpressurePolicy, EventSink, Failpoints, JournalConfig,
+    PipelineConfig, ShardedSink, Supervisor, SupervisorConfig, SupervisorSink, SupervisorState,
+    TelemetryConfig, TimelineConfig,
 };
 use dlmonitor::EventOrigin;
 use sim_gpu::{ApiKind, CorrelationId};
@@ -226,6 +227,42 @@ fn main() {
     let sampled_error = max_relative_error(&sampled_estimates, &truth);
     let status = supervisor.status();
 
+    // --- Journal-on pass (untimed, informational — not `target_`
+    // gated, like the telemetry pass of bench_pipeline): the same blind
+    // overload with the incident journal enabled, so the committed JSON
+    // tracks how many lifecycle events an overload run journals (drop
+    // storms, pause/resume, drain barriers) and how many the bounded
+    // ring evicts.
+    let journal_inner = ShardedSink::with_journal(
+        Arc::clone(&interner),
+        4,
+        true,
+        &TimelineConfig::default(),
+        default_directory_map(),
+        &TelemetryConfig::default(),
+        Failpoints::disabled(),
+        &JournalConfig::enabled(),
+    );
+    let journal = Arc::clone(journal_inner.journal().expect("journal enabled"));
+    let journal_sink = AsyncSink::new(
+        journal_inner,
+        PipelineConfig {
+            workers: 1,
+            queue_capacity: QUEUE_CAPACITY,
+            backpressure: BackpressurePolicy::DropOldest,
+            launch_batch: 1,
+            ..PipelineConfig::default()
+        },
+    );
+    journal_sink.pause();
+    for launch in &stream {
+        journal_sink.gpu_launch(&launch.origin, &launch.path, ApiKind::LaunchKernel);
+    }
+    journal_sink.resume();
+    let _ = journal_sink.finish_snapshot();
+    let journal_events = journal.recorded();
+    let journal_evicted = journal.evicted();
+
     // --- Healthy-path admission cost: the same stream through the bare
     // synchronous sink vs a Healthy SupervisorSink wrapping one.
     let bare_ns = producer_ns_per_event(&stream, || {
@@ -271,6 +308,8 @@ fn main() {
     json.push_str(&format!(
         "  \"target_sampled_error_ratio\": {TARGET_SAMPLED_ERROR_RATIO},\n"
     ));
+    json.push_str(&format!("  \"journal_events\": {journal_events},\n"));
+    json.push_str(&format!("  \"journal_evicted\": {journal_evicted},\n"));
     json.push_str(&format!(
         "  \"bare_producer_ns_per_event\": {bare_ns:.0},\n"
     ));

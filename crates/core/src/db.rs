@@ -9,7 +9,12 @@
 //! host / model / config identity plus the run's wall-clock window, and
 //! an optional timeline section persists the recorded intervals (with
 //! their own captured symbol table and the recording counters) so a
-//! run's timeline survives the profiler. Version 1 files still load.
+//! run's timeline survives the profiler. Version 3 adds an optional
+//! incident-journal section — the run's lifecycle events (supervisor
+//! transitions, quarantines, drop storms, store retries, failpoint
+//! fires) with their own site-name table and conservation counters — so
+//! a stored run carries its own causal incident history. Version 1 and
+//! 2 files still load.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::Arc;
@@ -19,11 +24,13 @@ use crate::clock::TimeNs;
 use crate::error::CoreError;
 use crate::frame::Frame;
 use crate::interner::{Interner, Sym};
+use crate::journal::{StoredJournal, StoredJournalEvent};
 use crate::metrics::{MetricKind, MetricStat, MetricStore};
 use crate::timeline::{Interval, IntervalKind, StoredTimeline, TrackKey};
 
 const MAGIC_V1: &str = "deepcontext-profile v1";
 const MAGIC_V2: &str = "deepcontext-profile v2";
+const MAGIC_V3: &str = "deepcontext-profile v3";
 
 /// Metadata describing one profiling run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -78,6 +85,7 @@ pub struct ProfileDb {
     meta: ProfileMeta,
     cct: CallingContextTree,
     timeline: Option<StoredTimeline>,
+    journal: Option<StoredJournal>,
 }
 
 impl ProfileDb {
@@ -87,12 +95,19 @@ impl ProfileDb {
             meta,
             cct,
             timeline: None,
+            journal: None,
         }
     }
 
     /// Attaches a persisted timeline (builder form).
     pub fn with_timeline(mut self, timeline: StoredTimeline) -> Self {
         self.timeline = Some(timeline);
+        self
+    }
+
+    /// Attaches a persisted incident journal (builder form).
+    pub fn with_journal(mut self, journal: StoredJournal) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -127,6 +142,16 @@ impl ProfileDb {
         self.timeline = timeline;
     }
 
+    /// The persisted incident journal, when the run recorded one.
+    pub fn journal(&self) -> Option<&StoredJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Sets or clears the persisted incident journal.
+    pub fn set_journal(&mut self, journal: Option<StoredJournal>) {
+        self.journal = journal;
+    }
+
     /// Consumes the database, returning its parts.
     pub fn into_parts(self) -> (ProfileMeta, CallingContextTree) {
         (self.meta, self.cct)
@@ -138,7 +163,7 @@ impl ProfileDb {
     ///
     /// Returns [`CoreError::Io`] if writing fails.
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), CoreError> {
-        writeln!(w, "{MAGIC_V2}")?;
+        writeln!(w, "{MAGIC_V3}")?;
         writeln!(w, "meta\tworkload\t{}", escape(&self.meta.workload))?;
         writeln!(w, "meta\tframework\t{}", escape(&self.meta.framework))?;
         writeln!(w, "meta\tplatform\t{}", escape(&self.meta.platform))?;
@@ -204,6 +229,34 @@ impl ProfileDb {
                 )?;
             }
         }
+        if let Some(j) = &self.journal {
+            writeln!(
+                w,
+                "journal\t{}\t{}\t{}",
+                j.events.len(),
+                j.recorded,
+                j.evicted
+            )?;
+            writeln!(w, "jnames\t{}", j.names.len())?;
+            for name in &j.names {
+                writeln!(w, "{}", escape(name))?;
+            }
+            for ev in &j.events {
+                write!(
+                    w,
+                    "{}\t{}\t{}\t{}\t{}",
+                    ev.seq,
+                    ev.ts_ns,
+                    ev.severity,
+                    ev.site,
+                    ev.fields.len()
+                )?;
+                for (k, v) in &ev.fields {
+                    write!(w, "\t{}\t{}", escape(k), escape(v))?;
+                }
+                writeln!(w)?;
+            }
+        }
         writeln!(w, "end")?;
         Ok(())
     }
@@ -224,7 +277,7 @@ impl ProfileDb {
         };
 
         match next_line()?.as_str() {
-            MAGIC_V1 | MAGIC_V2 => {}
+            MAGIC_V1 | MAGIC_V2 | MAGIC_V3 => {}
             _ => return Err(CoreError::parse("bad magic header".into())),
         }
 
@@ -269,6 +322,12 @@ impl ProfileDb {
         } else {
             (None, line)
         };
+        let (journal, line) = if let Some(rest) = line.strip_prefix("journal\t") {
+            let j = parse_journal_section(rest, &mut next_line)?;
+            (Some(j), next_line()?)
+        } else {
+            (None, line)
+        };
         if line != "end" {
             return Err(CoreError::parse("missing end marker".into()));
         }
@@ -278,6 +337,7 @@ impl ProfileDb {
             meta,
             cct,
             timeline,
+            journal,
         })
     }
 
@@ -298,7 +358,7 @@ impl ProfileDb {
                 .map_err(CoreError::from)
         };
         match next_line()?.as_str() {
-            MAGIC_V1 | MAGIC_V2 => {}
+            MAGIC_V1 | MAGIC_V2 | MAGIC_V3 => {}
             _ => return Err(CoreError::parse("bad magic header".into())),
         }
         let mut meta = ProfileMeta::default();
@@ -452,6 +512,91 @@ fn parse_interval_line(line: &str, name_count: usize) -> Result<Interval, CoreEr
         name: Sym(name_idx),
         correlation: num(fields[6], "correlation")?,
         context,
+    })
+}
+
+fn parse_journal_section(
+    header_rest: &str,
+    next_line: &mut impl FnMut() -> Result<String, CoreError>,
+) -> Result<StoredJournal, CoreError> {
+    let fields: Vec<&str> = header_rest.split('\t').collect();
+    if fields.len() != 3 {
+        return Err(CoreError::parse("malformed journal header".into()));
+    }
+    let event_count: usize = fields[0]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad journal event count: {e}")))?;
+    let recorded: u64 = fields[1]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad journal recorded count: {e}")))?;
+    let evicted: u64 = fields[2]
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad journal evicted count: {e}")))?;
+
+    let line = next_line()?;
+    let name_count: usize = line
+        .strip_prefix("jnames\t")
+        .ok_or_else(|| CoreError::parse("expected jnames section".into()))?
+        .parse()
+        .map_err(|e| CoreError::parse(format!("bad journal name count: {e}")))?;
+    let mut names: Vec<Arc<str>> = Vec::with_capacity(name_count);
+    for _ in 0..name_count {
+        names.push(Arc::from(unescape(&next_line()?)?.as_str()));
+    }
+
+    let mut events = Vec::with_capacity(event_count);
+    for _ in 0..event_count {
+        let line = next_line()?;
+        events.push(parse_journal_event_line(&line, name_count)?);
+    }
+    Ok(StoredJournal {
+        events,
+        names,
+        recorded,
+        evicted,
+    })
+}
+
+fn parse_journal_event_line(
+    line: &str,
+    name_count: usize,
+) -> Result<StoredJournalEvent, CoreError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() < 5 {
+        return Err(CoreError::parse("truncated journal event line".into()));
+    }
+    let num = |s: &str, what: &str| -> Result<u64, CoreError> {
+        s.parse()
+            .map_err(|e| CoreError::parse(format!("bad journal event {what}: {e}")))
+    };
+    let site = num(fields[3], "site")? as u32;
+    if site as usize >= name_count {
+        return Err(CoreError::parse(format!(
+            "journal site index {site} out of range"
+        )));
+    }
+    let severity = num(fields[2], "severity")?;
+    let severity = u8::try_from(severity)
+        .map_err(|_| CoreError::parse(format!("journal severity {severity} out of range")))?;
+    let field_count = num(fields[4], "field count")? as usize;
+    if fields.len() != 5 + 2 * field_count {
+        return Err(CoreError::parse(
+            "journal event line field count mismatch".into(),
+        ));
+    }
+    let mut kv = Vec::with_capacity(field_count);
+    for i in 0..field_count {
+        kv.push((
+            unescape(fields[5 + 2 * i])?,
+            unescape(fields[5 + 2 * i + 1])?,
+        ));
+    }
+    Ok(StoredJournalEvent {
+        seq: num(fields[0], "seq")?,
+        ts_ns: num(fields[1], "timestamp")?,
+        severity,
+        site,
+        fields: kv,
     })
 }
 
@@ -664,15 +809,106 @@ mod tests {
         assert!(ProfileDb::load(&buf[..]).unwrap().timeline().is_none());
     }
 
+    fn sample_journal() -> StoredJournal {
+        StoredJournal {
+            events: vec![
+                StoredJournalEvent {
+                    seq: 1,
+                    ts_ns: 1_500,
+                    severity: 1,
+                    site: 0,
+                    fields: vec![
+                        ("from".into(), "Healthy".into()),
+                        ("to".into(), "Degraded".into()),
+                    ],
+                },
+                StoredJournalEvent {
+                    seq: 2,
+                    ts_ns: 1_700,
+                    severity: 2,
+                    site: 1,
+                    fields: vec![("shard".into(), "3".into())],
+                },
+                StoredJournalEvent {
+                    seq: 4,
+                    ts_ns: 2_400,
+                    severity: 0,
+                    site: 2,
+                    fields: Vec::new(),
+                },
+            ],
+            names: vec![
+                Arc::from("supervisor.transition"),
+                Arc::from("shard.quarantine"),
+                Arc::from("pipeline.epoch"),
+            ],
+            recorded: 4,
+            evicted: 1,
+        }
+    }
+
     #[test]
-    fn v1_magic_still_loads() {
+    fn v1_and_v2_magic_still_load() {
         let db = sample_db();
         let mut buf = Vec::new();
         db.save(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let v1 = text.replacen(MAGIC_V2, MAGIC_V1, 1);
-        let back = ProfileDb::load(v1.as_bytes()).unwrap();
-        assert_eq!(back.meta(), db.meta());
+        for old in [MAGIC_V1, MAGIC_V2] {
+            let downgraded = text.replacen(MAGIC_V3, old, 1);
+            let back = ProfileDb::load(downgraded.as_bytes()).unwrap();
+            assert_eq!(back.meta(), db.meta());
+            let meta = ProfileDb::load_meta(downgraded.as_bytes()).unwrap();
+            assert_eq!(&meta, db.meta());
+        }
+    }
+
+    #[test]
+    fn journal_section_round_trips() {
+        // With and without a timeline section preceding it.
+        for with_timeline in [false, true] {
+            let mut db = sample_db().with_journal(sample_journal());
+            if with_timeline {
+                db = db.with_timeline(sample_timeline());
+            }
+            let mut buf = Vec::new();
+            db.save(&mut buf).unwrap();
+            let back = ProfileDb::load(&buf[..]).unwrap();
+            let j = back.journal().expect("journal survived");
+            assert_eq!(j, &sample_journal());
+            assert_eq!(j.recorded, j.event_count() as u64 + j.evicted);
+            assert!(j.has_site("shard.quarantine"));
+            assert_eq!(back.timeline().is_some(), with_timeline);
+        }
+    }
+
+    #[test]
+    fn profile_without_journal_loads_as_none() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        assert!(ProfileDb::load(&buf[..]).unwrap().journal().is_none());
+    }
+
+    #[test]
+    fn corrupt_journal_section_errors_not_panics() {
+        let db = sample_db().with_journal(sample_journal());
+        let mut buf = Vec::new();
+        db.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body_at = text.find("journal\t").unwrap();
+        let (head, tail) = text.split_at(body_at);
+        // Event referencing a site index past the captured name table.
+        let bad = format!("{head}{}", tail.replacen("\t2\t1\t1\t", "\t2\t1\t9\t", 1));
+        assert!(ProfileDb::load(bad.as_bytes()).is_err());
+        // Field-count mismatch against the declared count.
+        let bad = format!(
+            "{head}{}",
+            tail.replacen("\t1\tshard\t3", "\t2\tshard\t3", 1)
+        );
+        assert!(ProfileDb::load(bad.as_bytes()).is_err());
+        // Truncation inside the journal body.
+        let cut = text.find("jnames\t").unwrap() + 3;
+        assert!(ProfileDb::load(&text.as_bytes()[..cut]).is_err());
     }
 
     #[test]

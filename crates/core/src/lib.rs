@@ -38,6 +38,7 @@ pub mod failpoint;
 mod frame;
 mod fx;
 mod interner;
+mod journal;
 mod metrics;
 mod shard;
 mod timeline;
@@ -50,6 +51,7 @@ pub use failpoint::Failpoints;
 pub use frame::{CallPath, Frame, FrameKey, FrameKind, OpPhase, ThreadRole};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use interner::{Interner, Sym};
+pub use journal::{severity_label, StoredJournal, StoredJournalEvent};
 pub use metrics::{MetricKind, MetricStat, MetricStore, StallReason};
 pub use shard::CctShard;
 pub use timeline::{Interval, IntervalKind, StoredTimeline, TrackKey};

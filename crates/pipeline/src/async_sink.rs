@@ -66,7 +66,9 @@ use crossbeam::channel::{self, TrySendError};
 
 use deepcontext_core::failpoint::sites as fp_sites;
 use deepcontext_core::{CallPath, CallingContextTree, Failpoints, MetricKind, TrackKey};
-use deepcontext_telemetry::{names, Counter, Gauge, Histogram};
+use deepcontext_telemetry::{
+    journal_sites, names, Counter, Gauge, Histogram, Journal, JournalSeverity,
+};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
 
@@ -367,6 +369,17 @@ struct Shared {
     producer_batches: BatchCounters,
     /// Self-telemetry handles (`None` = telemetry off).
     telemetry: Option<SharedTelemetry>,
+    /// Incident journal (`None` = journaling off), shared with the inner
+    /// sink so every pipeline layer appends to one causal record.
+    journal: Option<Arc<Journal>>,
+    /// Whether the pipeline is inside a drop storm: set by the first
+    /// `DropOldest` eviction after a clean window, cleared by the first
+    /// drain barrier that completes afterwards. Journal-only state — the
+    /// flag is never read when journaling is off.
+    in_drop_storm: AtomicBool,
+    /// Events dropped since the current storm began (reported by the
+    /// storm-end journal event, then reset).
+    storm_dropped: AtomicU64,
 }
 
 impl Shared {
@@ -393,11 +406,24 @@ impl Shared {
     }
 
     /// Counts `weight` events as dropped, mirroring into telemetry when
-    /// it is on.
+    /// it is on. With journaling on, the first drop after a clean window
+    /// opens a *drop storm*: one onset event now, one end event at the
+    /// first drain barrier that completes afterwards — the journal shows
+    /// the storm's extent, not one entry per evicted message.
     fn note_dropped(&self, weight: u64) {
         self.dropped_events.fetch_add(weight, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
             t.dropped.add(weight);
+        }
+        if let Some(journal) = &self.journal {
+            self.storm_dropped.fetch_add(weight, Ordering::Relaxed);
+            if !self.in_drop_storm.swap(true, Ordering::AcqRel) {
+                journal.record(
+                    JournalSeverity::Warn,
+                    journal_sites::DROP_STORM_START,
+                    &[("weight", &weight.to_string())],
+                );
+            }
         }
     }
 
@@ -426,9 +452,18 @@ impl Shared {
     /// apply unwound.
     fn record_worker_panic(&self, shard: usize) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
-        self.quarantined[shard].store(true, Ordering::Release);
+        let already = self.quarantined[shard].swap(true, Ordering::Release);
         if let Some(t) = &self.telemetry {
             t.worker_panics.add(1);
+        }
+        if let Some(journal) = &self.journal {
+            if !already {
+                journal.record(
+                    JournalSeverity::Error,
+                    journal_sites::SHARD_QUARANTINE,
+                    &[("shard", &shard.to_string())],
+                );
+            }
         }
     }
 
@@ -770,6 +805,22 @@ impl Shared {
         if waited {
             self.drain_waits.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(journal) = &self.journal {
+            if waited {
+                journal.record(JournalSeverity::Info, journal_sites::PIPELINE_DRAIN, &[]);
+            }
+            // The barrier just proved a clean window: every message
+            // enqueued before it has retired, so an open drop storm ends
+            // here — the deterministic anchor for storm extents.
+            if self.in_drop_storm.swap(false, Ordering::AcqRel) {
+                let dropped = self.storm_dropped.swap(0, Ordering::AcqRel);
+                journal.record(
+                    JournalSeverity::Warn,
+                    journal_sites::DROP_STORM_END,
+                    &[("dropped", &dropped.to_string())],
+                );
+            }
+        }
     }
 
     /// The attribution loop: drain owned shards, coalescing adjacent
@@ -1093,6 +1144,9 @@ impl AsyncSink {
             worker_batches: AtomicU64::new(0),
             worker_events: AtomicU64::new(0),
             producer_batches: BatchCounters::default(),
+            journal: inner.journal().cloned(),
+            in_drop_storm: AtomicBool::new(false),
+            storm_dropped: AtomicU64::new(0),
             inner,
         });
         let batcher = (config.launch_batch > 1).then(|| {
@@ -1120,6 +1174,13 @@ impl AsyncSink {
                                     shared.worker_panics.fetch_add(1, Ordering::Relaxed);
                                     if let Some(t) = &shared.telemetry {
                                         t.worker_panics.add(1);
+                                    }
+                                    if let Some(journal) = &shared.journal {
+                                        journal.record(
+                                            JournalSeverity::Error,
+                                            journal_sites::WORKER_RESTART,
+                                            &[("worker", &w.to_string())],
+                                        );
                                     }
                                     // Pace restarts so a deterministic
                                     // loop-entry panic cannot busy-spin.
@@ -1181,10 +1242,18 @@ impl AsyncSink {
         while self.shared.paused_workers.load(Ordering::Acquire) < self.workers {
             std::thread::yield_now();
         }
+        if let Some(journal) = &self.shared.journal {
+            // Journaled after the rendezvous: the event marks the point
+            // the pool was actually parked, not the request.
+            journal.record(JournalSeverity::Info, journal_sites::PIPELINE_PAUSE, &[]);
+        }
     }
 
     /// Resumes a [`pause`](Self::pause)d worker pool.
     pub fn resume(&self) {
+        if let Some(journal) = &self.shared.journal {
+            journal.record(JournalSeverity::Info, journal_sites::PIPELINE_RESUME, &[]);
+        }
         self.shared.paused.store(false, Ordering::Release);
         for parker in &self.shared.parkers {
             parker.nudge();
@@ -1318,6 +1387,14 @@ impl EventSink for AsyncSink {
         }
         self.shared.drain();
         self.shared.inner.trim_directory();
+        // The barrier-anchored journal event, recorded *after* the second
+        // drain: both ingestion modes journal one epoch event per flush
+        // boundary with identical ordering relative to applied events
+        // (sync mode records it in `ShardedSink::epoch_complete`, which
+        // the async pipeline deliberately bypasses).
+        if let Some(journal) = &self.shared.journal {
+            journal.record(JournalSeverity::Info, journal_sites::PIPELINE_EPOCH, &[]);
+        }
     }
 
     fn snapshot(&self) -> CallingContextTree {

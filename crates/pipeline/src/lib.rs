@@ -84,8 +84,9 @@ pub use supervisor::{Supervisor, SupervisorConfig, SupervisorSink, SupervisorSta
 // The self-telemetry types the profiler speaks (see
 // `ShardedSink::with_telemetry`), re-exported for the same reason.
 pub use deepcontext_telemetry::{
-    default_telemetry_config, default_telemetry_enabled, HealthReport, HealthThresholds, Telemetry,
-    TelemetryConfig, TelemetrySnapshot,
+    default_journal_config, default_journal_enabled, default_telemetry_config,
+    default_telemetry_enabled, journal_sites, HealthReport, HealthThresholds, Journal,
+    JournalConfig, JournalSeverity, Telemetry, TelemetryConfig, TelemetrySnapshot,
 };
 
 // The timeline types every sink speaks (see `EventSink::timeline_snapshot`

@@ -59,7 +59,9 @@ use deepcontext_core::{
     CallPath, CallingContextTree, CctShard, Failpoints, FoldState, Interner, Interval,
     IntervalKind, MetricKind, NodeId, Sym, TimeNs, TrackKey,
 };
-use deepcontext_telemetry::TelemetryConfig;
+use deepcontext_telemetry::{
+    journal_sites, Journal, JournalConfig, JournalSeverity, TelemetryConfig,
+};
 use deepcontext_timeline::{TimelineConfig, TimelineSink, TimelineSnapshot};
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ActivityKind, ApiKind};
@@ -134,6 +136,10 @@ pub struct ShardedSink {
     /// `DEEPCONTEXT_FAILPOINTS` spec names one of them; every check is
     /// then one branch on an empty list.
     failpoints: Failpoints,
+    /// The incident journal (`None` = journaling off, the default). The
+    /// sync sink records only the barrier-anchored flush-boundary event;
+    /// the async pipeline and supervisor share this handle for theirs.
+    journal: Option<Arc<Journal>>,
     /// Last-known `CctShard::approx_bytes` per shard, refreshed while the
     /// shard lock is already held at batch boundaries, so peak tracking
     /// never sweeps every shard lock.
@@ -244,7 +250,8 @@ impl ShardedSink {
     /// fault-injection registry instead of the `DEEPCONTEXT_FAILPOINTS`
     /// environment spec — how tests inject directory-bind / fold stalls
     /// without leaking state across tests through the process
-    /// environment.
+    /// environment. Incident journaling stays off on this path — use
+    /// [`with_journal`](Self::with_journal) to opt in.
     #[allow(clippy::too_many_arguments)]
     pub fn with_failpoints(
         interner: Arc<Interner>,
@@ -255,10 +262,47 @@ impl ShardedSink {
         telemetry: &TelemetryConfig,
         failpoints: Failpoints,
     ) -> Arc<Self> {
-        let n = shard_count.max(1);
-        Arc::new(ShardedSink {
-            telemetry: PipelineTelemetry::from_config(telemetry, &interner),
+        ShardedSink::with_journal(
+            interner,
+            shard_count,
+            snapshot_cache,
+            timeline,
+            directory_map,
+            telemetry,
             failpoints,
+            &JournalConfig::default(),
+        )
+    }
+
+    /// The full constructor: [`with_failpoints`](Self::with_failpoints)
+    /// plus the incident journal. When `journal.enabled`, the sink
+    /// builds the ring here — attached to the same telemetry session as
+    /// its own instruments, so journal timestamps, self-timeline
+    /// intervals and the `deepcontext_journal_*` counters share one
+    /// clock/registry — and records the barrier-anchored flush-boundary
+    /// event at every [`EventSink::epoch_complete`]. The async pipeline
+    /// / supervisor / profiler layers pick the handle up from
+    /// [`journal`](Self::journal) for quarantines, drop storms,
+    /// transitions and retries — one causally ordered record per run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_journal(
+        interner: Arc<Interner>,
+        shard_count: usize,
+        snapshot_cache: bool,
+        timeline: &TimelineConfig,
+        directory_map: DirectoryMapKind,
+        telemetry: &TelemetryConfig,
+        failpoints: Failpoints,
+        journal: &JournalConfig,
+    ) -> Arc<Self> {
+        let n = shard_count.max(1);
+        let telemetry = PipelineTelemetry::from_config(telemetry, &interner);
+        let journal =
+            Journal::from_config(journal, &interner, telemetry.as_deref().map(|t| t.handle()));
+        Arc::new(ShardedSink {
+            telemetry,
+            failpoints,
+            journal,
             timeline: timeline.enabled.then(|| TimelineSink::new(n, timeline)),
             shards: (0..n)
                 .map(|_| Mutex::new(CctShard::new(Arc::clone(&interner))))
@@ -304,6 +348,20 @@ impl ShardedSink {
     /// reports and exports.
     pub fn telemetry(&self) -> Option<&Arc<PipelineTelemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// The incident journal, when journaling is enabled. The async
+    /// pipeline and the profiler pick the handle up from here so every
+    /// layer appends to one causally ordered record.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// The fault-injection registry this sink consults. The profiler
+    /// installs its fire observer here so injected faults land in the
+    /// incident journal.
+    pub fn failpoints(&self) -> &Failpoints {
+        &self.failpoints
     }
 
     /// Records one self-timeline interval (`[start_ns, end_ns)` in the
@@ -877,6 +935,15 @@ impl EventSink for ShardedSink {
         }
         // Directory stripes shed their high-water capacity too.
         self.trim_directory();
+        // The barrier-anchored journal event: by the time either
+        // ingestion mode reaches its flush boundary the same events have
+        // been applied, so sync and async runs journal identical epoch
+        // sequences (the equivalence suite holds this as an invariant).
+        // The async pipeline does not route through this method — it
+        // records the same site itself after its drain barrier.
+        if let Some(journal) = &self.journal {
+            journal.record(JournalSeverity::Info, journal_sites::PIPELINE_EPOCH, &[]);
+        }
     }
 
     fn snapshot(&self) -> CallingContextTree {

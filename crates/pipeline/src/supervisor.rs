@@ -50,7 +50,10 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use deepcontext_core::{CallPath, CallingContextTree, MetricKind};
-use deepcontext_telemetry::{names, Counter, Gauge, HealthReport, HealthThresholds, Telemetry};
+use deepcontext_telemetry::{
+    journal_sites, names, Counter, Gauge, HealthReport, HealthThresholds, Journal, JournalSeverity,
+    Telemetry,
+};
 use deepcontext_timeline::TimelineSnapshot;
 use dlmonitor::EventOrigin;
 use sim_gpu::{Activity, ApiKind};
@@ -77,6 +80,15 @@ impl SupervisorState {
             1 => SupervisorState::Degraded,
             2 => SupervisorState::Bypass,
             _ => SupervisorState::Healthy,
+        }
+    }
+
+    /// The state's display name, as journaled transition events spell it.
+    pub fn name(self) -> &'static str {
+        match self {
+            SupervisorState::Healthy => "Healthy",
+            SupervisorState::Degraded => "Degraded",
+            SupervisorState::Bypass => "Bypass",
         }
     }
 }
@@ -178,6 +190,14 @@ pub struct Supervisor {
     /// Round-robin counter sampling correlation-less events.
     uncorrelated: AtomicU64,
     telemetry: Option<SupervisorTelemetry>,
+    /// Incident journal (`None` = journaling off). Transitions are
+    /// recorded with the `HealthReport` evidence that tripped them.
+    journal: Option<Arc<Journal>>,
+    /// Journal-clock timestamp of the first departure from `Healthy`
+    /// (0 = never left, or journaling off). Stamped into
+    /// `ProfileMeta::extra` so header-only listings can spot when a run
+    /// first degraded without loading the journal.
+    first_degraded_ns: AtomicU64,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -200,6 +220,20 @@ impl Supervisor {
     pub fn with_telemetry(
         config: SupervisorConfig,
         telemetry: Option<&Telemetry>,
+    ) -> Arc<Supervisor> {
+        Supervisor::with_journal(config, telemetry, None)
+    }
+
+    /// [`with_telemetry`](Self::with_telemetry) plus the incident
+    /// journal: every state transition is then recorded as a
+    /// `supervisor.transition` event carrying the `HealthReport`
+    /// evidence that tripped it (or `forced`, for operator overrides),
+    /// and the first departure from `Healthy` stamps
+    /// [`first_degraded_ns`](Self::first_degraded_ns).
+    pub fn with_journal(
+        config: SupervisorConfig,
+        telemetry: Option<&Telemetry>,
+        journal: Option<Arc<Journal>>,
     ) -> Arc<Supervisor> {
         let config = SupervisorConfig {
             sample_stride: config.sample_stride.max(1),
@@ -230,7 +264,19 @@ impl Supervisor {
             bypassed: AtomicU64::new(0),
             uncorrelated: AtomicU64::new(0),
             telemetry,
+            journal,
+            first_degraded_ns: AtomicU64::new(0),
         })
+    }
+
+    /// Journal-clock timestamp of the run's first departure from
+    /// `Healthy` — `None` while the run never degraded (or journaling is
+    /// off, which leaves the supervisor without a clock to stamp from).
+    pub fn first_degraded_ns(&self) -> Option<u64> {
+        match self.first_degraded_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
     }
 
     /// The configuration the supervisor was built with (strides and
@@ -282,7 +328,7 @@ impl Supervisor {
             if edge.breached(report) {
                 let run = self.trip_run.fetch_add(1, Ordering::Relaxed) + 1;
                 if run >= self.config.trip_streak {
-                    self.transition_to(next_up);
+                    self.transition_to(state, next_up, Some(report));
                     return next_up;
                 }
             } else {
@@ -293,7 +339,7 @@ impl Supervisor {
             if SupervisorConfig::calm(edge, self.config.recover_fraction, report) {
                 let run = self.recover_run.fetch_add(1, Ordering::Relaxed) + 1;
                 if run >= self.config.recover_streak {
-                    self.transition_to(next_down);
+                    self.transition_to(state, next_down, Some(report));
                     return next_down;
                 }
             } else {
@@ -306,12 +352,18 @@ impl Supervisor {
     /// Jams the machine into `state` (tests, benches, operator
     /// overrides). Counts as a transition when the state changes.
     pub fn force_state(&self, state: SupervisorState) {
-        if self.state() != state {
-            self.transition_to(state);
+        let from = self.state();
+        if from != state {
+            self.transition_to(from, state, None);
         }
     }
 
-    fn transition_to(&self, state: SupervisorState) {
+    fn transition_to(
+        &self,
+        from: SupervisorState,
+        state: SupervisorState,
+        evidence: Option<&HealthReport>,
+    ) {
         self.state.store(state as u8, Ordering::Relaxed);
         self.trip_run.store(0, Ordering::Relaxed);
         self.recover_run.store(0, Ordering::Relaxed);
@@ -319,6 +371,49 @@ impl Supervisor {
         if let Some(t) = &self.telemetry {
             t.transitions.add(1);
             t.state.set(state as u8 as u64);
+        }
+        if let Some(journal) = &self.journal {
+            if state != SupervisorState::Healthy {
+                // First departure from Healthy, in the journal's clock
+                // domain (shared with telemetry when both are on).
+                let _ = self.first_degraded_ns.compare_exchange(
+                    0,
+                    journal.now_ns().max(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            // Escalations warn; recoveries (and operator overrides back
+            // toward Healthy) are expected lifecycle.
+            let severity = if state as u8 > from as u8 {
+                JournalSeverity::Warn
+            } else {
+                JournalSeverity::Info
+            };
+            match evidence {
+                Some(report) => journal.record(
+                    severity,
+                    journal_sites::SUPERVISOR_TRANSITION,
+                    &[
+                        ("from", from.name()),
+                        ("to", state.name()),
+                        ("drop_rate", &format!("{:.6}", report.drop_rate)),
+                        (
+                            "queue_saturation",
+                            &format!("{:.6}", report.queue_saturation),
+                        ),
+                    ],
+                ),
+                None => journal.record(
+                    severity,
+                    journal_sites::SUPERVISOR_TRANSITION,
+                    &[
+                        ("from", from.name()),
+                        ("to", state.name()),
+                        ("forced", "true"),
+                    ],
+                ),
+            }
         }
     }
 

@@ -20,10 +20,10 @@
 
 use std::sync::Arc;
 
-use deepcontext_core::{CallPath, Frame, FrameKind, Interner, MetricKind, TimeNs};
+use deepcontext_core::{CallPath, Frame, FrameKind, Interner, MetricKind, StoredJournal, TimeNs};
 use deepcontext_pipeline::{
-    AsyncSink, BackpressurePolicy, BatchingSink, EventSink, Failpoints, PipelineConfig,
-    ShardedSink, TimelineConfig,
+    default_directory_map, journal_sites, AsyncSink, BackpressurePolicy, BatchingSink, EventSink,
+    Failpoints, JournalConfig, PipelineConfig, ShardedSink, TelemetryConfig, TimelineConfig,
 };
 use dlmonitor::EventOrigin;
 use proptest::prelude::*;
@@ -283,6 +283,160 @@ fn check_interleaving(steps: &[Step], shards: usize, async_mode: bool, launch_ba
     prop_assert_eq!(counters.activities, oracle.counters().activities);
 }
 
+/// Reduces a journal snapshot to its barrier-anchored record: the
+/// severity/field tuples of the `pipeline.epoch` events, in seq order.
+/// Epoch barriers are the deterministic anchors both ingestion modes
+/// share — the sync oracle journals the site inline in
+/// `epoch_complete`, the async pipeline after its own drain barrier —
+/// so however the pipeline interleaved around them, these subsequences
+/// must come out identical.
+fn epoch_record(journal: &StoredJournal) -> Vec<(u8, Vec<(String, String)>)> {
+    journal
+        .events_at(journal_sites::PIPELINE_EPOCH)
+        .map(|e| (e.severity, e.fields.clone()))
+        .collect()
+}
+
+/// The incident-journal arm of the equivalence suite: the same
+/// interleaving drives a journal-bearing synchronous oracle and a
+/// journal-bearing asynchronous candidate, and at every snapshot point
+/// (a drain barrier) the journal must behave deterministically — two
+/// reads at the same barrier are identical, event seqs are strictly
+/// increasing, conservation (`recorded == kept + evicted`) holds — and
+/// the barrier-anchored `pipeline.epoch` record must be identical
+/// between the two modes.
+fn check_journal_interleaving(steps: &[Step], shards: usize, launch_batch: usize) {
+    let timeline = TimelineConfig::default();
+    let journal_config = JournalConfig::enabled();
+    let interner = Interner::new();
+    let with_journal = |interner: &Arc<Interner>| {
+        ShardedSink::with_journal(
+            Arc::clone(interner),
+            shards,
+            true,
+            &timeline,
+            default_directory_map(),
+            &TelemetryConfig::default(),
+            Failpoints::disabled(),
+            &journal_config,
+        )
+    };
+    let oracle = with_journal(&interner);
+    let oracle_journal = Arc::clone(oracle.journal().expect("journal enabled"));
+    let inner = with_journal(&interner);
+    let candidate_journal = Arc::clone(inner.journal().expect("journal enabled"));
+    let candidate = AsyncSink::new(
+        inner,
+        PipelineConfig {
+            launch_batch,
+            ..PipelineConfig::default()
+        },
+    );
+    let label = || format!("{shards} shards, launch_batch {launch_batch}");
+
+    let mut next_corr = 1u64;
+    let mut outstanding: Vec<(u64, u8)> = Vec::new();
+    let mut snapshots = 0u32;
+    for step in steps {
+        match step {
+            Step::Launch { tid, ctx } => {
+                let corr = next_corr;
+                next_corr += 1;
+                let origin = launch_origin(*tid, *ctx, corr);
+                let path = context_path(&interner, *tid, *ctx);
+                oracle.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                candidate.gpu_launch(&origin, &path, ApiKind::LaunchKernel);
+                outstanding.push((corr, *ctx));
+            }
+            Step::Flush => {
+                let batch: Vec<Activity> = outstanding
+                    .drain(..)
+                    .map(|(corr, ctx)| kernel_activity(corr, ctx))
+                    .collect();
+                oracle.activity_batch(&batch);
+                candidate.activity_batch(&batch);
+            }
+            Step::Sample { tid, ctx, value } => {
+                let origin = EventOrigin {
+                    tid: Some(*tid),
+                    ..EventOrigin::default()
+                };
+                let path = context_path(&interner, *tid, *ctx);
+                oracle.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+                candidate.cpu_sample(&origin, &path, MetricKind::CpuTime, f64::from(*value));
+            }
+            Step::Epoch => {
+                oracle.epoch_complete();
+                candidate.epoch_complete();
+            }
+            Step::Snapshot => {
+                snapshots += 1;
+                // The snapshots themselves are the drain barriers.
+                let s = oracle.snapshot();
+                let c = candidate.snapshot();
+                prop_assert_eq!(s.semantic_diff(&c), None, "{}, profile", label());
+                for (journal, side) in [(&oracle_journal, "oracle"), (&candidate_journal, "async")]
+                {
+                    let first = journal.snapshot();
+                    let again = journal.snapshot();
+                    prop_assert_eq!(
+                        &first,
+                        &again,
+                        "{} journal re-read at a quiesced barrier diverged ({}, snapshot #{})",
+                        side,
+                        label(),
+                        snapshots
+                    );
+                    prop_assert!(
+                        first.events.windows(2).all(|w| w[0].seq < w[1].seq),
+                        "{} journal seqs not strictly increasing ({}, snapshot #{})",
+                        side,
+                        label(),
+                        snapshots
+                    );
+                    prop_assert_eq!(
+                        first.recorded,
+                        first.events.len() as u64 + first.evicted,
+                        "{} journal conservation ({}, snapshot #{})",
+                        side,
+                        label(),
+                        snapshots
+                    );
+                }
+                prop_assert_eq!(
+                    epoch_record(&oracle_journal.snapshot()),
+                    epoch_record(&candidate_journal.snapshot()),
+                    "barrier-anchored epoch records must match sync vs async ({}, snapshot #{})",
+                    label(),
+                    snapshots
+                );
+            }
+        }
+    }
+
+    let s = oracle.finish_snapshot();
+    let c = candidate.finish_snapshot();
+    prop_assert_eq!(s.semantic_diff(&c), None, "{}, finish", label());
+    let oj = oracle_journal.snapshot();
+    let cj = candidate_journal.snapshot();
+    let epochs = steps
+        .iter()
+        .filter(|step| matches!(step, Step::Epoch))
+        .count();
+    prop_assert_eq!(
+        oj.events_at(journal_sites::PIPELINE_EPOCH).count(),
+        epochs,
+        "every epoch barrier journals exactly one event ({})",
+        label()
+    );
+    prop_assert_eq!(
+        epoch_record(&oj),
+        epoch_record(&cj),
+        "barrier-anchored epoch records must match sync vs async at finish ({})",
+        label()
+    );
+}
+
 /// Drives one interleaving into the asynchronous pipeline with a
 /// `worker_panic` failpoint pinned to one shard, against a synchronous
 /// oracle fed only the events routing to the *other* shards. The
@@ -456,6 +610,18 @@ proptest! {
                 check_interleaving(&steps, 16, async_mode, launch_batch);
                 check_interleaving(&steps, 1, async_mode, launch_batch);
             }
+        }
+    }
+
+    #[test]
+    fn journal_barrier_events_are_deterministic_and_mode_independent(
+        steps in prop::collection::vec(arb_step(), 1..80),
+    ) {
+        // launch_batch 1 exercises the per-event enqueue path; 7 forces
+        // partial-batch flushes right at the journal's drain barriers.
+        for launch_batch in [1usize, 7] {
+            check_journal_interleaving(&steps, 16, launch_batch);
+            check_journal_interleaving(&steps, 1, launch_batch);
         }
     }
 

@@ -48,12 +48,14 @@ pub mod sink;
 
 pub use sink::{
     attribute_activity_metrics, default_directory_map, default_ingestion_mode,
-    default_launch_batch, default_telemetry_config, default_telemetry_enabled,
-    default_timeline_config, default_timeline_enabled, AsyncSink, BackpressurePolicy, BatchingSink,
+    default_journal_config, default_journal_enabled, default_launch_batch,
+    default_telemetry_config, default_telemetry_enabled, default_timeline_config,
+    default_timeline_enabled, journal_sites, AsyncSink, BackpressurePolicy, BatchingSink,
     DirectoryMap, DirectoryMapKind, EventSink, Failpoints, HealthReport, HealthThresholds,
-    IngestionMode, PipelineConfig, PipelineTelemetry, ShardedSink, SinkCounters, Supervisor,
-    SupervisorConfig, SupervisorSink, SupervisorState, Telemetry, TelemetryConfig,
-    TelemetrySnapshot, TimelineConfig, TimelineSnapshot, TimelineStats, DEFAULT_LAUNCH_BATCH,
+    IngestionMode, Journal, JournalConfig, JournalSeverity, PipelineConfig, PipelineTelemetry,
+    ShardedSink, SinkCounters, Supervisor, SupervisorConfig, SupervisorSink, SupervisorState,
+    Telemetry, TelemetryConfig, TelemetrySnapshot, TimelineConfig, TimelineSnapshot, TimelineStats,
+    DEFAULT_LAUNCH_BATCH,
 };
 
 /// The default ingestion shard count, honouring the
@@ -137,6 +139,14 @@ pub struct ProfilerConfig {
     /// with telemetry off a supervised profiler simply never leaves
     /// `Healthy` on its own.
     pub supervisor: Option<SupervisorConfig>,
+    /// Incident journal: a bounded ring of structured lifecycle events
+    /// (supervisor transitions with their evidence, shard quarantines,
+    /// drop storms, store retries, pause/resume/drain barriers,
+    /// failpoint fires) kept alongside the profile and persisted with it
+    /// ([`Profiler::journal`] for the live handle). Off by default —
+    /// disabled, ingestion pays nothing; the `DEEPCONTEXT_JOURNAL`
+    /// environment override flips the default on.
+    pub journal: JournalConfig,
 }
 
 impl Default for ProfilerConfig {
@@ -157,6 +167,7 @@ impl Default for ProfilerConfig {
             timeline: default_timeline_config(),
             telemetry: default_telemetry_config(),
             supervisor: None,
+            journal: default_journal_config(),
         }
     }
 }
@@ -272,6 +283,11 @@ pub struct Profiler {
     /// [`ProfilerConfig::supervisor`] is configured. [`Profiler::flush`]
     /// and [`Profiler::finish`] feed it health windows.
     supervisor: Option<Arc<Supervisor>>,
+    /// The incident journal — set by [`Profiler::attach`] when
+    /// [`ProfilerConfig::journal`] is enabled. Every pipeline layer
+    /// appends to this one handle; [`Profiler::finish`] persists its
+    /// snapshot into the profile.
+    journal: Option<Arc<Journal>>,
 }
 
 impl Profiler {
@@ -286,15 +302,39 @@ impl Profiler {
         monitor: &Arc<DlMonitor>,
         gpu: &Arc<GpuRuntime>,
     ) -> Profiler {
-        let sharded = ShardedSink::with_telemetry(
+        let sharded = ShardedSink::with_journal(
             monitor.interner(),
             config.ingestion_shards,
             config.snapshot_cache,
             &config.timeline,
             config.pipeline.directory_map,
             &config.telemetry,
+            Failpoints::from_env(),
+            &config.journal,
         );
         let telemetry = sharded.telemetry().cloned();
+        let journal = sharded.journal().cloned();
+        // Injected faults belong in the causal record next to the
+        // symptoms they provoke: route every failpoint fire into the
+        // journal. Latest-wins on the shared env registry, so the
+        // observer always follows the current run.
+        if let Some(journal) = &journal {
+            let journal = Arc::clone(journal);
+            sharded
+                .failpoints()
+                .observe_fires(Box::new(move |name, site| match site {
+                    Some(at) => journal.record(
+                        JournalSeverity::Error,
+                        journal_sites::FAILPOINT_FIRE,
+                        &[("name", name), ("at", &at.to_string())],
+                    ),
+                    None => journal.record(
+                        JournalSeverity::Error,
+                        journal_sites::FAILPOINT_FIRE,
+                        &[("name", name)],
+                    ),
+                }));
+        }
         let mut sink: Arc<dyn EventSink> = match config.ingestion_mode {
             // Producer batching amortizes routing/locking in synchronous
             // mode too; the bare sharded sink remains the launch_batch=1
@@ -308,14 +348,18 @@ impl Profiler {
         // Admission control goes outermost so degraded-mode sampling is
         // decided before any batching or queueing effort is spent.
         let supervisor = config.supervisor.map(|sup_config| {
-            let supervisor =
-                Supervisor::with_telemetry(sup_config, telemetry.as_deref().map(|t| t.handle()));
+            let supervisor = Supervisor::with_journal(
+                sup_config,
+                telemetry.as_deref().map(|t| t.handle()),
+                journal.clone(),
+            );
             sink = SupervisorSink::new(Arc::clone(&sink), Arc::clone(&supervisor));
             supervisor
         });
         let mut profiler = Profiler::attach_with_sink(config, env, monitor, gpu, sink);
         profiler.telemetry = telemetry;
         profiler.supervisor = supervisor;
+        profiler.journal = journal;
         profiler
     }
 
@@ -432,6 +476,7 @@ impl Profiler {
             started: env.clock().now(),
             telemetry: None,
             supervisor: None,
+            journal: None,
         }
     }
 
@@ -467,6 +512,24 @@ impl Profiler {
     /// [`ProfilerConfig::supervisor`] was configured at attach).
     pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
         self.supervisor.as_ref()
+    }
+
+    /// The live incident journal (`None` when
+    /// [`ProfilerConfig::journal`] is off or the sink was
+    /// caller-provided). Snapshot it at any point for a causally
+    /// ordered record of what the pipeline went through:
+    /// `profiler.journal().map(|j| j.snapshot().to_jsonl())` exports
+    /// one JSON object per event for log shippers.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// A point-in-time flattening of the incident journal (`None` when
+    /// journaling is off): kept events in order plus the conservation
+    /// counters. [`finish`](Self::finish) persists exactly this into
+    /// the profile database.
+    pub fn journal_snapshot(&self) -> Option<deepcontext_core::StoredJournal> {
+        self.journal.as_ref().map(|j| j.snapshot())
     }
 
     /// Current approximate profile memory (shards + correlation state).
@@ -669,9 +732,30 @@ impl Profiler {
             ] {
                 meta.extra.push((key.to_string(), value));
             }
+            // The first departure from Healthy, as a journal-clock
+            // timestamp: header-only listings can spot a run that
+            // degraded (and when) without loading the journal itself.
+            if let Some(ns) = supervisor.first_degraded_ns() {
+                meta.extra
+                    .push(("supervisor.first_degraded_ns".to_string(), ns.to_string()));
+            }
+        }
+        // Flatten the incident journal into the database and summarize
+        // it in the header: `journal.sites` lets `ProfileStore` listings
+        // filter runs by incident kind from metadata alone.
+        let journal = self.journal.as_ref().map(|j| j.snapshot());
+        if let Some(journal) = &journal {
+            for (key, value) in [
+                ("journal.events", journal.event_count().to_string()),
+                ("journal.evicted", journal.evicted.to_string()),
+                ("journal.sites", journal.site_summary().join(",")),
+            ] {
+                meta.extra.push((key.to_string(), value));
+            }
         }
         let mut db = ProfileDb::new(meta, self.inner.sink.finish_snapshot());
         db.set_timeline(timeline);
+        db.set_journal(journal);
         db
     }
 

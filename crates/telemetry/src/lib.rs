@@ -18,6 +18,10 @@
 //! * [`HealthReport`] — the snapshot rolled into windowed rates (drop
 //!   rate, queue saturation, worker utilization, flush/fold latency
 //!   summaries) for programmatic overload decisions.
+//! * [`Journal`] — the incident journal: a bounded, lock-striped ring
+//!   of structured lifecycle events (supervisor transitions, shard
+//!   quarantines, drop storms, store retries, failpoint fires) that
+//!   persists with the profile and is cited by the analyzer.
 //! * [`names`] — the well-known metric names shared between the
 //!   instrumentation sites and the report.
 //!
@@ -34,11 +38,16 @@
 
 pub mod export;
 pub mod health;
+pub mod journal;
 pub mod metrics;
 pub mod registry;
 
 pub use export::{escape_label_value, sanitize_label_name, sanitize_metric_name};
 pub use health::{DistributionSummary, HealthReport, HealthThresholds};
+pub use journal::{
+    default_journal_config, default_journal_enabled, journal_sites, Journal, JournalConfig,
+    JournalSeverity, DEFAULT_JOURNAL_CAPACITY,
+};
 pub use metrics::{
     bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
 };
@@ -102,6 +111,11 @@ pub mod names {
     pub const SUPERVISOR_REJECTED_EVENTS: &str = "deepcontext_supervisor_rejected_events_total";
     /// Counter: events discarded outright while `Bypass`.
     pub const SUPERVISOR_BYPASSED_EVENTS: &str = "deepcontext_supervisor_bypassed_events_total";
+    /// Counter: lifecycle events recorded by the incident journal
+    /// (kept + evicted — the conservation total).
+    pub const JOURNAL_RECORDED: &str = "deepcontext_journal_recorded_total";
+    /// Counter: journal events evicted by ring overflow.
+    pub const JOURNAL_EVICTED: &str = "deepcontext_journal_evicted_total";
 }
 
 /// Self-telemetry knobs (the `ProfilerConfig::telemetry` field).

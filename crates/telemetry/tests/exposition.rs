@@ -10,7 +10,8 @@
 //! cargo test -p deepcontext-telemetry --test exposition -- --ignored regenerate
 //! ```
 
-use deepcontext_telemetry::{escape_label_value, Telemetry};
+use deepcontext_core::Interner;
+use deepcontext_telemetry::{escape_label_value, Journal, JournalSeverity, Telemetry};
 
 const PROM_GOLDEN: &str = include_str!("goldens/exposition.prom");
 const JSON_GOLDEN: &str = include_str!("goldens/exposition.json");
@@ -41,6 +42,18 @@ fn golden_registry() -> Telemetry {
     );
     for v in [1, 2, 3, 5, 8, 13, 100, 1000] {
         h.record(v);
+    }
+    // The incident journal mirrors its conservation counters into the
+    // registry. A capacity-2 ring stripes one slot per stripe, so ten
+    // sequential events deterministically wrap two stripes:
+    // `deepcontext_journal_recorded_total` 10, `..._evicted_total` 2.
+    let journal = Journal::new(Interner::new(), 2).with_telemetry(&t);
+    for i in 0..10u32 {
+        journal.record(
+            JournalSeverity::Info,
+            "golden.site",
+            &[("i", &i.to_string())],
+        );
     }
     t
 }

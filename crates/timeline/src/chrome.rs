@@ -10,12 +10,26 @@
 //! every slice carries its full calling context as an argument, so
 //! clicking a kernel in the trace viewer shows the Python → operator →
 //! kernel path that launched it.
+//!
+//! [`to_chrome_trace_with_journal`] additionally merges the run's
+//! incident journal into the `profiler (self)` process as instant
+//! (`"i"`) events on a dedicated `incidents` lane — supervisor
+//! transitions, quarantines and drop storms render as markers right
+//! above the flush/fold/worker swim-lanes they explain.
 
 use std::fmt::Write as _;
 
-use deepcontext_core::{CallingContextTree, FxHashMap, Sym, TrackKey};
+use deepcontext_core::{
+    severity_label, CallingContextTree, FxHashMap, StoredJournal, Sym, TrackKey,
+};
 
 use crate::snapshot::TimelineSnapshot;
+
+/// The `tid` of the incident-journal lane inside the `profiler (self)`
+/// process — above the reserved self streams (workers count from 0,
+/// flush/fold are 1000/1001) so it never collides with an interval
+/// track.
+const INCIDENT_TID: u32 = 1_002;
 
 /// Human-readable lane name of a self-timeline stream (the profiler's
 /// reserved [`TrackKey::SELF_DEVICE`] tracks).
@@ -60,6 +74,22 @@ fn us(ns: u64) -> String {
 /// [module docs](self)). The result is self-contained: load it directly
 /// in `chrome://tracing` or Perfetto.
 pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextTree>) -> String {
+    to_chrome_trace_with_journal(snapshot, cct, None)
+}
+
+/// [`to_chrome_trace`] plus the incident journal: each journaled event
+/// becomes a process-scoped instant (`"ph":"i"`, `"s":"p"`) on the
+/// `incidents` lane of the `profiler (self)` process, named by its site
+/// and carrying its severity, sequence number and key/value fields as
+/// arguments. The self process is emitted even when the snapshot holds
+/// no self intervals (telemetry off, journal on), so the markers always
+/// have a named home.
+pub fn to_chrome_trace_with_journal(
+    snapshot: &TimelineSnapshot,
+    cct: Option<&CallingContextTree>,
+    journal: Option<&StoredJournal>,
+) -> String {
+    let journal = journal.filter(|j| !j.is_empty());
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
@@ -74,8 +104,13 @@ pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextT
     // Metadata: name one process per device, one thread per stream, and
     // keep lanes in stream order. The reserved self-telemetry device
     // renders as the profiler's own process (it sorts last — after every
-    // real GPU — because it is `u32::MAX`).
-    for device in snapshot.devices() {
+    // real GPU — because it is `u32::MAX`); a journal forces it into
+    // existence even without self intervals.
+    let mut devices = snapshot.devices();
+    if journal.is_some() && !devices.contains(&TrackKey::SELF_DEVICE) {
+        devices.push(TrackKey::SELF_DEVICE);
+    }
+    for device in devices {
         let name = if device == TrackKey::SELF_DEVICE {
             "profiler (self)".to_string()
         } else {
@@ -173,6 +208,52 @@ pub fn to_chrome_trace(snapshot: &TimelineSnapshot, cct: Option<&CallingContextT
             push(event, &mut out);
         }
     }
+
+    // Incident markers: one instant per journaled event, in seq order,
+    // on their own named lane of the self process.
+    if let Some(journal) = journal {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{INCIDENT_TID},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"incidents\"}}}}",
+                TrackKey::SELF_DEVICE
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{INCIDENT_TID},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{INCIDENT_TID}}}}}",
+                TrackKey::SELF_DEVICE
+            ),
+            &mut out,
+        );
+        for record in &journal.events {
+            let mut event = String::new();
+            event.push_str("{\"ph\":\"i\",\"pid\":");
+            let _ = write!(event, "{}", TrackKey::SELF_DEVICE);
+            event.push_str(",\"tid\":");
+            let _ = write!(event, "{INCIDENT_TID}");
+            event.push_str(",\"name\":\"");
+            escape_into(&mut event, journal.site_name(record).unwrap_or("<unknown>"));
+            event.push_str("\",\"cat\":\"incident\",\"s\":\"p\",\"ts\":");
+            event.push_str(&us(record.ts_ns));
+            event.push_str(",\"args\":{\"seq\":");
+            let _ = write!(event, "{}", record.seq);
+            event.push_str(",\"severity\":\"");
+            event.push_str(severity_label(record.severity));
+            event.push('"');
+            for (key, value) in &record.fields {
+                event.push_str(",\"");
+                escape_into(&mut event, key);
+                event.push_str("\":\"");
+                escape_into(&mut event, value);
+                event.push('"');
+            }
+            event.push_str("}}");
+            push(event, &mut out);
+        }
+    }
     out.push_str("\n]}\n");
     out
 }
@@ -229,6 +310,63 @@ mod tests {
         assert!(json.contains("\"ts\":1,\"dur\":2.500"));
         assert!(json.contains("\"correlation\":9"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn journal_events_render_as_self_process_instants() {
+        use deepcontext_core::{StoredJournal, StoredJournalEvent};
+        let journal = StoredJournal {
+            events: vec![
+                StoredJournalEvent {
+                    seq: 1,
+                    ts_ns: 1_500,
+                    severity: 1,
+                    site: 0,
+                    fields: vec![
+                        ("from".into(), "Healthy".into()),
+                        ("to".into(), "Degraded".into()),
+                    ],
+                },
+                StoredJournalEvent {
+                    seq: 2,
+                    ts_ns: 2_000,
+                    severity: 2,
+                    site: 1,
+                    fields: vec![("shard".into(), "3".into())],
+                },
+            ],
+            names: vec![
+                std::sync::Arc::from("supervisor.transition"),
+                std::sync::Arc::from("shard.quarantine"),
+            ],
+            recorded: 2,
+            evicted: 0,
+        };
+
+        // No self intervals in the snapshot: the journal alone must
+        // force the self process + incidents lane into existence.
+        let (interner, snapshot) = memcpy_snapshot();
+        let snapshot = snapshot.with_names(interner.snapshot());
+        let json = to_chrome_trace_with_journal(&snapshot, None, Some(&journal));
+        assert!(json.contains("\"name\":\"profiler (self)\""));
+        assert!(json.contains("\"name\":\"incidents\""));
+        assert!(json.contains(
+            "\"ph\":\"i\",\"pid\":4294967295,\"tid\":1002,\"name\":\"supervisor.transition\""
+        ));
+        assert!(json.contains("\"s\":\"p\",\"ts\":1.500"));
+        assert!(json.contains("\"severity\":\"warn\",\"from\":\"Healthy\",\"to\":\"Degraded\""));
+        assert!(json.contains("\"name\":\"shard.quarantine\""));
+        assert!(json.contains("\"severity\":\"error\",\"shard\":\"3\""));
+        // The workload slice is still there, and the JSON stays balanced.
+        assert!(json.contains("\"name\":\"memcpy\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // An empty journal adds nothing — the export equals the plain one.
+        let empty = StoredJournal::default();
+        assert_eq!(
+            to_chrome_trace_with_journal(&snapshot, None, Some(&empty)),
+            to_chrome_trace(&snapshot, None)
+        );
     }
 
     #[test]

@@ -229,6 +229,18 @@ impl TimelineSnapshot {
     pub fn to_chrome_trace(&self, cct: Option<&CallingContextTree>) -> String {
         crate::chrome::to_chrome_trace(self, cct)
     }
+
+    /// [`to_chrome_trace`](Self::to_chrome_trace) plus the incident
+    /// journal: journaled events render as process-scoped instant
+    /// markers on an `incidents` lane of the `profiler (self)` process
+    /// (see [`chrome`](crate::chrome)).
+    pub fn to_chrome_trace_with_journal(
+        &self,
+        cct: Option<&CallingContextTree>,
+        journal: Option<&deepcontext_core::StoredJournal>,
+    ) -> String {
+        crate::chrome::to_chrome_trace_with_journal(self, cct, journal)
+    }
 }
 
 /// One idle gap on a device: no stream of the device was executing in

@@ -13,7 +13,9 @@
 //! slice carrying its full calling context. Run with
 //! `DEEPCONTEXT_TELEMETRY=1` to additionally get the `profiler (self)`
 //! process: the profiler's own worker batches, producer flushes, and
-//! snapshot folds as slices next to the workload they serve.
+//! snapshot folds as slices next to the workload they serve. Add
+//! `DEEPCONTEXT_JOURNAL=1` and journaled lifecycle incidents render as
+//! instant markers on that process's `incidents` lane.
 
 use deepcontext::prelude::*;
 
@@ -90,8 +92,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Export the Chrome trace with full calling contexts on each slice.
-    let trace = profiler.with_cct(|cct| timeline.to_chrome_trace(Some(cct)));
+    // Export the Chrome trace with full calling contexts on each slice,
+    // and — when `DEEPCONTEXT_JOURNAL=1` — the incident journal as
+    // instant markers next to the slices they explain.
+    let journal = profiler.journal_snapshot();
+    if let Some(journal) = &journal {
+        println!(
+            "\nincident journal: {} event(s) recorded ({} evicted)",
+            journal.recorded, journal.evicted
+        );
+    }
+    let trace =
+        profiler.with_cct(|cct| timeline.to_chrome_trace_with_journal(Some(cct), journal.as_ref()));
     std::fs::create_dir_all("artifacts")?;
     std::fs::write("artifacts/timeline_trace.json", &trace)?;
     println!(

@@ -111,10 +111,17 @@ fn corrupt_and_truncated_store_files_error_not_panic() {
     let text = String::from_utf8(buf).unwrap();
     let (dir, store) = temp_store();
 
-    // Wrong container version.
+    // Wrong container version: rewrite whatever version the header
+    // line carries (v2 plain, v3 when a journal rode along) to a
+    // future one.
+    let header_end = text.find('\n').expect("container has a header line");
+    assert!(
+        text[..header_end].starts_with("deepcontext-profile v"),
+        "header is the version magic"
+    );
     fs::write(
         dir.join("wrong-version.dcprof"),
-        text.replacen("deepcontext-profile v2", "deepcontext-profile v9", 1),
+        format!("deepcontext-profile v9{}", &text[header_end..]),
     )
     .unwrap();
     assert!(store.load("wrong-version").is_err());
